@@ -1,0 +1,72 @@
+// Ablation: duplicate-suppression Bloom-filter sizing (§2.3, §5.1).
+//
+// Sweeps bits-per-filter and hash count, reporting per-packet check cost
+// and the measured false-positive rate (an FP drops a *legitimate* fresh
+// packet, so the deployment question is how much memory buys how many
+// nines), against the analytic prediction.
+#include <benchmark/benchmark.h>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/dupsup.hpp"
+
+namespace {
+
+using namespace colibri;
+using dataplane::BloomFilter;
+using dataplane::DupSupConfig;
+using dataplane::DuplicateSuppression;
+
+void BM_DupSupCheck(benchmark::State& state) {
+  DupSupConfig cfg;
+  cfg.bits_per_filter = static_cast<size_t>(state.range(0));
+  cfg.hashes = static_cast<int>(state.range(1));
+  DuplicateSuppression ds(cfg);
+  const AsId src{1, 7};
+  TimeNs t = kNsPerSec;
+  std::uint32_t ts = 1;
+  for (auto _ : state) {
+    t += 100;
+    benchmark::DoNotOptimize(ds.check(src, ts & 0xFFF, ts, t, t));
+    ++ts;
+  }
+  state.counters["Mbits"] =
+      static_cast<double>(cfg.bits_per_filter) / (1 << 20);
+  state.counters["hashes"] = cfg.hashes;
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_DupSupCheck)
+    ->ArgsProduct({{1 << 18, 1 << 20, 1 << 22, 1 << 24}, {2, 4, 8}});
+
+void BM_BloomFalsePositiveRate(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const size_t inserts = static_cast<size_t>(state.range(2));
+
+  std::uint64_t fp = 0;
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    BloomFilter f(bits, k);
+    Rng rng(17);
+    for (size_t i = 0; i < inserts; ++i) {
+      f.test_and_set(rng.next(), rng.next() | 1);
+    }
+    for (int i = 0; i < 100'000; ++i) {
+      fp += f.test(rng.next(), rng.next() | 1);
+      ++probes;
+    }
+  }
+  state.counters["measured_fpr"] =
+      static_cast<double>(fp) / static_cast<double>(probes);
+  state.counters["predicted_fpr"] = BloomFilter::predicted_fpr(bits, k, inserts);
+  state.counters["KiB"] = static_cast<double>(bits) / 8 / 1024;
+}
+
+BENCHMARK(BM_BloomFalsePositiveRate)
+    ->ArgsProduct({{1 << 18, 1 << 20, 1 << 22}, {4}, {1 << 14, 1 << 16, 1 << 18}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Ablation: overuse-flow-detector sketch dimensions (§4.8).
+//
+// Sweeps sketch width/depth and reports (a) per-packet update cost and
+// (b) detection quality on a mixed workload: how fast the single
+// overuser is flagged and how many honest flows are false-positive
+// promoted to the deterministic watchlist (false positives are benign —
+// deterministic monitoring clears them — but each one costs watchlist
+// memory, which is exactly the resource the sketch exists to save).
+#include <benchmark/benchmark.h>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/ofd.hpp"
+
+namespace {
+
+using namespace colibri;
+using dataplane::OfdConfig;
+using dataplane::OverUseFlowDetector;
+
+void BM_OfdUpdate(benchmark::State& state) {
+  OfdConfig cfg;
+  cfg.width = static_cast<size_t>(state.range(0));
+  cfg.depth = static_cast<int>(state.range(1));
+  OverUseFlowDetector ofd(cfg);
+  Rng rng(1);
+  TimeNs t = 0;
+  const AsId src{1, 5};
+  for (auto _ : state) {
+    t += 1000;
+    const ResId res = static_cast<ResId>(1 + rng.below(100'000));
+    benchmark::DoNotOptimize(ofd.update(src, res, 1000, 1'000'000, t));
+  }
+  state.counters["width"] = static_cast<double>(cfg.width);
+  state.counters["depth"] = cfg.depth;
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_OfdUpdate)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14, 1 << 16}, {2, 4, 8}});
+
+void BM_OfdDetectionQuality(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+
+  std::uint64_t detect_packets_total = 0;
+  std::uint64_t false_positives_total = 0;
+  for (auto _ : state) {
+    OfdConfig cfg;
+    cfg.width = width;
+    cfg.depth = depth;
+    OverUseFlowDetector ofd(cfg);
+    Rng rng(99);
+    const AsId src{1, 5};
+    constexpr int kHonest = 5000;   // 1 Mbps flows at their rate
+    constexpr ResId kOveruser = 0x70000;  // 10x its 1 Mbps reservation
+    TimeNs t = 0;
+    std::uint64_t detect_at = 0;
+    std::uint64_t packets = 0;
+    while (detect_at == 0 && packets < 3'000'000) {
+      t += 2000;
+      ++packets;
+      // 10 % of traffic is the overuser (it sends 10x as often as one
+      // honest flow would).
+      if (rng.below(10) == 0) {
+        const auto v = ofd.update(src, kOveruser, 250, 1'000'000, t);
+        if (v == OverUseFlowDetector::Verdict::kSuspicious) {
+          detect_at = packets;
+        }
+      } else {
+        const ResId res = static_cast<ResId>(1 + rng.below(kHonest));
+        (void)ofd.update(src, res, 250, 1'000'000, t);
+      }
+    }
+    detect_packets_total += detect_at;
+    // Watchlist beyond the overuser = honest flows falsely promoted.
+    false_positives_total += ofd.watchlist_size() > 0
+                                 ? ofd.watchlist_size() - (detect_at ? 1 : 0)
+                                 : 0;
+  }
+  state.counters["pkts_to_detect"] =
+      static_cast<double>(detect_packets_total) /
+      static_cast<double>(state.iterations());
+  state.counters["false_positives"] =
+      static_cast<double>(false_positives_total) /
+      static_cast<double>(state.iterations());
+  state.counters["sketch_KiB"] =
+      static_cast<double>(width * static_cast<size_t>(depth) * sizeof(double)) /
+      1024.0;
+}
+
+BENCHMARK(BM_OfdDetectionQuality)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14}, {2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Ablation: queuing disciplines for traffic isolation (paper App. B).
+//
+// Strict priority (the default; safe because admission bounds Colibri
+// traffic) vs. class-based weighted fair queuing vs. plain FIFO, under a
+// best-effort flood: per-class delivery rates and — the part the paper's
+// Table 2 does not show — Colibri-data latency, which is where strict
+// priority earns its place.
+#include <cstdio>
+
+#include "colibri/sim/cbwfq.hpp"
+
+namespace {
+
+using namespace colibri;
+using namespace colibri::sim;
+
+struct Result {
+  double colibri_delivery = 0;
+  double be_delivery = 0;
+  double colibri_p99_us = 0;
+};
+
+template <typename Port>
+Result run(Port& port, Simulator& sim) {
+  std::vector<double> latencies;
+  std::unordered_map<const void*, TimeNs> unused;
+
+  // 2 Gbps Colibri data + 30 Gbps best effort into a 10 Gbps port.
+  // Latency is tracked via the flow field (packet id).
+  std::unordered_map<std::uint64_t, TimeNs> sent_at;
+  std::uint64_t next_id = 1;
+  port.set_sink([&](SimPacket&& pkt) {
+    if (pkt.cls == TrafficClass::kColibriData) {
+      auto it = sent_at.find(pkt.flow);
+      if (it != sent_at.end()) {
+        latencies.push_back(static_cast<double>(sim.now() - it->second) /
+                            1000.0);
+        sent_at.erase(it);
+      }
+    }
+  });
+
+  constexpr TimeNs kDuration = 50'000'000;
+  for (TimeNs t = 0; t < kDuration; t += 4000) {  // 2 Gbps of 1000 B
+    sim.at(t, [&port, &sent_at, &next_id, &sim] {
+      SimPacket p;
+      p.cls = TrafficClass::kColibriData;
+      p.bytes = 1000;
+      p.flow = next_id++;
+      sent_at[p.flow] = sim.now();
+      port.enqueue(std::move(p));
+    });
+  }
+  for (TimeNs t = 0; t < kDuration; t += 266) {  // ~30 Gbps BE
+    sim.at(t, [&port] {
+      SimPacket p;
+      p.cls = TrafficClass::kBestEffort;
+      p.bytes = 1000;
+      port.enqueue(std::move(p));
+    });
+  }
+  sim.run_until(kDuration + 10'000'000);
+
+  Result r;
+  const auto& c = port.counters(TrafficClass::kColibriData);
+  const auto& b = port.counters(TrafficClass::kBestEffort);
+  r.colibri_delivery = static_cast<double>(c.sent_pkts) /
+                       static_cast<double>(c.enqueued_pkts + c.dropped_pkts);
+  r.be_delivery = static_cast<double>(b.sent_pkts) /
+                  static_cast<double>(b.enqueued_pkts + b.dropped_pkts);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    r.colibri_p99_us = latencies[latencies.size() * 99 / 100];
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Queuing-discipline ablation (App. B): 2 Gbps Colibri data +\n"
+              "30 Gbps best effort into a 10 Gbps port, 1 MiB buffers\n\n");
+  std::printf("%-18s %18s %18s %16s\n", "discipline", "colibri delivery",
+              "best-effort del.", "colibri p99 [us]");
+
+  {
+    Simulator sim;
+    PriorityPort port(sim, 10e9, 1 << 20);
+    const Result r = run(port, sim);
+    std::printf("%-18s %17.1f%% %17.1f%% %16.1f\n", "strict priority",
+                r.colibri_delivery * 100, r.be_delivery * 100,
+                r.colibri_p99_us);
+  }
+  {
+    Simulator sim;
+    CbwfqPort port(sim, 10e9, CbwfqWeights{0.75, 0.05, 0.20}, 1 << 20);
+    const Result r = run(port, sim);
+    std::printf("%-18s %17.1f%% %17.1f%% %16.1f\n", "CBWFQ 75/5/20",
+                r.colibri_delivery * 100, r.be_delivery * 100,
+                r.colibri_p99_us);
+  }
+  {
+    Simulator sim;
+    FifoPort port(sim, 10e9, 1 << 20);
+    const Result r = run(port, sim);
+    std::printf("%-18s %17.1f%% %17.1f%% %16.1f\n", "FIFO (baseline)",
+                r.colibri_delivery * 100, r.be_delivery * 100,
+                r.colibri_p99_us);
+  }
+  std::printf("\nExpected shape: both Colibri-aware disciplines deliver all\n"
+              "Colibri data; strict priority gives the lowest latency; FIFO\n"
+              "drops Colibri packets once the shared queue fills.\n");
+  return 0;
+}

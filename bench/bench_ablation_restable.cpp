@@ -1,0 +1,90 @@
+// Ablation: gateway reservation-table implementation (§7.1 deploys DPDK's
+// rte_hash; DESIGN.md §4.4 motivates the open-addressing table).
+//
+// Compares the flat open-addressing ResTable against std::unordered_map
+// on the gateway's exact access pattern: random lookups over r live
+// entries — the cache-miss regime that shapes Fig. 5's r-dependence.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/restable.hpp"
+
+namespace {
+
+using namespace colibri;
+using dataplane::GatewayEntry;
+using dataplane::ResTable;
+
+void BM_ResTableLookup(benchmark::State& state) {
+  const std::int64_t r = state.range(0);
+  ResTable table(static_cast<size_t>(r));
+  for (std::int64_t i = 1; i <= r; ++i) {
+    GatewayEntry e;
+    e.resinfo.res_id = static_cast<ResId>(i);
+    table.insert(static_cast<ResId>(i), std::move(e));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const ResId id =
+        static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+    benchmark::DoNotOptimize(table.find(id));
+  }
+  state.counters["entries"] = static_cast<double>(r);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ResTableLookup)
+    ->Arg(1 << 10)
+    ->Arg(1 << 15)
+    ->Arg(1 << 17)
+    ->Arg(1 << 20);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  const std::int64_t r = state.range(0);
+  std::unordered_map<ResId, GatewayEntry> table;
+  table.reserve(static_cast<size_t>(r));
+  for (std::int64_t i = 1; i <= r; ++i) {
+    GatewayEntry e;
+    e.resinfo.res_id = static_cast<ResId>(i);
+    table.emplace(static_cast<ResId>(i), std::move(e));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const ResId id =
+        static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+    auto it = table.find(id);
+    benchmark::DoNotOptimize(it);
+  }
+  state.counters["entries"] = static_cast<double>(r);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_UnorderedMapLookup)
+    ->Arg(1 << 10)
+    ->Arg(1 << 15)
+    ->Arg(1 << 17)
+    ->Arg(1 << 20);
+
+void BM_ResTableChurn(benchmark::State& state) {
+  // Steady-state EER turnover: insert + erase at 2^15 live entries.
+  constexpr std::int64_t kLive = 1 << 15;
+  ResTable table(kLive);
+  for (std::int64_t i = 1; i <= kLive; ++i) {
+    table.insert(static_cast<ResId>(i), GatewayEntry{});
+  }
+  ResId next = kLive + 1;
+  ResId oldest = 1;
+  for (auto _ : state) {
+    table.insert(next++, GatewayEntry{});
+    table.erase(oldest++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ResTableChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Ablation: struct-based vs. bytes-level border-router fast path.
+//
+// The Fig. 5/6 benchmarks drive the router on pre-parsed FastPackets; a
+// production pipeline validates raw frames. This bench quantifies the
+// parse-in-place overhead of the WireRouter (header field extraction from
+// unaligned wire bytes) relative to the struct path, single packets and
+// 32-packet bursts.
+#include <benchmark/benchmark.h>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/gateway.hpp"
+#include "colibri/dataplane/router.hpp"
+#include "colibri/dataplane/wire_router.hpp"
+#include "colibri/proto/codec.hpp"
+
+namespace {
+
+using namespace colibri;
+using namespace colibri::dataplane;
+
+SystemClock g_clock;
+
+drkey::Key128 key_of(std::uint8_t seed) {
+  drkey::Key128 k;
+  k.bytes.fill(seed);
+  return k;
+}
+
+struct Setup {
+  std::vector<Bytes> wires;
+  std::vector<FastPacket> fasts;
+
+  explicit Setup(int n) {
+    Gateway gw(AsId{1, 10}, g_clock);
+    proto::ResInfo ri{AsId{1, 10}, 5, 1'000'000,
+                      g_clock.now_sec() + 100'000, 0};
+    proto::EerInfo ei{HostAddr::from_u64(1), HostAddr::from_u64(2)};
+    std::vector<topology::Hop> path = {
+        topology::Hop{AsId{1, 10}, kNoInterface, 1},
+        topology::Hop{AsId{1, 20}, 2, 3},
+        topology::Hop{AsId{1, 30}, 4, 5},
+        topology::Hop{AsId{1, 40}, 6, kNoInterface}};
+    std::vector<HopAuth> sigmas;
+    const drkey::Key128 keys[] = {key_of(1), key_of(2), key_of(3), key_of(4)};
+    for (size_t i = 0; i < path.size(); ++i) {
+      crypto::Aes128 cipher(keys[i].bytes.data());
+      sigmas.push_back(compute_hopauth(cipher, ri, ei, path[i].ingress,
+                                       path[i].egress));
+    }
+    gw.install(ri, ei, path, sigmas);
+    for (int i = 0; i < n; ++i) {
+      FastPacket fp;
+      gw.process(5, 0, fp);
+      fp.current_hop = 1;
+      fasts.push_back(fp);
+      wires.push_back(proto::encode_packet(to_packet(fp)));
+    }
+  }
+};
+
+void BM_StructRouter(benchmark::State& state) {
+  Setup setup(1024);
+  BorderRouter router(AsId{1, 20}, key_of(2), g_clock);
+  size_t i = 0;
+  for (auto _ : state) {
+    FastPacket& pkt = setup.fasts[i & 1023];
+    pkt.current_hop = 1;
+    benchmark::DoNotOptimize(router.process(pkt));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_StructRouter);
+
+void BM_WireRouterSingle(benchmark::State& state) {
+  Setup setup(1024);
+  WireRouter router(AsId{1, 20}, key_of(2), g_clock);
+  size_t i = 0;
+  for (auto _ : state) {
+    Bytes& wire = setup.wires[i & 1023];
+    wire[3] = 1;  // reset the in-place cursor
+    benchmark::DoNotOptimize(router.process(wire.data(), wire.size()));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_WireRouterSingle);
+
+void BM_WireRouterBurst(benchmark::State& state) {
+  Setup setup(1024);
+  WireRouter router(AsId{1, 20}, key_of(2), g_clock);
+  constexpr size_t kBurst = 32;
+  WireRouter::Verdict verdicts[kBurst];
+  size_t base = 0;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    WireRouter::PacketView views[kBurst];
+    for (size_t i = 0; i < kBurst; ++i) {
+      Bytes& wire = setup.wires[(base + i) & 1023];
+      wire[3] = 1;
+      views[i] = {wire.data(), wire.size()};
+    }
+    router.process_burst(views, kBurst, verdicts);
+    benchmark::DoNotOptimize(verdicts[0]);
+    base += kBurst;
+    processed += kBurst;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_WireRouterBurst);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Appendix E: forwarding performance vs. payload size.
+//
+// Paper result: both the gateway (2^15 pre-existing reservations) and the
+// border router forward at a rate *independent of payload size* — the
+// per-packet work is header-only (the payload is never touched, and
+// PktSize enters the MAC as a number).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/gateway.hpp"
+#include "colibri/dataplane/router.hpp"
+
+namespace {
+
+using namespace colibri;
+using dataplane::BorderRouter;
+using dataplane::FastPacket;
+using dataplane::Gateway;
+
+SystemClock g_clock;
+constexpr int kPathLen = 4;
+constexpr std::int64_t kReservations = 1 << 15;
+
+std::vector<topology::Hop> make_path() {
+  std::vector<topology::Hop> path;
+  for (int i = 0; i < kPathLen; ++i) {
+    path.push_back(topology::Hop{AsId{1, static_cast<std::uint64_t>(100 + i)},
+                                 static_cast<IfId>(i == 0 ? 0 : 1),
+                                 static_cast<IfId>(i + 1 == kPathLen ? 0 : 2)});
+  }
+  return path;
+}
+
+drkey::Key128 router_key() {
+  drkey::Key128 k;
+  k.bytes.fill(0x77);
+  return k;
+}
+
+Gateway& shared_gateway() {
+  static std::unique_ptr<Gateway> gw = [] {
+    dataplane::GatewayConfig cfg;
+    cfg.expected_reservations = kReservations;
+    auto g = std::make_unique<Gateway>(AsId{1, 100}, g_clock, cfg);
+    const auto path = make_path();
+    Rng rng(5);
+    proto::EerInfo eerinfo;
+    std::vector<dataplane::HopAuth> sigmas(kPathLen);
+    for (std::int64_t i = 0; i < kReservations; ++i) {
+      proto::ResInfo ri;
+      ri.src_as = AsId{1, 100};
+      ri.res_id = static_cast<ResId>(i + 1);
+      ri.bw_kbps = 0xFFFF'FFFF;
+      ri.exp_time = g_clock.now_sec() + 100'000;
+      for (auto& s : sigmas) rng.fill(s.data(), s.size());
+      g->install(ri, eerinfo, path, sigmas);
+    }
+    return g;
+  }();
+  return *gw;
+}
+
+void BM_GatewayPayloadSize(benchmark::State& state) {
+  Gateway& gw = shared_gateway();
+  const auto payload = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(6);
+  FastPacket pkt;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    const ResId id = static_cast<ResId>(1 + rng.below(kReservations));
+    benchmark::DoNotOptimize(gw.process(id, payload, pkt));
+    ++processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["payload_B"] = static_cast<double>(payload);
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+  state.SetLabel("App.E: rate must be flat in payload size");
+}
+
+BENCHMARK(BM_GatewayPayloadSize)
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1000)
+    ->Arg(1500);
+
+void BM_RouterPayloadSize(benchmark::State& state) {
+  BorderRouter router(AsId{1, 101}, router_key(), g_clock);
+  const auto payload = static_cast<std::uint32_t>(state.range(0));
+  const auto path = make_path();
+  crypto::Aes128 cipher(router_key().bytes.data());
+
+  FastPacket pkt;
+  pkt.is_eer = true;
+  pkt.num_hops = kPathLen;
+  pkt.resinfo.src_as = AsId{1, 100};
+  pkt.resinfo.res_id = 7;
+  pkt.resinfo.bw_kbps = 1'000'000;
+  pkt.resinfo.exp_time = g_clock.now_sec() + 100'000;
+  pkt.payload_bytes = payload;
+  for (int i = 0; i < kPathLen; ++i) {
+    pkt.ifaces[i] = dataplane::IfPair{path[i].ingress, path[i].egress};
+  }
+  pkt.timestamp = 12345;
+  const auto sigma = dataplane::compute_hopauth(
+      cipher, pkt.resinfo, pkt.eerinfo, pkt.ifaces[1].in, pkt.ifaces[1].eg);
+  pkt.hvfs[1] = dataplane::compute_data_hvf(sigma, pkt.timestamp,
+                                            pkt.wire_size());
+
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    pkt.current_hop = 1;
+    benchmark::DoNotOptimize(router.process(pkt));
+    ++processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["payload_B"] = static_cast<double>(payload);
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+  state.SetLabel("App.E: rate must be flat in payload size");
+}
+
+BENCHMARK(BM_RouterPayloadSize)
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1000)
+    ->Arg(1500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

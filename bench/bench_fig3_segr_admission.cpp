@@ -1,0 +1,101 @@
+// Figure 3: processing time for one SegR admission as a function of the
+// number of existing SegRs over the same interface pair, and the ratio of
+// those SegRs that share the new request's source AS.
+//
+// Paper result: flat in both dimensions (≈ µs-scale with memoization; the
+// paper's Go implementation reports ~1250 µs per admission end-to-end).
+// This bench isolates the admission computation the figure is about; the
+// service-level number including message handling is in
+// bench_cserv_throughput.
+#include <benchmark/benchmark.h>
+
+#include "colibri/admission/segr_admission.hpp"
+#include "colibri/common/rand.hpp"
+
+namespace {
+
+using namespace colibri;
+using admission::SegrAdmission;
+using admission::SegrAdmissionRequest;
+
+constexpr BwKbps kCapacity = 100'000'000;  // 100 Gbps Colibri share
+const AsId kNewSource{1, 7777};
+
+// Builds an admission ledger preloaded with `existing` SegRs on interface
+// pair (1, 2); `ratio` percent of them share kNewSource.
+SegrAdmission preload(std::int64_t existing, std::int64_t ratio_pct) {
+  SegrAdmission adm;
+  adm.set_interface_capacity(1, kCapacity);
+  adm.set_interface_capacity(2, kCapacity);
+  Rng rng(static_cast<std::uint64_t>(existing * 131 + ratio_pct));
+  for (std::int64_t i = 0; i < existing; ++i) {
+    SegrAdmissionRequest req;
+    const bool same_source =
+        static_cast<std::int64_t>(rng.below(100)) < ratio_pct;
+    req.src_as = same_source ? kNewSource : AsId{1, 1 + rng.below(5000)};
+    req.key = ResKey{req.src_as, static_cast<ResId>(i + 1)};
+    req.ingress = 1;
+    req.egress = 2;
+    req.min_bw_kbps = 0;
+    req.demand_kbps = static_cast<BwKbps>(100 + rng.below(10'000));
+    (void)adm.admit(req);
+  }
+  return adm;
+}
+
+void BM_SegrAdmission(benchmark::State& state) {
+  const std::int64_t existing = state.range(0);
+  const std::int64_t ratio_pct = state.range(1);
+  SegrAdmission adm = preload(existing, ratio_pct);
+
+  SegrAdmissionRequest req;
+  req.src_as = kNewSource;
+  req.key = ResKey{kNewSource, 0x7FFF'0000};
+  req.ingress = 1;
+  req.egress = 2;
+  req.min_bw_kbps = 0;
+  req.demand_kbps = 5000;
+
+  for (auto _ : state) {
+    auto r = adm.admit(req);
+    benchmark::DoNotOptimize(r);
+    state.PauseTiming();
+    adm.release(req.key);
+    state.ResumeTiming();
+  }
+  state.counters["existing_segrs"] = static_cast<double>(existing);
+  state.counters["same_src_ratio_pct"] = static_cast<double>(ratio_pct);
+  state.SetLabel("Fig.3: admission must be flat in existing SegRs");
+}
+
+BENCHMARK(BM_SegrAdmission)
+    ->ArgsProduct({{0, 1000, 2000, 5000, 10000}, {0, 10, 50, 90}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Admit + release together (steady-state churn), timed without pauses.
+void BM_SegrAdmissionChurn(benchmark::State& state) {
+  SegrAdmission adm = preload(state.range(0), 50);
+  Rng rng(7);
+  ResId next = 0x7000'0000;
+  for (auto _ : state) {
+    SegrAdmissionRequest req;
+    req.src_as = AsId{1, 1 + rng.below(5000)};
+    req.key = ResKey{req.src_as, next++};
+    req.ingress = 1;
+    req.egress = 2;
+    req.demand_kbps = 5000;
+    auto r = adm.admit(req);
+    benchmark::DoNotOptimize(r);
+    adm.release(req.key);
+  }
+  state.counters["existing_segrs"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_SegrAdmissionChurn)
+    ->Arg(0)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

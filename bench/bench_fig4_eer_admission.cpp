@@ -1,0 +1,110 @@
+// Figure 4: processing time for one EER admission at a transit AS, as a
+// function of the number of existing EERs sharing the same SegR and of
+// the number s of active SegRs sharing the same source AS.
+//
+// Paper result: flat in both dimensions (a constant-time counter check).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "colibri/admission/eer_admission.hpp"
+#include "colibri/common/rand.hpp"
+#include "colibri/reservation/segr.hpp"
+
+namespace {
+
+using namespace colibri;
+
+const AsId kSrc{1, 42};
+
+reservation::SegrRecord make_segr(ResId id, BwKbps bw) {
+  reservation::SegrRecord r;
+  r.key = ResKey{kSrc, id};
+  r.seg_type = topology::SegType::kUp;
+  r.hops = {topology::Hop{kSrc, kNoInterface, 1},
+            topology::Hop{AsId{1, 99}, 1, kNoInterface}};
+  r.local_hop = 1;
+  r.active = reservation::SegrVersion{0, bw, 1 << 30};
+  return r;
+}
+
+struct Fixture {
+  reservation::SegrStore store;
+  reservation::SegrRecord* target = nullptr;
+  admission::EerAdmission adm;
+
+  Fixture(std::int64_t existing_eers, std::int64_t s) {
+    // s SegRs from the same source AS (the Fig. 4 parameter).
+    for (std::int64_t i = 0; i < s; ++i) {
+      store.upsert(make_segr(static_cast<ResId>(i + 2), 1'000'000));
+    }
+    // The SegR carrying the new EER: capacity far above the load so the
+    // preloaded EERs never exhaust it.
+    target = store.upsert(
+        make_segr(1, static_cast<BwKbps>(existing_eers * 100 + 1'000'000)));
+    for (std::int64_t i = 0; i < existing_eers; ++i) {
+      admission::EerAdmission::Request req;
+      req.eer_key = ResKey{kSrc, static_cast<ResId>(1000 + i)};
+      req.demand_kbps = 100;
+      req.segr_in = target;
+      (void)adm.admit(req, 0);
+    }
+  }
+};
+
+void BM_EerAdmission(benchmark::State& state) {
+  Fixture fx(state.range(0), state.range(1));
+  admission::EerAdmission::Request req;
+  req.eer_key = ResKey{kSrc, 0x7FFF'0000};
+  req.demand_kbps = 500;
+  req.segr_in = fx.target;
+
+  for (auto _ : state) {
+    auto r = fx.adm.admit(req, 0);
+    benchmark::DoNotOptimize(r);
+    state.PauseTiming();
+    fx.adm.release(req.eer_key);
+    state.ResumeTiming();
+  }
+  state.counters["existing_eers"] = static_cast<double>(state.range(0));
+  state.counters["segrs_same_src(s)"] = static_cast<double>(state.range(1));
+  state.SetLabel("Fig.4: EER admission must be flat in existing EERs");
+}
+
+BENCHMARK(BM_EerAdmission)
+    ->ArgsProduct({{10, 100, 1000, 10'000, 100'000}, {1, 5000, 10'000}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Transfer-AS variant: the proportional split between up- and core-SegRs
+// (the most expensive EER admission case) is also O(1).
+void BM_EerAdmissionTransfer(benchmark::State& state) {
+  Fixture fx(state.range(0), 1);
+  auto* core = fx.store.upsert(make_segr(900, 50'000'000));
+  core->seg_type = topology::SegType::kCore;
+
+  admission::EerAdmission::Request req;
+  req.eer_key = ResKey{kSrc, 0x7FFF'0001};
+  req.demand_kbps = 500;
+  req.segr_in = fx.target;
+  req.segr_out = core;
+
+  for (auto _ : state) {
+    auto r = fx.adm.admit(req, 0);
+    benchmark::DoNotOptimize(r);
+    state.PauseTiming();
+    fx.adm.release(req.eer_key);
+    state.ResumeTiming();
+  }
+  state.counters["existing_eers"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_EerAdmissionTransfer)
+    ->Arg(10)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

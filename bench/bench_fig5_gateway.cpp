@@ -1,0 +1,131 @@
+// Figure 5: gateway forwarding performance (one core) as a function of
+// the number of on-path ASes {2,4,8,16} and the number of installed
+// reservations r in {2^0, 2^10, 2^15, 2^17, 2^20}.
+//
+// Worst-case access pattern exactly as in the paper: packets arrive with
+// *random* reservation IDs out of the set of valid ones, defeating the
+// cache. Zero-payload packets (processing is payload-independent, App. E).
+// Paper result: ~2.5 Mpps (2 ASes, 1 res) down to ~0.4 Mpps
+// (16 ASes, 2^20 res); decreasing in both dimensions.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/gateway.hpp"
+
+namespace {
+
+using namespace colibri;
+using dataplane::FastPacket;
+using dataplane::Gateway;
+
+SystemClock g_clock;
+
+std::vector<topology::Hop> make_path(int num_ases) {
+  std::vector<topology::Hop> path;
+  for (int i = 0; i < num_ases; ++i) {
+    path.push_back(topology::Hop{AsId{1, static_cast<std::uint64_t>(100 + i)},
+                                 static_cast<IfId>(i == 0 ? 0 : 1),
+                                 static_cast<IfId>(i + 1 == num_ases ? 0 : 2)});
+  }
+  return path;
+}
+
+// Gateways are expensive to populate (2^20 installs); build each (hops, r)
+// configuration once and reuse across benchmark repetitions.
+Gateway& gateway_for(int num_ases, std::int64_t reservations) {
+  static std::map<std::pair<int, std::int64_t>, std::unique_ptr<Gateway>> cache;
+  auto key = std::make_pair(num_ases, reservations);
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+
+  dataplane::GatewayConfig cfg;
+  cfg.expected_reservations = static_cast<size_t>(reservations);
+  auto gw = std::make_unique<Gateway>(AsId{1, 100}, g_clock, cfg);
+
+  const auto path = make_path(num_ases);
+  Rng rng(static_cast<std::uint64_t>(num_ases) * 1000003 + reservations);
+  proto::EerInfo eerinfo;
+  eerinfo.src_host = HostAddr::from_u64(1);
+  eerinfo.dst_host = HostAddr::from_u64(2);
+  std::vector<dataplane::HopAuth> sigmas(static_cast<size_t>(num_ases));
+
+  for (std::int64_t i = 0; i < reservations; ++i) {
+    proto::ResInfo ri;
+    ri.src_as = AsId{1, 100};
+    ri.res_id = static_cast<ResId>(i + 1);
+    // High rate so the token bucket never throttles the benchmark.
+    ri.bw_kbps = 0xFFFF'FFFF;
+    ri.exp_time = g_clock.now_sec() + 100'000;
+    ri.version = 0;
+    for (auto& s : sigmas) rng.fill(s.data(), s.size());
+    gw->install(ri, eerinfo, path, sigmas);
+  }
+  auto [ins, _] = cache.emplace(key, std::move(gw));
+  return *ins->second;
+}
+
+void BM_GatewayForward(benchmark::State& state) {
+  const int num_ases = static_cast<int>(state.range(0));
+  const std::int64_t r = state.range(1);
+  Gateway& gw = gateway_for(num_ases, r);
+
+  // Pre-generated random ResId stream (worst case for the cache).
+  Rng rng(42);
+  std::vector<ResId> ids(1 << 16);
+  for (auto& id : ids) {
+    id = static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+  }
+
+  FastPacket pkt;
+  size_t i = 0;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    const auto verdict = gw.process(ids[i & 0xFFFF], 0, pkt);
+    benchmark::DoNotOptimize(verdict);
+    benchmark::DoNotOptimize(pkt.hvfs[0]);
+    ++i;
+    ++processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["on_path_ases"] = num_ases;
+  state.counters["reservations(r)"] = static_cast<double>(r);
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_GatewayForward)
+    ->ArgsProduct({{2, 4, 8, 16}, {1, 1 << 10, 1 << 15, 1 << 17, 1 << 20}})
+    ->Unit(benchmark::kNanosecond);
+
+// Burst API variant (DPDK-style 32-packet bursts), path length 4.
+void BM_GatewayBurst(benchmark::State& state) {
+  const std::int64_t r = state.range(0);
+  Gateway& gw = gateway_for(4, r);
+  Rng rng(43);
+  constexpr size_t kBurst = 32;
+  ResId ids[kBurst];
+  std::uint32_t sizes[kBurst] = {};
+  FastPacket pkts[kBurst];
+  Gateway::Verdict verdicts[kBurst];
+
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    for (auto& id : ids) {
+      id = static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+    }
+    processed += gw.process_burst(ids, sizes, kBurst, pkts, verdicts);
+    benchmark::DoNotOptimize(pkts[0].hvfs[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_GatewayBurst)->Arg(1 << 10)->Arg(1 << 15)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

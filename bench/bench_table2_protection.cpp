@@ -1,0 +1,50 @@
+// Table 2: data-plane protection. Runs the three phases of §7.2 through
+// the discrete-event simulator (3x40 Gbps inputs -> 1x40 Gbps output) and
+// prints the same rows the paper reports:
+//
+//   phase 1: reservations vs. best-effort congestion,
+//   phase 2: + a 20 Gbps unauthentic-Colibri flood (filtered at the BR),
+//   phase 3: + reservation 1 overusing at 40 Gbps (limited to 0.4 Gbps).
+//
+// Expected shape: Reservation 1 -> 0.400, Reservation 2 -> 0.800 in every
+// phase; best effort gets the residual ~38.6 Gbps; the unauthentic flood
+// delivers ~0.
+#include <cstdio>
+
+#include "colibri/sim/scenario.hpp"
+
+int main() {
+  using namespace colibri::sim;
+
+  ScenarioConfig cfg;
+  cfg.duration_ns = 200'000'000;  // 200 ms per phase
+  cfg.warmup_ns = 40'000'000;
+  ProtectionScenario scenario(cfg);
+
+  std::printf("Table 2 reproduction: per-flow throughput in Gbps\n");
+  std::printf("(3 x 40 Gbps inputs -> 1 x 40 Gbps output, %.0f ms per phase)\n\n",
+              cfg.duration_ns / 1e6);
+  std::printf("%-26s %-6s %10s %10s\n", "Traffic class", "input", "offered",
+              "output");
+
+  const auto phases = table2_phases();
+  for (size_t p = 0; p < phases.size(); ++p) {
+    const PhaseResult r = scenario.run_phase(phases[p]);
+    std::printf("--- phase %zu %s\n", p + 1,
+                p == 0   ? "(best-effort congestion)"
+                : p == 1 ? "(+ unauthentic Colibri flood)"
+                         : "(+ reservation-1 overuse at 40 Gbps)");
+    for (const auto& f : r.flows) {
+      std::printf("%-26s %-6d %10.3f %10.3f\n", f.label.c_str(),
+                  f.input_port + 1, f.offered_gbps, f.delivered_gbps);
+    }
+    std::printf("    [router: %llu bad-HVF drops, %llu overuse drops]\n",
+                static_cast<unsigned long long>(r.router_bad_hvf),
+                static_cast<unsigned long long>(r.router_overuse_dropped));
+  }
+  std::printf(
+      "\nPaper reference (Table 2): res1 0.400 / res2 0.800 in all phases;\n"
+      "best effort ~38.6; unauthentic Colibri fully filtered; overused\n"
+      "reservation limited to its guarantee without harming reservation 2.\n");
+  return 0;
+}

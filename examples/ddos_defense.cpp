@@ -1,0 +1,80 @@
+// DDoS defence walk-through (paper §5, §7.2).
+//
+// A victim holds a 1 Gbps reservation into its AS. Three escalating
+// attacks hit the shared 40 Gbps bottleneck:
+//   1. an 80 Gbps best-effort flood from two directions,
+//   2. a 20 Gbps flood of *bogus* Colibri packets with forged HVFs,
+//   3. a compromised AS overusing a second, legitimate reservation 50x.
+// The reservation's throughput is printed for each stage: Colibri's
+// worst-case bandwidth guarantee means it never degrades.
+#include <cstdio>
+
+#include "colibri/sim/scenario.hpp"
+
+using namespace colibri;
+using sim::FlowSpec;
+
+int main() {
+  sim::ScenarioConfig cfg;
+  cfg.reservation_gbps = {1.0, 0.5};  // victim: 1 Gbps; bystander: 0.5
+  cfg.duration_ns = 150'000'000;
+  cfg.warmup_ns = 30'000'000;
+  sim::ProtectionScenario scenario(cfg);
+
+  using K = FlowSpec::Kind;
+  const FlowSpec victim{"victim reservation", K::kAuthentic, 0, 1.0, 1000, 0};
+  const FlowSpec bystander{"bystander reservation", K::kAuthentic, 1, 0.5,
+                           1000, 1};
+
+  struct Stage {
+    const char* name;
+    std::vector<FlowSpec> flows;
+  };
+  const std::vector<Stage> stages = {
+      {"baseline (no attack)", {victim, bystander}},
+      {"volumetric best-effort DDoS (80 Gbps offered)",
+       {victim, bystander,
+        FlowSpec{"BE flood A", K::kBestEffort, 1, 40.0, 1000, 0},
+        FlowSpec{"BE flood B", K::kBestEffort, 2, 40.0, 1000, 0}}},
+      {"bogus-Colibri flood (forged HVFs, 20 Gbps)",
+       {victim, bystander,
+        FlowSpec{"BE flood A", K::kBestEffort, 1, 40.0, 1000, 0},
+        FlowSpec{"forged Colibri", K::kUnauthentic, 2, 20.0, 1000, 0},
+        FlowSpec{"BE flood B", K::kBestEffort, 2, 20.0, 1000, 0}}},
+      {"reservation overuse by a malicious AS (25 Gbps over 0.5 G)",
+       {victim,
+        FlowSpec{"overused reservation", K::kOveruse, 1, 25.0, 1000, 1},
+        FlowSpec{"BE flood A", K::kBestEffort, 1, 15.0, 1000, 0},
+        FlowSpec{"forged Colibri", K::kUnauthentic, 2, 20.0, 1000, 0},
+        FlowSpec{"BE flood B", K::kBestEffort, 2, 20.0, 1000, 0}}},
+  };
+
+  std::printf("Victim SLO: 1 Gbps guaranteed through a 40 Gbps bottleneck\n\n");
+  bool slo_held = true;
+  for (const auto& stage : stages) {
+    const auto result = scenario.run_phase(stage.flows);
+    std::printf("== %s\n", stage.name);
+    for (const auto& f : result.flows) {
+      std::printf("   %-24s offered %6.2f Gbps -> delivered %6.3f Gbps\n",
+                  f.label.c_str(), f.offered_gbps, f.delivered_gbps);
+    }
+    if (result.router_bad_hvf > 0) {
+      std::printf("   router dropped %llu forged packets (bad HVF)\n",
+                  static_cast<unsigned long long>(result.router_bad_hvf));
+    }
+    if (result.router_overuse_dropped > 0) {
+      std::printf("   router dropped %llu overuse packets (OFD + policing)\n",
+                  static_cast<unsigned long long>(result.router_overuse_dropped));
+    }
+    const double victim_gbps = result.flows[0].delivered_gbps;
+    const bool ok = victim_gbps > 0.9;
+    slo_held &= ok;
+    std::printf("   -> victim SLO %s (%.3f Gbps)\n\n",
+                ok ? "HELD" : "VIOLATED", victim_gbps);
+  }
+  std::printf("%s\n", slo_held
+                          ? "All attacks absorbed: the reservation kept its "
+                            "worst-case bandwidth guarantee."
+                          : "SLO violated — investigate!");
+  return slo_held ? 0 : 1;
+}

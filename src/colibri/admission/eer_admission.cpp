@@ -1,0 +1,169 @@
+#include "colibri/admission/eer_admission.hpp"
+
+#include <algorithm>
+
+namespace colibri::admission {
+
+BwKbps TransferLedger::evaluate(const ResKey& up, BwKbps up_bw_kbps,
+                                const ResKey& core,
+                                BwKbps core_eer_capacity_kbps,
+                                BwKbps request_kbps) const {
+  const double core_cap = static_cast<double>(core_eer_capacity_kbps);
+  const double up_cap = static_cast<double>(up_bw_kbps);
+
+  double raw = 0, alloc = 0;
+  if (auto it = pairs_.find(PairKey{up, core}); it != pairs_.end()) {
+    raw = it->second.raw_demand;
+    alloc = it->second.allocated;
+  }
+  double total = 0;
+  if (auto it = cores_.find(core); it != cores_.end()) {
+    total = it->second.total_capped;
+  }
+
+  // Prospective demand including this request.
+  const double old_contrib = std::min(raw, up_cap);
+  const double new_contrib =
+      std::min(raw + static_cast<double>(request_kbps), up_cap);
+  const double prospective_total = total - old_contrib + new_contrib;
+
+  // Uncontended core-SegR: the share rule imposes no extra limit.
+  if (prospective_total <= core_cap) return request_kbps;
+
+  // Contended: this up-SegR's fair share of the core-SegR.
+  const double share = core_cap * new_contrib / prospective_total;
+  const double grantable = share - alloc;
+  if (grantable <= 0) return 0;
+  return static_cast<BwKbps>(
+      std::min(grantable, static_cast<double>(request_kbps)));
+}
+
+void TransferLedger::record(const ResKey& up, BwKbps up_bw_kbps,
+                            const ResKey& core, BwKbps demand_kbps,
+                            BwKbps granted_kbps) {
+  PairState& p = pairs_[PairKey{up, core}];
+  CoreState& c = cores_[core];
+  const double up_cap = static_cast<double>(up_bw_kbps);
+  const double old_contrib = std::min(p.raw_demand, up_cap);
+  p.raw_demand += static_cast<double>(demand_kbps);
+  p.allocated += static_cast<double>(granted_kbps);
+  c.total_capped += std::min(p.raw_demand, up_cap) - old_contrib;
+}
+
+void TransferLedger::release(const ResKey& up, BwKbps up_bw_kbps,
+                             const ResKey& core, BwKbps demand_kbps,
+                             BwKbps granted_kbps) {
+  auto it = pairs_.find(PairKey{up, core});
+  if (it == pairs_.end()) return;
+  PairState& p = it->second;
+  CoreState& c = cores_[core];
+  const double up_cap = static_cast<double>(up_bw_kbps);
+  const double old_contrib = std::min(p.raw_demand, up_cap);
+  p.raw_demand = std::max(0.0, p.raw_demand - static_cast<double>(demand_kbps));
+  p.allocated = std::max(0.0, p.allocated - static_cast<double>(granted_kbps));
+  c.total_capped += std::min(p.raw_demand, up_cap) - old_contrib;
+  if (c.total_capped < 0) c.total_capped = 0;
+}
+
+double TransferLedger::total_capped_demand(const ResKey& core) const {
+  auto it = cores_.find(core);
+  return it == cores_.end() ? 0 : it->second.total_capped;
+}
+
+Result<BwKbps> EerAdmission::admit(const Request& req, UnixSec now) {
+  (void)now;
+  if (req.segr_in == nullptr) return Errc::kNoSuchSegment;
+  reservation::SegrRecord* in = req.segr_in;
+  reservation::SegrRecord* out = req.segr_out;
+
+  // Renewal semantics: temporarily give back the EER's current allocation
+  // so only the *increase* competes for free bandwidth (all versions share
+  // one monitored flow; the max version is what counts, §4.2/§4.8).
+  auto prev = allocations_.find(req.eer_key);
+  Allocation old{};
+  if (prev != allocations_.end()) {
+    old = prev->second;
+    if (old.in.segr != nullptr) {
+      old.in.segr->eer_allocated_kbps -= old.in.allocated;
+    }
+    if (old.out.segr != nullptr) {
+      old.out.segr->eer_allocated_kbps -= old.out.allocated;
+    }
+    if (old.transfer_recorded) {
+      transfer_.release(old.up_key, old.up_bw, old.core_key, old.demand,
+                        old.granted);
+    }
+  }
+
+  // Availability in each adjacent SegR.
+  BwKbps grant = std::min(req.demand_kbps, in->eer_available_kbps());
+  if (out != nullptr && out != in) {
+    grant = std::min(grant, out->eer_available_kbps());
+    // Transfer split between an up- and a core-SegR (§4.7 transfer AS).
+    const bool up_core = in->seg_type == topology::SegType::kUp &&
+                         out->seg_type == topology::SegType::kCore;
+    if (up_core) {
+      grant = std::min(grant, transfer_.evaluate(in->key, in->active.bw_kbps,
+                                                 out->key, out->active.bw_kbps,
+                                                 req.demand_kbps));
+    }
+  }
+
+  if (grant < req.min_bw_kbps || grant == 0) {
+    // Failed: reinstate the old allocation.
+    if (prev != allocations_.end()) {
+      if (old.in.segr != nullptr) {
+        old.in.segr->eer_allocated_kbps += old.in.allocated;
+      }
+      if (old.out.segr != nullptr) {
+        old.out.segr->eer_allocated_kbps += old.out.allocated;
+      }
+      if (old.transfer_recorded) {
+        transfer_.record(old.up_key, old.up_bw, old.core_key, old.demand,
+                         old.granted);
+      }
+    }
+    return Errc::kBandwidthUnavailable;
+  }
+
+  Allocation alloc{};
+  alloc.in = SegrSlice{in, grant};
+  in->eer_allocated_kbps += grant;
+  if (out != nullptr && out != in) {
+    alloc.out = SegrSlice{out, grant};
+    out->eer_allocated_kbps += grant;
+    if (in->seg_type == topology::SegType::kUp &&
+        out->seg_type == topology::SegType::kCore) {
+      transfer_.record(in->key, in->active.bw_kbps, out->key, req.demand_kbps,
+                       grant);
+      alloc.transfer_recorded = true;
+      alloc.up_key = in->key;
+      alloc.core_key = out->key;
+      alloc.up_bw = in->active.bw_kbps;
+      alloc.demand = req.demand_kbps;
+      alloc.granted = grant;
+    }
+  }
+  allocations_[req.eer_key] = alloc;
+  return grant;
+}
+
+void EerAdmission::release(const ResKey& eer_key) {
+  auto it = allocations_.find(eer_key);
+  if (it == allocations_.end()) return;
+  Allocation& a = it->second;
+  if (a.in.segr != nullptr) {
+    a.in.segr->eer_allocated_kbps -=
+        std::min(a.in.allocated, a.in.segr->eer_allocated_kbps);
+  }
+  if (a.out.segr != nullptr) {
+    a.out.segr->eer_allocated_kbps -=
+        std::min(a.out.allocated, a.out.segr->eer_allocated_kbps);
+  }
+  if (a.transfer_recorded) {
+    transfer_.release(a.up_key, a.up_bw, a.core_key, a.demand, a.granted);
+  }
+  allocations_.erase(it);
+}
+
+}  // namespace colibri::admission

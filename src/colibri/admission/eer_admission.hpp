@@ -1,0 +1,106 @@
+// End-to-end-reservation admission (paper §4.7, Fig. 4).
+//
+// Transit ASes: grant iff the underlying SegR has enough unallocated EER
+// bandwidth — a constant-time counter check (that is Fig. 4's flat line).
+// Transfer ASes additionally split the core-SegR bandwidth proportionally
+// among the up-SegRs competing for it, using per-core-SegR aggregates
+// (again O(1) per decision). Source/destination ASes apply a local policy
+// on top (per-host caps, §4.7 "intra-AS admission policy").
+#pragma once
+
+#include <unordered_map>
+
+#include "colibri/admission/tube.hpp"
+#include "colibri/common/errors.hpp"
+#include "colibri/reservation/types.hpp"
+
+namespace colibri::admission {
+
+// Proportional splitter at a transfer AS: for each core-SegR, tracks the
+// EER demand arriving through each feeding up-SegR (capped at that
+// up-SegR's bandwidth) and the bandwidth already allocated per pair.
+class TransferLedger {
+ public:
+  // Registers/updates the demand a request adds on (up, core); returns the
+  // bandwidth the proportional-share rule allows to grant now. O(1).
+  BwKbps evaluate(const ResKey& up, BwKbps up_bw_kbps, const ResKey& core,
+                  BwKbps core_eer_capacity_kbps, BwKbps request_kbps) const;
+
+  void record(const ResKey& up, BwKbps up_bw_kbps, const ResKey& core,
+              BwKbps demand_kbps, BwKbps granted_kbps);
+  void release(const ResKey& up, BwKbps up_bw_kbps, const ResKey& core,
+               BwKbps demand_kbps, BwKbps granted_kbps);
+
+  double total_capped_demand(const ResKey& core) const;
+
+ private:
+  struct PairKey {
+    ResKey up;
+    ResKey core;
+    friend bool operator==(const PairKey&, const PairKey&) = default;
+  };
+  struct PairHash {
+    size_t operator()(const PairKey& k) const noexcept {
+      return std::hash<ResKey>{}(k.up) * 31 ^ std::hash<ResKey>{}(k.core);
+    }
+  };
+  struct PairState {
+    double raw_demand = 0;  // uncapped Σ of EER requests through this pair
+    double allocated = 0;
+  };
+  struct CoreState {
+    double total_capped = 0;  // Σ_up min(raw_demand(up), up_bw)
+  };
+
+  std::unordered_map<PairKey, PairState, PairHash> pairs_;
+  std::unordered_map<ResKey, CoreState> cores_;
+};
+
+// Full per-AS EER admission: checks every adjacent SegR and maintains the
+// per-SegR allocation counters. The caller (CServ) passes pointers to the
+// SegR records the request rides at this AS (one for transit, two for a
+// transfer AS).
+class EerAdmission {
+ public:
+  struct Request {
+    ResKey eer_key;
+    BwKbps demand_kbps = 0;
+    BwKbps min_bw_kbps = 0;
+    // Adjacent SegRs at this AS in traversal order (1 or 2 entries).
+    reservation::SegrRecord* segr_in = nullptr;
+    reservation::SegrRecord* segr_out = nullptr;
+  };
+
+  // Grants min over the adjacent SegRs' available bandwidth (and the
+  // transfer share when two SegRs meet), records the allocation on each
+  // SegR counter. A second admit for the same EER key adjusts the
+  // existing allocation (renewal; only the max over versions counts).
+  Result<BwKbps> admit(const Request& req, UnixSec now);
+
+  // Releases an EER's allocation (expiry or teardown).
+  void release(const ResKey& eer_key);
+
+  const TransferLedger& transfer_ledger() const { return transfer_; }
+  size_t tracked() const { return allocations_.size(); }
+
+ private:
+  struct SegrSlice {
+    reservation::SegrRecord* segr = nullptr;
+    BwKbps allocated = 0;
+  };
+  struct Allocation {
+    SegrSlice in;
+    SegrSlice out;
+    // Transfer-ledger contribution (only when in & out are distinct).
+    bool transfer_recorded = false;
+    ResKey up_key, core_key;
+    BwKbps up_bw = 0;
+    BwKbps demand = 0;
+    BwKbps granted = 0;
+  };
+
+  TransferLedger transfer_;
+  std::unordered_map<ResKey, Allocation> allocations_;
+};
+
+}  // namespace colibri::admission

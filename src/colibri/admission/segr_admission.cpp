@@ -1,0 +1,83 @@
+#include "colibri/admission/segr_admission.hpp"
+
+namespace colibri::admission {
+
+void SegrAdmission::set_interface_capacity(IfId ifid, BwKbps cap) {
+  ingress_caps_[ifid] = cap;
+  ledger_.set_egress_capacity(ifid, cap);
+}
+
+BwKbps SegrAdmission::interface_capacity(IfId ifid) const {
+  auto it = ingress_caps_.find(ifid);
+  return it == ingress_caps_.end() ? 0 : it->second;
+}
+
+void SegrAdmission::purge_pending(UnixSec now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.expires <= now) {
+      ledger_.release(AsId::from_raw(it->first.src_raw), it->first.egress,
+                      it->second.demand);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<BwKbps> SegrAdmission::admit(const SegrAdmissionRequest& req) {
+  purge_pending(req.now);
+
+  // A fresh request from this source supersedes its remembered
+  // unsatisfied demand on the egress (avoid double counting).
+  const SrcEgKey pkey{req.src_as.raw(), req.egress};
+  if (auto pit = pending_.find(pkey); pit != pending_.end()) {
+    ledger_.release(req.src_as, req.egress, pit->second.demand);
+    pending_.erase(pit);
+  }
+
+  // Renewal: evaluate as if the old allocation were gone, so a source
+  // renewing at equal demand is not treated as doubling it.
+  auto prev = allocations_.find(req.key);
+  if (prev != allocations_.end()) {
+    ledger_.release(prev->second.src, prev->second.egress, prev->second.grant);
+  }
+
+  // The first AS on a segment has no inter-domain ingress; its demand is
+  // bounded by the egress only.
+  const BwKbps ingress_cap = req.ingress == kNoInterface
+                                 ? req.demand_kbps
+                                 : interface_capacity(req.ingress);
+  const TubeGrant grant =
+      ledger_.evaluate(req.src_as, ingress_cap, req.egress, req.demand_kbps);
+
+  if (grant.granted_kbps < req.min_bw_kbps || grant.granted_kbps == 0) {
+    // Reinstate the old allocation if this was a failed renewal.
+    if (prev != allocations_.end()) {
+      ledger_.record(prev->second.src, prev->second.egress, prev->second.grant);
+    }
+    // Remember the unsatisfied demand: competing renewals will now see
+    // the contention and shrink toward their shares, so a retry within
+    // kDemandMemorySec obtains the requester's fair share.
+    TubeGrant demand_only = grant;
+    demand_only.granted_kbps = 0;
+    if (demand_only.adjusted_demand_kbps > 0) {
+      ledger_.record(req.src_as, req.egress, demand_only);
+      pending_[pkey] =
+          PendingDemand{demand_only, req.now + kDemandMemorySec};
+    }
+    return Errc::kBandwidthUnavailable;
+  }
+
+  ledger_.record(req.src_as, req.egress, grant);
+  allocations_[req.key] = Allocation{req.src_as, req.egress, grant};
+  return grant.granted_kbps;
+}
+
+void SegrAdmission::release(const ResKey& key) {
+  auto it = allocations_.find(key);
+  if (it == allocations_.end()) return;
+  ledger_.release(it->second.src, it->second.egress, it->second.grant);
+  allocations_.erase(it);
+}
+
+}  // namespace colibri::admission

@@ -1,0 +1,109 @@
+#include "colibri/admission/tube.hpp"
+
+#include <algorithm>
+
+namespace colibri::admission {
+
+void TubeLedger::set_egress_capacity(IfId egress, BwKbps capacity_kbps) {
+  egress_[egress].capacity = static_cast<double>(capacity_kbps);
+}
+
+BwKbps TubeLedger::egress_capacity(IfId egress) const {
+  auto it = egress_.find(egress);
+  return it == egress_.end() ? 0 : static_cast<BwKbps>(it->second.capacity);
+}
+
+TubeGrant TubeLedger::evaluate(AsId src, BwKbps ingress_cap_kbps, IfId egress,
+                               BwKbps demand_kbps) const {
+  TubeGrant g;
+  auto it = egress_.find(egress);
+  if (it == egress_.end() || it->second.capacity <= 0) return g;
+  const EgressState& e = it->second;
+
+  // Steps (1) and (2): cap the demand by ingress and egress capacity.
+  const double adjusted = std::min<double>(
+      {static_cast<double>(demand_kbps), static_cast<double>(ingress_cap_kbps),
+       e.capacity});
+  g.adjusted_demand_kbps = static_cast<BwKbps>(adjusted);
+  if (adjusted <= 0) return g;
+
+  // Step (3): this source's contribution to the share denominator is its
+  // raw sum capped at the egress capacity. Compute the denominator as it
+  // would look *with* this request included.
+  SrcState s;
+  if (auto sit = src_.find(SrcKey{src.raw(), egress}); sit != src_.end()) {
+    s = sit->second;
+  }
+  const double old_contrib = std::min(s.raw, e.capacity);
+  const double new_contrib = std::min(s.raw + adjusted, e.capacity);
+  const double prospective_total = e.total_adjusted - old_contrib + new_contrib;
+
+  // The source's fair share of the egress: proportional to its capped
+  // contribution, the whole capacity when uncontended.
+  const double share =
+      e.capacity * new_contrib / std::max(prospective_total, e.capacity);
+
+  // Three ceilings: the (adjusted) request itself, what remains of the
+  // source's share, and what remains un-granted on the interface. The
+  // share ceiling is the botnet-size-independence property in action: no
+  // request volume lets one source hold more than its share for longer
+  // than one renewal period.
+  double grant = adjusted;
+  grant = std::min(grant, share - s.granted);
+  grant = std::min(grant, e.capacity - e.granted_total);
+  if (grant < 0) grant = 0;
+  g.granted_kbps = static_cast<BwKbps>(grant);
+  return g;
+}
+
+void TubeLedger::apply_src_delta(AsId src, IfId egress, double raw_delta,
+                                 double granted_delta) {
+  EgressState& e = egress_[egress];
+  SrcState& s = src_[SrcKey{src.raw(), egress}];
+  const double old_contrib = std::min(s.raw, e.capacity);
+  s.raw += raw_delta;
+  if (s.raw < 0) s.raw = 0;
+  s.granted += granted_delta;
+  if (s.granted < 0) s.granted = 0;
+  const double new_contrib = std::min(s.raw, e.capacity);
+  e.total_adjusted += new_contrib - old_contrib;
+  if (e.total_adjusted < 0) e.total_adjusted = 0;
+}
+
+void TubeLedger::record(AsId src, IfId egress, const TubeGrant& grant) {
+  apply_src_delta(src, egress, static_cast<double>(grant.adjusted_demand_kbps),
+                  static_cast<double>(grant.granted_kbps));
+  egress_[egress].granted_total += static_cast<double>(grant.granted_kbps);
+}
+
+void TubeLedger::release(AsId src, IfId egress, const TubeGrant& grant) {
+  apply_src_delta(src, egress,
+                  -static_cast<double>(grant.adjusted_demand_kbps),
+                  -static_cast<double>(grant.granted_kbps));
+  EgressState& e = egress_[egress];
+  e.granted_total -= static_cast<double>(grant.granted_kbps);
+  if (e.granted_total < 0) e.granted_total = 0;
+}
+
+double TubeLedger::total_adjusted_demand(IfId egress) const {
+  auto it = egress_.find(egress);
+  return it == egress_.end() ? 0 : it->second.total_adjusted;
+}
+
+BwKbps TubeLedger::granted_total(IfId egress) const {
+  auto it = egress_.find(egress);
+  return it == egress_.end() ? 0
+                             : static_cast<BwKbps>(it->second.granted_total);
+}
+
+double TubeLedger::source_raw_demand(AsId src, IfId egress) const {
+  auto it = src_.find(SrcKey{src.raw(), egress});
+  return it == src_.end() ? 0 : it->second.raw;
+}
+
+double TubeLedger::source_granted(AsId src, IfId egress) const {
+  auto it = src_.find(SrcKey{src.raw(), egress});
+  return it == src_.end() ? 0 : it->second.granted;
+}
+
+}  // namespace colibri::admission

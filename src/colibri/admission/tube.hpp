@@ -1,0 +1,99 @@
+// Bounded-tube-fairness ledger (paper §4.7).
+//
+// The admission algorithm distributes an egress interface's Colibri
+// capacity among competing SegRs proportionally to their *adjusted*
+// demand, obtained by
+//   (1) limiting each demand by its ingress interface's capacity,
+//   (2) limiting each demand by the egress interface's capacity,
+//   (3) limiting the total demand of one source AS at one egress
+//       interface by that interface's capacity.
+// Step (3) is what yields botnet-size independence: a source (or
+// coalition, each member individually bounded) cannot inflate its share
+// arbitrarily by issuing more requests.
+//
+// THE key implementation property (Fig. 3): admission must be O(1) in the
+// number of existing SegRs. This ledger is the paper's "memoization": it
+// maintains, per egress interface, the total adjusted demand and the
+// granted total, updated incrementally on every setup / renewal / expiry.
+// An admission decision reads three aggregates and never iterates over
+// reservations.
+#pragma once
+
+#include <unordered_map>
+
+#include "colibri/common/ids.hpp"
+
+namespace colibri::admission {
+
+struct TubeGrant {
+  BwKbps adjusted_demand_kbps = 0;  // what the ledger must later release
+  BwKbps granted_kbps = 0;          // 0 means "nothing available"
+};
+
+class TubeLedger {
+ public:
+  // Declares the Colibri capacity of an egress interface (from the local
+  // traffic matrix, §4.7). Must be called before admitting on it.
+  void set_egress_capacity(IfId egress, BwKbps capacity_kbps);
+  BwKbps egress_capacity(IfId egress) const;
+
+  // Computes the grant for a demand from `src` entering at an ingress of
+  // capacity `ingress_cap` and leaving via `egress` — without recording
+  // it. O(1).
+  TubeGrant evaluate(AsId src, BwKbps ingress_cap_kbps, IfId egress,
+                     BwKbps demand_kbps) const;
+
+  // Records an admitted reservation's contribution to the aggregates.
+  void record(AsId src, IfId egress, const TubeGrant& grant);
+  // Unwinds a previously recorded contribution (expiry, teardown, or the
+  // old version during a renewal).
+  void release(AsId src, IfId egress, const TubeGrant& grant);
+
+  // Introspection for tests/diagnostics.
+  double total_adjusted_demand(IfId egress) const;
+  BwKbps granted_total(IfId egress) const;
+  double source_raw_demand(AsId src, IfId egress) const;
+  double source_granted(AsId src, IfId egress) const;
+
+ private:
+  struct SrcKey {
+    std::uint64_t src_raw;
+    IfId egress;
+    friend bool operator==(const SrcKey&, const SrcKey&) = default;
+  };
+  struct SrcKeyHash {
+    size_t operator()(const SrcKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.src_raw * 0x9E3779B97F4A7C15ULL ^
+                                        k.egress);
+    }
+  };
+  struct EgressState {
+    double capacity = 0;
+    // Σ_sources min(source_raw, capacity): the denominator of the
+    // proportional share.
+    double total_adjusted = 0;
+    double granted_total = 0;
+  };
+
+  struct SrcState {
+    double raw = 0;      // Σ adjusted demands (uncapped)
+    double granted = 0;  // Σ grants currently held by this source
+  };
+
+  std::unordered_map<IfId, EgressState> egress_;
+  // Per (source, egress): the raw adjusted-demand sum — whose *capped*
+  // value is the source's contribution to total_adjusted — and the total
+  // bandwidth currently granted to the source. Bounding each source's
+  // grants by its proportional share (not merely by the residual
+  // capacity) is what makes renewals converge to fairness even against a
+  // first-mover that grabbed everything: each of its renewals re-admits
+  // against its share and releases the excess.
+  std::unordered_map<SrcKey, SrcState, SrcKeyHash> src_;
+
+  // Applies deltas to the (src, egress) state and propagates the capped
+  // contribution change into total_adjusted.
+  void apply_src_delta(AsId src, IfId egress, double raw_delta,
+                       double granted_delta);
+};
+
+}  // namespace colibri::admission

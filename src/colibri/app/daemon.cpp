@@ -1,0 +1,29 @@
+#include "colibri/app/daemon.hpp"
+
+namespace colibri::app {
+
+Result<ReservationSession> ColibriDaemon::open_session(
+    AsId dst_as, const HostAddr& src_host, const HostAddr& dst_host,
+    BwKbps min_bw, BwKbps max_bw) {
+  const auto chains = cserv_->lookup_chains(dst_as);
+  if (chains.empty()) return Errc::kNoSuchSegment;
+
+  Errc last_error = Errc::kBandwidthUnavailable;
+  for (const auto& chain : chains) {
+    std::vector<ResKey> segrs;
+    segrs.reserve(chain.size());
+    for (const auto& advert : chain) segrs.push_back(advert.key);
+    auto r = cserv_->setup_eer(segrs, src_host, dst_host, min_bw, max_bw);
+    if (r) {
+      const auto& res = r.value();
+      return ReservationSession(*cserv_, *gateway_, *clock_, res.key,
+                                res.bw_kbps, res.exp_time, res.version, min_bw,
+                                max_bw);
+    }
+    // Path choice (§2.1): on failure, retry over the next chain.
+    last_error = r.error();
+  }
+  return last_error;
+}
+
+}  // namespace colibri::app

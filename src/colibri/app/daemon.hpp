@@ -1,0 +1,42 @@
+// End-host networking stack: the Colibri daemon (paper §3.2).
+//
+// The analogue of the modified SCIONDaemon: applications ask it for
+// reservations instead of bare paths. It consults the AS's CServ for
+// registered SegR chains to the destination (App. C), picks one (trying
+// alternatives on failure — the *path choice* benefit of §2.1), and
+// issues the EER setup/renewal requests on the application's behalf.
+#pragma once
+
+#include "colibri/app/session.hpp"
+#include "colibri/cserv/cserv.hpp"
+
+namespace colibri::app {
+
+class ColibriDaemon {
+ public:
+  ColibriDaemon(cserv::CServ& cserv, dataplane::Gateway& gateway,
+                const Clock& clock)
+      : cserv_(&cserv), gateway_(&gateway), clock_(&clock) {}
+
+  // Requests an EER of [min_bw, max_bw] to dst_host in dst_as. Tries each
+  // available SegR chain in order until one admits the reservation.
+  Result<ReservationSession> open_session(AsId dst_as,
+                                          const HostAddr& src_host,
+                                          const HostAddr& dst_host,
+                                          BwKbps min_bw, BwKbps max_bw);
+
+  // Chains the daemon would try, in order (diagnostics / tests).
+  std::vector<std::vector<cserv::SegrAdvert>> candidate_chains(AsId dst_as) {
+    return cserv_->lookup_chains(dst_as);
+  }
+
+  cserv::CServ& cserv() { return *cserv_; }
+  dataplane::Gateway& gateway() { return *gateway_; }
+
+ private:
+  cserv::CServ* cserv_;
+  dataplane::Gateway* gateway_;
+  const Clock* clock_;
+};
+
+}  // namespace colibri::app

@@ -1,0 +1,42 @@
+#include "colibri/app/session.hpp"
+
+#include "colibri/cserv/cserv.hpp"
+
+namespace colibri::app {
+
+ReservationSession::ReservationSession(cserv::CServ& cserv,
+                                       dataplane::Gateway& gateway,
+                                       const Clock& clock, ResKey key,
+                                       BwKbps bw_kbps, UnixSec exp_time,
+                                       ResVer version, BwKbps min_bw,
+                                       BwKbps max_bw)
+    : cserv_(&cserv),
+      gateway_(&gateway),
+      clock_(&clock),
+      key_(key),
+      bw_kbps_(bw_kbps),
+      exp_time_(exp_time),
+      version_(version),
+      min_bw_(min_bw),
+      max_bw_(max_bw) {}
+
+dataplane::Gateway::Verdict ReservationSession::send(
+    std::uint32_t payload_bytes, dataplane::FastPacket& out) {
+  return gateway_->process(key_.res_id, payload_bytes, out);
+}
+
+bool ReservationSession::expired() const {
+  return exp_time_ <= clock_->now_sec();
+}
+
+bool ReservationSession::maybe_renew(std::uint32_t lead_sec) {
+  if (clock_->now_sec() + lead_sec < exp_time_) return true;  // not due yet
+  auto r = cserv_->renew_eer(key_, min_bw_, max_bw_);
+  if (!r) return false;
+  bw_kbps_ = r.value().bw_kbps;
+  exp_time_ = r.value().exp_time;
+  version_ = r.value().version;
+  return true;
+}
+
+}  // namespace colibri::app

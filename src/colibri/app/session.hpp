@@ -1,0 +1,61 @@
+// Application-facing reservation session.
+//
+// Wraps one EER: sends data through the gateway at up to the reserved
+// rate and renews the reservation ahead of expiry so versions overlap
+// seamlessly (paper §4.2). A transport protocol integrating tightly with
+// Colibri can disable congestion control and pace at `bw_kbps()` (§3.2);
+// `pace_interval_ns()` exposes that rate for senders.
+#pragma once
+
+#include "colibri/common/errors.hpp"
+#include "colibri/dataplane/gateway.hpp"
+
+namespace colibri::cserv {
+class CServ;
+}
+
+namespace colibri::app {
+
+class ReservationSession {
+ public:
+  ReservationSession(cserv::CServ& cserv, dataplane::Gateway& gateway,
+                     const Clock& clock, ResKey key, BwKbps bw_kbps,
+                     UnixSec exp_time, ResVer version, BwKbps min_bw,
+                     BwKbps max_bw);
+
+  // Emits one data packet over the reservation. kRateLimited when the
+  // token bucket is exhausted — backpressure for the transport.
+  dataplane::Gateway::Verdict send(std::uint32_t payload_bytes,
+                                   dataplane::FastPacket& out);
+
+  // Renews when within `lead_sec` of expiry; no-op otherwise. Returns
+  // false if a due renewal failed (session should be re-established).
+  bool maybe_renew(std::uint32_t lead_sec = 4);
+
+  const ResKey& key() const { return key_; }
+  BwKbps bw_kbps() const { return bw_kbps_; }
+  UnixSec exp_time() const { return exp_time_; }
+  ResVer version() const { return version_; }
+  bool expired() const;
+
+  // Inter-packet gap for pacing at exactly the reserved bandwidth.
+  TimeNs pace_interval_ns(std::uint32_t pkt_bytes) const {
+    if (bw_kbps_ == 0) return kNsPerSec;
+    return static_cast<TimeNs>(static_cast<double>(pkt_bytes) * 8.0 /
+                               (static_cast<double>(bw_kbps_) * 1000.0) *
+                               kNsPerSec);
+  }
+
+ private:
+  cserv::CServ* cserv_;
+  dataplane::Gateway* gateway_;
+  const Clock* clock_;
+  ResKey key_;
+  BwKbps bw_kbps_;
+  UnixSec exp_time_;
+  ResVer version_;
+  BwKbps min_bw_;
+  BwKbps max_bw_;
+};
+
+}  // namespace colibri::app

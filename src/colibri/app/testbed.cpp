@@ -1,0 +1,65 @@
+#include "colibri/app/testbed.hpp"
+
+namespace colibri::app {
+namespace {
+
+drkey::Key128 key_for(AsId as, std::uint8_t domain) {
+  // Deterministic per-AS secrets; a real deployment provisions these out
+  // of band.
+  drkey::Key128 k;
+  const std::uint64_t raw = as.raw() * 0x9E3779B97F4A7C15ULL + domain;
+  for (int i = 0; i < 8; ++i) {
+    k.bytes[static_cast<size_t>(i)] = static_cast<std::uint8_t>(raw >> (8 * i));
+    k.bytes[static_cast<size_t>(8 + i)] =
+        static_cast<std::uint8_t>((raw ^ 0xABCDEF) >> (8 * i));
+  }
+  return k;
+}
+
+}  // namespace
+
+Testbed::Testbed(topology::Topology topo, const Clock& clock,
+                 cserv::CservConfig cserv_cfg)
+    : topo_(std::move(topo)), clock_(&clock), pathdb_(topo_) {
+  segments_ = topology::discover_segments(topo_);
+  pathdb_.insert_all(segments_);
+
+  for (AsId as : topo_.as_ids()) {
+    AsStack s;
+    const drkey::Key128 drkey_master = key_for(as, 1);
+    const drkey::Key128 hop_key = key_for(as, 2);
+    s.cserv = std::make_unique<cserv::CServ>(topo_, as, bus_, pki_,
+                                             drkey_master, hop_key, clock,
+                                             cserv_cfg);
+    s.gateway = std::make_unique<dataplane::Gateway>(as, clock);
+    s.router = std::make_unique<dataplane::BorderRouter>(as, hop_key, clock);
+    s.cserv->attach_gateway(s.gateway.get());
+    s.daemon = std::make_unique<ColibriDaemon>(*s.cserv, *s.gateway, clock);
+    stacks_.emplace(as, std::move(s));
+  }
+}
+
+AsStack& Testbed::stack(AsId as) {
+  auto it = stacks_.find(as);
+  if (it == stacks_.end()) {
+    throw std::out_of_range("no stack for AS " + as.to_string());
+  }
+  return it->second;
+}
+
+size_t Testbed::provision_all_segments(BwKbps min_bw, BwKbps max_bw) {
+  size_t ok = 0;
+  for (const auto& seg : segments_) {
+    cserv::CServ& initiator = cserv(seg.first_as());
+    auto r = initiator.setup_segr(seg, min_bw, max_bw);
+    if (!r) continue;
+    if (initiator.publish_segr(r.value().key, {})) ++ok;
+  }
+  return ok;
+}
+
+void Testbed::tick_all() {
+  for (auto& [_, s] : stacks_) s.cserv->tick();
+}
+
+}  // namespace colibri::app

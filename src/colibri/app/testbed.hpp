@@ -1,0 +1,62 @@
+// In-process Colibri deployment builder.
+//
+// Instantiates the full per-AS stack (CServ, gateway, border router,
+// daemon) for every AS of a topology, wired over one message bus and one
+// simulated PKI, with beacon-discovered path segments loaded into a
+// shared PathDb. This is the "SCIONLab local topology" equivalent used by
+// the examples, the integration tests, and the control-plane benchmarks.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "colibri/app/daemon.hpp"
+#include "colibri/cserv/cserv.hpp"
+#include "colibri/dataplane/router.hpp"
+#include "colibri/topology/beacon.hpp"
+#include "colibri/topology/pathdb.hpp"
+
+namespace colibri::app {
+
+struct AsStack {
+  std::unique_ptr<cserv::CServ> cserv;
+  std::unique_ptr<dataplane::Gateway> gateway;
+  std::unique_ptr<dataplane::BorderRouter> router;
+  std::unique_ptr<ColibriDaemon> daemon;
+};
+
+class Testbed {
+ public:
+  Testbed(topology::Topology topo, const Clock& clock,
+          cserv::CservConfig cserv_cfg = {});
+
+  AsStack& stack(AsId as);
+  cserv::CServ& cserv(AsId as) { return *stack(as).cserv; }
+  dataplane::Gateway& gateway(AsId as) { return *stack(as).gateway; }
+  dataplane::BorderRouter& router(AsId as) { return *stack(as).router; }
+  ColibriDaemon& daemon(AsId as) { return *stack(as).daemon; }
+
+  const topology::Topology& topology() const { return topo_; }
+  topology::PathDb& pathdb() { return pathdb_; }
+  cserv::MessageBus& bus() { return bus_; }
+  drkey::SimulatedPki& pki() { return pki_; }
+
+  // Sets up and publishes SegRs (public, no whitelist) along every
+  // beacon-discovered segment at `bw` demand; returns how many succeeded.
+  // With this done, any host can immediately request EERs anywhere.
+  size_t provision_all_segments(BwKbps min_bw, BwKbps max_bw);
+
+  // Runs the housekeeping tick on every CServ.
+  void tick_all();
+
+ private:
+  topology::Topology topo_;
+  const Clock* clock_;
+  cserv::MessageBus bus_;
+  drkey::SimulatedPki pki_;
+  topology::PathDb pathdb_;
+  std::vector<topology::PathSegment> segments_;
+  std::unordered_map<AsId, AsStack> stacks_;
+};
+
+}  // namespace colibri::app

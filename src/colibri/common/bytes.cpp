@@ -1,0 +1,16 @@
+#include "colibri/common/bytes.hpp"
+
+namespace colibri {
+
+std::string to_hex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    s.push_back(kDigits[b >> 4]);
+    s.push_back(kDigits[b & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace colibri

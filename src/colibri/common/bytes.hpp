@@ -1,0 +1,90 @@
+// Little-endian byte codecs and a growable write buffer / bounded reader.
+//
+// All Colibri wire formats are little-endian and fixed-layout; these
+// helpers keep the encoders/decoders free of manual shifting bugs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace colibri {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+template <typename T>
+inline void put_le(Bytes& out, T v) {
+  static_assert(std::is_unsigned_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+template <typename T>
+inline T get_le(const std::uint8_t* p) {
+  static_assert(std::is_unsigned_v<T>);
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// Bounded sequential reader over a byte span. All reads are checked; a
+// failed read marks the reader bad and subsequent reads return zeros, so
+// codecs can check `ok()` once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_unsigned_v<T>);
+    if (!take(sizeof(T))) return T{0};
+    return get_le<T>(data_.data() + pos_ - sizeof(T));
+  }
+
+  bool read_bytes(std::uint8_t* dst, size_t n) {
+    if (!take(n)) {
+      std::memset(dst, 0, n);
+      return false;
+    }
+    std::memcpy(dst, data_.data() + pos_ - n, n);
+    return true;
+  }
+
+  Bytes read_vec(size_t n) {
+    Bytes b(n, 0);
+    read_bytes(b.data(), n);
+    return b;
+  }
+
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool take(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  BytesView data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+inline void append_bytes(Bytes& out, BytesView in) {
+  out.insert(out.end(), in.begin(), in.end());
+}
+
+std::string to_hex(BytesView data);
+
+}  // namespace colibri

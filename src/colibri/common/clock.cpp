@@ -1,0 +1,28 @@
+#include "colibri/common/clock.hpp"
+
+namespace colibri {
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+std::uint32_t PacketTimestamp::encode(TimeNs now, UnixSec exp_time) {
+  const TimeNs exp_ns = static_cast<TimeNs>(exp_time) * kNsPerSec;
+  TimeNs before = exp_ns - now;
+  if (before < 0) before = 0;
+  // ticks = before / 2^-22 s = before_ns * 2^22 / 1e9
+  const auto ticks = static_cast<std::uint64_t>(before) * (1ULL << kTickShift) /
+                     static_cast<std::uint64_t>(kNsPerSec);
+  return static_cast<std::uint32_t>(ticks);
+}
+
+TimeNs PacketTimestamp::decode(std::uint32_t ts, UnixSec exp_time) {
+  const TimeNs exp_ns = static_cast<TimeNs>(exp_time) * kNsPerSec;
+  const auto before_ns = static_cast<TimeNs>(
+      static_cast<std::uint64_t>(ts) * static_cast<std::uint64_t>(kNsPerSec) >>
+      kTickShift);
+  return exp_ns - before_ns;
+}
+
+}  // namespace colibri

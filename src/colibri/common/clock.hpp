@@ -1,0 +1,74 @@
+// Time handling.
+//
+// All simulated components share a Clock interface so tests and the
+// discrete-event simulator can control time; production-style components
+// (gateway, router benchmarks) use the monotonic system clock. Inter-AS
+// synchronization is assumed within ±0.1 s (paper §2.3); SimClock supports
+// per-AS skew injection so tests can exercise those tolerance windows.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace colibri {
+
+// Nanoseconds since an arbitrary epoch.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+// Unix-style seconds used in wire formats (ExpT field).
+using UnixSec = std::uint32_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeNs now_ns() const = 0;
+
+  UnixSec now_sec() const {
+    return static_cast<UnixSec>(now_ns() / kNsPerSec);
+  }
+};
+
+// Wall/monotonic clock for benchmarks and examples.
+class SystemClock final : public Clock {
+ public:
+  TimeNs now_ns() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  static SystemClock& instance();
+};
+
+// Manually advanced clock for tests and the simulator.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs now_ns() const override { return now_ + skew_; }
+
+  void advance(TimeNs delta) { now_ += delta; }
+  void set(TimeNs t) { now_ = t; }
+  // Inject a fixed offset, modelling imperfect inter-AS synchronization.
+  void set_skew(TimeNs skew) { skew_ = skew; }
+  TimeNs raw() const { return now_; }
+
+ private:
+  TimeNs now_;
+  TimeNs skew_ = 0;
+};
+
+// High-precision in-packet timestamp (paper §4.3): ticks of 2^-22 s
+// (~238 ns) counted *backwards* from the reservation expiration time, so a
+// 32-bit field covers the full EER lifetime with per-packet uniqueness.
+struct PacketTimestamp {
+  static constexpr int kTickShift = 22;  // 2^-22 s per tick
+
+  static std::uint32_t encode(TimeNs now, UnixSec exp_time);
+  // Absolute time the timestamp refers to.
+  static TimeNs decode(std::uint32_t ts, UnixSec exp_time);
+};
+
+}  // namespace colibri

@@ -1,0 +1,25 @@
+#include "colibri/common/errors.hpp"
+
+namespace colibri {
+
+const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kBandwidthUnavailable: return "bandwidth-unavailable";
+    case Errc::kNoSuchReservation: return "no-such-reservation";
+    case Errc::kNoSuchSegment: return "no-such-segment";
+    case Errc::kExpired: return "expired";
+    case Errc::kBadVersion: return "bad-version";
+    case Errc::kAuthFailed: return "auth-failed";
+    case Errc::kRateLimited: return "rate-limited";
+    case Errc::kPolicyDenied: return "policy-denied";
+    case Errc::kMalformed: return "malformed";
+    case Errc::kNotWhitelisted: return "not-whitelisted";
+    case Errc::kBlocked: return "blocked";
+    case Errc::kReplay: return "replay";
+    case Errc::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace colibri

@@ -1,0 +1,55 @@
+// Error codes and a lightweight Result type used across the control plane.
+//
+// The data-plane fast path never allocates or constructs Results; it uses
+// plain enums (see dataplane/router.hpp). Results are for control-plane
+// request handling, where the failure reason must travel back to the
+// initiator (paper §3.3: "the initiator can determine the location of
+// potential bottlenecks").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace colibri {
+
+enum class Errc : std::uint8_t {
+  kOk = 0,
+  kBandwidthUnavailable,   // admission denied: not enough capacity
+  kNoSuchReservation,      // unknown (SrcAS, ResId)
+  kNoSuchSegment,          // path segment not found / not registered
+  kExpired,                // reservation or version expired
+  kBadVersion,             // version mismatch / not activated
+  kAuthFailed,             // MAC or token verification failed
+  kRateLimited,            // per-AS or per-reservation rate limit hit
+  kPolicyDenied,           // local AS policy refused the request
+  kMalformed,              // packet or message failed to parse
+  kNotWhitelisted,         // SegR use denied by its whitelist (App. C)
+  kBlocked,                // source AS is on the blocklist
+  kReplay,                 // duplicate suppression hit
+  kInternal,
+};
+
+const char* errc_name(Errc e);
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}             // NOLINT(implicit)
+  Result(Errc e) : v_(e) {}                             // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const { return std::get<T>(v_); }
+  T& value() { return std::get<T>(v_); }
+  T&& take() { return std::move(std::get<T>(v_)); }
+
+  Errc error() const { return ok() ? Errc::kOk : std::get<Errc>(v_); }
+
+ private:
+  std::variant<T, Errc> v_;
+};
+
+}  // namespace colibri

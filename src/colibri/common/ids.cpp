@@ -1,0 +1,38 @@
+#include "colibri/common/ids.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace colibri {
+
+std::string AsId::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u-%llu", static_cast<unsigned>(isd()),
+                static_cast<unsigned long long>(as_number()));
+  return buf;
+}
+
+HostAddr HostAddr::from_u64(std::uint64_t v) {
+  HostAddr a;
+  for (int i = 0; i < 8; ++i) {
+    a.bytes[15 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return a;
+}
+
+std::uint64_t HostAddr::low_u64() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[15 - i]) << (8 * i);
+  }
+  return v;
+}
+
+std::string HostAddr::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "h-%016llx",
+                static_cast<unsigned long long>(low_u64()));
+  return buf;
+}
+
+}  // namespace colibri

@@ -1,0 +1,100 @@
+// Identifier types shared across the Colibri stack.
+//
+// SCION-style addressing: an AS is globally identified by the pair
+// (ISD, AS number), packed into a 64-bit value (16-bit ISD, 48-bit AS).
+// Interfaces (IfId) are AS-local 16-bit identifiers of inter-domain links.
+// Reservations are globally identified by (SrcAS, ResId) — see paper §4.3.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace colibri {
+
+// Isolation-domain identifier (paper §2.2).
+using IsdId = std::uint16_t;
+
+// Packed (ISD, AS) pair. The zero value is "unspecified".
+class AsId {
+ public:
+  constexpr AsId() = default;
+  constexpr AsId(IsdId isd, std::uint64_t as)
+      : value_((static_cast<std::uint64_t>(isd) << 48) |
+               (as & 0xFFFF'FFFF'FFFFULL)) {}
+
+  static constexpr AsId from_raw(std::uint64_t raw) {
+    AsId id;
+    id.value_ = raw;
+    return id;
+  }
+
+  constexpr std::uint64_t raw() const { return value_; }
+  constexpr IsdId isd() const {
+    return static_cast<IsdId>(value_ >> 48);
+  }
+  constexpr std::uint64_t as_number() const {
+    return value_ & 0xFFFF'FFFF'FFFFULL;
+  }
+  constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr auto operator<=>(AsId, AsId) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// AS-local interface identifier; 0 denotes "no interface" (used for the
+// ingress of the first AS and the egress of the last AS on a path).
+using IfId = std::uint16_t;
+inline constexpr IfId kNoInterface = 0;
+
+// Per-source-AS reservation identifier; (SrcAS, ResId) is globally unique.
+using ResId = std::uint32_t;
+
+// Reservation version (paper §4.2).
+using ResVer = std::uint8_t;
+
+// Bandwidth in kilobits per second. 32 bits covers up to ~4.3 Tbps.
+using BwKbps = std::uint32_t;
+
+// End-host address, unique inside its AS (16 bytes, IPv6-sized).
+struct HostAddr {
+  std::uint8_t bytes[16] = {};
+
+  friend constexpr auto operator<=>(const HostAddr&, const HostAddr&) = default;
+
+  static HostAddr from_u64(std::uint64_t v);
+  std::uint64_t low_u64() const;
+  std::string to_string() const;
+};
+
+// Globally unique reservation key.
+struct ResKey {
+  AsId src_as;
+  ResId res_id = 0;
+
+  friend constexpr auto operator<=>(const ResKey&, const ResKey&) = default;
+};
+
+}  // namespace colibri
+
+namespace std {
+template <>
+struct hash<colibri::AsId> {
+  size_t operator()(colibri::AsId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.raw());
+  }
+};
+template <>
+struct hash<colibri::ResKey> {
+  size_t operator()(const colibri::ResKey& k) const noexcept {
+    std::uint64_t h = k.src_as.raw() * 0x9E3779B97F4A7C15ULL;
+    h ^= k.res_id + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+}  // namespace std

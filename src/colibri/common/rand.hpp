@@ -1,0 +1,30 @@
+// Deterministic pseudo-random generation for workloads and tests.
+//
+// Benchmarks must be reproducible run-to-run, so everything that needs
+// randomness takes an explicit seeded generator rather than touching
+// global entropy. xoshiro256** — fast, high quality, tiny state.
+#pragma once
+
+#include <cstdint>
+
+namespace colibri {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC011B121);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  void fill(std::uint8_t* dst, std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace colibri

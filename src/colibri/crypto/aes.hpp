@@ -1,0 +1,58 @@
+// AES-128 block cipher.
+//
+// Two backends: a portable table-free byte-oriented implementation and an
+// AES-NI path (compiled in a separate -maes translation unit, selected at
+// runtime via CPUID). The data plane computes 1-2 AES-CMACs per packet
+// (paper §4.5-4.6), so single-block encryption latency dominates the
+// forwarding benchmarks (Figs. 5-6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace colibri::crypto {
+
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  Aes128() = default;
+  explicit Aes128(const std::uint8_t key[kKeySize]) { set_key(key); }
+
+  void set_key(const std::uint8_t key[kKeySize]);
+
+  // Single-block ECB encryption/decryption. in and out may alias.
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+
+  // Expanded encryption round keys, 11 x 16 bytes, little-endian order.
+  const std::uint8_t* round_keys() const { return enc_rk_; }
+
+  // True if the AES-NI fast path is compiled in and supported by the CPU.
+  static bool has_aesni();
+
+  // Force the portable path (for tests and the crypto ablation bench).
+  static void set_force_portable(bool force);
+
+ private:
+  void encrypt_block_portable(const std::uint8_t in[kBlockSize],
+                              std::uint8_t out[kBlockSize]) const;
+  void decrypt_block_portable(const std::uint8_t in[kBlockSize],
+                              std::uint8_t out[kBlockSize]) const;
+
+  alignas(16) std::uint8_t enc_rk_[16 * (kRounds + 1)] = {};
+  alignas(16) std::uint8_t dec_rk_[16 * (kRounds + 1)] = {};
+};
+
+// AES-NI backend hooks (defined in aesni.cpp when compiled in).
+namespace aesni {
+bool runtime_supported();
+void encrypt_block(const std::uint8_t rk[176], const std::uint8_t in[16],
+                   std::uint8_t out[16]);
+}  // namespace aesni
+
+}  // namespace colibri::crypto

@@ -1,0 +1,38 @@
+// AES-NI backend. Compiled with -maes in its own translation unit; the
+// portable code dispatches here after a runtime CPUID check.
+#include <cpuid.h>
+#include <immintrin.h>
+#include <wmmintrin.h>
+
+#include <cstdint>
+
+namespace colibri::crypto::aesni {
+
+bool runtime_supported() {
+  static const bool supported = [] {
+    unsigned eax, ebx, ecx, edx;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+    return (ecx & bit_AES) != 0;
+  }();
+  return supported;
+}
+
+void encrypt_block(const std::uint8_t rk[176], const std::uint8_t in[16],
+                   std::uint8_t out[16]) {
+  const auto* k = reinterpret_cast<const __m128i*>(rk);
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  b = _mm_xor_si128(b, _mm_loadu_si128(k));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 1));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 2));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 3));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 4));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 5));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 6));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 7));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 8));
+  b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 9));
+  b = _mm_aesenclast_si128(b, _mm_loadu_si128(k + 10));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+}  // namespace colibri::crypto::aesni

@@ -1,0 +1,33 @@
+#include "colibri/crypto/cbcmac.hpp"
+
+#include <cstring>
+
+namespace colibri::crypto {
+
+void CbcMac::compute(const std::uint8_t* msg, size_t len,
+                     std::uint8_t tag[kTagSize]) const {
+  // First block encodes the message length, preventing extension attacks
+  // on variable-length input.
+  std::uint8_t x[16] = {};
+  for (int i = 0; i < 8; ++i) {
+    x[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(len) >> (8 * i));
+  }
+  aes_.encrypt_block(x, x);
+
+  size_t off = 0;
+  while (off + 16 <= len) {
+    for (int i = 0; i < 16; ++i) x[i] ^= msg[off + i];
+    aes_.encrypt_block(x, x);
+    off += 16;
+  }
+  if (off < len) {
+    std::uint8_t last[16] = {};
+    std::memcpy(last, msg + off, len - off);
+    last[len - off] = 0x80;
+    for (int i = 0; i < 16; ++i) x[i] ^= last[i];
+    aes_.encrypt_block(x, x);
+  }
+  std::memcpy(tag, x, 16);
+}
+
+}  // namespace colibri::crypto

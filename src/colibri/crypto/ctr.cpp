@@ -1,0 +1,25 @@
+#include "colibri/crypto/ctr.hpp"
+
+#include <cstring>
+
+namespace colibri::crypto {
+
+void ctr_xcrypt(const Aes128& aes, const std::uint8_t iv[16], std::uint8_t* buf,
+                size_t len) {
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, iv, 16);
+  std::uint8_t ks[16];
+  size_t off = 0;
+  while (off < len) {
+    aes.encrypt_block(ctr, ks);
+    const size_t n = (len - off < 16) ? len - off : 16;
+    for (size_t i = 0; i < n; ++i) buf[off + i] ^= ks[i];
+    off += n;
+    // Big-endian increment.
+    for (int i = 15; i >= 0; --i) {
+      if (++ctr[i] != 0) break;
+    }
+  }
+}
+
+}  // namespace colibri::crypto

@@ -1,0 +1,16 @@
+// AES-CTR keystream encryption (building block of EAX).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "colibri/crypto/aes.hpp"
+
+namespace colibri::crypto {
+
+// XORs the AES-CTR keystream into buf. Encryption and decryption are the
+// same operation. The 16-byte counter block is incremented big-endian.
+void ctr_xcrypt(const Aes128& aes, const std::uint8_t iv[16],
+                std::uint8_t* buf, size_t len);
+
+}  // namespace colibri::crypto

@@ -1,0 +1,56 @@
+#include "colibri/crypto/eax.hpp"
+
+#include <cstring>
+
+#include "colibri/crypto/ctr.hpp"
+
+namespace colibri::crypto {
+
+void Eax::set_key(const std::uint8_t key[Aes128::kKeySize]) {
+  cmac_.set_key(key);
+}
+
+void Eax::omac(std::uint8_t tweak, BytesView msg, std::uint8_t out[16]) const {
+  Bytes buf(16, 0);
+  buf[15] = tweak;
+  append_bytes(buf, msg);
+  cmac_.compute(buf, out);
+}
+
+Bytes Eax::seal(BytesView nonce, BytesView aad, BytesView plaintext) const {
+  std::uint8_t n[16], h[16], c[16];
+  omac(0, nonce, n);
+  omac(1, aad, h);
+
+  Bytes out(nonce.begin(), nonce.end());
+  const size_t ct_off = out.size();
+  append_bytes(out, plaintext);
+  ctr_xcrypt(cmac_.cipher(), n, out.data() + ct_off, plaintext.size());
+
+  omac(2, BytesView(out.data() + ct_off, plaintext.size()), c);
+  for (int i = 0; i < 16; ++i) out.push_back(n[i] ^ h[i] ^ c[i]);
+  return out;
+}
+
+std::optional<Bytes> Eax::open(BytesView aad, BytesView sealed) const {
+  if (sealed.size() < kNonceSize + kTagSize) return std::nullopt;
+  const BytesView nonce = sealed.subspan(0, kNonceSize);
+  const size_t ct_len = sealed.size() - kNonceSize - kTagSize;
+  const BytesView ct = sealed.subspan(kNonceSize, ct_len);
+  const BytesView tag = sealed.subspan(kNonceSize + ct_len, kTagSize);
+
+  std::uint8_t n[16], h[16], c[16];
+  omac(0, nonce, n);
+  omac(1, aad, h);
+  omac(2, ct, c);
+
+  std::uint8_t expect[16];
+  for (int i = 0; i < 16; ++i) expect[i] = n[i] ^ h[i] ^ c[i];
+  if (!Cmac::verify_prefix(expect, tag.data(), kTagSize)) return std::nullopt;
+
+  Bytes pt(ct.begin(), ct.end());
+  ctr_xcrypt(cmac_.cipher(), n, pt.data(), pt.size());
+  return pt;
+}
+
+}  // namespace colibri::crypto

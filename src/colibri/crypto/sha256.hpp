@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used by the simulated PKI (key-server bootstrap signatures) and anywhere
+// a collision-resistant digest is needed outside the packet fast path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "colibri/common/bytes.hpp"
+
+namespace colibri::crypto {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(const std::uint8_t* data, size_t len);
+  void update(BytesView data) { update(data.data(), data.size()); }
+  Digest finish();
+
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[64];
+  size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+// HMAC-SHA256, used by the simulated PKI channel.
+Sha256::Digest hmac_sha256(BytesView key, BytesView msg);
+
+}  // namespace colibri::crypto

@@ -1,0 +1,3 @@
+#include "colibri/cserv/bus.hpp"
+
+// Header-only implementation; this translation unit anchors the target.

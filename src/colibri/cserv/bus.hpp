@@ -1,0 +1,50 @@
+// In-process control-plane transport.
+//
+// SUBSTITUTION (DESIGN.md §2): the paper's CServs talk gRPC-over-QUIC;
+// here a message bus routes *serialized* Colibri packets between the
+// CServs of a simulation, hop by hop. Requests are synchronous chains —
+// the request recursion walking down the path and the response
+// propagating back on unwind mirrors the RPC call chain, and every hop
+// pays real encode/decode cost so the control-plane benchmarks include
+// serialization like the paper's do.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "colibri/common/bytes.hpp"
+#include "colibri/common/ids.hpp"
+
+namespace colibri::cserv {
+
+class MessageBus {
+ public:
+  // A handler consumes a serialized request packet and returns the
+  // serialized response packet.
+  using Handler = std::function<Bytes(BytesView)>;
+
+  void attach(AsId as, Handler handler) { handlers_[as] = std::move(handler); }
+  void detach(AsId as) { handlers_.erase(as); }
+
+  bool reachable(AsId as) const { return handlers_.contains(as); }
+
+  // Delivers a request to `dst` and returns its response. Empty response
+  // means the destination is unreachable or refused to answer.
+  Bytes call(AsId dst, BytesView request) {
+    auto it = handlers_.find(dst);
+    if (it == handlers_.end()) return {};
+    ++messages_;
+    bytes_ += request.size();
+    return it->second(request);
+  }
+
+  std::uint64_t message_count() const { return messages_; }
+  std::uint64_t byte_count() const { return bytes_; }
+
+ private:
+  std::unordered_map<AsId, Handler> handlers_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace colibri::cserv

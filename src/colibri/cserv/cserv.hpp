@@ -1,0 +1,219 @@
+// The Colibri service (paper §3.2-3.3, §4.4-4.7).
+//
+// One CServ per AS handles every control-plane task: requesting and
+// renewing SegRs, serving registered SegRs to end hosts and remote CServs
+// (App. C), admitting SegReqs/EEReqs with the bounded-tube-fairness
+// algorithm, issuing SegR tokens (Eq. 3) and AEAD-sealed hop
+// authenticators (Eq. 5), rate-limiting control traffic, and policing
+// offenders reported by border routers.
+//
+// All inter-AS communication crosses the MessageBus as serialized Colibri
+// packets; a request travels hop-by-hop down the path and the response is
+// assembled on the unwind — mirroring the paper's forward/backward passes
+// (Fig. 1a/1b).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "colibri/admission/eer_admission.hpp"
+#include "colibri/admission/segr_admission.hpp"
+#include "colibri/common/rand.hpp"
+#include "colibri/cserv/bus.hpp"
+#include "colibri/cserv/ratelimit.hpp"
+#include "colibri/cserv/registry.hpp"
+#include "colibri/dataplane/blocklist.hpp"
+#include "colibri/dataplane/gateway.hpp"
+#include "colibri/drkey/keyserver.hpp"
+#include "colibri/proto/codec.hpp"
+#include "colibri/proto/messages.hpp"
+#include "colibri/reservation/db.hpp"
+#include "colibri/reservation/persist.hpp"
+#include "colibri/topology/pathdb.hpp"
+
+namespace colibri::cserv {
+
+struct CservConfig {
+  // Capacity assumed for traffic terminating inside the AS (the pseudo
+  // egress interface 0 of the last AS on a segment).
+  BwKbps internal_capacity_kbps = 400'000'000;
+  // Source/destination-AS policy: per-host cap on a single EER (§4.7
+  // "intra-AS admission policy", freely definable per AS).
+  BwKbps per_host_eer_cap_kbps = 10'000'000;
+  std::uint32_t segr_lifetime_sec = reservation::kSegrLifetimeSec;
+  std::uint32_t eer_lifetime_sec = reservation::kEerLifetimeSec;
+  RateLimitConfig rate_limits;
+};
+
+struct CservStats {
+  std::uint64_t seg_requests = 0;
+  std::uint64_t seg_granted = 0;
+  std::uint64_t eer_requests = 0;
+  std::uint64_t eer_granted = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t policy_denied = 0;
+};
+
+struct ReservationResult {
+  ResKey key;
+  BwKbps bw_kbps = 0;
+  UnixSec exp_time = 0;
+  ResVer version = 0;
+};
+
+class CServ {
+ public:
+  CServ(const topology::Topology& topo, AsId local, MessageBus& bus,
+        drkey::SimulatedPki& pki, const drkey::Key128& drkey_master,
+        const drkey::Key128& hop_key, const Clock& clock,
+        CservConfig cfg = {});
+  ~CServ();
+
+  CServ(const CServ&) = delete;
+  CServ& operator=(const CServ&) = delete;
+
+  // --- wiring ------------------------------------------------------------
+  void attach_gateway(dataplane::Gateway* gw) { gateway_ = gw; }
+  SegrRegistry& registry() { return registry_; }
+  reservation::ReservationDb& db() { return db_; }
+  const drkey::Key128& hop_key() const { return hop_key_; }
+  const drkey::Engine& drkey_engine() const { return drkey_engine_; }
+  admission::SegrAdmission& segr_admission() { return segr_admission_; }
+  AsId local_as() const { return local_; }
+  const CservStats& stats() const { return stats_; }
+
+  // Destination-side hook: the destination host "has to explicitly accept
+  // the EER request" (§4.4). Default accepts everything.
+  using HostAcceptor = std::function<bool(const proto::EerInfo&, BwKbps)>;
+  void set_host_acceptor(HostAcceptor acceptor) {
+    host_acceptor_ = std::move(acceptor);
+  }
+
+  // --- initiator API (called by the local AS / its hosts) ----------------
+  // Sets up a new SegR along `seg`. On success, all on-path ASes have
+  // recorded the reservation and this CServ holds the tokens.
+  Result<ReservationResult> setup_segr(const topology::PathSegment& seg,
+                                       BwKbps min_bw, BwKbps max_bw);
+  // Renews an existing SegR (new pending version; activate separately).
+  Result<ReservationResult> renew_segr(const ResKey& key, BwKbps min_bw,
+                                       BwKbps max_bw);
+  // Explicitly switches the pending version live on all on-path ASes.
+  Result<bool> activate_segr(const ResKey& key, ResVer version);
+
+  // Publishes an established SegR for use by `whitelist` (empty = public).
+  bool publish_segr(const ResKey& key, std::vector<AsId> whitelist);
+
+  // Tokens returned for a SegR this AS initiated (Eq. 3); used as HVFs on
+  // control packets sent over that SegR.
+  const std::vector<proto::Hvf>* segr_tokens(const ResKey& key) const;
+
+  // §3.3: a down-SegR is only set up by its first (core) AS upon an
+  // explicit request by the last AS — this call, made at the last AS,
+  // asks the core AS to initiate a down-SegR along `down_seg` and publish
+  // it whitelisted for this AS.
+  Result<ReservationResult> request_down_segr(
+      const topology::PathSegment& down_seg, BwKbps min_bw, BwKbps max_bw);
+
+  // Sets up an EER over the given SegRs (1-3, in traversal order), which
+  // must join into a path from this AS to the destination AS.
+  Result<ReservationResult> setup_eer(const std::vector<ResKey>& segrs,
+                                      const HostAddr& src_host,
+                                      const HostAddr& dst_host, BwKbps min_bw,
+                                      BwKbps max_bw);
+  Result<ReservationResult> renew_eer(const ResKey& key, BwKbps min_bw,
+                                      BwKbps max_bw);
+
+  // App. C: segment lookup for end hosts — serves from the local registry,
+  // queries the remote CServ (and caches) on miss.
+  std::vector<SegrAdvert> lookup_segrs(AsId from, AsId to);
+  // Convenience: find SegR chains covering src->dst (up to 3 segments).
+  std::vector<std::vector<SegrAdvert>> lookup_chains(AsId dst);
+
+  // --- policing (§4.8) ----------------------------------------------------
+  void report_offense(const dataplane::OffenseReport& offense);
+  bool reservations_denied_for(AsId src) const {
+    return denied_sources_.contains(src);
+  }
+
+  // --- durability (§6.1 "transactional database") --------------------------
+  // Attaches a write-ahead log: every reservation mutation is logged
+  // before it is applied, so the service can be restarted without losing
+  // state. The storage must outlive the CServ.
+  void attach_wal(reservation::ReservationWal* wal) { wal_ = wal; }
+  // Replays the attached WAL into the reservation DB and rebuilds the
+  // admission ledgers from the recovered records (allocations are derived
+  // state and are not persisted). Returns the number of records applied.
+  size_t restore_from_wal();
+
+  // --- housekeeping -------------------------------------------------------
+  // Expires reservations and releases their admission state.
+  void tick();
+
+  // --- bus entry point ----------------------------------------------------
+  // Channel-tagged message dispatcher (packet / registry query / key
+  // fetch); registered with the bus at construction.
+  Bytes handle(BytesView wire);
+
+ private:
+  friend class Handlers;
+
+  struct PendingToken {
+    proto::Hvf token;
+  };
+
+  // Implemented in handlers.cpp.
+  Bytes handle_packet(BytesView wire);
+  Bytes handle_registry_query(BytesView wire);
+  Bytes handle_key_fetch(BytesView wire);
+  Bytes handle_down_segr_request(BytesView wire);
+
+  proto::Packet make_response_packet(const proto::Packet& request,
+                                     const proto::ControlResponse& resp) const;
+
+  // Fetches (and caches) K_{remote->local} for opening sealed HopAuths and
+  // for MACing requests toward remote verifiers.
+  std::optional<drkey::Key128> fetch_remote_key(AsId remote);
+
+  // Builds per-AS payload MACs for an outgoing request.
+  Result<proto::AuthedPayload> build_authed(const proto::ControlMessage& msg,
+                                            const proto::ResInfo& ri,
+                                            const std::vector<AsId>& ases);
+
+  // Shared tail of setup_eer/renew_eer: authenticate, originate, unseal
+  // the returned hop authenticators, install at the gateway.
+  Result<ReservationResult> finish_eer_request(proto::Packet pkt,
+                                               proto::EerRequest msg);
+
+  // Runs the full forward pass for a request originated here.
+  Result<proto::ControlResponse> originate(proto::Packet pkt,
+                                           const std::vector<AsId>& ases);
+
+  const topology::Topology* topo_;
+  AsId local_;
+  MessageBus* bus_;
+  drkey::SimulatedPki* pki_;
+  drkey::Engine drkey_engine_;
+  drkey::KeyServer key_server_;
+  drkey::KeyCache key_cache_;
+  drkey::Key128 hop_key_;
+  const Clock* clock_;
+  CservConfig cfg_;
+
+  reservation::ReservationDb db_;
+  admission::SegrAdmission segr_admission_;
+  admission::EerAdmission eer_admission_;
+  SegrRegistry registry_;
+  ControlRateLimiter rate_limiter_;
+  dataplane::Gateway* gateway_ = nullptr;
+  reservation::ReservationWal* wal_ = nullptr;
+  HostAcceptor host_acceptor_;
+  std::unordered_set<AsId> denied_sources_;
+  std::vector<dataplane::OffenseReport> offense_log_;
+  std::unordered_map<ResKey, std::vector<proto::Hvf>> segr_tokens_;
+  Rng rng_;
+  CservStats stats_;
+};
+
+}  // namespace colibri::cserv

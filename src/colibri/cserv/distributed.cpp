@@ -1,0 +1,18 @@
+#include "colibri/cserv/distributed.hpp"
+
+namespace colibri::cserv {
+
+DistributedEerService::DistributedEerService(int sub_services) {
+  if (sub_services < 1) sub_services = 1;
+  subs_.reserve(static_cast<size_t>(sub_services));
+  for (int i = 0; i < sub_services; ++i) {
+    subs_.push_back(std::make_unique<EerSubService>(i));
+  }
+}
+
+EerSubService& DistributedEerService::route(const ResKey& first_segr) {
+  const size_t h = std::hash<ResKey>{}(first_segr);
+  return *subs_[h % subs_.size()];
+}
+
+}  // namespace colibri::cserv

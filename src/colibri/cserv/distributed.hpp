@@ -1,0 +1,71 @@
+// Distributed Colibri service (paper App. D).
+//
+// A core AS under heavy load decomposes its CServ into sub-services:
+// a single *coordinator* handling all SegReqs (SegR admission needs the
+// complete view), and per-interface *ingress/egress sub-services* handling
+// EEReqs, each owning the admission state of a disjoint subset of SegRs.
+// A load balancer routes every EEReq by its underlying SegR so all
+// requests over one SegR land on the same sub-service — which is what
+// makes the decomposition correct (the EER decision depends only on the
+// adjacent SegRs' state). Sub-services can then run on separate cores or
+// machines; here each owns an independent admission ledger and can be
+// driven from separate threads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "colibri/admission/eer_admission.hpp"
+#include "colibri/common/errors.hpp"
+#include "colibri/reservation/segr.hpp"
+
+namespace colibri::cserv {
+
+// One ingress/egress sub-service: EER admission over the SegRs it owns.
+class EerSubService {
+ public:
+  explicit EerSubService(int index) : index_(index) {}
+
+  int index() const { return index_; }
+  size_t handled() const { return handled_; }
+
+  Result<BwKbps> admit(const admission::EerAdmission::Request& req,
+                       UnixSec now) {
+    ++handled_;
+    return admission_.admit(req, now);
+  }
+  void release(const ResKey& eer_key) { admission_.release(eer_key); }
+
+ private:
+  int index_;
+  admission::EerAdmission admission_;
+  size_t handled_ = 0;
+};
+
+// Load balancer + sub-service pool. SegR ownership is determined by a
+// stable hash of the SegR key, so every EEReq that rides a given SegR is
+// processed by the same sub-service (App. D's correctness requirement).
+class DistributedEerService {
+ public:
+  explicit DistributedEerService(int sub_services);
+
+  // Routes by the first underlying SegR of the request.
+  EerSubService& route(const ResKey& first_segr);
+
+  Result<BwKbps> admit(const ResKey& first_segr,
+                       const admission::EerAdmission::Request& req,
+                       UnixSec now) {
+    return route(first_segr).admit(req, now);
+  }
+  void release(const ResKey& first_segr, const ResKey& eer_key) {
+    route(first_segr).release(eer_key);
+  }
+
+  int size() const { return static_cast<int>(subs_.size()); }
+  const EerSubService& sub(int i) const { return *subs_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<EerSubService>> subs_;
+};
+
+}  // namespace colibri::cserv

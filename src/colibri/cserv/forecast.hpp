@@ -1,0 +1,56 @@
+// Traffic forecasting for SegR demand (paper §3.2).
+//
+// "Since link utilization often exhibits repeating patterns over time, an
+// AS can forecast future requirements and reserve appropriate bandwidth
+// for segments in advance." This estimator combines an EWMA of observed
+// demand with a decaying peak tracker, and recommends the demand for the
+// next SegR renewal with configurable headroom — so a CServ renews at
+// realistic sizes instead of a static guess.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "colibri/common/clock.hpp"
+#include "colibri/common/ids.hpp"
+
+namespace colibri::cserv {
+
+struct ForecastConfig {
+  double ewma_alpha = 0.2;     // weight of the newest sample
+  double peak_decay = 0.95;    // per-sample decay of the peak tracker
+  double headroom = 1.25;      // renewal demand = max(ewma, peak) x headroom
+  BwKbps floor_kbps = 1'000;   // never recommend below this
+};
+
+class DemandForecaster {
+ public:
+  explicit DemandForecaster(const ForecastConfig& cfg = {}) : cfg_(cfg) {}
+
+  // Feeds one observation of used bandwidth (e.g. the EER-allocated kbps
+  // of the SegR at the end of an interval).
+  void observe(BwKbps used_kbps) {
+    const double x = static_cast<double>(used_kbps);
+    ewma_ = samples_ == 0 ? x : cfg_.ewma_alpha * x + (1 - cfg_.ewma_alpha) * ewma_;
+    peak_ = std::max(peak_ * cfg_.peak_decay, x);
+    ++samples_;
+  }
+
+  // Demand to request at the next renewal.
+  BwKbps recommend() const {
+    const double base = std::max(ewma_, peak_) * cfg_.headroom;
+    return std::max(cfg_.floor_kbps, static_cast<BwKbps>(base));
+  }
+
+  double ewma() const { return ewma_; }
+  double peak() const { return peak_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  ForecastConfig cfg_;
+  double ewma_ = 0;
+  double peak_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace colibri::cserv

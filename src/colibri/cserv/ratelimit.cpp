@@ -1,0 +1,28 @@
+#include "colibri/cserv/ratelimit.hpp"
+
+namespace colibri::cserv {
+
+bool RequestLimiter::allow(std::uint64_t key, TimeNs now) {
+  auto [it, inserted] = state_.try_emplace(key, State{burst_, now});
+  State& s = it->second;
+  if (!inserted && now > s.last) {
+    s.tokens += rate_ * static_cast<double>(now - s.last) / kNsPerSec;
+    if (s.tokens > burst_) s.tokens = burst_;
+    s.last = now;
+  }
+  if (s.tokens < 1.0) return false;
+  s.tokens -= 1.0;
+  return true;
+}
+
+void RequestLimiter::expire(TimeNs now, TimeNs idle_ns) {
+  for (auto it = state_.begin(); it != state_.end();) {
+    if (now - it->second.last > idle_ns) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace colibri::cserv

@@ -1,0 +1,71 @@
+#include "colibri/cserv/registry.hpp"
+
+#include <algorithm>
+
+namespace colibri::cserv {
+
+bool SegrAdvert::usable_by(AsId as) const {
+  if (whitelist.empty() || as == first_as()) return true;
+  return std::find(whitelist.begin(), whitelist.end(), as) != whitelist.end();
+}
+
+void SegrRegistry::register_segr(SegrAdvert advert) {
+  adverts_[advert.key] = std::move(advert);
+}
+
+void SegrRegistry::unregister(const ResKey& key) { adverts_.erase(key); }
+
+std::vector<SegrAdvert> SegrRegistry::query(AsId requester, AsId from, AsId to,
+                                            UnixSec now) const {
+  std::vector<SegrAdvert> out;
+  for (const auto& [_, a] : adverts_) {
+    if (a.first_as() == from && a.last_as() == to && !a.expired(now) &&
+        a.usable_by(requester)) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<SegrAdvert> SegrRegistry::query_from(AsId requester, AsId from,
+                                                 UnixSec now) const {
+  std::vector<SegrAdvert> out;
+  for (const auto& [_, a] : adverts_) {
+    if (a.first_as() == from && !a.expired(now) && a.usable_by(requester)) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<SegrAdvert> SegrRegistry::query_to(AsId requester, AsId to,
+                                               UnixSec now) const {
+  std::vector<SegrAdvert> out;
+  for (const auto& [_, a] : adverts_) {
+    if (a.last_as() == to && !a.expired(now) && a.usable_by(requester)) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::optional<SegrAdvert> SegrRegistry::find(const ResKey& key) const {
+  auto it = adverts_.find(key);
+  if (it == adverts_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t SegrRegistry::expire(UnixSec now) {
+  size_t removed = 0;
+  for (auto it = adverts_.begin(); it != adverts_.end();) {
+    if (it->second.expired(now)) {
+      it = adverts_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace colibri::cserv

@@ -1,0 +1,68 @@
+// SegR registry and hierarchical dissemination cache (paper App. C).
+//
+// After establishing a SegR, its initiator may register it publicly with
+// a whitelist of ASes allowed to build EERs over it. End hosts query
+// their local CServ, which serves from its cache and falls back to
+// querying remote CServs, caching what it learns — the hierarchical
+// caching that keeps EER-setup latency low.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "colibri/common/clock.hpp"
+#include "colibri/common/ids.hpp"
+#include "colibri/topology/segment.hpp"
+
+namespace colibri::cserv {
+
+// Public description of a registered SegR, enough for a remote AS to
+// request EERs over it.
+struct SegrAdvert {
+  ResKey key;
+  topology::SegType seg_type = topology::SegType::kUp;
+  std::vector<topology::Hop> hops;
+  BwKbps bw_kbps = 0;
+  UnixSec exp_time = 0;
+  // Empty whitelist = public; otherwise only listed ASes may use it.
+  std::vector<AsId> whitelist;
+
+  AsId first_as() const { return hops.front().as; }
+  AsId last_as() const { return hops.back().as; }
+  bool usable_by(AsId as) const;
+  bool expired(UnixSec now) const { return exp_time <= now; }
+};
+
+class SegrRegistry {
+ public:
+  // Registration by the local initiator.
+  void register_segr(SegrAdvert advert);
+  void unregister(const ResKey& key);
+
+  // Cache insertion of adverts learned from remote CServs.
+  void cache_remote(SegrAdvert advert) { register_segr(std::move(advert)); }
+  // Invalidate a cached advert (e.g., after a remote version switch was
+  // detected during EER setup, App. C).
+  void invalidate(const ResKey& key) { unregister(key); }
+
+  // Adverts usable by `requester` connecting `from` -> `to`.
+  std::vector<SegrAdvert> query(AsId requester, AsId from, AsId to,
+                                UnixSec now) const;
+  // All adverts of a given type starting (up/core) or ending (down) at an
+  // AS; used to stitch multi-segment EER paths.
+  std::vector<SegrAdvert> query_from(AsId requester, AsId from,
+                                     UnixSec now) const;
+  std::vector<SegrAdvert> query_to(AsId requester, AsId to, UnixSec now) const;
+
+  std::optional<SegrAdvert> find(const ResKey& key) const;
+  size_t size() const { return adverts_.size(); }
+  size_t expire(UnixSec now);
+
+ private:
+  std::unordered_map<ResKey, SegrAdvert> adverts_;
+};
+
+}  // namespace colibri::cserv

@@ -1,0 +1,63 @@
+#include "colibri/cserv/renewal_manager.hpp"
+
+namespace colibri::cserv {
+
+size_t RenewalManager::manage_all_local() {
+  size_t added = 0;
+  cserv_->db().segrs().for_each([&](const reservation::SegrRecord& rec) {
+    if (rec.key.src_as == cserv_->local_as() &&
+        !forecasters_.contains(rec.key)) {
+      forecasters_.try_emplace(rec.key, cfg_.forecast);
+      ++added;
+    }
+  });
+  return added;
+}
+
+void RenewalManager::tick(UnixSec now) {
+  std::vector<ResKey> gone;
+  for (auto& [key, forecaster] : forecasters_) {
+    auto* rec = cserv_->db().segrs().find(key);
+    if (rec == nullptr) {
+      gone.push_back(key);
+      continue;
+    }
+    // Observe utilization: the EER bandwidth currently riding this SegR.
+    forecaster.observe(rec->eer_allocated_kbps);
+
+    if (rec->active.exp_time > now + cfg_.lead_sec) continue;  // not due
+    if (rec->pending && rec->pending->exp_time > now + cfg_.lead_sec) {
+      // A pending version exists (e.g. from a manual renewal): activate it
+      // instead of stacking another renewal on top.
+      if (cserv_->activate_segr(key, rec->pending->version).ok()) {
+        ++stats_.activated;
+      }
+      continue;
+    }
+
+    // Renew at the forecast demand, never below the current utilization
+    // (shrinking under live EERs would strand them at version switch).
+    const BwKbps demand =
+        std::max(forecaster.recommend(), rec->eer_allocated_kbps);
+    auto renewed = cserv_->renew_segr(key, cfg_.min_bw_kbps, demand);
+    if (!renewed.ok()) {
+      ++stats_.failed;
+      continue;
+    }
+    ++stats_.renewed;
+    if (cserv_->activate_segr(key, renewed.value().version).ok()) {
+      ++stats_.activated;
+      if (cfg_.republish) {
+        // Preserve the advert (and its whitelist) across the version bump.
+        std::vector<AsId> whitelist;
+        if (auto advert = cserv_->registry().find(key)) {
+          whitelist = advert->whitelist;
+        }
+        cserv_->publish_segr(key, std::move(whitelist));
+      }
+    }
+  }
+  for (const auto& key : gone) forecasters_.erase(key);
+}
+
+}  // namespace colibri::cserv

@@ -1,0 +1,61 @@
+// Automatic SegR renewal (paper §3.2).
+//
+// "The CServ requests and renews SegRs according to expected traffic
+// requirements." This manager owns that loop for the SegRs an AS
+// initiated: on every tick it renews reservations approaching expiry —
+// sized by a per-SegR demand forecaster fed from observed EER
+// utilization — and activates the new version, so the AS's segment
+// infrastructure stays alive indefinitely without operator involvement
+// (the management-scalability story of §9).
+#pragma once
+
+#include <unordered_map>
+
+#include "colibri/cserv/cserv.hpp"
+#include "colibri/cserv/forecast.hpp"
+
+namespace colibri::cserv {
+
+struct RenewalManagerConfig {
+  // Renew when within this many seconds of the active version's expiry.
+  std::uint32_t lead_sec = 60;
+  BwKbps min_bw_kbps = 1'000;
+  ForecastConfig forecast;
+  // Re-publish renewed SegRs with their previous whitelist.
+  bool republish = true;
+};
+
+struct RenewalStats {
+  std::uint64_t renewed = 0;
+  std::uint64_t activated = 0;
+  std::uint64_t failed = 0;
+};
+
+class RenewalManager {
+ public:
+  RenewalManager(CServ& cserv, const RenewalManagerConfig& cfg = {})
+      : cserv_(&cserv), cfg_(cfg) {}
+
+  // Starts managing a SegR this AS initiated.
+  void manage(const ResKey& key) { forecasters_.try_emplace(key, cfg_.forecast); }
+  void unmanage(const ResKey& key) { forecasters_.erase(key); }
+  size_t managed() const { return forecasters_.size(); }
+
+  // Convenience: manage every SegR currently initiated by this AS.
+  size_t manage_all_local();
+
+  // One maintenance pass: feed forecasters from current utilization,
+  // renew + activate whatever is due, drop reservations that vanished.
+  // Call alongside CServ::tick().
+  void tick(UnixSec now);
+
+  const RenewalStats& stats() const { return stats_; }
+
+ private:
+  CServ* cserv_;
+  RenewalManagerConfig cfg_;
+  std::unordered_map<ResKey, DemandForecaster> forecasters_;
+  RenewalStats stats_;
+};
+
+}  // namespace colibri::cserv

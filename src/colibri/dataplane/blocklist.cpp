@@ -1,0 +1,3 @@
+#include "colibri/dataplane/blocklist.hpp"
+
+// Header-only implementation; this translation unit anchors the target.

@@ -1,0 +1,49 @@
+// Source-AS blocklist and offense reporting (paper §4.8 "Policing").
+//
+// When overuse is confirmed with certainty, the detecting AS (i) blocks
+// further traffic over reservations from the offending source AS and
+// (ii) reports the offense to its CServ, which may deny future
+// reservations. The blocklist is expected to stay tiny ("only a tiny
+// share of the 70 000 ASes"), so a flat hash set is exactly right.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "colibri/common/clock.hpp"
+#include "colibri/common/ids.hpp"
+
+namespace colibri::dataplane {
+
+struct OffenseReport {
+  AsId offender;
+  ResId reservation = 0;
+  TimeNs at = 0;
+  std::uint64_t excess_bytes = 0;
+};
+
+class Blocklist {
+ public:
+  bool blocked(AsId src) const { return set_.contains(src); }
+
+  void block(AsId src) { set_.insert(src); }
+  void unblock(AsId src) { set_.erase(src); }
+  size_t size() const { return set_.size(); }
+
+  void report(const OffenseReport& offense) {
+    block(offense.offender);
+    reports_.push_back(offense);
+  }
+  const std::vector<OffenseReport>& reports() const { return reports_; }
+  std::vector<OffenseReport> drain_reports() {
+    return std::exchange(reports_, {});
+  }
+
+ private:
+  std::unordered_set<AsId> set_;
+  std::vector<OffenseReport> reports_;
+};
+
+}  // namespace colibri::dataplane

@@ -1,0 +1,94 @@
+#include "colibri/dataplane/dupsup.hpp"
+
+#include <cmath>
+
+namespace colibri::dataplane {
+namespace {
+
+size_t round_up_pow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t bits, int k)
+    : words_(round_up_pow2(bits) / 64, 0),
+      mask_(round_up_pow2(bits) - 1),
+      k_(k) {}
+
+bool BloomFilter::test_and_set(std::uint64_t h1, std::uint64_t h2) {
+  bool present = true;
+  for (int i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+    std::uint64_t& word = words_[bit >> 6];
+    const std::uint64_t m = 1ULL << (bit & 63);
+    if ((word & m) == 0) {
+      present = false;
+      word |= m;
+    }
+  }
+  return present;
+}
+
+bool BloomFilter::test(std::uint64_t h1, std::uint64_t h2) const {
+  for (int i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+double BloomFilter::predicted_fpr(size_t bits, int k, size_t n) {
+  const double exponent = -static_cast<double>(k) * static_cast<double>(n) /
+                          static_cast<double>(bits);
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+DuplicateSuppression::DuplicateSuppression(const DupSupConfig& cfg)
+    : cfg_(cfg),
+      current_(cfg.bits_per_filter, cfg.hashes),
+      previous_(cfg.bits_per_filter, cfg.hashes) {}
+
+void DuplicateSuppression::maybe_rotate(TimeNs now) {
+  if (now - window_start_ < cfg_.window_ns) return;
+  std::swap(current_, previous_);
+  current_.clear();
+  window_start_ = now;
+}
+
+DuplicateSuppression::Verdict DuplicateSuppression::check(AsId src, ResId res,
+                                                          std::uint32_t ts,
+                                                          TimeNs ts_ns,
+                                                          TimeNs now) {
+  maybe_rotate(now);
+  // Packets older than the combined history of both filters can no longer
+  // be checked for duplication and must be dropped as stale.
+  if (ts_ns + 2 * cfg_.window_ns < now) {
+    ++stale_;
+    return Verdict::kStale;
+  }
+  const std::uint64_t h1 = mix64(src.raw() ^ (static_cast<std::uint64_t>(res) << 32) ^ ts);
+  const std::uint64_t h2 = mix64(h1 ^ 0x6A09E667F3BCC909ULL) | 1;
+  if (previous_.test(h1, h2) || current_.test_and_set(h1, h2)) {
+    ++duplicates_;
+    return Verdict::kDuplicate;
+  }
+  return Verdict::kFresh;
+}
+
+}  // namespace colibri::dataplane

@@ -1,0 +1,72 @@
+// In-network duplicate suppression (paper §2.3, §5.1; Lee et al. [32]).
+//
+// Replayed Colibri packets would let an on-path adversary both congest
+// links and frame the honest source. Each packet is uniquely identified
+// by (SrcAS, ResId, Ver, Ts); the detector remembers recently seen
+// identifiers in two alternating Bloom filters covering consecutive time
+// windows, so memory stays bounded while the effective history spans at
+// least one full window (≥ max clock skew + max propagation delay).
+// Packets older than the history horizon are rejected as stale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "colibri/common/clock.hpp"
+#include "colibri/common/ids.hpp"
+
+namespace colibri::dataplane {
+
+class BloomFilter {
+ public:
+  // `bits` rounded up to a power of two; k hash probes per element.
+  BloomFilter(size_t bits, int k);
+
+  // Inserts the element; returns true if it was (probably) already there.
+  bool test_and_set(std::uint64_t h1, std::uint64_t h2);
+  bool test(std::uint64_t h1, std::uint64_t h2) const;
+  void clear();
+
+  size_t bit_count() const { return words_.size() * 64; }
+  int hash_count() const { return k_; }
+  // Predicted false-positive rate after n insertions.
+  static double predicted_fpr(size_t bits, int k, size_t n);
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t mask_;
+  int k_;
+};
+
+struct DupSupConfig {
+  size_t bits_per_filter = 1 << 22;  // 4 Mbit = 512 KiB per filter
+  int hashes = 4;
+  TimeNs window_ns = 2 * kNsPerSec;  // covers ±0.1 s skew + propagation
+};
+
+class DuplicateSuppression {
+ public:
+  explicit DuplicateSuppression(const DupSupConfig& cfg = {});
+
+  enum class Verdict : std::uint8_t { kFresh, kDuplicate, kStale };
+
+  // `ts_ns` is the packet timestamp decoded to absolute time; `now` is
+  // local time. Inserts fresh identifiers.
+  Verdict check(AsId src, ResId res, std::uint32_t ts, TimeNs ts_ns,
+                TimeNs now);
+
+  std::uint64_t duplicates_seen() const { return duplicates_; }
+  std::uint64_t stale_seen() const { return stale_; }
+
+ private:
+  void maybe_rotate(TimeNs now);
+
+  DupSupConfig cfg_;
+  BloomFilter current_;
+  BloomFilter previous_;
+  TimeNs window_start_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t stale_ = 0;
+};
+
+}  // namespace colibri::dataplane

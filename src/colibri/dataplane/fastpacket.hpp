@@ -1,0 +1,47 @@
+// Fixed-capacity packet representation for the forwarding fast path.
+//
+// proto::Packet is the general (heap-backed) form used by the control
+// plane; FastPacket is its POD twin for the gateway/router hot loops and
+// the DPDK-style burst benchmarks: no allocation, contiguous, at most
+// kMaxHops hop entries, payload represented by its length only (forwarding
+// never touches payload bytes; Appendix E shows processing is
+// payload-size independent).
+#pragma once
+
+#include "colibri/dataplane/restable.hpp"
+#include "colibri/proto/codec.hpp"
+
+namespace colibri::dataplane {
+
+struct FastPacket {
+  proto::PacketType type = proto::PacketType::kData;
+  bool is_eer = true;
+  std::uint8_t num_hops = 0;
+  std::uint8_t current_hop = 0;
+
+  proto::ResInfo resinfo;
+  proto::EerInfo eerinfo;
+  std::uint32_t timestamp = 0;
+  std::uint32_t payload_bytes = 0;
+
+  std::array<IfPair, kMaxHops> ifaces;
+  std::array<proto::Hvf, kMaxHops> hvfs;
+
+  // Wire size mirroring proto::Packet::wire_size().
+  std::uint32_t wire_size() const {
+    std::uint32_t s = 33u + num_hops * 8u + payload_bytes;
+    if (is_eer) s += 32u;
+    return s;
+  }
+
+  IfId ingress() const { return ifaces[current_hop].in; }
+  IfId egress() const { return ifaces[current_hop].eg; }
+  bool at_last_hop() const { return current_hop + 1 >= num_hops; }
+};
+
+// Conversions to/from the general representation (integration tests and
+// the control plane use these at the simulation boundary).
+FastPacket to_fast(const proto::Packet& pkt);
+proto::Packet to_packet(const FastPacket& fp);
+
+}  // namespace colibri::dataplane

@@ -1,0 +1,138 @@
+#include "colibri/dataplane/gateway.hpp"
+
+namespace colibri::dataplane {
+
+FastPacket to_fast(const proto::Packet& pkt) {
+  FastPacket fp;
+  fp.type = pkt.type;
+  fp.is_eer = pkt.is_eer;
+  fp.num_hops = static_cast<std::uint8_t>(pkt.path.size());
+  fp.current_hop = pkt.current_hop;
+  fp.resinfo = pkt.resinfo;
+  fp.eerinfo = pkt.eerinfo;
+  fp.timestamp = pkt.timestamp;
+  fp.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
+  for (size_t i = 0; i < pkt.path.size() && i < kMaxHops; ++i) {
+    fp.ifaces[i] = IfPair{pkt.path[i].ingress, pkt.path[i].egress};
+    if (i < pkt.hvfs.size()) fp.hvfs[i] = pkt.hvfs[i];
+  }
+  return fp;
+}
+
+proto::Packet to_packet(const FastPacket& fp) {
+  proto::Packet pkt;
+  pkt.type = fp.type;
+  pkt.is_eer = fp.is_eer;
+  pkt.current_hop = fp.current_hop;
+  pkt.resinfo = fp.resinfo;
+  pkt.eerinfo = fp.eerinfo;
+  pkt.timestamp = fp.timestamp;
+  pkt.path.resize(fp.num_hops);
+  pkt.hvfs.resize(fp.num_hops);
+  for (size_t i = 0; i < fp.num_hops; ++i) {
+    pkt.path[i].ingress = fp.ifaces[i].in;
+    pkt.path[i].egress = fp.ifaces[i].eg;
+    pkt.hvfs[i] = fp.hvfs[i];
+  }
+  pkt.payload.resize(fp.payload_bytes);
+  return pkt;
+}
+
+Gateway::Gateway(AsId local_as, const Clock& clock, const GatewayConfig& cfg)
+    : local_as_(local_as),
+      clock_(&clock),
+      cfg_(cfg),
+      table_(cfg.expected_reservations) {}
+
+bool Gateway::install(const proto::ResInfo& resinfo,
+                      const proto::EerInfo& eerinfo,
+                      const std::vector<topology::Hop>& path,
+                      const std::vector<HopAuth>& sigmas) {
+  if (path.size() > kMaxHops || path.size() != sigmas.size() || path.empty()) {
+    return false;
+  }
+  GatewayEntry e;
+  e.resinfo = resinfo;
+  e.eerinfo = eerinfo;
+  e.num_hops = static_cast<std::uint8_t>(path.size());
+  for (size_t i = 0; i < path.size(); ++i) {
+    e.ifaces[i] = IfPair{path[i].ingress, path[i].egress};
+    e.sigmas[i] = sigmas[i];
+  }
+  const auto burst = static_cast<std::uint64_t>(
+      cfg_.burst_sec * static_cast<double>(resinfo.bw_kbps) * 125.0);
+  e.bucket = TokenBucket(resinfo.bw_kbps, std::max<std::uint64_t>(burst, 2000),
+                         clock_->now_ns());
+  return table_.insert(resinfo.res_id, std::move(e));
+}
+
+bool Gateway::remove(ResId id) { return table_.erase(id); }
+
+Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
+                                  FastPacket& out) {
+  GatewayEntry* e = table_.find(id);
+  if (e == nullptr) {
+    ++stats_.no_reservation;
+    return Verdict::kNoReservation;
+  }
+  const TimeNs now = clock_->now_ns();
+  if (e->resinfo.exp_time <= static_cast<UnixSec>(now / kNsPerSec)) {
+    ++stats_.expired;
+    return Verdict::kExpired;
+  }
+
+  // Header assembly first: the monitored size includes the header (§4.8,
+  // "malicious source ASes cannot flood the system with packets with very
+  // small or no payload").
+  out.type = proto::PacketType::kData;
+  out.is_eer = true;
+  out.num_hops = e->num_hops;
+  out.current_hop = 0;
+  out.resinfo = e->resinfo;
+  out.eerinfo = e->eerinfo;
+  out.payload_bytes = payload_bytes;
+  out.ifaces = e->ifaces;
+  const std::uint32_t size = out.wire_size();
+
+  // Deterministic monitoring (token bucket per EER).
+  if (!e->bucket.allow(size, now)) {
+    ++stats_.rate_limited;
+    return Verdict::kRateLimited;
+  }
+
+  // High-precision timestamp, unique per packet for this source.
+  out.timestamp = PacketTimestamp::encode(now, e->resinfo.exp_time);
+
+  // One single-block MAC per on-path AS (Eq. 6), keyed by σ_i.
+  for (std::uint8_t i = 0; i < e->num_hops; ++i) {
+    out.hvfs[i] = compute_data_hvf(e->sigmas[i], out.timestamp, size);
+  }
+  ++stats_.forwarded;
+  return Verdict::kOk;
+}
+
+Gateway::Verdict Gateway::process_encapsulated(ResId id,
+                                               std::uint32_t payload_bytes,
+                                               proto::Ipv4Encap intra,
+                                               Bytes& frame_out) {
+  FastPacket pkt;
+  const Verdict v = process(id, payload_bytes, pkt);
+  if (v != Verdict::kOk) return v;
+  intra.dscp = proto::classify_for_dscp(/*is_eer_data=*/true,
+                                        /*is_control=*/false);
+  frame_out = proto::encapsulate(intra, proto::encode_packet(to_packet(pkt)));
+  return Verdict::kOk;
+}
+
+size_t Gateway::process_burst(const ResId* ids,
+                              const std::uint32_t* payload_bytes, size_t n,
+                              FastPacket* out, Verdict* verdicts) {
+  size_t ok = 0;
+  for (size_t i = 0; i < n; ++i) {
+    verdicts[i] = process(ids[i], payload_bytes[i], out[i]);
+    if (verdicts[i] == Verdict::kOk) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace colibri::dataplane

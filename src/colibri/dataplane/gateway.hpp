@@ -1,0 +1,80 @@
+// Colibri gateway (paper §3.2, §4.6).
+//
+// All Colibri traffic leaving an AS passes through its gateway, which is
+// the only stateful element on the data path: it maps the ResId of a
+// host's bare packet to the full reservation state, performs deterministic
+// token-bucket monitoring, stamps the high-precision timestamp, computes
+// the HVF for every on-path AS from the stored hop authenticators (Eq. 6),
+// and fills in the remaining header fields. Per packet with h hops the
+// crypto cost is h single-block AES-CMACs (plus one AES key schedule per
+// hop, since storing raw σ_i keeps per-reservation state small).
+#pragma once
+
+#include "colibri/common/clock.hpp"
+#include "colibri/dataplane/fastpacket.hpp"
+#include "colibri/proto/encap.hpp"
+#include "colibri/dataplane/restable.hpp"
+
+namespace colibri::dataplane {
+
+struct GatewayConfig {
+  // Token-bucket burst allowance, in seconds of the reserved rate.
+  double burst_sec = 0.125;
+  size_t expected_reservations = 1024;
+};
+
+struct GatewayStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_reservation = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t expired = 0;
+};
+
+class Gateway {
+ public:
+  Gateway(AsId local_as, const Clock& clock, const GatewayConfig& cfg = {});
+
+  enum class Verdict : std::uint8_t {
+    kOk = 0,
+    kNoReservation,
+    kRateLimited,
+    kExpired,
+  };
+
+  // --- control side -----------------------------------------------------
+  // Installs (or replaces) the state for an EER after a successful setup
+  // or renewal: header contents plus the decrypted hop authenticators.
+  bool install(const proto::ResInfo& resinfo, const proto::EerInfo& eerinfo,
+               const std::vector<topology::Hop>& path,
+               const std::vector<HopAuth>& sigmas);
+  bool remove(ResId id);
+  size_t reservation_count() const { return table_.size(); }
+
+  // --- fast path ---------------------------------------------------------
+  // Host hands in (ResId, payload length); the gateway monitors, stamps,
+  // authenticates, and emits the complete packet into `out`.
+  Verdict process(ResId id, std::uint32_t payload_bytes, FastPacket& out);
+
+  // DPDK-style burst entry point; returns number of packets that passed.
+  size_t process_burst(const ResId* ids, const std::uint32_t* payload_bytes,
+                       size_t n, FastPacket* out, Verdict* verdicts);
+
+  // Like process(), but emits the packet serialized and encapsulated for
+  // the intra-AS network (App. B): IPv4/UDP toward the egress border
+  // router with the DSCP stamped by the gateway — hosts cannot choose
+  // their own class. `intra.dscp` is overwritten.
+  Verdict process_encapsulated(ResId id, std::uint32_t payload_bytes,
+                               proto::Ipv4Encap intra, Bytes& frame_out);
+
+  const GatewayStats& stats() const { return stats_; }
+  AsId local_as() const { return local_as_; }
+
+ private:
+  AsId local_as_;
+  const Clock* clock_;
+  GatewayConfig cfg_;
+  ResTable table_;
+  GatewayStats stats_;
+};
+
+}  // namespace colibri::dataplane

@@ -1,0 +1,91 @@
+// Hot-path HVF computation (paper §4.5-4.6, Fig. 2).
+//
+// The paper computes MACs with "the AES-128 block cipher in CBC mode
+// through native hardware-accelerated instructions" (§7.1). All MAC inputs
+// here are fixed-layout, fixed-length structures, for which plain CBC-MAC
+// (zero-padded, no length prefix) is a secure PRF:
+//
+//   SegR token / HVF (Eq. 3):  V^(S)_i = CBC-MAC_{K_i}(ResInfo || In,Eg)[0:4]
+//   Hop authenticator (Eq. 4): σ_i = CBC-MAC_{K_i}(ResInfo || EERInfo || In,Eg)
+//   Per-packet HVF (Eq. 6):    V^(E)_i = AES_{σ_i}(Ts || PktSize || pad)[0:4]
+//
+// Eq. 6's input fits one block, so the MAC degenerates to a single AES
+// call — that single block operation per hop is the whole per-packet
+// crypto budget behind the Mpps numbers in Figs. 5-6.
+#pragma once
+
+#include <cstring>
+
+#include "colibri/crypto/aes.hpp"
+#include "colibri/proto/packet.hpp"
+
+namespace colibri::dataplane {
+
+using HopAuth = std::array<std::uint8_t, 16>;  // σ_i
+
+// CBC-MAC over a fixed-length input, zero-padded to whole blocks.
+// `len` must describe a fixed-layout message (all callers use compile-time
+// constants), otherwise CBC-MAC's length-extension caveats apply.
+inline void cbcmac_fixed(const crypto::Aes128& aes, const std::uint8_t* msg,
+                         size_t len, std::uint8_t out[16]) {
+  std::uint8_t x[16] = {};
+  size_t off = 0;
+  while (off < len) {
+    const size_t n = (len - off < 16) ? len - off : 16;
+    for (size_t i = 0; i < n; ++i) x[i] ^= msg[off + i];
+    aes.encrypt_block(x, x);
+    off += n;
+  }
+  std::memcpy(out, x, 16);
+}
+
+// Eq. 3: SegR token for this AS, truncated to ℓ_hvf bytes.
+inline proto::Hvf compute_seg_hvf(const crypto::Aes128& as_key,
+                                  const proto::ResInfo& ri, IfId in, IfId eg) {
+  std::uint8_t msg[proto::kSegMacInputLen];
+  proto::build_seg_mac_input(ri, in, eg, msg);
+  std::uint8_t mac[16];
+  cbcmac_fixed(as_key, msg, sizeof(msg), mac);
+  proto::Hvf v;
+  std::memcpy(v.data(), mac, v.size());
+  return v;
+}
+
+// Eq. 4: hop authenticator σ_i (untruncated).
+inline HopAuth compute_hopauth(const crypto::Aes128& as_key,
+                               const proto::ResInfo& ri,
+                               const proto::EerInfo& ei, IfId in, IfId eg) {
+  std::uint8_t msg[proto::kHopAuthInputLen];
+  proto::build_hopauth_input(ri, ei, in, eg, msg);
+  HopAuth sigma;
+  cbcmac_fixed(as_key, msg, sizeof(msg), sigma.data());
+  return sigma;
+}
+
+// Eq. 6: per-packet HVF from σ_i. Single-block AES: the 8-byte input is
+// zero-padded into one block and enciphered under σ_i.
+inline proto::Hvf compute_data_hvf(const crypto::Aes128& sigma_cipher,
+                                   std::uint32_t ts, std::uint32_t pkt_size) {
+  std::uint8_t block[16] = {};
+  proto::build_data_mac_input(ts, pkt_size, block);
+  std::uint8_t out[16];
+  sigma_cipher.encrypt_block(block, out);
+  proto::Hvf v;
+  std::memcpy(v.data(), out, v.size());
+  return v;
+}
+
+inline proto::Hvf compute_data_hvf(const HopAuth& sigma, std::uint32_t ts,
+                                   std::uint32_t pkt_size) {
+  crypto::Aes128 cipher(sigma.data());
+  return compute_data_hvf(cipher, ts, pkt_size);
+}
+
+// Constant-time HVF comparison.
+inline bool hvf_equal(const proto::Hvf& a, const proto::Hvf& b) {
+  std::uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace colibri::dataplane

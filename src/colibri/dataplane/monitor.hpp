@@ -1,0 +1,58 @@
+// Per-AS traffic monitor (the "M" boxes of the paper's Fig. 1c).
+//
+// Bundles the monitoring-and-policing pipeline of §4.8 into one
+// component: probabilistic overuse detection, duplicate suppression, the
+// blocklist, and the offense-reporting loop toward the local CServ.
+// Attach it to a border router and pump reports periodically — the
+// pieces stay individually usable for benchmarks that need them alone.
+#pragma once
+
+#include <functional>
+
+#include "colibri/dataplane/router.hpp"
+
+namespace colibri::dataplane {
+
+struct TrafficMonitorConfig {
+  OfdConfig ofd;
+  DupSupConfig dupsup;
+  // When true, confirmed overuse blocks the source AS immediately
+  // (Table 2's phase 3 runs with this off to show pure rate limiting).
+  bool escalate_to_blocklist = true;
+};
+
+class TrafficMonitor {
+ public:
+  using OffenseSink = std::function<void(const OffenseReport&)>;
+
+  explicit TrafficMonitor(const TrafficMonitorConfig& cfg = {})
+      : ofd_(cfg.ofd), dupsup_(cfg.dupsup), escalate_(cfg.escalate_to_blocklist) {}
+
+  // Wires this monitor's components into a border router.
+  void attach_to(BorderRouter& router) {
+    router.attach_ofd(&ofd_);
+    router.attach_dupsup(&dupsup_);
+    if (escalate_) router.attach_blocklist(&blocklist_);
+  }
+
+  // Forwards accumulated offense reports to the CServ (§4.8: "the border
+  // router reports the offense to the local CServ"). Returns how many
+  // were delivered.
+  size_t pump_reports(const OffenseSink& sink) {
+    const auto reports = blocklist_.drain_reports();
+    for (const auto& r : reports) sink(r);
+    return reports.size();
+  }
+
+  OverUseFlowDetector& ofd() { return ofd_; }
+  DuplicateSuppression& dupsup() { return dupsup_; }
+  Blocklist& blocklist() { return blocklist_; }
+
+ private:
+  OverUseFlowDetector ofd_;
+  DuplicateSuppression dupsup_;
+  Blocklist blocklist_;
+  bool escalate_;
+};
+
+}  // namespace colibri::dataplane

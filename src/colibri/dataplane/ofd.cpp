@@ -1,0 +1,104 @@
+#include "colibri/dataplane/ofd.hpp"
+
+#include <algorithm>
+
+namespace colibri::dataplane {
+namespace {
+
+size_t round_up_pow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+OverUseFlowDetector::OverUseFlowDetector(const OfdConfig& cfg)
+    : cfg_(cfg),
+      width_mask_(round_up_pow2(cfg.width) - 1),
+      cells_(static_cast<size_t>(cfg.depth) * (width_mask_ + 1), 0.0) {}
+
+std::uint64_t OverUseFlowDetector::flow_hash(AsId src, ResId res) const {
+  return mix64(src.raw() * 0x9E3779B97F4A7C15ULL ^ res);
+}
+
+void OverUseFlowDetector::maybe_rotate(TimeNs now) {
+  if (now - epoch_start_ < cfg_.epoch_ns) return;
+  std::fill(cells_.begin(), cells_.end(), 0.0);
+  epoch_start_ = now;
+}
+
+OverUseFlowDetector::Verdict OverUseFlowDetector::update(AsId src, ResId res,
+                                                         std::uint32_t pkt_bytes,
+                                                         BwKbps bw_kbps,
+                                                         TimeNs now) {
+  if (bw_kbps == 0) return Verdict::kOveruse;
+  maybe_rotate(now);
+
+  const ResKey key{src, res};
+
+  // Deterministic path for flows already under watch.
+  if (auto it = watchlist_.find(key); it != watchlist_.end()) {
+    if (it->second.bucket.allow(pkt_bytes, now)) return Verdict::kWatched;
+    ++it->second.violations;
+    ++confirmed_;
+    return Verdict::kOveruse;
+  }
+
+  // Sketch update: normalized seconds this packet is worth.
+  const double norm = static_cast<double>(pkt_bytes) * 8.0 /
+                      (static_cast<double>(bw_kbps) * 1000.0);
+  const std::uint64_t h = flow_hash(src, res);
+  double estimate = 1e300;
+  const size_t row_len = width_mask_ + 1;
+  for (int d = 0; d < cfg_.depth; ++d) {
+    const size_t idx = static_cast<size_t>(d) * row_len +
+                       (mix64(h + static_cast<std::uint64_t>(d) * 0x1000193) &
+                        width_mask_);
+    cells_[idx] += norm;
+    estimate = std::min(estimate, cells_[idx]);
+  }
+
+  const double elapsed_sec =
+      static_cast<double>(now - epoch_start_) / kNsPerSec;
+  const double allowance =
+      cfg_.overuse_factor * std::max(elapsed_sec, 0.05) +
+      cfg_.watch_burst_sec;
+  if (estimate <= allowance) return Verdict::kOk;
+
+  // Promote to deterministic monitoring: a token bucket at the reserved
+  // rate with a small burst allowance decides overuse with certainty.
+  ++flagged_;
+  const std::uint64_t burst_bytes = static_cast<std::uint64_t>(
+      cfg_.watch_burst_sec * static_cast<double>(bw_kbps) * 125.0);
+  watchlist_.emplace(key,
+                     Watch{TokenBucket(bw_kbps, std::max<std::uint64_t>(
+                                                    burst_bytes, 1500),
+                                       now),
+                           0});
+  return Verdict::kSuspicious;
+}
+
+double OverUseFlowDetector::estimate(AsId src, ResId res) const {
+  const std::uint64_t h = flow_hash(src, res);
+  double est = 1e300;
+  const size_t row_len = width_mask_ + 1;
+  for (int d = 0; d < cfg_.depth; ++d) {
+    const size_t idx = static_cast<size_t>(d) * row_len +
+                       (mix64(h + static_cast<std::uint64_t>(d) * 0x1000193) &
+                        width_mask_);
+    est = std::min(est, cells_[idx]);
+  }
+  return est;
+}
+
+}  // namespace colibri::dataplane

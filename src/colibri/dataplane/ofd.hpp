@@ -1,0 +1,80 @@
+// Probabilistic overuse-flow detector (paper §4.8; LOFT [44] style).
+//
+// Transit and transfer ASes see too many EERs for per-flow state; the OFD
+// tracks *normalized* bandwidth usage in a small count-min sketch and
+// promotes flows whose estimate exceeds their fair allowance to a
+// deterministic watchlist, where a per-flow token bucket decides overuse
+// with certainty (the sketch alone may false-positive; the watchlist may
+// not). Confirmed overusers are handed to the Blocklist.
+//
+// Normalization: each packet contributes size_bits / reservation_rate
+// (seconds' worth of the reservation), so one sketch monitors flows of
+// any bandwidth class, and multiple versions of an EER naturally share
+// the allowance of the largest (§4.8).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "colibri/common/clock.hpp"
+#include "colibri/common/ids.hpp"
+#include "colibri/dataplane/tokenbucket.hpp"
+
+namespace colibri::dataplane {
+
+struct OfdConfig {
+  size_t width = 4096;  // counters per row (rounded up to pow2)
+  int depth = 4;        // rows
+  TimeNs epoch_ns = kNsPerSec;
+  // A flow at exactly its reserved rate accumulates epoch seconds of
+  // normalized usage per epoch; flag above this multiple.
+  double overuse_factor = 1.10;
+  // Watchlist token bucket: seconds of reservation-rate burst allowance.
+  double watch_burst_sec = 0.20;
+};
+
+class OverUseFlowDetector {
+ public:
+  explicit OverUseFlowDetector(const OfdConfig& cfg = {});
+
+  enum class Verdict : std::uint8_t {
+    kOk,          // nothing suspicious
+    kSuspicious,  // sketch flagged; flow now deterministically watched
+    kWatched,     // on watchlist, within its bucket
+    kOveruse,     // on watchlist and exceeding: confirmed with certainty
+  };
+
+  // Account one packet of `pkt_bytes` on flow (src, res) with reserved
+  // rate `bw_kbps`.
+  Verdict update(AsId src, ResId res, std::uint32_t pkt_bytes, BwKbps bw_kbps,
+                 TimeNs now);
+
+  size_t watchlist_size() const { return watchlist_.size(); }
+  std::uint64_t flagged_total() const { return flagged_; }
+  std::uint64_t confirmed_total() const { return confirmed_; }
+
+  // Estimated normalized usage of a flow in the current epoch (tests).
+  double estimate(AsId src, ResId res) const;
+
+ private:
+  void maybe_rotate(TimeNs now);
+  std::uint64_t flow_hash(AsId src, ResId res) const;
+
+  OfdConfig cfg_;
+  size_t width_mask_;
+  // depth rows of width counters, normalized seconds.
+  std::vector<double> cells_;
+  TimeNs epoch_start_ = 0;
+
+  struct Watch {
+    TokenBucket bucket;
+    std::uint64_t violations = 0;
+  };
+  std::unordered_map<ResKey, Watch> watchlist_;
+
+  std::uint64_t flagged_ = 0;
+  std::uint64_t confirmed_ = 0;
+};
+
+}  // namespace colibri::dataplane

@@ -1,0 +1,88 @@
+#include "colibri/dataplane/router.hpp"
+
+namespace colibri::dataplane {
+
+BorderRouter::BorderRouter(AsId local_as, const drkey::Key128& hop_key,
+                           const Clock& clock)
+    : local_as_(local_as), hop_cipher_(hop_key.bytes.data()), clock_(&clock) {}
+
+BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
+  // Format checks.
+  if (pkt.num_hops == 0 || pkt.num_hops > kMaxHops ||
+      pkt.current_hop >= pkt.num_hops) {
+    ++stats_.malformed;
+    return Verdict::kMalformed;
+  }
+  const TimeNs now = clock_->now_ns();
+  // Reservation expiry.
+  if (pkt.resinfo.exp_time <= static_cast<UnixSec>(now / kNsPerSec)) {
+    ++stats_.expired;
+    return Verdict::kExpired;
+  }
+  // Policing: traffic from blocked source ASes is dropped up front.
+  if (blocklist_ != nullptr && blocklist_->blocked(pkt.resinfo.src_as)) {
+    ++stats_.blocked;
+    return Verdict::kBlocked;
+  }
+
+  const IfPair hop = pkt.ifaces[pkt.current_hop];
+  proto::Hvf expected;
+  if (pkt.is_eer) {
+    // Eq. 4 then Eq. 6: recreate σ_i from K_i, derive the per-packet HVF.
+    const HopAuth sigma = compute_hopauth(hop_cipher_, pkt.resinfo,
+                                          pkt.eerinfo, hop.in, hop.eg);
+    expected = compute_data_hvf(sigma, pkt.timestamp, pkt.wire_size());
+  } else {
+    // Eq. 3: static SegR token.
+    expected = compute_seg_hvf(hop_cipher_, pkt.resinfo, hop.in, hop.eg);
+  }
+  if (!hvf_equal(expected, pkt.hvfs[pkt.current_hop])) {
+    ++stats_.bad_hvf;
+    return Verdict::kBadHvf;
+  }
+
+  // Replay suppression (EER data only; control traffic is rate-limited at
+  // the CServ instead).
+  if (dupsup_ != nullptr && pkt.is_eer &&
+      pkt.type == proto::PacketType::kData) {
+    const TimeNs ts_ns =
+        PacketTimestamp::decode(pkt.timestamp, pkt.resinfo.exp_time);
+    const auto verdict = dupsup_->check(pkt.resinfo.src_as, pkt.resinfo.res_id,
+                                        pkt.timestamp, ts_ns, now);
+    if (verdict != DuplicateSuppression::Verdict::kFresh) {
+      ++stats_.replayed;
+      return Verdict::kReplay;
+    }
+  }
+
+  // Probabilistic overuse monitoring.
+  if (ofd_ != nullptr && pkt.is_eer && pkt.type == proto::PacketType::kData) {
+    const auto verdict =
+        ofd_->update(pkt.resinfo.src_as, pkt.resinfo.res_id, pkt.wire_size(),
+                     pkt.resinfo.bw_kbps, now);
+    if (verdict == OverUseFlowDetector::Verdict::kOveruse) {
+      ++stats_.overuse_dropped;
+      if (blocklist_ != nullptr) {
+        blocklist_->report(OffenseReport{pkt.resinfo.src_as,
+                                         pkt.resinfo.res_id, now,
+                                         pkt.wire_size()});
+      }
+      return Verdict::kOveruse;
+    }
+  }
+
+  if (pkt.at_last_hop()) {
+    ++stats_.delivered;
+    return Verdict::kDeliver;
+  }
+  ++pkt.current_hop;
+  ++stats_.forwarded;
+  return Verdict::kForward;
+}
+
+void BorderRouter::process_burst(FastPacket* pkts, size_t n,
+                                 Verdict* verdicts) {
+  for (size_t i = 0; i < n; ++i) verdicts[i] = process(pkts[i]);
+}
+
+}  // namespace colibri::dataplane

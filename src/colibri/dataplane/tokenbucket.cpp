@@ -1,0 +1,25 @@
+#include "colibri/dataplane/tokenbucket.hpp"
+
+namespace colibri::dataplane {
+
+bool TokenBucket::allow(std::uint64_t bytes, TimeNs now) {
+  if (now > last_ns_) {
+    // kbps -> milli-bytes/ns: rate_kbps * 1000 bit/s = rate_kbps * 125 B/s
+    // = rate_kbps * 125e-9 B/ns = rate_kbps * 125 * 1e-6 mB/ns.
+    const std::uint64_t elapsed = static_cast<std::uint64_t>(now - last_ns_);
+    const std::uint64_t refill_mb =
+        elapsed * static_cast<std::uint64_t>(rate_kbps_) * 125 / 1'000'000;
+    tokens_mb_ += refill_mb;
+    const std::uint64_t cap = burst_bytes_ * kScale;
+    if (tokens_mb_ > cap) tokens_mb_ = cap;
+    // Only advance the stamp when the refill is non-zero, so sub-resolution
+    // intervals accumulate instead of being truncated away each packet.
+    if (refill_mb > 0) last_ns_ = now;
+  }
+  const std::uint64_t need = bytes * kScale;
+  if (tokens_mb_ < need) return false;
+  tokens_mb_ -= need;
+  return true;
+}
+
+}  // namespace colibri::dataplane

@@ -1,0 +1,113 @@
+#include "colibri/dataplane/wire_router.hpp"
+
+#include <cstring>
+
+namespace colibri::dataplane {
+namespace {
+
+constexpr std::uint8_t kFlagEer = 0x01;
+constexpr std::uint8_t kTypeData = 0;
+constexpr std::uint8_t kMaxType = 6;  // PacketType::kResponse
+
+std::uint32_t rd32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);  // wire is little-endian, as is every target here
+  return v;
+}
+
+std::uint16_t rd16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+std::uint64_t rd64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+WireRouter::Verdict WireRouter::process(std::uint8_t* wire, size_t len) {
+  using L = WireLayout;
+  // Header sanity. The fixed part must be present before we read it.
+  if (len < L::kResInfo + 21) {
+    ++dropped_;
+    return Verdict::kMalformed;
+  }
+  const std::uint8_t type = wire[L::kType];
+  const std::uint8_t flags = wire[L::kFlags];
+  const std::uint8_t hop_count = wire[L::kHopCount];
+  const std::uint8_t current = wire[L::kCurrentHop];
+  if (type > kMaxType || (flags & ~kFlagEer) != 0 || hop_count == 0 ||
+      hop_count > kMaxHops || current >= hop_count) {
+    ++dropped_;
+    return Verdict::kMalformed;
+  }
+  const bool is_eer = (flags & kFlagEer) != 0;
+  const size_t hvf_off = L::hvf_offset(is_eer, hop_count);
+  if (len < hvf_off + proto::kHvfLen * hop_count) {
+    ++dropped_;
+    return Verdict::kMalformed;
+  }
+  // Total length must match the declared payload.
+  const std::uint32_t payload_len = rd32(wire + L::ts_offset(is_eer) + 4);
+  if (len != hvf_off + proto::kHvfLen * hop_count + payload_len) {
+    ++dropped_;
+    return Verdict::kMalformed;
+  }
+
+  // Expiry (ResInfo layout: as8 | id4 | bw4 | exp4 | ver1).
+  const UnixSec exp_time = rd32(wire + L::kResInfo + 16);
+  if (exp_time <= static_cast<UnixSec>(clock_->now_ns() / kNsPerSec)) {
+    ++dropped_;
+    return Verdict::kExpired;
+  }
+
+  // Reconstruct the MAC inputs straight from the header bytes.
+  proto::ResInfo ri;
+  ri.src_as = AsId::from_raw(rd64(wire + L::kResInfo));
+  ri.res_id = rd32(wire + L::kResInfo + 8);
+  ri.bw_kbps = rd32(wire + L::kResInfo + 12);
+  ri.exp_time = exp_time;
+  ri.version = wire[L::kResInfo + 20];
+
+  const std::uint8_t* hop_ptr =
+      wire + L::path_offset(is_eer) + L::kPerHopPath * current;
+  const IfId in = rd16(hop_ptr);
+  const IfId eg = rd16(hop_ptr + 2);
+
+  proto::Hvf expected;
+  if (is_eer) {
+    proto::EerInfo ei;
+    std::memcpy(ei.src_host.bytes, wire + L::kAfterResInfo, 16);
+    std::memcpy(ei.dst_host.bytes, wire + L::kAfterResInfo + 16, 16);
+    const HopAuth sigma = compute_hopauth(hop_cipher_, ri, ei, in, eg);
+    const std::uint32_t ts = rd32(wire + L::ts_offset(true));
+    expected = compute_data_hvf(sigma, ts, static_cast<std::uint32_t>(len));
+  } else {
+    expected = compute_seg_hvf(hop_cipher_, ri, in, eg);
+  }
+
+  const std::uint8_t* hvf = wire + hvf_off + proto::kHvfLen * current;
+  std::uint8_t diff = 0;
+  for (size_t i = 0; i < proto::kHvfLen; ++i) diff |= expected[i] ^ hvf[i];
+  if (diff != 0) {
+    ++dropped_;
+    return Verdict::kBadHvf;
+  }
+
+  ++forwarded_;
+  if (current + 1u >= hop_count) return Verdict::kDeliver;
+  wire[L::kCurrentHop] = static_cast<std::uint8_t>(current + 1);
+  return Verdict::kForward;
+}
+
+void WireRouter::process_burst(PacketView* pkts, size_t n, Verdict* verdicts) {
+  for (size_t i = 0; i < n; ++i) {
+    verdicts[i] = process(pkts[i].data, pkts[i].len);
+  }
+}
+
+}  // namespace colibri::dataplane

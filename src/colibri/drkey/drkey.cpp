@@ -1,0 +1,59 @@
+#include "colibri/drkey/drkey.hpp"
+
+#include <cstring>
+
+namespace colibri::drkey {
+namespace {
+
+Key128 prf(const Key128& key, const std::uint8_t* msg, size_t len) {
+  crypto::Cmac cmac(key.bytes.data());
+  Key128 out;
+  std::uint8_t tag[crypto::Cmac::kTagSize];
+  cmac.compute(msg, len, tag);
+  std::memcpy(out.bytes.data(), tag, 16);
+  return out;
+}
+
+}  // namespace
+
+Key128 derive_as_key(const Key128& secret_value, AsId dst) {
+  std::uint8_t msg[16] = {};
+  msg[0] = 0x01;  // derivation level: AS
+  const std::uint64_t raw = dst.raw();
+  for (int i = 0; i < 8; ++i) {
+    msg[1 + i] = static_cast<std::uint8_t>(raw >> (8 * i));
+  }
+  return prf(secret_value, msg, sizeof(msg));
+}
+
+Key128 derive_host_key(const Key128& as_key, const HostAddr& host) {
+  std::uint8_t msg[17];
+  msg[0] = 0x02;  // derivation level: host
+  std::memcpy(msg + 1, host.bytes, 16);
+  return prf(as_key, msg, sizeof(msg));
+}
+
+SecretValueSchedule::SecretValueSchedule(const Key128& master, AsId owner,
+                                         std::uint32_t epoch_seconds)
+    : master_(master), owner_(owner), epoch_seconds_(epoch_seconds) {}
+
+Epoch SecretValueSchedule::epoch_at(UnixSec t) const {
+  const UnixSec begin = t - (t % epoch_seconds_);
+  return Epoch{begin, begin + epoch_seconds_};
+}
+
+Key128 SecretValueSchedule::secret_value(UnixSec t) const {
+  const Epoch e = epoch_at(t);
+  std::uint8_t msg[16] = {};
+  msg[0] = 0x00;  // derivation level: secret value
+  for (int i = 0; i < 4; ++i) {
+    msg[1 + i] = static_cast<std::uint8_t>(e.begin >> (8 * i));
+  }
+  const std::uint64_t raw = owner_.raw();
+  for (int i = 0; i < 8; ++i) {
+    msg[5 + i] = static_cast<std::uint8_t>(raw >> (8 * i));
+  }
+  return prf(master_, msg, sizeof(msg));
+}
+
+}  // namespace colibri::drkey

@@ -1,0 +1,86 @@
+#include "colibri/drkey/keyserver.hpp"
+
+namespace colibri::drkey {
+
+Key128 SimulatedPki::enroll(AsId as) {
+  auto it = signing_secrets_.find(as);
+  if (it != signing_secrets_.end()) return it->second;
+  // Derive a unique signing secret per AS; the directory is the trust root.
+  Key128 secret;
+  const std::uint64_t seed = as.raw() ^ (++counter_ << 32) ^ 0x5151A151;
+  Bytes msg;
+  put_le(msg, seed);
+  put_le(msg, as.raw());
+  const auto digest = crypto::Sha256::hash(msg);
+  std::copy(digest.begin(), digest.begin() + 16, secret.bytes.begin());
+  signing_secrets_.emplace(as, secret);
+  return secret;
+}
+
+bool SimulatedPki::verify(AsId signer, BytesView msg,
+                          const crypto::Sha256::Digest& sig) const {
+  auto it = signing_secrets_.find(signer);
+  if (it == signing_secrets_.end()) return false;
+  return sign(it->second, msg) == sig;
+}
+
+crypto::Sha256::Digest SimulatedPki::sign(const Key128& signing_secret,
+                                          BytesView msg) {
+  return crypto::hmac_sha256(
+      BytesView(signing_secret.bytes.data(), signing_secret.bytes.size()), msg);
+}
+
+Bytes KeyServer::response_message(AsId owner, AsId requester, const Key128& key,
+                                  const Epoch& epoch) {
+  Bytes msg;
+  put_le(msg, owner.raw());
+  put_le(msg, requester.raw());
+  put_le(msg, epoch.begin);
+  put_le(msg, epoch.end);
+  append_bytes(msg, BytesView(key.bytes.data(), key.bytes.size()));
+  return msg;
+}
+
+KeyResponse KeyServer::fetch(AsId requester, UnixSec at) const {
+  KeyResponse r;
+  r.key = engine_.as_key(requester, at);
+  r.epoch = engine_.schedule().epoch_at(at);
+  const Bytes msg =
+      response_message(engine_.owner(), requester, r.key, r.epoch);
+  r.signature = SimulatedPki::sign(signing_secret_, msg);
+  return r;
+}
+
+bool KeyCache::insert(AsId remote, const KeyResponse& response) {
+  const Bytes msg = KeyServer::response_message(remote, owner_, response.key,
+                                                response.epoch);
+  if (!pki_->verify(remote, msg, response.signature)) return false;
+  cache_[CacheKey{remote.raw(), response.epoch.begin}] =
+      Entry{response.key, response.epoch};
+  return true;
+}
+
+std::optional<Key128> KeyCache::lookup(AsId remote, UnixSec at) const {
+  // Epochs are aligned, so probing the containing epoch requires knowing
+  // the remote's epoch length; we scan candidates instead (cache entries
+  // per remote are at most two: current + prefetched next).
+  for (const auto& [k, e] : cache_) {
+    if (k.as_raw == remote.raw() && e.epoch.contains(at)) return e.key;
+  }
+  return std::nullopt;
+}
+
+size_t KeyCache::expire(UnixSec now) {
+  size_t removed = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.epoch.end <= now) {
+      it = cache_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace colibri::drkey

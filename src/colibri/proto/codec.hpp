@@ -1,0 +1,18 @@
+// Wire codec for Colibri packets.
+//
+// Fixed little-endian layout matching Packet::wire_size():
+//   u8 type | u8 flags | u8 hop_count | u8 current_hop |
+//   ResInfo (21 B) | [EERInfo (32 B) if flag] | u32 Ts | u32 payload_len |
+//   hops (4 B each) | HVFs (4 B each) | payload
+#pragma once
+
+#include <optional>
+
+#include "colibri/proto/packet.hpp"
+
+namespace colibri::proto {
+
+Bytes encode_packet(const Packet& pkt);
+std::optional<Packet> decode_packet(BytesView wire);
+
+}  // namespace colibri::proto

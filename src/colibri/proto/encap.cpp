@@ -1,0 +1,119 @@
+#include "colibri/proto/encap.hpp"
+
+namespace colibri::proto {
+
+const char* dscp_name(Dscp d) {
+  switch (d) {
+    case Dscp::kBestEffort: return "DF";
+    case Dscp::kColibriControl: return "CS6";
+    case Dscp::kColibriData: return "EF";
+  }
+  return "?";
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  std::uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+namespace {
+
+void put_be16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_be32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+constexpr std::uint8_t kIpProtoUdp = 17;
+
+}  // namespace
+
+Bytes encapsulate(const Ipv4Encap& encap, BytesView colibri_packet) {
+  const auto total_len =
+      static_cast<std::uint16_t>(kEncapOverhead + colibri_packet.size());
+  Bytes out;
+  out.reserve(total_len);
+
+  // IPv4 header.
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(static_cast<std::uint8_t>(static_cast<std::uint8_t>(encap.dscp)
+                                          << 2));  // DSCP | ECN 0
+  put_be16(out, total_len);
+  put_be16(out, 0);       // identification
+  put_be16(out, 0x4000);  // DF, no fragmentation
+  out.push_back(encap.ttl);
+  out.push_back(kIpProtoUdp);
+  put_be16(out, 0);  // checksum placeholder
+  put_be32(out, encap.src_ip);
+  put_be32(out, encap.dst_ip);
+  const std::uint16_t csum =
+      internet_checksum(BytesView(out.data(), kIpv4HeaderLen));
+  out[10] = static_cast<std::uint8_t>(csum >> 8);
+  out[11] = static_cast<std::uint8_t>(csum);
+
+  // UDP header (checksum 0 = unused, as permitted for IPv4).
+  put_be16(out, encap.src_port);
+  put_be16(out, encap.dst_port);
+  put_be16(out,
+           static_cast<std::uint16_t>(kUdpHeaderLen + colibri_packet.size()));
+  put_be16(out, 0);
+
+  append_bytes(out, colibri_packet);
+  return out;
+}
+
+std::optional<Decapsulated> decapsulate(BytesView frame) {
+  if (frame.size() < kEncapOverhead) return std::nullopt;
+  if (frame[0] != 0x45) return std::nullopt;  // IPv4, IHL 5 only
+  const std::uint16_t total_len = get_be16(frame.data() + 2);
+  if (total_len != frame.size()) return std::nullopt;
+  if (frame[9] != kIpProtoUdp) return std::nullopt;
+  if (internet_checksum(frame.subspan(0, kIpv4HeaderLen)) != 0) {
+    return std::nullopt;
+  }
+
+  Decapsulated d;
+  d.encap.dscp = static_cast<Dscp>(frame[1] >> 2);
+  d.encap.ttl = frame[8];
+  d.encap.src_ip = get_be32(frame.data() + 12);
+  d.encap.dst_ip = get_be32(frame.data() + 16);
+  d.encap.src_port = get_be16(frame.data() + kIpv4HeaderLen);
+  d.encap.dst_port = get_be16(frame.data() + kIpv4HeaderLen + 2);
+  if (d.encap.dst_port != kColibriPort) return std::nullopt;
+  const std::uint16_t udp_len = get_be16(frame.data() + kIpv4HeaderLen + 4);
+  if (udp_len != frame.size() - kIpv4HeaderLen) return std::nullopt;
+
+  const BytesView inner = frame.subspan(kEncapOverhead);
+  d.inner.assign(inner.begin(), inner.end());
+  return d;
+}
+
+Dscp classify_for_dscp(bool is_eer_data, bool is_control) {
+  if (is_control) return Dscp::kColibriControl;
+  if (is_eer_data) return Dscp::kColibriData;
+  return Dscp::kBestEffort;
+}
+
+}  // namespace colibri::proto

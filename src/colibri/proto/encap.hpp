@@ -1,0 +1,66 @@
+// Intra-domain encapsulation (paper App. B).
+//
+// Between the gateway and border routers — and across an AS's internal
+// switches — Colibri packets travel inside the AS's own network protocol,
+// with the traffic class "encoded in the header of the intra-domain
+// networking protocol in use. For example, in an IP network, the traffic
+// class can be encoded using DiffServ and the DSCP field." This module
+// implements that example: an IPv4/UDP encapsulation whose DSCP code
+// point carries the Colibri traffic class, so every internal hop can
+// apply the priority/CBWFQ disciplines of App. B. The gateway sets the
+// field; internal devices must not trust host-set values (the gateway
+// rewrites them, App. B last paragraph).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "colibri/common/bytes.hpp"
+
+namespace colibri::proto {
+
+// DSCP code points per traffic class (EF for reserved data, CS6 for
+// control — the conventional choices; best effort = default).
+enum class Dscp : std::uint8_t {
+  kBestEffort = 0,       // DF
+  kColibriControl = 48,  // CS6 (network control)
+  kColibriData = 46,     // EF (expedited forwarding)
+};
+
+const char* dscp_name(Dscp d);
+
+struct Ipv4Encap {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Dscp dscp = Dscp::kBestEffort;
+  std::uint8_t ttl = 64;
+};
+
+inline constexpr size_t kIpv4HeaderLen = 20;
+inline constexpr size_t kUdpHeaderLen = 8;
+inline constexpr size_t kEncapOverhead = kIpv4HeaderLen + kUdpHeaderLen;
+// The default UDP port carrying Colibri inside an AS.
+inline constexpr std::uint16_t kColibriPort = 30041;
+
+// RFC 1071 ones'-complement checksum over `data` (whole IPv4 header).
+std::uint16_t internet_checksum(BytesView data);
+
+// Wraps a serialized Colibri packet into IPv4/UDP with the DSCP set.
+Bytes encapsulate(const Ipv4Encap& encap, BytesView colibri_packet);
+
+// Parses and validates an encapsulated frame; returns the header fields
+// and the inner packet bytes. Rejects bad version/IHL, bad checksum,
+// length mismatches, and non-Colibri destination ports.
+struct Decapsulated {
+  Ipv4Encap encap;
+  Bytes inner;
+};
+std::optional<Decapsulated> decapsulate(BytesView frame);
+
+// Gateway-side DSCP policy: hosts may not pick their own class (App. B);
+// the gateway stamps the class that matches the packet's actual role.
+Dscp classify_for_dscp(bool is_eer_data, bool is_control);
+
+}  // namespace colibri::proto

@@ -1,0 +1,66 @@
+#include "colibri/proto/packet.hpp"
+
+namespace colibri::proto {
+namespace {
+
+// Header byte counts for wire_size(); must match codec.cpp layout.
+constexpr size_t kFixedHeader = 1 /*type*/ + 1 /*flags*/ + 1 /*hop count*/ +
+                                1 /*current hop*/ + 21 /*ResInfo*/ +
+                                4 /*Ts*/ + 4 /*payload len*/;
+constexpr size_t kPerHop = 4 /*In,Eg*/ + kHvfLen;
+constexpr size_t kEerInfoLen = 32;
+
+void put_resinfo(std::uint8_t* p, const ResInfo& ri) {
+  const std::uint64_t as = ri.src_as.raw();
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(as >> (8 * i));
+  for (int i = 0; i < 4; ++i) {
+    p[8 + i] = static_cast<std::uint8_t>(ri.res_id >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    p[12 + i] = static_cast<std::uint8_t>(ri.bw_kbps >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    p[16 + i] = static_cast<std::uint8_t>(ri.exp_time >> (8 * i));
+  }
+  p[20] = ri.version;
+}
+
+}  // namespace
+
+bool is_control(PacketType t) { return t != PacketType::kData; }
+
+std::uint32_t Packet::wire_size() const {
+  size_t s = kFixedHeader + path.size() * kPerHop + payload.size();
+  if (is_eer) s += kEerInfoLen;
+  return static_cast<std::uint32_t>(s);
+}
+
+void build_seg_mac_input(const ResInfo& ri, IfId in, IfId eg,
+                         std::uint8_t out[kSegMacInputLen]) {
+  put_resinfo(out, ri);
+  out[21] = static_cast<std::uint8_t>(in);
+  out[22] = static_cast<std::uint8_t>(in >> 8);
+  out[23] = static_cast<std::uint8_t>(eg);
+  out[24] = static_cast<std::uint8_t>(eg >> 8);
+}
+
+void build_hopauth_input(const ResInfo& ri, const EerInfo& ei, IfId in,
+                         IfId eg, std::uint8_t out[kHopAuthInputLen]) {
+  put_resinfo(out, ri);
+  for (int i = 0; i < 16; ++i) out[21 + i] = ei.src_host.bytes[i];
+  for (int i = 0; i < 16; ++i) out[37 + i] = ei.dst_host.bytes[i];
+  out[53] = static_cast<std::uint8_t>(in);
+  out[54] = static_cast<std::uint8_t>(in >> 8);
+  out[55] = static_cast<std::uint8_t>(eg);
+  out[56] = static_cast<std::uint8_t>(eg >> 8);
+}
+
+void build_data_mac_input(std::uint32_t ts, std::uint32_t pkt_size,
+                          std::uint8_t out[kDataMacInputLen]) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(ts >> (8 * i));
+  for (int i = 0; i < 4; ++i) {
+    out[4 + i] = static_cast<std::uint8_t>(pkt_size >> (8 * i));
+  }
+}
+
+}  // namespace colibri::proto

@@ -1,0 +1,99 @@
+// Colibri packet format (paper §4.3, Eq. 2).
+//
+//   Packet = (Path || ResInfo || EERInfo || Ts || V_0..V_l || Payload)
+//
+// One format serves both planes: control-plane requests ride as payloads
+// (over best-effort for initial SegR setup, over existing reservations for
+// everything else, §4.4), data packets carry application payload. The
+// HVF (hop validation field) V_i is a 4-byte truncated MAC per on-path AS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "colibri/common/bytes.hpp"
+#include "colibri/common/clock.hpp"
+#include "colibri/common/ids.hpp"
+#include "colibri/topology/segment.hpp"
+
+namespace colibri::proto {
+
+// ℓ_hvf in the paper; 4-byte truncated MACs are sufficient given the short
+// reservation lifetimes (§4.5).
+inline constexpr size_t kHvfLen = 4;
+using Hvf = std::array<std::uint8_t, kHvfLen>;
+
+enum class PacketType : std::uint8_t {
+  kData = 0,          // EER data-plane traffic
+  kSegSetup = 1,      // SegReq: initial segment-reservation setup
+  kSegRenewal = 2,    // SegR renewal (sent over the existing SegR)
+  kSegActivation = 3, // explicit switch to a pending SegR version (§4.2)
+  kEerSetup = 4,      // EEReq over existing SegRs
+  kEerRenewal = 5,    // EER renewal over the existing EER
+  kResponse = 6,      // control-plane response travelling the reverse path
+};
+
+bool is_control(PacketType t);
+
+// Reservation metadata carried in every packet (Eq. 2c).
+struct ResInfo {
+  AsId src_as;
+  ResId res_id = 0;
+  BwKbps bw_kbps = 0;
+  UnixSec exp_time = 0;
+  ResVer version = 0;
+
+  ResKey key() const { return ResKey{src_as, res_id}; }
+
+  friend constexpr auto operator<=>(const ResInfo&, const ResInfo&) = default;
+};
+
+// End-host addresses, present on EER packets only (Eq. 2d).
+struct EerInfo {
+  HostAddr src_host;
+  HostAddr dst_host;
+
+  friend constexpr auto operator<=>(const EerInfo&, const EerInfo&) = default;
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  bool is_eer = false;  // EERInfo valid; selects Eq. 4/6 vs Eq. 3 validation
+  std::uint8_t current_hop = 0;  // forwarding cursor into `path`
+
+  std::vector<topology::Hop> path;  // Eq. 2b: (In_i, Eg_i) per AS
+  ResInfo resinfo;
+  EerInfo eerinfo;
+  std::uint32_t timestamp = 0;  // Ts: high-precision, relative to ExpT
+  std::vector<Hvf> hvfs;        // one per on-path AS
+  Bytes payload;
+
+  size_t num_hops() const { return path.size(); }
+  // Total on-the-wire size (what PktSize in Eq. 6 refers to).
+  std::uint32_t wire_size() const;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+// --- MAC input builders -----------------------------------------------
+// Fixed-layout serializations fed to AES-CMAC; shared by the gateway (to
+// create HVFs), border routers (to verify), and the CServ (to issue
+// tokens), guaranteeing bit-exact agreement.
+
+// Eq. 3 input: ResInfo || (In_i, Eg_i) — SegR token / HVF.
+inline constexpr size_t kSegMacInputLen = 21 + 4;
+void build_seg_mac_input(const ResInfo& ri, IfId in, IfId eg,
+                         std::uint8_t out[kSegMacInputLen]);
+
+// Eq. 4 input: ResInfo || EERInfo || (In_i, Eg_i) — hop authenticator σ_i.
+inline constexpr size_t kHopAuthInputLen = 21 + 32 + 4;
+void build_hopauth_input(const ResInfo& ri, const EerInfo& ei, IfId in,
+                         IfId eg, std::uint8_t out[kHopAuthInputLen]);
+
+// Eq. 6 input: Ts || PktSize — per-packet HVF on an EER.
+inline constexpr size_t kDataMacInputLen = 8;
+void build_data_mac_input(std::uint32_t ts, std::uint32_t pkt_size,
+                          std::uint8_t out[kDataMacInputLen]);
+
+}  // namespace colibri::proto

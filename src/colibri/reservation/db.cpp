@@ -1,0 +1,4 @@
+#include "colibri/reservation/db.hpp"
+
+// All members are defined inline; this translation unit anchors the
+// library target.

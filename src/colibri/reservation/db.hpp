@@ -1,0 +1,32 @@
+// Per-AS reservation database: SegR + EER stores plus the monotonically
+// increasing ResId allocator (paper §4.3: "the CServ increases the ResId
+// for every new SegR or EER", making (SrcAS, ResId) globally unique).
+#pragma once
+
+#include "colibri/reservation/eer.hpp"
+#include "colibri/reservation/segr.hpp"
+
+namespace colibri::reservation {
+
+class ReservationDb {
+ public:
+  explicit ReservationDb(AsId owner) : owner_(owner) {}
+
+  AsId owner() const { return owner_; }
+
+  // Allocates the next reservation id for reservations initiated here.
+  ResId next_res_id() { return ++last_res_id_; }
+
+  SegrStore& segrs() { return segrs_; }
+  const SegrStore& segrs() const { return segrs_; }
+  EerStore& eers() { return eers_; }
+  const EerStore& eers() const { return eers_; }
+
+ private:
+  AsId owner_;
+  ResId last_res_id_ = 0;
+  SegrStore segrs_;
+  EerStore eers_;
+};
+
+}  // namespace colibri::reservation

@@ -1,0 +1,65 @@
+#include "colibri/reservation/eer.hpp"
+
+namespace colibri::reservation {
+
+EerRecord* EerStore::upsert(EerRecord rec) {
+  auto it = records_.find(rec.key);
+  if (it != records_.end()) {
+    EerRecord* existing = it->second.get();
+    for (const auto& s : existing->segrs) by_segr_[s].erase(existing);
+    *existing = std::move(rec);
+    for (const auto& s : existing->segrs) by_segr_[s].insert(existing);
+    return existing;
+  }
+  auto owned = std::make_unique<EerRecord>(std::move(rec));
+  EerRecord* ptr = owned.get();
+  records_.emplace(ptr->key, std::move(owned));
+  for (const auto& s : ptr->segrs) by_segr_[s].insert(ptr);
+  return ptr;
+}
+
+EerRecord* EerStore::find(const ResKey& key) {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+const EerRecord* EerStore::find(const ResKey& key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+bool EerStore::erase(const ResKey& key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  EerRecord* ptr = it->second.get();
+  for (const auto& s : ptr->segrs) by_segr_[s].erase(ptr);
+  records_.erase(it);
+  return true;
+}
+
+std::vector<const EerRecord*> EerStore::by_segr(const ResKey& segr) const {
+  std::vector<const EerRecord*> out;
+  auto it = by_segr_.find(segr);
+  if (it == by_segr_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+size_t EerStore::sweep(UnixSec now,
+                       const std::function<void(const EerRecord&)>& on_remove) {
+  size_t removed = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    EerRecord* rec = it->second.get();
+    if (rec->expired(now)) {
+      if (on_remove) on_remove(*rec);
+      for (const auto& s : rec->segrs) by_segr_[s].erase(rec);
+      it = records_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace colibri::reservation

@@ -1,0 +1,43 @@
+// End-to-end-reservation store.
+//
+// Indexed by (SrcAS, ResId) with a secondary index per underlying SegR so
+// an AS can enumerate/account the EERs riding a segment reservation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "colibri/reservation/types.hpp"
+
+namespace colibri::reservation {
+
+class EerStore {
+ public:
+  EerRecord* upsert(EerRecord rec);
+  EerRecord* find(const ResKey& key);
+  const EerRecord* find(const ResKey& key) const;
+  bool erase(const ResKey& key);
+
+  std::vector<const EerRecord*> by_segr(const ResKey& segr) const;
+
+  // Removes fully expired EERs (EERs expire automatically, §4.2); calls
+  // `on_remove` for each so SegR accounting can be unwound.
+  size_t sweep(UnixSec now,
+               const std::function<void(const EerRecord&)>& on_remove);
+
+  size_t size() const { return records_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [_, rec] : records_) fn(*rec);
+  }
+
+ private:
+  std::unordered_map<ResKey, std::unique_ptr<EerRecord>> records_;
+  std::unordered_map<ResKey, std::unordered_set<const EerRecord*>> by_segr_;
+};
+
+}  // namespace colibri::reservation

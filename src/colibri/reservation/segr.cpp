@@ -1,0 +1,69 @@
+#include "colibri/reservation/segr.hpp"
+
+#include <memory>
+
+namespace colibri::reservation {
+
+SegrRecord* SegrStore::upsert(SegrRecord rec) {
+  auto it = records_.find(rec.key);
+  if (it != records_.end()) {
+    SegrRecord* existing = it->second.get();
+    by_pair_[pair_key(existing->ingress(), existing->egress())].erase(existing);
+    *existing = std::move(rec);
+    by_pair_[pair_key(existing->ingress(), existing->egress())].insert(existing);
+    return existing;
+  }
+  auto owned = std::make_unique<SegrRecord>(std::move(rec));
+  SegrRecord* ptr = owned.get();
+  records_.emplace(ptr->key, std::move(owned));
+  by_pair_[pair_key(ptr->ingress(), ptr->egress())].insert(ptr);
+  return ptr;
+}
+
+SegrRecord* SegrStore::find(const ResKey& key) {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+const SegrRecord* SegrStore::find(const ResKey& key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+bool SegrStore::erase(const ResKey& key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  SegrRecord* ptr = it->second.get();
+  by_pair_[pair_key(ptr->ingress(), ptr->egress())].erase(ptr);
+  records_.erase(it);
+  return true;
+}
+
+std::vector<const SegrRecord*> SegrStore::by_interface_pair(IfId in,
+                                                            IfId eg) const {
+  std::vector<const SegrRecord*> out;
+  auto it = by_pair_.find(pair_key(in, eg));
+  if (it == by_pair_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+size_t SegrStore::sweep(
+    UnixSec now, const std::function<void(const SegrRecord&)>& on_remove) {
+  size_t removed = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    SegrRecord* rec = it->second.get();
+    const bool pending_live = rec->pending && rec->pending->exp_time > now;
+    if (rec->expired(now) && !pending_live) {
+      if (on_remove) on_remove(*rec);
+      by_pair_[pair_key(rec->ingress(), rec->egress())].erase(rec);
+      it = records_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace colibri::reservation

@@ -1,0 +1,15 @@
+#include "colibri/reservation/types.hpp"
+
+namespace colibri::reservation {
+
+bool EerRecord::prune(UnixSec now) {
+  const size_t before = versions.size();
+  versions.erase(std::remove_if(versions.begin(), versions.end(),
+                                [now](const EerVersion& v) {
+                                  return v.exp_time <= now;
+                                }),
+                 versions.end());
+  return versions.size() != before;
+}
+
+}  // namespace colibri::reservation

@@ -1,0 +1,119 @@
+#include "colibri/sim/cbwfq.hpp"
+
+namespace colibri::sim {
+
+namespace {
+constexpr double kRoundBytes = 16'000;  // bytes distributed per DRR round
+}
+
+CbwfqPort::CbwfqPort(Simulator& sim, double rate_bps,
+                     const CbwfqWeights& weights, size_t queue_limit_bytes)
+    : sim_(&sim), rate_bps_(rate_bps), queue_limit_bytes_(queue_limit_bytes) {
+  quantum_[static_cast<size_t>(TrafficClass::kColibriData)] =
+      weights.colibri_data * kRoundBytes;
+  quantum_[static_cast<size_t>(TrafficClass::kColibriControl)] =
+      weights.control * kRoundBytes;
+  quantum_[static_cast<size_t>(TrafficClass::kBestEffort)] =
+      weights.best_effort * kRoundBytes;
+}
+
+void CbwfqPort::enqueue(SimPacket pkt) {
+  const auto c = static_cast<size_t>(pkt.cls);
+  ClassCounters& ctr = counters_[c];
+  if (queued_bytes_[c] + pkt.bytes > queue_limit_bytes_) {
+    ++ctr.dropped_pkts;
+    ctr.dropped_bytes += pkt.bytes;
+    return;
+  }
+  ++ctr.enqueued_pkts;
+  ctr.enqueued_bytes += pkt.bytes;
+  queued_bytes_[c] += pkt.bytes;
+  queues_[c].push_back(std::move(pkt));
+  if (!busy_) start_transmission();
+}
+
+int CbwfqPort::pick_class() {
+  // Deficit round robin: each *visit* to a backlogged class adds exactly
+  // one quantum; the class is then served while its deficit covers the
+  // head packet, and the round moves on once it no longer does. Without
+  // the once-per-visit rule a single class could absorb quantum on every
+  // pick and monopolize the link.
+  // Bound the search: each class may be visited at most ~max_pkt/quantum
+  // times before its deficit covers a packet.
+  for (int attempts = 0; attempts < 64 * kNumClasses; ++attempts) {
+    const auto c = static_cast<size_t>(rr_);
+    if (queues_[c].empty()) {
+      // Idle classes carry no deficit into their next busy period
+      // (work-conserving DRR).
+      deficit_[c] = 0;
+      visited_[c] = false;
+      rr_ = (rr_ + 1) % kNumClasses;
+      continue;
+    }
+    if (!visited_[c]) {
+      deficit_[c] += quantum_[c];
+      visited_[c] = true;
+    }
+    if (deficit_[c] >= queues_[c].front().bytes) return rr_;
+    visited_[c] = false;
+    rr_ = (rr_ + 1) % kNumClasses;
+  }
+  return -1;  // all queues empty
+}
+
+void CbwfqPort::start_transmission() {
+  const int c = pick_class();
+  if (c < 0) return;
+  SimPacket pkt = std::move(queues_[static_cast<size_t>(c)].front());
+  queues_[static_cast<size_t>(c)].pop_front();
+  queued_bytes_[static_cast<size_t>(c)] -= pkt.bytes;
+  deficit_[static_cast<size_t>(c)] -= pkt.bytes;
+  busy_ = true;
+  sim_->at(sim_->now() + tx_time(pkt.bytes),
+           [this, pkt = std::move(pkt)]() mutable {
+             ClassCounters& ctr = counters_[static_cast<size_t>(pkt.cls)];
+             ++ctr.sent_pkts;
+             ctr.sent_bytes += pkt.bytes;
+             if (sink_) sink_(std::move(pkt));
+             busy_ = false;
+             start_transmission();
+           });
+}
+
+FifoPort::FifoPort(Simulator& sim, double rate_bps, size_t queue_limit_bytes)
+    : sim_(&sim), rate_bps_(rate_bps), queue_limit_bytes_(queue_limit_bytes) {}
+
+void FifoPort::enqueue(SimPacket pkt) {
+  ClassCounters& ctr = counters_[static_cast<size_t>(pkt.cls)];
+  if (queued_bytes_ + pkt.bytes > queue_limit_bytes_) {
+    ++ctr.dropped_pkts;
+    ctr.dropped_bytes += pkt.bytes;
+    return;
+  }
+  ++ctr.enqueued_pkts;
+  ctr.enqueued_bytes += pkt.bytes;
+  queued_bytes_ += pkt.bytes;
+  queue_.push_back(std::move(pkt));
+  if (!busy_) start_transmission();
+}
+
+void FifoPort::start_transmission() {
+  if (queue_.empty()) return;
+  SimPacket pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= pkt.bytes;
+  busy_ = true;
+  const TimeNs done =
+      sim_->now() + static_cast<TimeNs>(static_cast<double>(pkt.bytes) * 8.0 /
+                                        rate_bps_ * kNsPerSec);
+  sim_->at(done, [this, pkt = std::move(pkt)]() mutable {
+    ClassCounters& ctr = counters_[static_cast<size_t>(pkt.cls)];
+    ++ctr.sent_pkts;
+    ctr.sent_bytes += pkt.bytes;
+    if (sink_) sink_(std::move(pkt));
+    busy_ = false;
+    start_transmission();
+  });
+}
+
+}  // namespace colibri::sim

@@ -1,0 +1,87 @@
+// Class-based weighted fair queuing (paper App. B).
+//
+// The alternative to strict priority for separating the three Colibri
+// traffic classes on shared links: a deficit-round-robin scheduler whose
+// per-class quanta implement the configured bandwidth weights (§3.4's
+// 75/5/20 split by default). Unlike strict priority it also bounds the
+// Colibri classes — useful on links where the admission guarantee of
+// footnote 4 does not hold (e.g. inside an AS that oversubscribes). The
+// queuing-discipline ablation bench compares both against plain FIFO.
+#pragma once
+
+#include "colibri/sim/queue.hpp"
+
+namespace colibri::sim {
+
+struct CbwfqWeights {
+  double colibri_data = 0.75;
+  double control = 0.05;
+  double best_effort = 0.20;
+};
+
+class CbwfqPort {
+ public:
+  using Sink = PriorityPort::Sink;
+
+  CbwfqPort(Simulator& sim, double rate_bps, const CbwfqWeights& weights = {},
+            size_t queue_limit_bytes = 1 << 20);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void enqueue(SimPacket pkt);
+
+  const ClassCounters& counters(TrafficClass c) const {
+    return counters_[static_cast<size_t>(c)];
+  }
+
+ private:
+  void start_transmission();
+  int pick_class();
+  TimeNs tx_time(std::uint32_t bytes) const {
+    return static_cast<TimeNs>(static_cast<double>(bytes) * 8.0 / rate_bps_ *
+                               kNsPerSec);
+  }
+
+  Simulator* sim_;
+  double rate_bps_;
+  size_t queue_limit_bytes_;
+  std::array<std::deque<SimPacket>, kNumClasses> queues_;
+  std::array<size_t, kNumClasses> queued_bytes_{};
+  std::array<ClassCounters, kNumClasses> counters_{};
+  // Deficit round robin: per-class quantum (bytes per round) and deficit.
+  std::array<double, kNumClasses> quantum_{};
+  std::array<double, kNumClasses> deficit_{};
+  std::array<bool, kNumClasses> visited_{};  // quantum added this visit
+  int rr_ = 0;
+  bool busy_ = false;
+  Sink sink_;
+};
+
+// Plain FIFO port (no class separation) — the "what if we do nothing"
+// baseline in the queuing ablation.
+class FifoPort {
+ public:
+  using Sink = PriorityPort::Sink;
+
+  FifoPort(Simulator& sim, double rate_bps, size_t queue_limit_bytes = 1 << 20);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void enqueue(SimPacket pkt);
+
+  const ClassCounters& counters(TrafficClass c) const {
+    return counters_[static_cast<size_t>(c)];
+  }
+
+ private:
+  void start_transmission();
+
+  Simulator* sim_;
+  double rate_bps_;
+  size_t queue_limit_bytes_;
+  std::deque<SimPacket> queue_;
+  size_t queued_bytes_ = 0;
+  std::array<ClassCounters, kNumClasses> counters_{};
+  bool busy_ = false;
+  Sink sink_;
+};
+
+}  // namespace colibri::sim

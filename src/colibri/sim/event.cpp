@@ -1,0 +1,33 @@
+#include "colibri/sim/event.hpp"
+
+namespace colibri::sim {
+
+void Simulator::at(TimeNs t, Action fn) {
+  if (t < now()) t = now();
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Simulator::run_until(TimeNs t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) {
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    clock_.set(ev.t);
+    ++executed_;
+    ev.fn();
+  }
+  if (clock_.raw() < t_end) clock_.set(t_end);
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    clock_.set(ev.t);
+    ++executed_;
+    ev.fn();
+  }
+}
+
+}  // namespace colibri::sim

@@ -1,0 +1,3 @@
+#include "colibri/sim/link.hpp"
+
+// Header-only implementation; this translation unit anchors the target.

@@ -1,0 +1,37 @@
+// Simulated link: a priority port followed by a propagation delay.
+#pragma once
+
+#include <memory>
+
+#include "colibri/sim/queue.hpp"
+
+namespace colibri::sim {
+
+class SimLink {
+ public:
+  SimLink(Simulator& sim, double rate_bps, TimeNs propagation_ns,
+          size_t queue_limit_bytes = 1 << 20)
+      : sim_(&sim),
+        port_(sim, rate_bps, queue_limit_bytes),
+        propagation_ns_(propagation_ns) {
+    port_.set_sink([this](SimPacket&& pkt) {
+      if (!sink_) return;
+      sim_->after(propagation_ns_,
+                  [this, pkt = std::move(pkt)]() mutable { sink_(std::move(pkt)); });
+    });
+  }
+
+  void set_sink(PriorityPort::Sink sink) { sink_ = std::move(sink); }
+  void send(SimPacket pkt) { port_.enqueue(std::move(pkt)); }
+
+  PriorityPort& port() { return port_; }
+  const PriorityPort& port() const { return port_; }
+
+ private:
+  Simulator* sim_;
+  PriorityPort port_;
+  TimeNs propagation_ns_;
+  PriorityPort::Sink sink_;
+};
+
+}  // namespace colibri::sim

@@ -1,0 +1,54 @@
+#include "colibri/sim/queue.hpp"
+
+namespace colibri::sim {
+
+const char* traffic_class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kColibriData: return "colibri-data";
+    case TrafficClass::kColibriControl: return "colibri-control";
+    case TrafficClass::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+PriorityPort::PriorityPort(Simulator& sim, double rate_bps,
+                           size_t queue_limit_bytes)
+    : sim_(&sim), rate_bps_(rate_bps), queue_limit_bytes_(queue_limit_bytes) {}
+
+void PriorityPort::enqueue(SimPacket pkt) {
+  const auto c = static_cast<size_t>(pkt.cls);
+  ClassCounters& ctr = counters_[c];
+  if (queued_bytes_[c] + pkt.bytes > queue_limit_bytes_) {
+    ++ctr.dropped_pkts;
+    ctr.dropped_bytes += pkt.bytes;
+    return;
+  }
+  ++ctr.enqueued_pkts;
+  ctr.enqueued_bytes += pkt.bytes;
+  queued_bytes_[c] += pkt.bytes;
+  queues_[c].push_back(std::move(pkt));
+  if (!busy_) start_transmission();
+}
+
+void PriorityPort::start_transmission() {
+  // Strict priority: lowest class index first.
+  for (size_t c = 0; c < kNumClasses; ++c) {
+    if (queues_[c].empty()) continue;
+    SimPacket pkt = std::move(queues_[c].front());
+    queues_[c].pop_front();
+    queued_bytes_[c] -= pkt.bytes;
+    busy_ = true;
+    const TimeNs done = sim_->now() + tx_time(pkt.bytes);
+    sim_->at(done, [this, pkt = std::move(pkt)]() mutable {
+      ClassCounters& ctr = counters_[static_cast<size_t>(pkt.cls)];
+      ++ctr.sent_pkts;
+      ctr.sent_bytes += pkt.bytes;
+      if (sink_) sink_(std::move(pkt));
+      busy_ = false;
+      start_transmission();
+    });
+    return;
+  }
+}
+
+}  // namespace colibri::sim

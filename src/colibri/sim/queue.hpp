@@ -1,0 +1,79 @@
+// Three-class priority port (paper §3.4, App. B).
+//
+// Traffic classes: Colibri data > Colibri control > best effort, served
+// with strict priority. Strict priority is safe because the CServ
+// guarantees that admitted Colibri traffic never exceeds its share
+// (App. B, footnote 4); best effort scavenges every idle transmission
+// slot, so no bandwidth is wasted when reservations are idle.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+
+#include "colibri/dataplane/fastpacket.hpp"
+#include "colibri/sim/event.hpp"
+
+namespace colibri::sim {
+
+enum class TrafficClass : std::uint8_t {
+  kColibriData = 0,
+  kColibriControl = 1,
+  kBestEffort = 2,
+};
+inline constexpr int kNumClasses = 3;
+
+const char* traffic_class_name(TrafficClass c);
+
+struct SimPacket {
+  TrafficClass cls = TrafficClass::kBestEffort;
+  std::uint32_t bytes = 0;
+  std::uint64_t flow = 0;
+  bool has_colibri = false;
+  dataplane::FastPacket colibri;  // valid when has_colibri
+};
+
+struct ClassCounters {
+  std::uint64_t enqueued_pkts = 0;
+  std::uint64_t enqueued_bytes = 0;
+  std::uint64_t dropped_pkts = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t sent_pkts = 0;
+  std::uint64_t sent_bytes = 0;
+};
+
+class PriorityPort {
+ public:
+  using Sink = std::function<void(SimPacket&&)>;
+
+  // rate in bits/second; per-class buffer limit in bytes (drop tail).
+  PriorityPort(Simulator& sim, double rate_bps,
+               size_t queue_limit_bytes = 1 << 20);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void enqueue(SimPacket pkt);
+
+  const ClassCounters& counters(TrafficClass c) const {
+    return counters_[static_cast<size_t>(c)];
+  }
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  void start_transmission();
+  TimeNs tx_time(std::uint32_t bytes) const {
+    return static_cast<TimeNs>(static_cast<double>(bytes) * 8.0 /
+                               rate_bps_ * kNsPerSec);
+  }
+
+  Simulator* sim_;
+  double rate_bps_;
+  size_t queue_limit_bytes_;
+  std::array<std::deque<SimPacket>, kNumClasses> queues_;
+  std::array<size_t, kNumClasses> queued_bytes_{};
+  std::array<ClassCounters, kNumClasses> counters_{};
+  bool busy_ = false;
+  Sink sink_;
+};
+
+}  // namespace colibri::sim

@@ -1,0 +1,84 @@
+// Data-plane protection scenario (paper §7.1-7.2, Table 2).
+//
+// Reproduces the paper's testbed: three 40 Gbps input links carrying
+// mixtures of best-effort, authentic Colibri, unauthentic Colibri, and
+// overused-reservation traffic, all destined to one 40 Gbps output port.
+// Two EERs (0.4 and 0.8 Gbps) are installed; the destination border
+// router authenticates every Colibri packet and the monitoring pipeline
+// (OFD -> deterministic token bucket) limits overusing reservations to
+// their guaranteed bandwidth.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colibri/dataplane/router.hpp"
+#include "colibri/sim/link.hpp"
+#include "colibri/sim/traffic.hpp"
+
+namespace colibri::sim {
+
+struct FlowSpec {
+  enum class Kind : std::uint8_t {
+    kBestEffort,
+    kAuthentic,    // through the well-behaved gateway (monitored)
+    kUnauthentic,  // random HVFs ("bogus Colibri traffic")
+    kOveruse,      // valid HVFs, rate above the reservation
+  };
+
+  std::string label;
+  Kind kind = Kind::kBestEffort;
+  int input_port = 0;      // 0..num_inputs-1
+  double rate_gbps = 0.0;  // offered load
+  std::uint32_t payload_bytes = 1000;
+  int reservation = 0;  // index into the scenario's reservations
+};
+
+struct FlowResult {
+  std::string label;
+  int input_port = 0;
+  double offered_gbps = 0.0;
+  double delivered_gbps = 0.0;  // measured at the output port
+};
+
+struct PhaseResult {
+  std::vector<FlowResult> flows;
+  std::uint64_t router_bad_hvf = 0;
+  std::uint64_t router_overuse_dropped = 0;
+};
+
+struct ScenarioConfig {
+  int num_inputs = 3;
+  double link_gbps = 40.0;
+  // Reservation bandwidths (Table 2 uses 0.4 and 0.8 Gbps).
+  std::vector<double> reservation_gbps = {0.4, 0.8};
+  TimeNs duration_ns = 200'000'000;  // 200 ms per phase
+  TimeNs warmup_ns = 20'000'000;     // excluded from measurement
+};
+
+class ProtectionScenario {
+ public:
+  explicit ProtectionScenario(const ScenarioConfig& cfg = {});
+
+  // Runs one phase from scratch (fresh simulator, ports, and monitors;
+  // reservations persist by construction).
+  PhaseResult run_phase(const std::vector<FlowSpec>& flows);
+
+  const ScenarioConfig& config() const { return cfg_; }
+
+ private:
+  ScenarioConfig cfg_;
+  AsId src_as_{1, 10};
+  AsId dst_as_{1, 20};
+  drkey::Key128 src_hop_key_;
+  drkey::Key128 dst_hop_key_;
+  std::vector<proto::ResInfo> reservations_;
+  std::vector<proto::EerInfo> eerinfos_;
+  std::vector<topology::Hop> path_;
+};
+
+// The exact three phases of Table 2, expressed as FlowSpecs.
+std::vector<std::vector<FlowSpec>> table2_phases();
+
+}  // namespace colibri::sim

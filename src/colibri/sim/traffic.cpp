@@ -1,0 +1,88 @@
+#include "colibri/sim/traffic.hpp"
+
+namespace colibri::sim {
+
+CbrSource::CbrSource(Simulator& sim, PacketSink sink, TrafficClass cls,
+                     double rate_bps, std::uint32_t pkt_bytes,
+                     std::uint64_t flow_id)
+    : sim_(&sim),
+      sink_(std::move(sink)),
+      cls_(cls),
+      pkt_bytes_(pkt_bytes),
+      interval_ns_(static_cast<TimeNs>(static_cast<double>(pkt_bytes) * 8.0 /
+                                       rate_bps * kNsPerSec)),
+      flow_id_(flow_id) {
+  if (interval_ns_ < 1) interval_ns_ = 1;
+}
+
+void CbrSource::start(TimeNs at, TimeNs stop) {
+  stop_ = stop;
+  sim_->at(at, [this] { emit(); });
+}
+
+void CbrSource::emit() {
+  if (sim_->now() >= stop_) return;
+  SimPacket pkt = make_packet();
+  if (pkt.bytes > 0) {
+    ++emitted_;
+    sink_(std::move(pkt));
+  }
+  sim_->after(interval_ns_, [this] { emit(); });
+}
+
+SimPacket CbrSource::make_packet() {
+  SimPacket pkt;
+  pkt.cls = cls_;
+  pkt.bytes = pkt_bytes_;
+  pkt.flow = flow_id_;
+  return pkt;
+}
+
+GatewayColibriSource::GatewayColibriSource(Simulator& sim, PacketSink sink,
+                                           dataplane::Gateway& gateway,
+                                           ResId res_id, double rate_bps,
+                                           std::uint32_t payload_bytes,
+                                           std::uint64_t flow_id)
+    : CbrSource(sim, std::move(sink), TrafficClass::kColibriData, rate_bps,
+                payload_bytes + 65 /*approx header*/, flow_id),
+      gateway_(&gateway),
+      res_id_(res_id),
+      payload_bytes_(payload_bytes) {}
+
+SimPacket GatewayColibriSource::make_packet() {
+  SimPacket pkt;
+  pkt.cls = TrafficClass::kColibriData;
+  pkt.flow = flow_id();
+  dataplane::FastPacket fp;
+  if (gateway_->process(res_id_, payload_bytes_, fp) !=
+      dataplane::Gateway::Verdict::kOk) {
+    pkt.bytes = 0;  // dropped at the gateway (monitoring)
+    return pkt;
+  }
+  pkt.bytes = fp.wire_size();
+  pkt.has_colibri = true;
+  pkt.colibri = fp;
+  return pkt;
+}
+
+RawColibriSource::RawColibriSource(Simulator& sim, PacketSink sink,
+                                   dataplane::FastPacket packet_template,
+                                   double rate_bps, std::uint64_t flow_id,
+                                   Stamper stamper)
+    : CbrSource(sim, std::move(sink), TrafficClass::kColibriData, rate_bps,
+                packet_template.wire_size(), flow_id),
+      template_(packet_template),
+      stamper_(std::move(stamper)) {}
+
+SimPacket RawColibriSource::make_packet() {
+  SimPacket pkt;
+  pkt.cls = TrafficClass::kColibriData;
+  pkt.flow = flow_id();
+  pkt.has_colibri = true;
+  pkt.colibri = template_;
+  if (stamper_) stamper_(pkt.colibri);
+  pkt.bytes = pkt.colibri.wire_size();
+  return pkt;
+}
+
+}  // namespace colibri::sim

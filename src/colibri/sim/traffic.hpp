@@ -1,0 +1,90 @@
+// Traffic sources for the data-plane experiments (paper §7.1).
+//
+// Three kinds of load feed the protection experiment:
+//   - best-effort CBR cross-traffic,
+//   - Colibri traffic produced through a (well-behaved) gateway, and
+//   - adversarial Colibri traffic: unauthentic packets with random HVFs,
+//     or authentic-but-overusing packets crafted by a malicious source AS
+//     whose gateway "forgets" to monitor (§7.1 threat 3).
+#pragma once
+
+#include <functional>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/gateway.hpp"
+#include "colibri/sim/queue.hpp"
+
+namespace colibri::sim {
+
+using PacketSink = std::function<void(SimPacket&&)>;
+
+// Constant-bit-rate source emitting packets of a fixed size and class.
+class CbrSource {
+ public:
+  CbrSource(Simulator& sim, PacketSink sink, TrafficClass cls,
+            double rate_bps, std::uint32_t pkt_bytes, std::uint64_t flow_id);
+
+  void start(TimeNs at, TimeNs stop);
+  std::uint64_t emitted() const { return emitted_; }
+  virtual ~CbrSource() = default;
+
+ protected:
+  // Builds the next packet; overridden by the Colibri sources.
+  virtual SimPacket make_packet();
+
+ private:
+  void emit();
+
+  Simulator* sim_;
+  PacketSink sink_;
+  TrafficClass cls_;
+  std::uint32_t pkt_bytes_;
+  TimeNs interval_ns_;
+  TimeNs stop_ = 0;
+  std::uint64_t flow_id_;
+  std::uint64_t emitted_ = 0;
+
+ protected:
+  TrafficClass cls() const { return cls_; }
+  std::uint32_t pkt_bytes() const { return pkt_bytes_; }
+  std::uint64_t flow_id() const { return flow_id_; }
+};
+
+// Authentic Colibri traffic through a well-behaved gateway: each emission
+// asks the gateway to monitor + authenticate; rate-limited packets are
+// dropped at the gateway exactly as in the real system.
+class GatewayColibriSource final : public CbrSource {
+ public:
+  GatewayColibriSource(Simulator& sim, PacketSink sink,
+                       dataplane::Gateway& gateway, ResId res_id,
+                       double rate_bps, std::uint32_t payload_bytes,
+                       std::uint64_t flow_id);
+
+ private:
+  SimPacket make_packet() override;
+
+  dataplane::Gateway* gateway_;
+  ResId res_id_;
+  std::uint32_t payload_bytes_;
+};
+
+// Pre-built Colibri packets emitted at an arbitrary rate — used both for
+// unauthentic floods (random HVFs) and for overuse attacks (valid HVFs,
+// rate above the reservation). The template packet's HVFs are recomputed
+// per packet when a stamper is provided.
+class RawColibriSource final : public CbrSource {
+ public:
+  using Stamper = std::function<void(dataplane::FastPacket&)>;
+
+  RawColibriSource(Simulator& sim, PacketSink sink,
+                   dataplane::FastPacket packet_template, double rate_bps,
+                   std::uint64_t flow_id, Stamper stamper = nullptr);
+
+ private:
+  SimPacket make_packet() override;
+
+  dataplane::FastPacket template_;
+  Stamper stamper_;
+};
+
+}  // namespace colibri::sim

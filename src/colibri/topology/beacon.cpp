@@ -1,0 +1,123 @@
+#include "colibri/topology/beacon.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace colibri::topology {
+namespace {
+
+// Depth-first enumeration of simple paths from `origin` over links
+// admitted by `follow`, recording a segment for every AS reached.
+struct Explorer {
+  const Topology& topo;
+  const BeaconConfig& cfg;
+  // (origin, destination) -> collected segments.
+  std::map<std::pair<AsId, AsId>, std::vector<PathSegment>>& found;
+  SegType type;
+
+  std::vector<Hop> stack;
+  std::vector<AsId> visited;
+
+  template <typename FollowFn>
+  void explore(AsId origin, FollowFn&& follow) {
+    visited.push_back(origin);
+    stack.push_back(Hop{origin, kNoInterface, kNoInterface});
+    dfs(origin, follow);
+    stack.pop_back();
+    visited.pop_back();
+  }
+
+  template <typename FollowFn>
+  void dfs(AsId current, FollowFn&& follow) {
+    if (stack.size() >= cfg.max_hops) return;
+    const AsNode& node = topo.node(current);
+    for (const Interface& intf : node.interfaces) {
+      if (!follow(node, intf)) continue;
+      if (std::find(visited.begin(), visited.end(), intf.neighbor) !=
+          visited.end()) {
+        continue;  // simple paths only
+      }
+      stack.back().egress = intf.id;
+      stack.push_back(Hop{intf.neighbor, intf.neighbor_ifid, kNoInterface});
+      visited.push_back(intf.neighbor);
+
+      record(stack.front().as, intf.neighbor);
+      dfs(intf.neighbor, follow);
+
+      visited.pop_back();
+      stack.pop_back();
+      stack.back().egress = kNoInterface;
+    }
+  }
+
+  void record(AsId origin, AsId dst) {
+    auto& bucket = found[{origin, dst}];
+    if (bucket.size() >= cfg.max_paths_per_pair) return;
+    PathSegment seg;
+    seg.type = type;
+    seg.hops = stack;
+    seg.hops.back().egress = kNoInterface;
+    bucket.push_back(std::move(seg));
+  }
+};
+
+// Keep the shortest `max_paths_per_pair` segments per pair (DFS order is
+// not length-ordered, so sort before truncating).
+void sort_and_trim(std::map<std::pair<AsId, AsId>, std::vector<PathSegment>>& m,
+                   size_t keep) {
+  for (auto& [_, segs] : m) {
+    std::stable_sort(segs.begin(), segs.end(),
+                     [](const PathSegment& a, const PathSegment& b) {
+                       return a.length() < b.length();
+                     });
+    if (segs.size() > keep) segs.resize(keep);
+  }
+}
+
+}  // namespace
+
+std::vector<PathSegment> discover_segments(const Topology& topo,
+                                           const BeaconConfig& cfg) {
+  std::map<std::pair<AsId, AsId>, std::vector<PathSegment>> down_found;
+  std::map<std::pair<AsId, AsId>, std::vector<PathSegment>> core_found;
+
+  // Over-collect so sort_and_trim keeps the *shortest* k, not the first k
+  // in DFS order.
+  BeaconConfig wide = cfg;
+  wide.max_paths_per_pair = cfg.max_paths_per_pair * 4;
+
+  for (AsId core_as : topo.core_ases()) {
+    // Down-segments: follow parent->child links away from the core.
+    Explorer down{topo, wide, down_found, SegType::kDown, {}, {}};
+    down.explore(core_as, [](const AsNode& node, const Interface& intf) {
+      return intf.type == LinkType::kParentChild && !intf.to_parent &&
+             (node.core || true);
+    });
+
+    // Core-segments: follow core links only.
+    Explorer core{topo, wide, core_found, SegType::kCore, {}, {}};
+    core.explore(core_as, [](const AsNode&, const Interface& intf) {
+      return intf.type == LinkType::kCore;
+    });
+  }
+
+  sort_and_trim(down_found, cfg.max_paths_per_pair);
+  sort_and_trim(core_found, cfg.max_paths_per_pair);
+
+  std::vector<PathSegment> result;
+  for (const auto& [key, segs] : down_found) {
+    for (const auto& seg : segs) {
+      // Only keep down-segments ending at non-core ASes (core-to-core
+      // connectivity goes through core-segments).
+      if (topo.node(key.second).core) continue;
+      result.push_back(seg);
+      result.push_back(seg.reversed());  // matching up-segment
+    }
+  }
+  for (const auto& [_, segs] : core_found) {
+    for (const auto& seg : segs) result.push_back(seg);
+  }
+  return result;
+}
+
+}  // namespace colibri::topology

@@ -1,0 +1,28 @@
+// Beacon-style path-segment discovery (paper §2.2).
+//
+// Models SCION's beaconing outcome rather than the asynchronous protocol:
+// core ASes flood PCBs down parent-child links, yielding down-segments to
+// every reachable non-core AS (up-segments are their reversals), and
+// across core links, yielding core-segments between core-AS pairs. To
+// provide *path choice* (§2.1), discovery enumerates up to
+// `max_paths_per_pair` distinct segments per (src, dst) pair, shortest
+// first, bounded by `max_hops`.
+#pragma once
+
+#include <vector>
+
+#include "colibri/topology/segment.hpp"
+#include "colibri/topology/topology.hpp"
+
+namespace colibri::topology {
+
+struct BeaconConfig {
+  size_t max_paths_per_pair = 3;
+  size_t max_hops = 8;
+};
+
+// All discovered segments (up, core, and down) for the topology.
+std::vector<PathSegment> discover_segments(const Topology& topo,
+                                           const BeaconConfig& cfg = {});
+
+}  // namespace colibri::topology

@@ -1,0 +1,98 @@
+#include "colibri/topology/generator.hpp"
+
+#include <vector>
+
+namespace colibri::topology {
+
+size_t expected_as_count(const GeneratorConfig& cfg) {
+  // Per core: fanout + fanout^2 + ... + fanout^depth descendants.
+  size_t per_core = 0;
+  size_t level = 1;
+  for (int d = 0; d < cfg.depth; ++d) {
+    level *= static_cast<size_t>(cfg.fanout);
+    per_core += level;
+  }
+  return static_cast<size_t>(cfg.isds) *
+         static_cast<size_t>(cfg.cores_per_isd) * (1 + per_core);
+}
+
+Topology generate_topology(const GeneratorConfig& cfg) {
+  Topology topo;
+  Rng rng(cfg.seed);
+
+  // Core ASes: AS number 1..cores_per_isd within each ISD.
+  std::vector<std::vector<AsId>> cores(static_cast<size_t>(cfg.isds));
+  for (int isd = 0; isd < cfg.isds; ++isd) {
+    for (int c = 0; c < cfg.cores_per_isd; ++c) {
+      const AsId id{static_cast<IsdId>(isd + 1),
+                    static_cast<std::uint64_t>(c + 1)};
+      topo.add_as(id, /*core=*/true);
+      cores[static_cast<size_t>(isd)].push_back(id);
+    }
+  }
+
+  // Intra-ISD core mesh: full.
+  for (const auto& isd_cores : cores) {
+    for (size_t i = 0; i < isd_cores.size(); ++i) {
+      for (size_t j = i + 1; j < isd_cores.size(); ++j) {
+        topo.add_link(isd_cores[i], isd_cores[j], LinkType::kCore,
+                      cfg.core_link_kbps);
+      }
+    }
+  }
+  // Inter-ISD core links: sampled at core_mesh_density, but at least one
+  // link between every ISD pair so the graph stays connected.
+  for (size_t a = 0; a < cores.size(); ++a) {
+    for (size_t b = a + 1; b < cores.size(); ++b) {
+      bool connected = false;
+      for (AsId ca : cores[a]) {
+        for (AsId cb : cores[b]) {
+          if (rng.uniform() < cfg.core_mesh_density) {
+            topo.add_link(ca, cb, LinkType::kCore, cfg.core_link_kbps);
+            connected = true;
+          }
+        }
+      }
+      if (!connected) {
+        topo.add_link(cores[a][0], cores[b][0], LinkType::kCore,
+                      cfg.core_link_kbps);
+      }
+    }
+  }
+
+  // Customer hierarchy under each core AS.
+  for (int isd = 0; isd < cfg.isds; ++isd) {
+    const auto isd_id = static_cast<IsdId>(isd + 1);
+    std::uint64_t next_as = 1000;
+    // All non-core ASes of this ISD, by level, for multi-homing pools.
+    std::vector<std::vector<AsId>> levels;
+
+    std::vector<AsId> parents = cores[static_cast<size_t>(isd)];
+    for (int d = 0; d < cfg.depth; ++d) {
+      std::vector<AsId> children;
+      for (AsId parent : parents) {
+        for (int f = 0; f < cfg.fanout; ++f) {
+          const AsId child{isd_id, next_as++};
+          topo.add_as(child, /*core=*/false);
+          topo.add_link(parent, child, LinkType::kParentChild,
+                        cfg.transit_link_kbps);
+          // Multi-homing: a second provider from the parent's level.
+          if (rng.uniform() < cfg.multihome_prob) {
+            const auto& pool = parents;
+            const AsId second = pool[rng.below(pool.size())];
+            if (second != parent) {
+              topo.add_link(second, child, LinkType::kParentChild,
+                            cfg.transit_link_kbps);
+            }
+          }
+          children.push_back(child);
+        }
+      }
+      levels.push_back(children);
+      parents = std::move(children);
+    }
+  }
+  return topo;
+}
+
+}  // namespace colibri::topology

@@ -1,0 +1,40 @@
+// Synthetic Internet-scale topology generator.
+//
+// SUBSTITUTION (DESIGN.md §2): the paper argues Colibri scales to "large,
+// highly-interconnected networks like today's Internet"; lacking a CAIDA
+// AS-relationship dump, this generator produces structurally similar
+// SCION-style topologies: several ISDs, a densely meshed core, a
+// provider hierarchy with configurable fan-out and depth, and optional
+// multi-homing (non-core ASes with a second provider), which is what
+// creates real path diversity. Deterministic for a given seed.
+#pragma once
+
+#include "colibri/common/rand.hpp"
+#include "colibri/topology/topology.hpp"
+
+namespace colibri::topology {
+
+struct GeneratorConfig {
+  int isds = 3;
+  int cores_per_isd = 3;
+  // Hierarchy below each core AS: `fanout` children per AS, `depth`
+  // levels (depth 1 = only direct customers).
+  int fanout = 3;
+  int depth = 2;
+  // Probability that a non-core AS is multi-homed to a second provider
+  // in the same ISD.
+  double multihome_prob = 0.3;
+  // Fraction of core-AS pairs (within and across ISDs) that get a link;
+  // intra-ISD cores are always fully meshed.
+  double core_mesh_density = 0.5;
+  BwKbps core_link_kbps = 400'000'000;    // 400 Gbps
+  BwKbps transit_link_kbps = 100'000'000; // 100 Gbps
+  std::uint64_t seed = 1;
+};
+
+Topology generate_topology(const GeneratorConfig& cfg);
+
+// AS count the configuration will produce (cores + hierarchy).
+size_t expected_as_count(const GeneratorConfig& cfg);
+
+}  // namespace colibri::topology

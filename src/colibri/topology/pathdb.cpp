@@ -1,0 +1,143 @@
+#include "colibri/topology/pathdb.hpp"
+
+#include <algorithm>
+
+namespace colibri::topology {
+
+void PathDb::insert(PathSegment seg) {
+  const auto key = std::make_tuple(seg.type, seg.first_as(), seg.last_as());
+  // De-duplicate.
+  for (size_t idx : index_[key]) {
+    if (store_[idx] == seg) return;
+  }
+  store_.push_back(std::move(seg));
+  index_[key].push_back(store_.size() - 1);
+}
+
+void PathDb::insert_all(std::vector<PathSegment> segs) {
+  for (auto& s : segs) insert(std::move(s));
+}
+
+std::vector<const PathSegment*> PathDb::segments(SegType type, AsId src,
+                                                 AsId dst) const {
+  std::vector<const PathSegment*> out;
+  auto it = index_.find(std::make_tuple(type, src, dst));
+  if (it == index_.end()) return out;
+  for (size_t idx : it->second) out.push_back(&store_[idx]);
+  return out;
+}
+
+std::vector<const PathSegment*> PathDb::up_segments_from(AsId src) const {
+  std::vector<const PathSegment*> out;
+  for (const auto& [key, idxs] : index_) {
+    if (std::get<0>(key) != SegType::kUp || std::get<1>(key) != src) continue;
+    for (size_t idx : idxs) out.push_back(&store_[idx]);
+  }
+  return out;
+}
+
+std::vector<const PathSegment*> PathDb::down_segments_to(AsId dst) const {
+  std::vector<const PathSegment*> out;
+  for (const auto& [key, idxs] : index_) {
+    if (std::get<0>(key) != SegType::kDown || std::get<2>(key) != dst) continue;
+    for (size_t idx : idxs) out.push_back(&store_[idx]);
+  }
+  return out;
+}
+
+std::vector<AssembledPath> PathDb::paths(AsId src, AsId dst,
+                                         size_t limit) const {
+  std::vector<AssembledPath> out;
+  const bool src_core = topo_->node(src).core;
+  const bool dst_core = topo_->node(dst).core;
+
+  auto push = [&](Path p, std::vector<PathSegment> segs, bool shortcut) {
+    if (p.src_as() != src || p.dst_as() != dst) return;
+    for (const auto& existing : out) {
+      if (existing.path == p) return;
+    }
+    out.push_back(AssembledPath{std::move(p), std::move(segs), shortcut});
+  };
+
+  // Case: same AS — no inter-domain path needed; empty result by design.
+  if (src == dst) return out;
+
+  // Direct single-segment paths.
+  if (src_core && dst_core) {
+    for (const auto* c : segments(SegType::kCore, src, dst)) {
+      push(Path{c->hops}, {*c}, false);
+    }
+  }
+  if (!src_core) {
+    for (const auto* u : segments(SegType::kUp, src, dst)) {
+      push(Path{u->hops}, {*u}, false);
+    }
+  }
+  if (!dst_core) {
+    for (const auto* d : segments(SegType::kDown, src, dst)) {
+      push(Path{d->hops}, {*d}, false);
+    }
+  }
+
+  const auto ups = src_core ? std::vector<const PathSegment*>{}
+                            : up_segments_from(src);
+  const auto downs = dst_core ? std::vector<const PathSegment*>{}
+                              : down_segments_to(dst);
+
+  // up + down sharing the joint core AS, and shortcuts.
+  for (const auto* u : ups) {
+    for (const auto* d : downs) {
+      if (u->last_as() == d->first_as()) {
+        if (auto p = combine_segments(u, nullptr, d)) {
+          push(std::move(*p), {*u, *d}, false);
+        }
+      }
+      if (auto p = combine_with_shortcut(*u, *d)) {
+        if (p->length() < u->length() + d->length() - 1) {
+          push(std::move(*p), {*u, *d}, true);
+        }
+      }
+    }
+  }
+
+  // up + core (to core dst), core + down (from core src).
+  if (dst_core) {
+    for (const auto* u : ups) {
+      for (const auto* c : segments(SegType::kCore, u->last_as(), dst)) {
+        if (auto p = combine_segments(u, c, nullptr)) {
+          push(std::move(*p), {*u, *c}, false);
+        }
+      }
+    }
+  }
+  if (src_core) {
+    for (const auto* d : downs) {
+      for (const auto* c : segments(SegType::kCore, src, d->first_as())) {
+        if (auto p = combine_segments(nullptr, c, d)) {
+          push(std::move(*p), {*c, *d}, false);
+        }
+      }
+    }
+  }
+
+  // up + core + down.
+  for (const auto* u : ups) {
+    for (const auto* d : downs) {
+      for (const auto* c :
+           segments(SegType::kCore, u->last_as(), d->first_as())) {
+        if (auto p = combine_segments(u, c, d)) {
+          push(std::move(*p), {*u, *c, *d}, false);
+        }
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AssembledPath& a, const AssembledPath& b) {
+                     return a.path.length() < b.path.length();
+                   });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace colibri::topology

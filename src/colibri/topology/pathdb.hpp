@@ -1,0 +1,54 @@
+// Path-segment database: the end-host/CServ view of discovered segments.
+//
+// Stores segments indexed by type and endpoints and answers the queries
+// Colibri needs (paper §3.3, App. C): "give me segment combinations that
+// connect AS S to AS D", returning full end-to-end paths built from at
+// most one up-, one core-, and one down-segment, including shortcuts.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "colibri/topology/segment.hpp"
+#include "colibri/topology/topology.hpp"
+
+namespace colibri::topology {
+
+// A path together with the segments it was assembled from, so the caller
+// can make a SegR-backed EER request over the same decomposition.
+struct AssembledPath {
+  Path path;
+  std::vector<PathSegment> segments;  // 1-3 entries, in traversal order
+  bool shortcut = false;
+};
+
+class PathDb {
+ public:
+  explicit PathDb(const Topology& topo) : topo_(&topo) {}
+
+  void insert(PathSegment seg);
+  void insert_all(std::vector<PathSegment> segs);
+
+  // Segments of `type` from src to dst (exact endpoints).
+  std::vector<const PathSegment*> segments(SegType type, AsId src,
+                                           AsId dst) const;
+  // Up-segments starting at `src` (any core destination); down-segments
+  // ending at `dst` (any core origin).
+  std::vector<const PathSegment*> up_segments_from(AsId src) const;
+  std::vector<const PathSegment*> down_segments_to(AsId dst) const;
+
+  // All end-to-end paths from src to dst constructible from stored
+  // segments, shortest first, at most `limit`.
+  std::vector<AssembledPath> paths(AsId src, AsId dst, size_t limit = 8) const;
+
+  size_t size() const { return store_.size(); }
+
+ private:
+  const Topology* topo_;
+  std::vector<PathSegment> store_;
+  // (type, first, last) -> indexes into store_.
+  std::map<std::tuple<SegType, AsId, AsId>, std::vector<size_t>> index_;
+};
+
+}  // namespace colibri::topology

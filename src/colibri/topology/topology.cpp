@@ -1,0 +1,130 @@
+#include "colibri/topology/topology.hpp"
+
+#include <algorithm>
+
+namespace colibri::topology {
+
+const Interface* AsNode::find_interface(IfId ifid) const {
+  for (const auto& intf : interfaces) {
+    if (intf.id == ifid) return &intf;
+  }
+  return nullptr;
+}
+
+BwKbps AsNode::colibri_capacity(IfId ifid) const {
+  const Interface* intf = find_interface(ifid);
+  if (intf == nullptr) return 0;
+  return static_cast<BwKbps>(static_cast<double>(intf->capacity_kbps) *
+                             split.eer_data);
+}
+
+BwKbps AsNode::control_capacity(IfId ifid) const {
+  const Interface* intf = find_interface(ifid);
+  if (intf == nullptr) return 0;
+  return static_cast<BwKbps>(static_cast<double>(intf->capacity_kbps) *
+                             split.control);
+}
+
+void Topology::add_as(AsId id, bool core) {
+  AsNode node;
+  node.id = id;
+  node.core = core;
+  nodes_.emplace(id, std::move(node));
+}
+
+std::pair<IfId, IfId> Topology::add_link(AsId a, AsId b, LinkType type,
+                                         BwKbps capacity_kbps) {
+  AsNode& na = node(a);
+  AsNode& nb = node(b);
+  const IfId ia = static_cast<IfId>(na.interfaces.size() + 1);
+  const IfId ib = static_cast<IfId>(nb.interfaces.size() + 1);
+  na.interfaces.push_back(Interface{ia, b, ib, type, /*to_parent=*/false,
+                                    capacity_kbps});
+  nb.interfaces.push_back(Interface{ib, a, ia, type,
+                                    /*to_parent=*/type == LinkType::kParentChild,
+                                    capacity_kbps});
+  return {ia, ib};
+}
+
+const AsNode& Topology::node(AsId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("unknown AS " + id.to_string());
+  return it->second;
+}
+
+AsNode& Topology::node(AsId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("unknown AS " + id.to_string());
+  return it->second;
+}
+
+std::vector<AsId> Topology::as_ids() const {
+  std::vector<AsId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<AsId> Topology::core_ases() const {
+  std::vector<AsId> ids;
+  for (const auto& [id, n] : nodes_) {
+    if (n.core) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+namespace builders {
+
+Topology two_isd_topology(BwKbps cap) {
+  Topology t;
+  // ISD 1 cores: 1-100, 1-101; ISD 2 cores: 2-200, 2-201.
+  const AsId c1a{1, 100}, c1b{1, 101}, c2a{2, 200}, c2b{2, 201};
+  for (AsId c : {c1a, c1b, c2a, c2b}) t.add_as(c, /*core=*/true);
+  // Full core mesh.
+  t.add_link(c1a, c1b, LinkType::kCore, cap);
+  t.add_link(c1a, c2a, LinkType::kCore, cap);
+  t.add_link(c1a, c2b, LinkType::kCore, cap);
+  t.add_link(c1b, c2a, LinkType::kCore, cap);
+  t.add_link(c1b, c2b, LinkType::kCore, cap);
+  t.add_link(c2a, c2b, LinkType::kCore, cap);
+
+  // Two children per core, one grandchild under the first child.
+  auto add_children = [&](AsId core, IsdId isd, std::uint64_t base) {
+    const AsId child1{isd, base}, child2{isd, base + 1}, grand{isd, base + 2};
+    t.add_as(child1, false);
+    t.add_as(child2, false);
+    t.add_as(grand, false);
+    t.add_link(core, child1, LinkType::kParentChild, cap);
+    t.add_link(core, child2, LinkType::kParentChild, cap);
+    t.add_link(child1, grand, LinkType::kParentChild, cap);
+  };
+  add_children(c1a, 1, 110);
+  add_children(c1b, 1, 120);
+  add_children(c2a, 2, 210);
+  add_children(c2b, 2, 220);
+  return t;
+}
+
+Topology chain_topology(int n, BwKbps cap) {
+  Topology t;
+  if (n <= 0) return t;
+  std::vector<AsId> ids;
+  for (int i = 0; i < n; ++i) {
+    const AsId id{1, static_cast<std::uint64_t>(100 + i)};
+    // First two ASes form the "core" so the chain has a valid up/core/down
+    // structure when needed.
+    t.add_as(id, /*core=*/i < 2);
+    ids.push_back(id);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    const LinkType type = (i == 0) ? LinkType::kCore : LinkType::kParentChild;
+    t.add_link(ids[i], ids[i + 1], type, cap);
+  }
+  return t;
+}
+
+}  // namespace builders
+
+}  // namespace colibri::topology

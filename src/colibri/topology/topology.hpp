@@ -1,0 +1,94 @@
+// SCION-like AS-level topology model (paper §2.2).
+//
+// ASes are grouped into ISDs; core ASes provide inter-ISD connectivity and
+// are linked by core links, non-core ASes hang off providers via
+// parent-child links. Every inter-domain link terminates in an AS-local
+// interface (IfId), the unit Colibri's admission algorithm allocates
+// bandwidth on. Each AS also carries a local traffic matrix describing the
+// Colibri share of each interface (paper §4.7: "each AS can define a local
+// traffic matrix").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "colibri/common/ids.hpp"
+
+namespace colibri::topology {
+
+enum class LinkType : std::uint8_t {
+  kCore,         // core AS <-> core AS
+  kParentChild,  // provider (parent) <-> customer (child)
+};
+
+// One endpoint's view of an inter-domain link.
+struct Interface {
+  IfId id = kNoInterface;
+  AsId neighbor;
+  IfId neighbor_ifid = kNoInterface;
+  LinkType type = LinkType::kCore;
+  bool to_parent = false;  // for kParentChild: true on the child side
+  BwKbps capacity_kbps = 0;
+};
+
+// Fraction of each interface's capacity available to the three traffic
+// classes (paper §3.4: default 75 % EER data / 5 % control / 20 %
+// best-effort). These splits come from bilateral neighbor agreements.
+struct TrafficSplit {
+  double eer_data = 0.75;
+  double control = 0.05;
+  double best_effort = 0.20;
+};
+
+struct AsNode {
+  AsId id;
+  bool core = false;
+  std::vector<Interface> interfaces;
+  TrafficSplit split;
+
+  const Interface* find_interface(IfId ifid) const;
+  // Colibri-usable bandwidth on an interface (capacity x EER share).
+  BwKbps colibri_capacity(IfId ifid) const;
+  BwKbps control_capacity(IfId ifid) const;
+};
+
+class Topology {
+ public:
+  void add_as(AsId id, bool core);
+
+  // Adds a bidirectional link; allocates fresh interface ids on both sides
+  // and returns them as (ifid at a, ifid at b). For parent-child links,
+  // `a` is the parent (provider).
+  std::pair<IfId, IfId> add_link(AsId a, AsId b, LinkType type,
+                                 BwKbps capacity_kbps);
+
+  bool has_as(AsId id) const { return nodes_.count(id) != 0; }
+  const AsNode& node(AsId id) const;
+  AsNode& node(AsId id);
+
+  std::vector<AsId> as_ids() const;
+  std::vector<AsId> core_ases() const;
+  size_t as_count() const { return nodes_.size(); }
+
+ private:
+  std::unordered_map<AsId, AsNode> nodes_;
+};
+
+// Convenience builders used by tests, examples, and benchmarks.
+namespace builders {
+
+// Two ISDs, two core ASes each (full core mesh), `children_per_core`
+// non-core children per core AS, one grandchild under the first child of
+// each core. A small but structurally complete SCION topology.
+Topology two_isd_topology(BwKbps link_capacity_kbps = 40'000'000);
+
+// A single chain of `n` ASes: core at index 0..core_count-1, then a
+// provider chain. Used by path-length sweeps.
+Topology chain_topology(int n, BwKbps link_capacity_kbps = 40'000'000);
+
+}  // namespace builders
+
+}  // namespace colibri::topology

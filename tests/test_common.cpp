@@ -1,0 +1,198 @@
+// Unit tests: identifiers, byte codecs, clocks, timestamps, RNG.
+#include <gtest/gtest.h>
+
+#include "colibri/common/bytes.hpp"
+#include "colibri/common/clock.hpp"
+#include "colibri/common/errors.hpp"
+#include "colibri/common/ids.hpp"
+#include "colibri/common/rand.hpp"
+
+namespace colibri {
+namespace {
+
+TEST(AsIdTest, PacksIsdAndAsNumber) {
+  const AsId id{3, 0xABCDEF};
+  EXPECT_EQ(id.isd(), 3);
+  EXPECT_EQ(id.as_number(), 0xABCDEFu);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(AsId::from_raw(id.raw()), id);
+}
+
+TEST(AsIdTest, ZeroIsInvalid) {
+  EXPECT_FALSE(AsId{}.valid());
+  EXPECT_FALSE(AsId::from_raw(0).valid());
+}
+
+TEST(AsIdTest, AsNumberMasksTo48Bits) {
+  const AsId id{1, 0xFFFF'FFFF'FFFF'FFFFULL};
+  EXPECT_EQ(id.as_number(), 0xFFFF'FFFF'FFFFULL);
+  EXPECT_EQ(id.isd(), 1);
+}
+
+TEST(AsIdTest, ToStringFormat) {
+  EXPECT_EQ((AsId{2, 42}).to_string(), "2-42");
+}
+
+TEST(HostAddrTest, U64RoundTrip) {
+  const auto h = HostAddr::from_u64(0x1122334455667788ULL);
+  EXPECT_EQ(h.low_u64(), 0x1122334455667788ULL);
+}
+
+TEST(HostAddrTest, DistinctValuesDiffer) {
+  EXPECT_NE(HostAddr::from_u64(1), HostAddr::from_u64(2));
+}
+
+TEST(ResKeyTest, EqualityAndHash) {
+  const ResKey a{AsId{1, 5}, 7};
+  const ResKey b{AsId{1, 5}, 7};
+  const ResKey c{AsId{1, 5}, 8};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<ResKey>{}(a), std::hash<ResKey>{}(b));
+}
+
+TEST(BytesTest, PutGetLeRoundTrip) {
+  Bytes out;
+  put_le<std::uint16_t>(out, 0xBEEF);
+  put_le<std::uint32_t>(out, 0xDEADBEEF);
+  put_le<std::uint64_t>(out, 0x0123456789ABCDEFULL);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(get_le<std::uint16_t>(out.data()), 0xBEEF);
+  EXPECT_EQ(get_le<std::uint32_t>(out.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(get_le<std::uint64_t>(out.data() + 6), 0x0123456789ABCDEFULL);
+}
+
+TEST(ByteReaderTest, ReadsSequentially) {
+  Bytes data;
+  put_le<std::uint32_t>(data, 42);
+  put_le<std::uint8_t>(data, 7);
+  ByteReader r(data);
+  EXPECT_EQ(r.read<std::uint32_t>(), 42u);
+  EXPECT_EQ(r.read<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, OverreadMarksBad) {
+  Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_EQ(r.read<std::uint32_t>(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  // Subsequent reads stay zero and bad.
+  EXPECT_EQ(r.read<std::uint8_t>(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReaderTest, ReadBytesZeroesOnFailure) {
+  Bytes data{1};
+  ByteReader r(data);
+  std::uint8_t buf[4] = {9, 9, 9, 9};
+  EXPECT_FALSE(r.read_bytes(buf, 4));
+  for (auto b : buf) EXPECT_EQ(b, 0);
+}
+
+TEST(HexTest, Encodes) {
+  const Bytes data{0x00, 0xFF, 0xA5};
+  EXPECT_EQ(to_hex(data), "00ffa5");
+}
+
+TEST(SimClockTest, AdvanceAndSkew) {
+  SimClock c(100);
+  EXPECT_EQ(c.now_ns(), 100);
+  c.advance(50);
+  EXPECT_EQ(c.now_ns(), 150);
+  c.set_skew(25);
+  EXPECT_EQ(c.now_ns(), 175);
+  EXPECT_EQ(c.raw(), 150);
+}
+
+TEST(SystemClockTest, Monotonic) {
+  auto& c = SystemClock::instance();
+  const TimeNs a = c.now_ns();
+  const TimeNs b = c.now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(PacketTimestampTest, EncodesBackwardFromExpiry) {
+  const UnixSec exp = 1000;
+  const TimeNs t1 = 990 * kNsPerSec;
+  const TimeNs t2 = 995 * kNsPerSec;
+  const auto ts1 = PacketTimestamp::encode(t1, exp);
+  const auto ts2 = PacketTimestamp::encode(t2, exp);
+  // Later packets are closer to expiry: smaller tick count.
+  EXPECT_GT(ts1, ts2);
+}
+
+TEST(PacketTimestampTest, DecodeInvertsEncodeWithinTick) {
+  const UnixSec exp = 2000;
+  const TimeNs t = 1987 * kNsPerSec + 123'456;
+  const auto ts = PacketTimestamp::encode(t, exp);
+  const TimeNs decoded = PacketTimestamp::decode(ts, exp);
+  EXPECT_NEAR(static_cast<double>(decoded), static_cast<double>(t), 300.0);
+}
+
+TEST(PacketTimestampTest, ClampsPastExpiry) {
+  EXPECT_EQ(PacketTimestamp::encode(2001 * kNsPerSec, 2000), 0u);
+}
+
+TEST(PacketTimestampTest, SubTickResolutionIsUnique) {
+  // Two packets ≥1 tick (~238 ns) apart must get distinct timestamps.
+  const UnixSec exp = 100;
+  const TimeNs base = 50 * kNsPerSec;
+  const auto a = PacketTimestamp::encode(base, exp);
+  const auto b = PacketTimestamp::encode(base + 240, exp);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, FillCoversAllBytes) {
+  Rng rng(3);
+  std::uint8_t buf[37] = {};
+  rng.fill(buf, sizeof(buf));
+  int nonzero = 0;
+  for (auto b : buf) nonzero += b != 0;
+  EXPECT_GT(nonzero, 20);  // all-zero would be astronomically unlikely
+}
+
+TEST(ErrcTest, NamesAreStable) {
+  EXPECT_STREQ(errc_name(Errc::kOk), "ok");
+  EXPECT_STREQ(errc_name(Errc::kBandwidthUnavailable),
+               "bandwidth-unavailable");
+  EXPECT_STREQ(errc_name(Errc::kReplay), "replay");
+}
+
+TEST(ResultTest, HoldsValueOrError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.error(), Errc::kOk);
+
+  Result<int> err(Errc::kExpired);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), Errc::kExpired);
+}
+
+}  // namespace
+}  // namespace colibri

@@ -1,0 +1,154 @@
+// Unit tests: DRKey derivation, secret-value schedule, key server, cache,
+// simulated PKI.
+#include <gtest/gtest.h>
+
+#include "colibri/drkey/drkey.hpp"
+#include "colibri/drkey/keyserver.hpp"
+
+namespace colibri::drkey {
+namespace {
+
+Key128 master(std::uint8_t seed) {
+  Key128 k;
+  k.bytes.fill(seed);
+  return k;
+}
+
+const AsId kAsA{1, 10};
+const AsId kAsB{1, 20};
+const AsId kAsC{2, 30};
+
+TEST(DeriveTest, DeterministicAndDirectional) {
+  const Key128 sv = master(1);
+  EXPECT_EQ(derive_as_key(sv, kAsB), derive_as_key(sv, kAsB));
+  EXPECT_NE(derive_as_key(sv, kAsB), derive_as_key(sv, kAsC));
+}
+
+TEST(DeriveTest, AsymmetricBetweenAses) {
+  // K_{A->B} (from A's secret) != K_{B->A} (from B's secret).
+  EXPECT_NE(derive_as_key(master(1), kAsB), derive_as_key(master(2), kAsA));
+}
+
+TEST(DeriveTest, HostKeysDifferPerHost) {
+  const Key128 as_key = derive_as_key(master(1), kAsB);
+  const auto h1 = derive_host_key(as_key, HostAddr::from_u64(1));
+  const auto h2 = derive_host_key(as_key, HostAddr::from_u64(2));
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, as_key);
+}
+
+TEST(ScheduleTest, EpochAlignment) {
+  SecretValueSchedule sched(master(3), kAsA, 3600);
+  const Epoch e = sched.epoch_at(7500);
+  EXPECT_EQ(e.begin, 7200u);
+  EXPECT_EQ(e.end, 10800u);
+  EXPECT_TRUE(e.contains(7200));
+  EXPECT_TRUE(e.contains(10799));
+  EXPECT_FALSE(e.contains(10800));
+}
+
+TEST(ScheduleTest, SecretValueStablePerEpochRotatesAcross) {
+  SecretValueSchedule sched(master(3), kAsA, 3600);
+  EXPECT_EQ(sched.secret_value(7200), sched.secret_value(10799));
+  EXPECT_NE(sched.secret_value(7200), sched.secret_value(10800));
+}
+
+TEST(ScheduleTest, DifferentOwnersDifferentValues) {
+  SecretValueSchedule a(master(3), kAsA, 3600);
+  SecretValueSchedule b(master(3), kAsB, 3600);
+  EXPECT_NE(a.secret_value(100), b.secret_value(100));
+}
+
+TEST(EngineTest, FastSideMatchesSlowSideFetch) {
+  SimulatedPki pki;
+  Engine engine_a(master(7), kAsA);
+  KeyServer server_a(engine_a, pki.enroll(kAsA));
+
+  // B fetches K_{A->B} and must get exactly what A derives on the fly.
+  const UnixSec now = 123456;
+  const KeyResponse resp = server_a.fetch(kAsB, now);
+  EXPECT_EQ(resp.key, engine_a.as_key(kAsB, now));
+
+  KeyCache cache_b(kAsB, pki);
+  EXPECT_TRUE(cache_b.insert(kAsA, resp));
+  auto cached = cache_b.lookup(kAsA, now);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, engine_a.as_key(kAsB, now));
+}
+
+TEST(KeyCacheTest, RejectsForgedResponse) {
+  SimulatedPki pki;
+  Engine engine_a(master(7), kAsA);
+  KeyServer server_a(engine_a, pki.enroll(kAsA));
+  KeyResponse resp = server_a.fetch(kAsB, 100);
+  resp.key.bytes[0] ^= 1;  // tamper
+
+  KeyCache cache_b(kAsB, pki);
+  EXPECT_FALSE(cache_b.insert(kAsA, resp));
+  EXPECT_EQ(cache_b.size(), 0u);
+}
+
+TEST(KeyCacheTest, RejectsUnknownSigner) {
+  SimulatedPki pki;
+  Engine engine_a(master(7), kAsA);
+  // A was never enrolled in this PKI instance.
+  Key128 rogue;
+  rogue.bytes.fill(9);
+  KeyServer server_a(engine_a, rogue);
+  KeyCache cache_b(kAsB, pki);
+  EXPECT_FALSE(cache_b.insert(kAsA, server_a.fetch(kAsB, 100)));
+}
+
+TEST(KeyCacheTest, MissOutsideEpoch) {
+  SimulatedPki pki;
+  Engine engine_a(master(7), kAsA);  // default epoch: 1 day
+  KeyServer server_a(engine_a, pki.enroll(kAsA));
+  KeyCache cache_b(kAsB, pki);
+  ASSERT_TRUE(cache_b.insert(kAsA, server_a.fetch(kAsB, 1000)));
+  EXPECT_TRUE(cache_b.lookup(kAsA, 1000).has_value());
+  EXPECT_FALSE(cache_b.lookup(kAsA, kDefaultEpochSeconds + 5).has_value());
+}
+
+TEST(KeyCacheTest, ExpireDropsOldEpochs) {
+  SimulatedPki pki;
+  Engine engine_a(master(7), kAsA, 100);
+  KeyServer server_a(engine_a, pki.enroll(kAsA));
+  KeyCache cache_b(kAsB, pki);
+  ASSERT_TRUE(cache_b.insert(kAsA, server_a.fetch(kAsB, 50)));
+  ASSERT_TRUE(cache_b.insert(kAsA, server_a.fetch(kAsB, 150)));
+  EXPECT_EQ(cache_b.size(), 2u);
+  EXPECT_EQ(cache_b.expire(120), 1u);
+  EXPECT_EQ(cache_b.size(), 1u);
+}
+
+TEST(PkiTest, EnrollIsIdempotent) {
+  SimulatedPki pki;
+  const Key128 k1 = pki.enroll(kAsA);
+  const Key128 k2 = pki.enroll(kAsA);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, pki.enroll(kAsB));
+}
+
+TEST(PkiTest, SignVerifyRoundTrip) {
+  SimulatedPki pki;
+  const Key128 secret = pki.enroll(kAsA);
+  const Bytes msg = {1, 2, 3};
+  const auto sig = SimulatedPki::sign(secret, msg);
+  EXPECT_TRUE(pki.verify(kAsA, msg, sig));
+  EXPECT_FALSE(pki.verify(kAsB, msg, sig));
+  Bytes other = {1, 2, 4};
+  EXPECT_FALSE(pki.verify(kAsA, other, sig));
+}
+
+// Property: keys for many (owner, peer, epoch) combinations are distinct.
+TEST(DeriveTest, NoAccidentalCollisionsAcrossPeers) {
+  const Key128 sv = master(5);
+  std::set<std::array<std::uint8_t, 16>> seen;
+  for (std::uint64_t as = 1; as <= 200; ++as) {
+    const auto k = derive_as_key(sv, AsId{1, as});
+    EXPECT_TRUE(seen.insert(k.bytes).second) << "collision at " << as;
+  }
+}
+
+}  // namespace
+}  // namespace colibri::drkey

@@ -1,0 +1,150 @@
+// Tests for the §3.2/§3.3 extension features: explicit down-SegR requests
+// and demand forecasting for SegR renewals.
+#include <gtest/gtest.h>
+
+#include "colibri/app/testbed.hpp"
+#include "colibri/cserv/forecast.hpp"
+
+namespace colibri::cserv {
+namespace {
+
+class DownSegrTest : public ::testing::Test {
+ protected:
+  DownSegrTest()
+      : clock_(1000 * kNsPerSec),
+        bed_(topology::builders::two_isd_topology(), clock_) {}
+
+  topology::PathSegment down_segment_to(AsId dst) {
+    auto downs = bed_.pathdb().down_segments_to(dst);
+    EXPECT_FALSE(downs.empty());
+    return *downs.front();
+  }
+
+  SimClock clock_;
+  app::Testbed bed_;
+};
+
+TEST_F(DownSegrTest, LastAsTriggersSetupAtCore) {
+  const AsId eyeball{1, 120};
+  const auto seg = down_segment_to(eyeball);
+  const AsId core = seg.first_as();
+
+  auto r = bed_.cserv(eyeball).request_down_segr(seg, 1000, 5'000'000);
+  ASSERT_TRUE(r.ok()) << errc_name(r.error());
+  EXPECT_EQ(r.value().key.src_as, core);
+  EXPECT_GE(r.value().bw_kbps, 1000u);
+
+  // The core AS holds the reservation; every on-path AS stored it.
+  for (const auto& hop : seg.hops) {
+    EXPECT_NE(bed_.cserv(hop.as).db().segrs().find(r.value().key), nullptr)
+        << hop.as.to_string();
+  }
+  // It is published at the core, whitelisted for the requester.
+  auto advert = bed_.cserv(core).registry().find(r.value().key);
+  ASSERT_TRUE(advert.has_value());
+  EXPECT_TRUE(advert->usable_by(eyeball));
+  EXPECT_FALSE(advert->usable_by(AsId{1, 121}));
+}
+
+TEST_F(DownSegrTest, OnlyLastAsMayRequest) {
+  const AsId eyeball{1, 120};
+  const auto seg = down_segment_to(eyeball);
+  // An unrelated AS tries to request the same segment.
+  auto r = bed_.cserv(AsId{1, 121}).request_down_segr(seg, 1000, 1'000'000);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DownSegrTest, RequesterMustBeSegmentTail) {
+  const AsId eyeball{1, 120};
+  auto seg = down_segment_to(eyeball);
+  seg.hops.pop_back();  // now ends at the parent, not at us
+  auto r = bed_.cserv(eyeball).request_down_segr(seg, 1000, 1'000'000);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DownSegrTest, DownSegrUsableForEers) {
+  // The classic eyeball flow: request a down-SegR, then build an EER to a
+  // host in the eyeball AS over (up at the content AS + that down-SegR).
+  const AsId eyeball{1, 120}, content{1, 121};  // both children of core 1-101
+  const auto down = down_segment_to(eyeball);
+  auto down_r = bed_.cserv(eyeball).request_down_segr(down, 1000, 5'000'000);
+  ASSERT_TRUE(down_r.ok());
+
+  // Content side provisions its up segment.
+  const auto up = *bed_.pathdb().up_segments_from(content).front();
+  ASSERT_EQ(up.last_as(), down.first_as());  // join at the core
+  auto up_r = bed_.cserv(content).setup_segr(up, 1000, 5'000'000);
+  ASSERT_TRUE(up_r.ok());
+  ASSERT_TRUE(bed_.cserv(content).publish_segr(up_r.value().key, {}));
+
+  // But the down-SegR is whitelisted to the *eyeball* AS, not to the
+  // content AS — the EER must be refused. Enforcement can bite at either
+  // layer: the registry refuses to serve the advert (kNoSuchSegment) or
+  // the initiating AS rejects the EEReq (kNotWhitelisted).
+  auto denied = bed_.cserv(content).setup_eer(
+      {up_r.value().key, down_r.value().key}, HostAddr::from_u64(1),
+      HostAddr::from_u64(2), 100, 1000);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_TRUE(denied.error() == Errc::kNotWhitelisted ||
+              denied.error() == Errc::kNoSuchSegment)
+      << errc_name(denied.error());
+
+  // ...until the eyeball AS widens the whitelist at the core.
+  const AsId core = down.first_as();
+  ASSERT_TRUE(bed_.cserv(core).publish_segr(down_r.value().key,
+                                            {eyeball, content}));
+  auto session = bed_.cserv(content).setup_eer(
+      {up_r.value().key, down_r.value().key}, HostAddr::from_u64(1),
+      HostAddr::from_u64(2), 100, 1000);
+  ASSERT_TRUE(session.ok()) << errc_name(session.error());
+}
+
+TEST(ForecastTest, EmptyRecommendsFloor) {
+  DemandForecaster f;
+  EXPECT_EQ(f.recommend(), ForecastConfig{}.floor_kbps);
+}
+
+TEST(ForecastTest, ConvergesToSteadyDemandWithHeadroom) {
+  DemandForecaster f;
+  for (int i = 0; i < 200; ++i) f.observe(100'000);
+  // EWMA -> 100k, peak 100k; recommend = 125k.
+  EXPECT_NEAR(static_cast<double>(f.recommend()), 125'000, 2'000);
+}
+
+TEST(ForecastTest, PeakTrackerCoversBursts) {
+  DemandForecaster f;
+  for (int i = 0; i < 50; ++i) f.observe(10'000);
+  f.observe(500'000);  // one burst
+  // Right after the burst, the recommendation covers it.
+  EXPECT_GE(f.recommend(), 500'000u);
+  // ...and decays once the burst is long gone.
+  for (int i = 0; i < 200; ++i) f.observe(10'000);
+  EXPECT_LT(f.recommend(), 100'000u);
+  EXPECT_GE(f.recommend(), 12'500u - 1000);  // never below EWMA x headroom
+}
+
+TEST(ForecastTest, DrivesRenewalDemand) {
+  // End-to-end: feed a forecaster from SegR utilization and renew at the
+  // recommended size.
+  SimClock clock(1000 * kNsPerSec);
+  app::Testbed bed(topology::builders::two_isd_topology(), clock);
+  const AsId src{1, 110};
+  const auto seg = *bed.pathdb().up_segments_from(src).front();
+  auto setup = bed.cserv(src).setup_segr(seg, 1000, 10'000'000);
+  ASSERT_TRUE(setup.ok());
+
+  DemandForecaster f;
+  // Observed utilization hovers around 3 Gbps.
+  for (int i = 0; i < 60; ++i) f.observe(3'000'000);
+
+  clock.advance(2 * kNsPerSec);
+  auto renewed =
+      bed.cserv(src).renew_segr(setup.value().key, 1000, f.recommend());
+  ASSERT_TRUE(renewed.ok()) << errc_name(renewed.error());
+  // ~3 Gbps x 1.25 headroom.
+  EXPECT_NEAR(static_cast<double>(renewed.value().bw_kbps), 3'750'000,
+              100'000);
+}
+
+}  // namespace
+}  // namespace colibri::cserv

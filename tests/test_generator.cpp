@@ -1,0 +1,145 @@
+// Tests: synthetic Internet-scale topology generator + control-plane
+// scalability on generated topologies.
+#include <gtest/gtest.h>
+
+#include "colibri/app/testbed.hpp"
+#include "colibri/topology/beacon.hpp"
+#include "colibri/topology/generator.hpp"
+
+namespace colibri::topology {
+namespace {
+
+TEST(GeneratorTest, ProducesExpectedAsCount) {
+  GeneratorConfig cfg;
+  cfg.isds = 2;
+  cfg.cores_per_isd = 2;
+  cfg.fanout = 3;
+  cfg.depth = 2;
+  const Topology topo = generate_topology(cfg);
+  EXPECT_EQ(topo.as_count(), expected_as_count(cfg));
+  // 2 ISDs x 2 cores x (1 + 3 + 9) = 52.
+  EXPECT_EQ(topo.as_count(), 52u);
+  EXPECT_EQ(topo.core_ases().size(), 4u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.seed = 42;
+  const Topology a = generate_topology(cfg);
+  const Topology b = generate_topology(cfg);
+  ASSERT_EQ(a.as_count(), b.as_count());
+  for (AsId id : a.as_ids()) {
+    ASSERT_TRUE(b.has_as(id));
+    EXPECT_EQ(a.node(id).interfaces.size(), b.node(id).interfaces.size());
+  }
+}
+
+TEST(GeneratorTest, EveryNonCoreHasAProvider) {
+  const Topology topo = generate_topology(GeneratorConfig{});
+  for (AsId id : topo.as_ids()) {
+    const AsNode& node = topo.node(id);
+    if (node.core) continue;
+    bool has_provider = false;
+    for (const auto& intf : node.interfaces) {
+      has_provider |= intf.to_parent;
+    }
+    EXPECT_TRUE(has_provider) << id.to_string();
+  }
+}
+
+TEST(GeneratorTest, IsdPairsConnected) {
+  GeneratorConfig cfg;
+  cfg.core_mesh_density = 0.0;  // force the fallback single links
+  const Topology topo = generate_topology(cfg);
+  // Each core AS must reach the other ISDs through some core link.
+  for (AsId a : topo.core_ases()) {
+    int cross_isd = 0;
+    for (const auto& intf : topo.node(a).interfaces) {
+      if (intf.type == LinkType::kCore &&
+          intf.neighbor.isd() != a.isd()) {
+        ++cross_isd;
+      }
+    }
+    (void)cross_isd;  // at least the first core of each ISD has one
+  }
+  // Structural check: beaconing can discover a core segment between ISDs.
+  const auto segs = discover_segments(topo, BeaconConfig{1, 6});
+  bool cross = false;
+  for (const auto& s : segs) {
+    if (s.type == SegType::kCore &&
+        s.first_as().isd() != s.last_as().isd()) {
+      cross = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cross);
+}
+
+TEST(GeneratorTest, MultihomingCreatesPathDiversity) {
+  GeneratorConfig with;
+  with.multihome_prob = 1.0;
+  with.seed = 7;
+  GeneratorConfig without = with;
+  without.multihome_prob = 0.0;
+
+  auto count_parent_links = [](const Topology& t) {
+    size_t n = 0;
+    for (AsId id : t.as_ids()) {
+      for (const auto& intf : t.node(id).interfaces) {
+        n += intf.to_parent;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(count_parent_links(generate_topology(with)),
+            count_parent_links(generate_topology(without)));
+}
+
+TEST(GeneratorTest, FullControlPlaneRunsOnGeneratedTopology) {
+  // End-to-end: a ~100-AS generated topology, full Testbed, SegR
+  // provisioning, and an EER across ISDs — the control plane scales
+  // beyond the hand-built fixtures.
+  GeneratorConfig cfg;
+  cfg.isds = 2;
+  cfg.cores_per_isd = 2;
+  cfg.fanout = 4;
+  cfg.depth = 2;
+  cfg.multihome_prob = 0.25;
+  cfg.seed = 5;
+  Topology topo = generate_topology(cfg);
+  ASSERT_GE(topo.as_count(), 80u);
+
+  SimClock clock(1000 * kNsPerSec);
+  app::Testbed bed(std::move(topo), clock);
+  const size_t provisioned = bed.provision_all_segments(100, 500'000);
+  EXPECT_GT(provisioned, 100u);
+
+  // Pick a leaf in each ISD (highest AS numbers are the deepest).
+  AsId src, dst;
+  for (AsId id : bed.topology().as_ids()) {
+    if (bed.topology().node(id).core) continue;
+    if (id.isd() == 1) src = id;
+    if (id.isd() == 2) dst = id;
+  }
+  ASSERT_TRUE(src.valid());
+  ASSERT_TRUE(dst.valid());
+
+  auto session = bed.daemon(src).open_session(
+      dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 10, 1000);
+  ASSERT_TRUE(session.ok()) << errc_name(session.error());
+
+  // The packet verifies along the whole (generated) path.
+  const auto* rec = bed.cserv(src).db().eers().find(session.value().key());
+  ASSERT_NE(rec, nullptr);
+  dataplane::FastPacket pkt;
+  ASSERT_EQ(session.value().send(100, pkt), dataplane::Gateway::Verdict::kOk);
+  for (size_t i = 0; i < rec->path.size(); ++i) {
+    const auto v = bed.router(rec->path[i].as).process(pkt);
+    ASSERT_TRUE(v == dataplane::BorderRouter::Verdict::kForward ||
+                v == dataplane::BorderRouter::Verdict::kDeliver)
+        << "hop " << i;
+  }
+}
+
+}  // namespace
+}  // namespace colibri::topology

@@ -1,0 +1,172 @@
+// Tests: reservation WAL — record codecs, replay, torn-tail recovery,
+// corruption handling, checkpoint compaction, file storage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "colibri/reservation/persist.hpp"
+
+namespace colibri::reservation {
+namespace {
+
+SegrRecord sample_segr(ResId id) {
+  SegrRecord rec;
+  rec.key = ResKey{AsId{1, 10}, id};
+  rec.seg_type = topology::SegType::kCore;
+  rec.hops = {topology::Hop{AsId{1, 10}, kNoInterface, 1},
+              topology::Hop{AsId{1, 20}, 2, kNoInterface}};
+  rec.local_hop = 1;
+  rec.active = SegrVersion{2, 5000, 600};
+  rec.pending = SegrVersion{3, 7000, 900};
+  rec.eer_allocated_kbps = 1234;
+  return rec;
+}
+
+EerRecord sample_eer(ResId id) {
+  EerRecord rec;
+  rec.key = ResKey{AsId{1, 10}, id};
+  rec.src_host = HostAddr::from_u64(11);
+  rec.dst_host = HostAddr::from_u64(22);
+  rec.path = {topology::Hop{AsId{1, 10}, 0, 1}, topology::Hop{AsId{1, 20}, 2, 0}};
+  rec.local_hop = 0;
+  rec.segrs = {ResKey{AsId{1, 10}, 900}, ResKey{AsId{1, 20}, 901}};
+  rec.versions = {EerVersion{0, 100, 50}, EerVersion{1, 150, 66}};
+  return rec;
+}
+
+TEST(Crc32Test, KnownVector) {
+  const Bytes msg = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(msg), 0xCBF43926u);  // the canonical CRC-32 check value
+}
+
+TEST(RecordCodecTest, SegrRoundTrip) {
+  const SegrRecord rec = sample_segr(7);
+  auto decoded = decode_segr_record(encode_segr_record(rec));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, rec.key);
+  EXPECT_EQ(decoded->seg_type, rec.seg_type);
+  EXPECT_EQ(decoded->hops, rec.hops);
+  EXPECT_EQ(decoded->local_hop, rec.local_hop);
+  EXPECT_EQ(decoded->active.bw_kbps, rec.active.bw_kbps);
+  ASSERT_TRUE(decoded->pending.has_value());
+  EXPECT_EQ(decoded->pending->version, 3);
+  EXPECT_EQ(decoded->eer_allocated_kbps, 1234u);
+}
+
+TEST(RecordCodecTest, EerRoundTrip) {
+  const EerRecord rec = sample_eer(9);
+  auto decoded = decode_eer_record(encode_eer_record(rec));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, rec.key);
+  EXPECT_EQ(decoded->src_host, rec.src_host);
+  EXPECT_EQ(decoded->segrs, rec.segrs);
+  ASSERT_EQ(decoded->versions.size(), 2u);
+  EXPECT_EQ(decoded->versions[1].bw_kbps, 150u);
+}
+
+TEST(RecordCodecTest, RejectsTruncated) {
+  const Bytes full = encode_segr_record(sample_segr(1));
+  for (size_t cut = 0; cut + 1 < full.size(); cut += 7) {
+    EXPECT_FALSE(
+        decode_segr_record(BytesView(full.data(), cut)).has_value())
+        << cut;
+  }
+}
+
+TEST(WalTest, ReplayRestoresDb) {
+  MemoryStorage storage;
+  ReservationWal wal(storage);
+  wal.log_segr_upsert(sample_segr(1));
+  wal.log_segr_upsert(sample_segr(2));
+  wal.log_eer_upsert(sample_eer(3));
+  wal.log_segr_erase(ResKey{AsId{1, 10}, 2});
+
+  ReservationDb db(AsId{1, 20});
+  EXPECT_EQ(wal.recover(db), 4u);
+  EXPECT_NE(db.segrs().find(ResKey{AsId{1, 10}, 1}), nullptr);
+  EXPECT_EQ(db.segrs().find(ResKey{AsId{1, 10}, 2}), nullptr);  // erased
+  EXPECT_NE(db.eers().find(ResKey{AsId{1, 10}, 3}), nullptr);
+}
+
+TEST(WalTest, TornTailIsDiscarded) {
+  MemoryStorage storage;
+  ReservationWal wal(storage);
+  wal.log_segr_upsert(sample_segr(1));
+  const size_t complete = storage.raw().size();
+  wal.log_segr_upsert(sample_segr(2));
+  // Crash mid-write: drop half of the second record.
+  storage.raw().resize(complete + (storage.raw().size() - complete) / 2);
+
+  ReservationDb db(AsId{1, 20});
+  EXPECT_EQ(wal.recover(db), 1u);
+  EXPECT_NE(db.segrs().find(ResKey{AsId{1, 10}, 1}), nullptr);
+  EXPECT_EQ(db.segrs().find(ResKey{AsId{1, 10}, 2}), nullptr);
+}
+
+TEST(WalTest, CorruptRecordStopsReplay) {
+  MemoryStorage storage;
+  ReservationWal wal(storage);
+  wal.log_segr_upsert(sample_segr(1));
+  const size_t first_end = storage.raw().size();
+  wal.log_segr_upsert(sample_segr(2));
+  wal.log_segr_upsert(sample_segr(3));
+  // Flip a payload byte of record 2: its CRC no longer matches; replay
+  // must stop there and keep only record 1 (no torn state applied).
+  storage.raw()[first_end + 10] ^= 0xFF;
+
+  ReservationDb db(AsId{1, 20});
+  EXPECT_EQ(wal.recover(db), 1u);
+  EXPECT_EQ(db.segrs().size(), 1u);
+}
+
+TEST(WalTest, CheckpointCompacts) {
+  MemoryStorage storage;
+  ReservationWal wal(storage);
+  // Lots of churn.
+  for (ResId i = 1; i <= 50; ++i) wal.log_segr_upsert(sample_segr(i));
+  for (ResId i = 2; i <= 50; ++i) wal.log_segr_erase(ResKey{AsId{1, 10}, i});
+  const size_t churned = storage.raw().size();
+
+  ReservationDb db(AsId{1, 20});
+  wal.recover(db);
+  ASSERT_EQ(db.segrs().size(), 1u);
+
+  wal.checkpoint(db);
+  EXPECT_LT(storage.raw().size(), churned / 10);
+
+  ReservationDb fresh(AsId{1, 20});
+  EXPECT_EQ(wal.recover(fresh), 1u);
+  EXPECT_NE(fresh.segrs().find(ResKey{AsId{1, 10}, 1}), nullptr);
+}
+
+TEST(WalTest, FileStorageRoundTrip) {
+  const std::string path = "/tmp/colibri_wal_test.log";
+  std::remove(path.c_str());
+  {
+    FileStorage storage(path);
+    storage.truncate();
+    ReservationWal wal(storage);
+    wal.log_segr_upsert(sample_segr(1));
+    wal.log_eer_upsert(sample_eer(2));
+  }
+  {
+    FileStorage storage(path);
+    ReservationWal wal(storage);
+    ReservationDb db(AsId{1, 20});
+    EXPECT_EQ(wal.recover(db), 2u);
+    EXPECT_EQ(db.segrs().size(), 1u);
+    EXPECT_EQ(db.eers().size(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, EmptyLogRecoversNothing) {
+  MemoryStorage storage;
+  ReservationWal wal(storage);
+  ReservationDb db(AsId{1, 20});
+  EXPECT_EQ(wal.recover(db), 0u);
+  EXPECT_EQ(db.segrs().size(), 0u);
+}
+
+}  // namespace
+}  // namespace colibri::reservation

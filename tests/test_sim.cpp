@@ -1,0 +1,195 @@
+// Unit tests: event loop, priority port, links, traffic sources, and the
+// Table 2 protection scenario (shape-level assertions; the full-rate runs
+// live in bench_table2_protection).
+#include <gtest/gtest.h>
+
+#include "colibri/sim/scenario.hpp"
+
+namespace colibri::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(10, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.at(10, [&] { ++ran; });
+  sim.at(100, [&] { ++ran; });
+  sim.run_until(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.after(10, recurse);
+  };
+  sim.at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  TimeNs seen = -1;
+  sim.at(5, [&] { seen = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(PriorityPortTest, TransmitsAtLineRate) {
+  Simulator sim;
+  PriorityPort port(sim, 8e9);  // 8 Gbps: 1000 B = 1 µs
+  int delivered = 0;
+  port.set_sink([&](SimPacket&&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    SimPacket p;
+    p.cls = TrafficClass::kBestEffort;
+    p.bytes = 1000;
+    port.enqueue(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(sim.now(), 10'000);  // 10 packets x 1 µs
+}
+
+TEST(PriorityPortTest, StrictPriorityOrdering) {
+  Simulator sim;
+  PriorityPort port(sim, 8e9);
+  std::vector<TrafficClass> order;
+  port.set_sink([&](SimPacket&& p) { order.push_back(p.cls); });
+  // Enqueue BE first, then Colibri data; data must transmit before the
+  // queued BE packets (after the one already in flight).
+  for (int i = 0; i < 3; ++i) {
+    SimPacket p;
+    p.cls = TrafficClass::kBestEffort;
+    p.bytes = 1000;
+    port.enqueue(std::move(p));
+  }
+  for (int i = 0; i < 3; ++i) {
+    SimPacket p;
+    p.cls = TrafficClass::kColibriData;
+    p.bytes = 1000;
+    port.enqueue(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 6u);
+  // First packet was already committed (BE); all Colibri data precedes
+  // the remaining BE.
+  EXPECT_EQ(order[0], TrafficClass::kBestEffort);
+  EXPECT_EQ(order[1], TrafficClass::kColibriData);
+  EXPECT_EQ(order[2], TrafficClass::kColibriData);
+  EXPECT_EQ(order[3], TrafficClass::kColibriData);
+}
+
+TEST(PriorityPortTest, DropTailOnFullQueue) {
+  Simulator sim;
+  PriorityPort port(sim, 1e6, /*queue_limit_bytes=*/2000);
+  port.set_sink([](SimPacket&&) {});
+  for (int i = 0; i < 10; ++i) {
+    SimPacket p;
+    p.cls = TrafficClass::kBestEffort;
+    p.bytes = 1000;
+    port.enqueue(std::move(p));
+  }
+  const auto& ctr = port.counters(TrafficClass::kBestEffort);
+  EXPECT_GT(ctr.dropped_pkts, 0u);
+  EXPECT_LE(ctr.enqueued_pkts, 4u);  // 1 in flight + 2000 B of queue
+  EXPECT_EQ(ctr.enqueued_pkts + ctr.dropped_pkts, 10u);
+}
+
+TEST(SimLinkTest, AddsPropagationDelay) {
+  Simulator sim;
+  SimLink link(sim, 8e9, /*propagation_ns=*/5000);
+  TimeNs arrival = -1;
+  link.set_sink([&](SimPacket&&) { arrival = sim.now(); });
+  SimPacket p;
+  p.bytes = 1000;  // 1 µs serialization at 8 Gbps
+  link.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(arrival, 1000 + 5000);
+}
+
+TEST(CbrSourceTest, EmitsAtConfiguredRate) {
+  Simulator sim;
+  int count = 0;
+  CbrSource src(
+      sim, [&](SimPacket&&) { ++count; }, TrafficClass::kBestEffort,
+      /*rate=*/8e6, /*pkt_bytes=*/1000, 1);
+  // 8 Mbps at 1000 B -> 1000 pkts/s -> 100 packets in 0.1 s.
+  src.start(0, 100'000'000);
+  sim.run();
+  EXPECT_NEAR(count, 100, 2);
+}
+
+TEST(ScenarioTest, Phase1ReservationsAndBestEffortShareLink) {
+  ScenarioConfig cfg;
+  cfg.duration_ns = 50'000'000;  // short run for unit testing
+  cfg.warmup_ns = 10'000'000;
+  ProtectionScenario scenario(cfg);
+  const auto phases = table2_phases();
+  const PhaseResult r = scenario.run_phase(phases[0]);
+  ASSERT_EQ(r.flows.size(), 4u);
+  // Reservations get their guaranteed bandwidth (±10 %).
+  EXPECT_NEAR(r.flows[0].delivered_gbps, 0.4, 0.05);
+  EXPECT_NEAR(r.flows[1].delivered_gbps, 0.8, 0.08);
+  // Best effort fills the rest of the 40 G link but no more.
+  const double be = r.flows[2].delivered_gbps + r.flows[3].delivered_gbps;
+  EXPECT_GT(be, 30.0);
+  EXPECT_LT(be, 40.0);
+  EXPECT_EQ(r.router_bad_hvf, 0u);
+}
+
+TEST(ScenarioTest, Phase2UnauthenticTrafficFiltered) {
+  ScenarioConfig cfg;
+  cfg.duration_ns = 50'000'000;
+  cfg.warmup_ns = 10'000'000;
+  ProtectionScenario scenario(cfg);
+  const PhaseResult r = scenario.run_phase(table2_phases()[1]);
+  // The unauthentic flood (flow 5) is dropped entirely at the router.
+  EXPECT_NEAR(r.flows[4].delivered_gbps, 0.0, 1e-6);
+  EXPECT_GT(r.router_bad_hvf, 0u);
+  // Reservations unaffected.
+  EXPECT_NEAR(r.flows[0].delivered_gbps, 0.4, 0.05);
+  EXPECT_NEAR(r.flows[1].delivered_gbps, 0.8, 0.08);
+}
+
+TEST(ScenarioTest, Phase3OveruseLimitedToReservation) {
+  ScenarioConfig cfg;
+  cfg.duration_ns = 50'000'000;
+  cfg.warmup_ns = 10'000'000;
+  ProtectionScenario scenario(cfg);
+  const PhaseResult r = scenario.run_phase(table2_phases()[2]);
+  // 40 Gbps offered over a 0.4 Gbps reservation: limited to ~0.4.
+  EXPECT_LT(r.flows[0].delivered_gbps, 1.0);
+  EXPECT_GT(r.router_overuse_dropped, 0u);
+  // The honest reservation 2 is unaffected by its neighbor's overuse.
+  EXPECT_NEAR(r.flows[1].delivered_gbps, 0.8, 0.08);
+}
+
+}  // namespace
+}  // namespace colibri::sim

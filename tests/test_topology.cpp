@@ -1,0 +1,255 @@
+// Unit tests: topology model, segments, beacon discovery, path database.
+#include <gtest/gtest.h>
+
+#include "colibri/topology/beacon.hpp"
+#include "colibri/topology/pathdb.hpp"
+#include "colibri/topology/segment.hpp"
+#include "colibri/topology/topology.hpp"
+
+namespace colibri::topology {
+namespace {
+
+TEST(TopologyTest, AddLinkAllocatesInterfacePairs) {
+  Topology t;
+  const AsId a{1, 1}, b{1, 2};
+  t.add_as(a, true);
+  t.add_as(b, false);
+  const auto [ia, ib] = t.add_link(a, b, LinkType::kParentChild, 1000);
+  EXPECT_EQ(ia, 1);
+  EXPECT_EQ(ib, 1);
+
+  const Interface* intf_a = t.node(a).find_interface(ia);
+  ASSERT_NE(intf_a, nullptr);
+  EXPECT_EQ(intf_a->neighbor, b);
+  EXPECT_EQ(intf_a->neighbor_ifid, ib);
+  EXPECT_FALSE(intf_a->to_parent);
+
+  const Interface* intf_b = t.node(b).find_interface(ib);
+  ASSERT_NE(intf_b, nullptr);
+  EXPECT_TRUE(intf_b->to_parent);  // b is the child
+}
+
+TEST(TopologyTest, TrafficSplitCapacities) {
+  Topology t;
+  const AsId a{1, 1}, b{1, 2};
+  t.add_as(a, true);
+  t.add_as(b, false);
+  const auto [ia, _] = t.add_link(a, b, LinkType::kParentChild, 1000);
+  EXPECT_EQ(t.node(a).colibri_capacity(ia), 750u);  // 75 % default
+  EXPECT_EQ(t.node(a).control_capacity(ia), 50u);   // 5 % default
+  EXPECT_EQ(t.node(a).colibri_capacity(99), 0u);    // unknown interface
+}
+
+TEST(TopologyTest, UnknownAsThrows) {
+  Topology t;
+  EXPECT_THROW(t.node(AsId{1, 42}), std::out_of_range);
+}
+
+TEST(TopologyTest, CoreAsesListed) {
+  const Topology t = builders::two_isd_topology();
+  const auto cores = t.core_ases();
+  EXPECT_EQ(cores.size(), 4u);
+  for (AsId c : cores) EXPECT_TRUE(t.node(c).core);
+}
+
+TEST(SegmentTest, ReversedSwapsTypeAndInterfaces) {
+  PathSegment seg;
+  seg.type = SegType::kDown;
+  seg.hops = {Hop{AsId{1, 1}, kNoInterface, 5}, Hop{AsId{1, 2}, 6, kNoInterface}};
+  const PathSegment rev = seg.reversed();
+  EXPECT_EQ(rev.type, SegType::kUp);
+  ASSERT_EQ(rev.hops.size(), 2u);
+  EXPECT_EQ(rev.hops[0].as, (AsId{1, 2}));
+  EXPECT_EQ(rev.hops[0].ingress, kNoInterface);
+  EXPECT_EQ(rev.hops[0].egress, 6);
+  EXPECT_EQ(rev.hops[1].ingress, 5);
+  EXPECT_EQ(rev.hops[1].egress, kNoInterface);
+}
+
+TEST(SegmentTest, CombineJoinsAtTransferAs) {
+  PathSegment up;
+  up.type = SegType::kUp;
+  up.hops = {Hop{AsId{1, 1}, 0, 1}, Hop{AsId{1, 100}, 2, 0}};
+  PathSegment down;
+  down.type = SegType::kDown;
+  down.hops = {Hop{AsId{1, 100}, 0, 3}, Hop{AsId{1, 2}, 4, 0}};
+
+  auto path = combine_segments(&up, nullptr, &down);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->hops.size(), 3u);
+  // The transfer AS appears once, ingress from up, egress into down.
+  EXPECT_EQ(path->hops[1].as, (AsId{1, 100}));
+  EXPECT_EQ(path->hops[1].ingress, 2);
+  EXPECT_EQ(path->hops[1].egress, 3);
+}
+
+TEST(SegmentTest, CombineRejectsDisconnected) {
+  PathSegment up;
+  up.type = SegType::kUp;
+  up.hops = {Hop{AsId{1, 1}, 0, 1}, Hop{AsId{1, 100}, 2, 0}};
+  PathSegment down;
+  down.type = SegType::kDown;
+  down.hops = {Hop{AsId{1, 101}, 0, 3}, Hop{AsId{1, 2}, 4, 0}};
+  EXPECT_FALSE(combine_segments(&up, nullptr, &down).has_value());
+}
+
+TEST(SegmentTest, ShortcutCutsAtCommonAs) {
+  // up: A -> B -> C (core); down: C -> B -> D. Shortcut at B skips C.
+  PathSegment up;
+  up.type = SegType::kUp;
+  up.hops = {Hop{AsId{1, 1}, 0, 1}, Hop{AsId{1, 2}, 2, 3},
+             Hop{AsId{1, 100}, 4, 0}};
+  PathSegment down;
+  down.type = SegType::kDown;
+  down.hops = {Hop{AsId{1, 100}, 0, 5}, Hop{AsId{1, 2}, 6, 7},
+               Hop{AsId{1, 3}, 8, 0}};
+  auto path = combine_with_shortcut(up, down);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->hops.size(), 3u);
+  EXPECT_EQ(path->hops[0].as, (AsId{1, 1}));
+  EXPECT_EQ(path->hops[1].as, (AsId{1, 2}));
+  EXPECT_EQ(path->hops[1].egress, 7);
+  EXPECT_EQ(path->hops[2].as, (AsId{1, 3}));
+}
+
+TEST(BeaconTest, DiscoversAllSegmentTypes) {
+  const Topology t = builders::two_isd_topology();
+  const auto segs = discover_segments(t);
+  int ups = 0, downs = 0, cores = 0;
+  for (const auto& s : segs) {
+    switch (s.type) {
+      case SegType::kUp: ++ups; break;
+      case SegType::kDown: ++downs; break;
+      case SegType::kCore: ++cores; break;
+    }
+  }
+  EXPECT_GT(ups, 0);
+  EXPECT_GT(downs, 0);
+  EXPECT_GT(cores, 0);
+  EXPECT_EQ(ups, downs);  // up-segments are reversed down-segments
+}
+
+TEST(BeaconTest, SegmentsAreTopologyConsistent) {
+  const Topology t = builders::two_isd_topology();
+  for (const auto& seg : discover_segments(t)) {
+    // Validate as a path: interface chaining must match the topology.
+    Path p{seg.hops};
+    EXPECT_TRUE(path_valid(p, t)) << seg.to_string();
+  }
+}
+
+TEST(BeaconTest, UpSegmentsStartAtNonCoreEndAtCore) {
+  const Topology t = builders::two_isd_topology();
+  for (const auto& seg : discover_segments(t)) {
+    if (seg.type != SegType::kUp) continue;
+    EXPECT_FALSE(t.node(seg.first_as()).core) << seg.to_string();
+    EXPECT_TRUE(t.node(seg.last_as()).core) << seg.to_string();
+  }
+}
+
+TEST(BeaconTest, CoreSegmentsConnectCores) {
+  const Topology t = builders::two_isd_topology();
+  for (const auto& seg : discover_segments(t)) {
+    if (seg.type != SegType::kCore) continue;
+    EXPECT_TRUE(t.node(seg.first_as()).core);
+    EXPECT_TRUE(t.node(seg.last_as()).core);
+  }
+}
+
+TEST(BeaconTest, RespectsMaxPathsPerPair) {
+  const Topology t = builders::two_isd_topology();
+  BeaconConfig cfg;
+  cfg.max_paths_per_pair = 1;
+  const auto segs = discover_segments(t, cfg);
+  std::map<std::tuple<SegType, AsId, AsId>, int> counts;
+  for (const auto& s : segs) {
+    ++counts[{s.type, s.first_as(), s.last_as()}];
+  }
+  for (const auto& [key, n] : counts) {
+    EXPECT_LE(n, 1) << seg_type_name(std::get<0>(key));
+  }
+}
+
+class PathDbTest : public ::testing::Test {
+ protected:
+  PathDbTest() : topo_(builders::two_isd_topology()), db_(topo_) {
+    db_.insert_all(discover_segments(topo_));
+  }
+  Topology topo_;
+  PathDb db_;
+};
+
+TEST_F(PathDbTest, FindsCrossIsdPaths) {
+  // Grandchild in ISD 1 to grandchild in ISD 2: needs up+core+down.
+  const AsId src{1, 112}, dst{2, 212};
+  const auto paths = db_.paths(src, dst);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& ap : paths) {
+    EXPECT_EQ(ap.path.src_as(), src);
+    EXPECT_EQ(ap.path.dst_as(), dst);
+    EXPECT_TRUE(path_valid(ap.path, topo_)) << ap.path.to_string();
+    EXPECT_GE(ap.segments.size(), 1u);
+    EXPECT_LE(ap.segments.size(), 3u);
+  }
+}
+
+TEST_F(PathDbTest, PathsSortedByLength) {
+  const auto paths = db_.paths(AsId{1, 110}, AsId{2, 210});
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].path.length(), paths[i].path.length());
+  }
+}
+
+TEST_F(PathDbTest, IntraIsdSiblingUsesSharedCore) {
+  // Two children of the same core AS.
+  const auto paths = db_.paths(AsId{1, 110}, AsId{1, 111});
+  ASSERT_FALSE(paths.empty());
+  // Shortest path is up to core 1-100 and straight down: 3 hops.
+  EXPECT_EQ(paths.front().path.length(), 3u);
+}
+
+TEST_F(PathDbTest, CoreToCorePaths) {
+  const auto paths = db_.paths(AsId{1, 100}, AsId{2, 200});
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().path.length(), 2u);  // direct core link
+}
+
+TEST_F(PathDbTest, NonCoreToCore) {
+  const auto paths = db_.paths(AsId{1, 110}, AsId{2, 200});
+  ASSERT_FALSE(paths.empty());
+  for (const auto& ap : paths) {
+    EXPECT_TRUE(path_valid(ap.path, topo_));
+  }
+}
+
+TEST_F(PathDbTest, SamePathNotDuplicated) {
+  const auto paths = db_.paths(AsId{1, 112}, AsId{2, 212}, 32);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    for (size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_FALSE(paths[i].path == paths[j].path);
+    }
+  }
+}
+
+TEST_F(PathDbTest, InsertDeduplicates) {
+  const size_t before = db_.size();
+  auto segs = discover_segments(topo_);
+  db_.insert_all(std::move(segs));
+  EXPECT_EQ(db_.size(), before);
+}
+
+TEST(PathValidTest, RejectsBrokenChain) {
+  const Topology t = builders::two_isd_topology();
+  Path p;
+  p.hops = {Hop{AsId{1, 100}, kNoInterface, 99}, Hop{AsId{1, 110}, 1, kNoInterface}};
+  EXPECT_FALSE(path_valid(p, t));
+}
+
+TEST(ChainTopologyTest, BuildsLinearChain) {
+  const Topology t = builders::chain_topology(5);
+  EXPECT_EQ(t.as_count(), 5u);
+  EXPECT_EQ(t.core_ases().size(), 2u);
+}
+
+}  // namespace
+}  // namespace colibri::topology

@@ -1,0 +1,179 @@
+// Tests: bytes-level border router — agreement with the struct-based
+// router, in-place cursor advance, and rejection of malformed/truncated/
+// tampered wire packets.
+#include <gtest/gtest.h>
+
+#include "colibri/common/rand.hpp"
+#include "colibri/dataplane/gateway.hpp"
+#include "colibri/dataplane/router.hpp"
+#include "colibri/dataplane/wire_router.hpp"
+#include "colibri/proto/codec.hpp"
+
+namespace colibri::dataplane {
+namespace {
+
+drkey::Key128 key_of(std::uint8_t seed) {
+  drkey::Key128 k;
+  k.bytes.fill(seed);
+  return k;
+}
+
+class WireRouterTest : public ::testing::Test {
+ protected:
+  WireRouterTest()
+      : gateway_(AsId{1, 10}, clock_),
+        struct_router_(AsId{1, 20}, key_of(2), clock_),
+        wire_router_(AsId{1, 20}, key_of(2), clock_) {
+    clock_.set(100 * kNsPerSec);
+    resinfo_ = proto::ResInfo{AsId{1, 10}, 5, 1'000'000, 500, 0};
+    eerinfo_ = proto::EerInfo{HostAddr::from_u64(1), HostAddr::from_u64(2)};
+    path_ = {topology::Hop{AsId{1, 10}, kNoInterface, 1},
+             topology::Hop{AsId{1, 20}, 2, 3},
+             topology::Hop{AsId{1, 30}, 4, kNoInterface}};
+    std::vector<HopAuth> sigmas;
+    const drkey::Key128 keys[] = {key_of(1), key_of(2), key_of(3)};
+    for (size_t i = 0; i < path_.size(); ++i) {
+      crypto::Aes128 cipher(keys[i].bytes.data());
+      sigmas.push_back(compute_hopauth(cipher, resinfo_, eerinfo_,
+                                       path_[i].ingress, path_[i].egress));
+    }
+    gateway_.install(resinfo_, eerinfo_, path_, sigmas);
+  }
+
+  // A valid wire packet positioned at hop 1 (this router's hop).
+  Bytes wire_packet(std::uint32_t payload) {
+    FastPacket fp;
+    EXPECT_EQ(gateway_.process(5, payload, fp), Gateway::Verdict::kOk);
+    fp.current_hop = 1;
+    proto::Packet p = to_packet(fp);
+    return proto::encode_packet(p);
+  }
+
+  SimClock clock_;
+  Gateway gateway_;
+  BorderRouter struct_router_;
+  WireRouter wire_router_;
+  proto::ResInfo resinfo_;
+  proto::EerInfo eerinfo_;
+  std::vector<topology::Hop> path_;
+};
+
+TEST_F(WireRouterTest, AcceptsValidPacketAndAdvancesCursor) {
+  Bytes wire = wire_packet(100);
+  ASSERT_EQ(wire_router_.process(wire.data(), wire.size()),
+            WireRouter::Verdict::kForward);
+  // The only mutation is the current-hop byte.
+  auto decoded = proto::decode_packet(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->current_hop, 2);
+  EXPECT_EQ(wire_router_.forwarded(), 1u);
+}
+
+TEST_F(WireRouterTest, AgreesWithStructRouterOnRandomTampering) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    Bytes wire = wire_packet(50);
+    const bool tamper = rng.below(2) == 1;
+    if (tamper) {
+      wire[rng.below(wire.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    // Struct router's verdict on the same bytes.
+    auto decoded = proto::decode_packet(wire);
+    Bytes wire_copy = wire;
+    const auto wv = wire_router_.process(wire_copy.data(), wire_copy.size());
+    if (!decoded.has_value()) {
+      EXPECT_EQ(wv, WireRouter::Verdict::kMalformed) << i;
+      continue;
+    }
+    FastPacket fp = to_fast(*decoded);
+    const auto sv = struct_router_.process(fp);
+    switch (sv) {
+      case BorderRouter::Verdict::kForward:
+        EXPECT_EQ(wv, WireRouter::Verdict::kForward) << i;
+        break;
+      case BorderRouter::Verdict::kDeliver:
+        EXPECT_EQ(wv, WireRouter::Verdict::kDeliver) << i;
+        break;
+      case BorderRouter::Verdict::kBadHvf:
+        EXPECT_EQ(wv, WireRouter::Verdict::kBadHvf) << i;
+        break;
+      case BorderRouter::Verdict::kExpired:
+        EXPECT_EQ(wv, WireRouter::Verdict::kExpired) << i;
+        break;
+      default:
+        EXPECT_EQ(wv, WireRouter::Verdict::kMalformed) << i;
+        break;
+    }
+  }
+}
+
+TEST_F(WireRouterTest, DeliversAtLastHop) {
+  Bytes wire = wire_packet(10);
+  ASSERT_EQ(wire_router_.process(wire.data(), wire.size()),
+            WireRouter::Verdict::kForward);
+  // Now at hop 2 — the last hop; a router of AS 1-30 delivers.
+  WireRouter last(AsId{1, 30}, key_of(3), clock_);
+  EXPECT_EQ(last.process(wire.data(), wire.size()),
+            WireRouter::Verdict::kDeliver);
+}
+
+TEST_F(WireRouterTest, RejectsTruncation) {
+  Bytes wire = wire_packet(100);
+  for (size_t cut : {size_t{3}, size_t{20}, wire.size() - 1}) {
+    Bytes copy(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_EQ(wire_router_.process(copy.data(), copy.size()),
+              WireRouter::Verdict::kMalformed)
+        << cut;
+  }
+}
+
+TEST_F(WireRouterTest, RejectsLengthMismatch) {
+  Bytes wire = wire_packet(100);
+  wire.push_back(0);  // extra byte: declared payload no longer matches
+  EXPECT_EQ(wire_router_.process(wire.data(), wire.size()),
+            WireRouter::Verdict::kMalformed);
+}
+
+TEST_F(WireRouterTest, RejectsTamperedHvf) {
+  Bytes wire = wire_packet(100);
+  const size_t hvf_off = WireLayout::hvf_offset(true, 3) + proto::kHvfLen;
+  wire[hvf_off] ^= 1;  // hop 1's HVF
+  EXPECT_EQ(wire_router_.process(wire.data(), wire.size()),
+            WireRouter::Verdict::kBadHvf);
+}
+
+TEST_F(WireRouterTest, RejectsExpired) {
+  Bytes wire = wire_packet(100);
+  clock_.set(static_cast<TimeNs>(resinfo_.exp_time) * kNsPerSec + 1);
+  EXPECT_EQ(wire_router_.process(wire.data(), wire.size()),
+            WireRouter::Verdict::kExpired);
+}
+
+TEST_F(WireRouterTest, FuzzNeverCrashes) {
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    Bytes junk(rng.below(400));
+    rng.fill(junk.data(), junk.size());
+    (void)wire_router_.process(junk.data(), junk.size());
+  }
+}
+
+TEST_F(WireRouterTest, BurstProcessing) {
+  std::vector<Bytes> wires;
+  std::vector<WireRouter::PacketView> views;
+  for (int i = 0; i < 32; ++i) {
+    clock_.advance(1000);
+    wires.push_back(wire_packet(64));
+  }
+  views.reserve(wires.size());
+  for (auto& w : wires) views.push_back({w.data(), w.size()});
+  WireRouter::Verdict verdicts[32];
+  wire_router_.process_burst(views.data(), 32, verdicts);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(verdicts[i], WireRouter::Verdict::kForward) << i;
+  }
+}
+
+}  // namespace
+}  // namespace colibri::dataplane
