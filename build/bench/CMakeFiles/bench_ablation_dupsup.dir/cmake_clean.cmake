@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dupsup.dir/bench_ablation_dupsup.cpp.o"
+  "CMakeFiles/bench_ablation_dupsup.dir/bench_ablation_dupsup.cpp.o.d"
+  "bench_ablation_dupsup"
+  "bench_ablation_dupsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dupsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

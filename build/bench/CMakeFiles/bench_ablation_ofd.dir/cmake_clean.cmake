@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ofd.dir/bench_ablation_ofd.cpp.o"
+  "CMakeFiles/bench_ablation_ofd.dir/bench_ablation_ofd.cpp.o.d"
+  "bench_ablation_ofd"
+  "bench_ablation_ofd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ofd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qdisc.dir/bench_ablation_qdisc.cpp.o"
+  "CMakeFiles/bench_ablation_qdisc.dir/bench_ablation_qdisc.cpp.o.d"
+  "bench_ablation_qdisc"
+  "bench_ablation_qdisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qdisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

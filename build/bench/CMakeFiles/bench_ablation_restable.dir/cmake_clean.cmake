@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_restable.dir/bench_ablation_restable.cpp.o"
+  "CMakeFiles/bench_ablation_restable.dir/bench_ablation_restable.cpp.o.d"
+  "bench_ablation_restable"
+  "bench_ablation_restable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_restable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

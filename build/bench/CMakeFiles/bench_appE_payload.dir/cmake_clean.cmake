@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appE_payload.dir/bench_appE_payload.cpp.o"
+  "CMakeFiles/bench_appE_payload.dir/bench_appE_payload.cpp.o.d"
+  "bench_appE_payload"
+  "bench_appE_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appE_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cserv_throughput.dir/bench_cserv_throughput.cpp.o"
+  "CMakeFiles/bench_cserv_throughput.dir/bench_cserv_throughput.cpp.o.d"
+  "bench_cserv_throughput"
+  "bench_cserv_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cserv_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_eer_admission.dir/bench_fig4_eer_admission.cpp.o"
+  "CMakeFiles/bench_fig4_eer_admission.dir/bench_fig4_eer_admission.cpp.o.d"
+  "bench_fig4_eer_admission"
+  "bench_fig4_eer_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_eer_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

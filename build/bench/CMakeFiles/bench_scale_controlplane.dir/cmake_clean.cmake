@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_controlplane.dir/bench_scale_controlplane.cpp.o"
+  "CMakeFiles/bench_scale_controlplane.dir/bench_scale_controlplane.cpp.o.d"
+  "bench_scale_controlplane"
+  "bench_scale_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_protection.dir/bench_table2_protection.cpp.o"
+  "CMakeFiles/bench_table2_protection.dir/bench_table2_protection.cpp.o.d"
+  "bench_table2_protection"
+  "bench_table2_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ddos_defense.cpp" "examples/CMakeFiles/ddos_defense.dir/ddos_defense.cpp.o" "gcc" "examples/CMakeFiles/ddos_defense.dir/ddos_defense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_cserv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_drkey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_reservation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_failover.dir/multipath_failover.cpp.o"
+  "CMakeFiles/multipath_failover.dir/multipath_failover.cpp.o.d"
+  "multipath_failover"
+  "multipath_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

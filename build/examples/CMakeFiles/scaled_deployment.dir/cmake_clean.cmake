@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaled_deployment.dir/scaled_deployment.cpp.o"
+  "CMakeFiles/scaled_deployment.dir/scaled_deployment.cpp.o.d"
+  "scaled_deployment"
+  "scaled_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaled_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

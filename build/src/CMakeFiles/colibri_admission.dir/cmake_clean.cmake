@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_admission.dir/colibri/admission/eer_admission.cpp.o"
+  "CMakeFiles/colibri_admission.dir/colibri/admission/eer_admission.cpp.o.d"
+  "CMakeFiles/colibri_admission.dir/colibri/admission/segr_admission.cpp.o"
+  "CMakeFiles/colibri_admission.dir/colibri/admission/segr_admission.cpp.o.d"
+  "CMakeFiles/colibri_admission.dir/colibri/admission/tube.cpp.o"
+  "CMakeFiles/colibri_admission.dir/colibri/admission/tube.cpp.o.d"
+  "libcolibri_admission.a"
+  "libcolibri_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o"
+  "CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o.d"
+  "CMakeFiles/colibri_app.dir/colibri/app/session.cpp.o"
+  "CMakeFiles/colibri_app.dir/colibri/app/session.cpp.o.d"
+  "CMakeFiles/colibri_app.dir/colibri/app/testbed.cpp.o"
+  "CMakeFiles/colibri_app.dir/colibri/app/testbed.cpp.o.d"
+  "libcolibri_app.a"
+  "libcolibri_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

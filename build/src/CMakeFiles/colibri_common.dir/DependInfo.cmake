@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/common/bytes.cpp" "src/CMakeFiles/colibri_common.dir/colibri/common/bytes.cpp.o" "gcc" "src/CMakeFiles/colibri_common.dir/colibri/common/bytes.cpp.o.d"
+  "/root/repo/src/colibri/common/clock.cpp" "src/CMakeFiles/colibri_common.dir/colibri/common/clock.cpp.o" "gcc" "src/CMakeFiles/colibri_common.dir/colibri/common/clock.cpp.o.d"
+  "/root/repo/src/colibri/common/errors.cpp" "src/CMakeFiles/colibri_common.dir/colibri/common/errors.cpp.o" "gcc" "src/CMakeFiles/colibri_common.dir/colibri/common/errors.cpp.o.d"
+  "/root/repo/src/colibri/common/ids.cpp" "src/CMakeFiles/colibri_common.dir/colibri/common/ids.cpp.o" "gcc" "src/CMakeFiles/colibri_common.dir/colibri/common/ids.cpp.o.d"
+  "/root/repo/src/colibri/common/rand.cpp" "src/CMakeFiles/colibri_common.dir/colibri/common/rand.cpp.o" "gcc" "src/CMakeFiles/colibri_common.dir/colibri/common/rand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_common.dir/colibri/common/bytes.cpp.o"
+  "CMakeFiles/colibri_common.dir/colibri/common/bytes.cpp.o.d"
+  "CMakeFiles/colibri_common.dir/colibri/common/clock.cpp.o"
+  "CMakeFiles/colibri_common.dir/colibri/common/clock.cpp.o.d"
+  "CMakeFiles/colibri_common.dir/colibri/common/errors.cpp.o"
+  "CMakeFiles/colibri_common.dir/colibri/common/errors.cpp.o.d"
+  "CMakeFiles/colibri_common.dir/colibri/common/ids.cpp.o"
+  "CMakeFiles/colibri_common.dir/colibri/common/ids.cpp.o.d"
+  "CMakeFiles/colibri_common.dir/colibri/common/rand.cpp.o"
+  "CMakeFiles/colibri_common.dir/colibri/common/rand.cpp.o.d"
+  "libcolibri_common.a"
+  "libcolibri_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

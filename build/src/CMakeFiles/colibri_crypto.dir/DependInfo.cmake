@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/crypto/aes.cpp" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/aes.cpp.o.d"
+  "/root/repo/src/colibri/crypto/aesni.cpp" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/aesni.cpp.o" "gcc" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/aesni.cpp.o.d"
+  "/root/repo/src/colibri/crypto/cbcmac.cpp" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/cbcmac.cpp.o" "gcc" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/cbcmac.cpp.o.d"
+  "/root/repo/src/colibri/crypto/cmac.cpp" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/cmac.cpp.o" "gcc" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/cmac.cpp.o.d"
+  "/root/repo/src/colibri/crypto/ctr.cpp" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/ctr.cpp.o" "gcc" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/ctr.cpp.o.d"
+  "/root/repo/src/colibri/crypto/eax.cpp" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/eax.cpp.o" "gcc" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/eax.cpp.o.d"
+  "/root/repo/src/colibri/crypto/sha256.cpp" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/colibri_crypto.dir/colibri/crypto/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

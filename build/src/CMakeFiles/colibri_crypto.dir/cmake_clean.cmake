@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/aes.cpp.o"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/aes.cpp.o.d"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/aesni.cpp.o"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/aesni.cpp.o.d"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/cbcmac.cpp.o"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/cbcmac.cpp.o.d"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/cmac.cpp.o"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/cmac.cpp.o.d"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/ctr.cpp.o"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/ctr.cpp.o.d"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/eax.cpp.o"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/eax.cpp.o.d"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/sha256.cpp.o"
+  "CMakeFiles/colibri_crypto.dir/colibri/crypto/sha256.cpp.o.d"
+  "libcolibri_crypto.a"
+  "libcolibri_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

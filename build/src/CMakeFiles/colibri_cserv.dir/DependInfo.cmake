@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/cserv/bus.cpp" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/bus.cpp.o" "gcc" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/bus.cpp.o.d"
+  "/root/repo/src/colibri/cserv/cserv.cpp" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/cserv.cpp.o" "gcc" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/cserv.cpp.o.d"
+  "/root/repo/src/colibri/cserv/distributed.cpp" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/distributed.cpp.o" "gcc" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/distributed.cpp.o.d"
+  "/root/repo/src/colibri/cserv/handlers.cpp" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/handlers.cpp.o" "gcc" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/handlers.cpp.o.d"
+  "/root/repo/src/colibri/cserv/ratelimit.cpp" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/ratelimit.cpp.o" "gcc" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/ratelimit.cpp.o.d"
+  "/root/repo/src/colibri/cserv/registry.cpp" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/registry.cpp.o" "gcc" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/registry.cpp.o.d"
+  "/root/repo/src/colibri/cserv/renewal_manager.cpp" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/renewal_manager.cpp.o" "gcc" "src/CMakeFiles/colibri_cserv.dir/colibri/cserv/renewal_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_drkey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_reservation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/bus.cpp.o"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/bus.cpp.o.d"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/cserv.cpp.o"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/cserv.cpp.o.d"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/distributed.cpp.o"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/distributed.cpp.o.d"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/handlers.cpp.o"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/handlers.cpp.o.d"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/ratelimit.cpp.o"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/ratelimit.cpp.o.d"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/registry.cpp.o"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/registry.cpp.o.d"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/renewal_manager.cpp.o"
+  "CMakeFiles/colibri_cserv.dir/colibri/cserv/renewal_manager.cpp.o.d"
+  "libcolibri_cserv.a"
+  "libcolibri_cserv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_cserv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

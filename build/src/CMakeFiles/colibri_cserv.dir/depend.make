@@ -1,0 +1,2 @@
+# Empty dependencies file for colibri_cserv.
+# This may be replaced when dependencies are built.

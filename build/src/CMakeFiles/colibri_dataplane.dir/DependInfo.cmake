@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/dataplane/blocklist.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/blocklist.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/blocklist.cpp.o.d"
+  "/root/repo/src/colibri/dataplane/dupsup.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/dupsup.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/dupsup.cpp.o.d"
+  "/root/repo/src/colibri/dataplane/gateway.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/gateway.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/gateway.cpp.o.d"
+  "/root/repo/src/colibri/dataplane/ofd.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/ofd.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/ofd.cpp.o.d"
+  "/root/repo/src/colibri/dataplane/restable.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/restable.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/restable.cpp.o.d"
+  "/root/repo/src/colibri/dataplane/router.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/router.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/router.cpp.o.d"
+  "/root/repo/src/colibri/dataplane/tokenbucket.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/tokenbucket.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/tokenbucket.cpp.o.d"
+  "/root/repo/src/colibri/dataplane/wire_router.cpp" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/wire_router.cpp.o" "gcc" "src/CMakeFiles/colibri_dataplane.dir/colibri/dataplane/wire_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_drkey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_reservation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/blocklist.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/blocklist.cpp.o.d"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/dupsup.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/dupsup.cpp.o.d"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/gateway.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/gateway.cpp.o.d"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/ofd.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/ofd.cpp.o.d"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/restable.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/restable.cpp.o.d"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/router.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/router.cpp.o.d"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/tokenbucket.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/tokenbucket.cpp.o.d"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/wire_router.cpp.o"
+  "CMakeFiles/colibri_dataplane.dir/colibri/dataplane/wire_router.cpp.o.d"
+  "libcolibri_dataplane.a"
+  "libcolibri_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

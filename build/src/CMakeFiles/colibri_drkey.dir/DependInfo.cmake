@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/drkey/drkey.cpp" "src/CMakeFiles/colibri_drkey.dir/colibri/drkey/drkey.cpp.o" "gcc" "src/CMakeFiles/colibri_drkey.dir/colibri/drkey/drkey.cpp.o.d"
+  "/root/repo/src/colibri/drkey/keyserver.cpp" "src/CMakeFiles/colibri_drkey.dir/colibri/drkey/keyserver.cpp.o" "gcc" "src/CMakeFiles/colibri_drkey.dir/colibri/drkey/keyserver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_drkey.dir/colibri/drkey/drkey.cpp.o"
+  "CMakeFiles/colibri_drkey.dir/colibri/drkey/drkey.cpp.o.d"
+  "CMakeFiles/colibri_drkey.dir/colibri/drkey/keyserver.cpp.o"
+  "CMakeFiles/colibri_drkey.dir/colibri/drkey/keyserver.cpp.o.d"
+  "libcolibri_drkey.a"
+  "libcolibri_drkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_drkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for colibri_drkey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for colibri_drkey.
+# This may be replaced when dependencies are built.

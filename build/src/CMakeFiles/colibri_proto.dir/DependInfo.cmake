@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/proto/codec.cpp" "src/CMakeFiles/colibri_proto.dir/colibri/proto/codec.cpp.o" "gcc" "src/CMakeFiles/colibri_proto.dir/colibri/proto/codec.cpp.o.d"
+  "/root/repo/src/colibri/proto/encap.cpp" "src/CMakeFiles/colibri_proto.dir/colibri/proto/encap.cpp.o" "gcc" "src/CMakeFiles/colibri_proto.dir/colibri/proto/encap.cpp.o.d"
+  "/root/repo/src/colibri/proto/messages.cpp" "src/CMakeFiles/colibri_proto.dir/colibri/proto/messages.cpp.o" "gcc" "src/CMakeFiles/colibri_proto.dir/colibri/proto/messages.cpp.o.d"
+  "/root/repo/src/colibri/proto/packet.cpp" "src/CMakeFiles/colibri_proto.dir/colibri/proto/packet.cpp.o" "gcc" "src/CMakeFiles/colibri_proto.dir/colibri/proto/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_proto.dir/colibri/proto/codec.cpp.o"
+  "CMakeFiles/colibri_proto.dir/colibri/proto/codec.cpp.o.d"
+  "CMakeFiles/colibri_proto.dir/colibri/proto/encap.cpp.o"
+  "CMakeFiles/colibri_proto.dir/colibri/proto/encap.cpp.o.d"
+  "CMakeFiles/colibri_proto.dir/colibri/proto/messages.cpp.o"
+  "CMakeFiles/colibri_proto.dir/colibri/proto/messages.cpp.o.d"
+  "CMakeFiles/colibri_proto.dir/colibri/proto/packet.cpp.o"
+  "CMakeFiles/colibri_proto.dir/colibri/proto/packet.cpp.o.d"
+  "libcolibri_proto.a"
+  "libcolibri_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/reservation/db.cpp" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/db.cpp.o" "gcc" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/db.cpp.o.d"
+  "/root/repo/src/colibri/reservation/eer.cpp" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/eer.cpp.o" "gcc" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/eer.cpp.o.d"
+  "/root/repo/src/colibri/reservation/persist.cpp" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/persist.cpp.o" "gcc" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/persist.cpp.o.d"
+  "/root/repo/src/colibri/reservation/segr.cpp" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/segr.cpp.o" "gcc" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/segr.cpp.o.d"
+  "/root/repo/src/colibri/reservation/types.cpp" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/types.cpp.o" "gcc" "src/CMakeFiles/colibri_reservation.dir/colibri/reservation/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

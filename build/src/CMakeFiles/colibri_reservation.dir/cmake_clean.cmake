@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/db.cpp.o"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/db.cpp.o.d"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/eer.cpp.o"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/eer.cpp.o.d"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/persist.cpp.o"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/persist.cpp.o.d"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/segr.cpp.o"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/segr.cpp.o.d"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/types.cpp.o"
+  "CMakeFiles/colibri_reservation.dir/colibri/reservation/types.cpp.o.d"
+  "libcolibri_reservation.a"
+  "libcolibri_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/sim/cbwfq.cpp" "src/CMakeFiles/colibri_sim.dir/colibri/sim/cbwfq.cpp.o" "gcc" "src/CMakeFiles/colibri_sim.dir/colibri/sim/cbwfq.cpp.o.d"
+  "/root/repo/src/colibri/sim/event.cpp" "src/CMakeFiles/colibri_sim.dir/colibri/sim/event.cpp.o" "gcc" "src/CMakeFiles/colibri_sim.dir/colibri/sim/event.cpp.o.d"
+  "/root/repo/src/colibri/sim/link.cpp" "src/CMakeFiles/colibri_sim.dir/colibri/sim/link.cpp.o" "gcc" "src/CMakeFiles/colibri_sim.dir/colibri/sim/link.cpp.o.d"
+  "/root/repo/src/colibri/sim/queue.cpp" "src/CMakeFiles/colibri_sim.dir/colibri/sim/queue.cpp.o" "gcc" "src/CMakeFiles/colibri_sim.dir/colibri/sim/queue.cpp.o.d"
+  "/root/repo/src/colibri/sim/scenario.cpp" "src/CMakeFiles/colibri_sim.dir/colibri/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/colibri_sim.dir/colibri/sim/scenario.cpp.o.d"
+  "/root/repo/src/colibri/sim/traffic.cpp" "src/CMakeFiles/colibri_sim.dir/colibri/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/colibri_sim.dir/colibri/sim/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_cserv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_drkey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_reservation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

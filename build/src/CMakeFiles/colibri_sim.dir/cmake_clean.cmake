@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_sim.dir/colibri/sim/cbwfq.cpp.o"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/cbwfq.cpp.o.d"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/event.cpp.o"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/event.cpp.o.d"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/link.cpp.o"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/link.cpp.o.d"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/queue.cpp.o"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/queue.cpp.o.d"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/scenario.cpp.o"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/scenario.cpp.o.d"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/traffic.cpp.o"
+  "CMakeFiles/colibri_sim.dir/colibri/sim/traffic.cpp.o.d"
+  "libcolibri_sim.a"
+  "libcolibri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

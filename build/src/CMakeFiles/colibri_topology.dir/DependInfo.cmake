@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colibri/topology/beacon.cpp" "src/CMakeFiles/colibri_topology.dir/colibri/topology/beacon.cpp.o" "gcc" "src/CMakeFiles/colibri_topology.dir/colibri/topology/beacon.cpp.o.d"
+  "/root/repo/src/colibri/topology/generator.cpp" "src/CMakeFiles/colibri_topology.dir/colibri/topology/generator.cpp.o" "gcc" "src/CMakeFiles/colibri_topology.dir/colibri/topology/generator.cpp.o.d"
+  "/root/repo/src/colibri/topology/pathdb.cpp" "src/CMakeFiles/colibri_topology.dir/colibri/topology/pathdb.cpp.o" "gcc" "src/CMakeFiles/colibri_topology.dir/colibri/topology/pathdb.cpp.o.d"
+  "/root/repo/src/colibri/topology/segment.cpp" "src/CMakeFiles/colibri_topology.dir/colibri/topology/segment.cpp.o" "gcc" "src/CMakeFiles/colibri_topology.dir/colibri/topology/segment.cpp.o.d"
+  "/root/repo/src/colibri/topology/topology.cpp" "src/CMakeFiles/colibri_topology.dir/colibri/topology/topology.cpp.o" "gcc" "src/CMakeFiles/colibri_topology.dir/colibri/topology/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

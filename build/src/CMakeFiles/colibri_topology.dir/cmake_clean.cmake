@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_topology.dir/colibri/topology/beacon.cpp.o"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/beacon.cpp.o.d"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/generator.cpp.o"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/generator.cpp.o.d"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/pathdb.cpp.o"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/pathdb.cpp.o.d"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/segment.cpp.o"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/segment.cpp.o.d"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/topology.cpp.o"
+  "CMakeFiles/colibri_topology.dir/colibri/topology/topology.cpp.o.d"
+  "libcolibri_topology.a"
+  "libcolibri_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcolibri_topology.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbwfq.dir/test_cbwfq.cpp.o"
+  "CMakeFiles/test_cbwfq.dir/test_cbwfq.cpp.o.d"
+  "test_cbwfq"
+  "test_cbwfq.pdb"
+  "test_cbwfq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbwfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cserv.dir/test_cserv.cpp.o"
+  "CMakeFiles/test_cserv.dir/test_cserv.cpp.o.d"
+  "test_cserv"
+  "test_cserv.pdb"
+  "test_cserv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cserv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cserv_recovery.dir/test_cserv_recovery.cpp.o"
+  "CMakeFiles/test_cserv_recovery.dir/test_cserv_recovery.cpp.o.d"
+  "test_cserv_recovery"
+  "test_cserv_recovery.pdb"
+  "test_cserv_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cserv_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drkey.dir/test_drkey.cpp.o"
+  "CMakeFiles/test_drkey.dir/test_drkey.cpp.o.d"
+  "test_drkey"
+  "test_drkey.pdb"
+  "test_drkey[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

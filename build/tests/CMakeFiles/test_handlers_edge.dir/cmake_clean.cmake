@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handlers_edge.dir/test_handlers_edge.cpp.o"
+  "CMakeFiles/test_handlers_edge.dir/test_handlers_edge.cpp.o.d"
+  "test_handlers_edge"
+  "test_handlers_edge.pdb"
+  "test_handlers_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handlers_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ratelimit_registry.dir/test_ratelimit_registry.cpp.o"
+  "CMakeFiles/test_ratelimit_registry.dir/test_ratelimit_registry.cpp.o.d"
+  "test_ratelimit_registry"
+  "test_ratelimit_registry.pdb"
+  "test_ratelimit_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ratelimit_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_renewal_manager.dir/test_renewal_manager.cpp.o"
+  "CMakeFiles/test_renewal_manager.dir/test_renewal_manager.cpp.o.d"
+  "test_renewal_manager"
+  "test_renewal_manager.pdb"
+  "test_renewal_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_renewal_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_router.dir/test_wire_router.cpp.o"
+  "CMakeFiles/test_wire_router.dir/test_wire_router.cpp.o.d"
+  "test_wire_router"
+  "test_wire_router.pdb"
+  "test_wire_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_drkey[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_reservation[1]_include.cmake")
+include("/root/repo/build/tests/test_admission[1]_include.cmake")
+include("/root/repo/build/tests/test_dataplane[1]_include.cmake")
+include("/root/repo/build/tests/test_cserv[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_app[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_wire_router[1]_include.cmake")
+include("/root/repo/build/tests/test_persist[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_cbwfq[1]_include.cmake")
+include("/root/repo/build/tests/test_cserv_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_ratelimit_registry[1]_include.cmake")
+include("/root/repo/build/tests/test_security[1]_include.cmake")
+include("/root/repo/build/tests/test_encap[1]_include.cmake")
+include("/root/repo/build/tests/test_handlers_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_renewal_manager[1]_include.cmake")
