@@ -221,14 +221,14 @@ bench/CMakeFiles/bench_cserv_throughput.dir/bench_cserv_throughput.cpp.o: \
  /root/repo/src/colibri/app/session.hpp \
  /root/repo/src/colibri/common/errors.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/colibri/dataplane/gateway.hpp \
+ /root/repo/src/colibri/dataplane/gateway.hpp /usr/include/c++/12/array \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
- /root/repo/src/colibri/dataplane/restable.hpp /usr/include/c++/12/array \
+ /root/repo/src/colibri/dataplane/restable.hpp \
  /root/repo/src/colibri/dataplane/hvf.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/colibri/crypto/aes.hpp \
@@ -240,6 +240,8 @@ bench/CMakeFiles/bench_cserv_throughput.dir/bench_cserv_throughput.cpp.o: \
  /root/repo/src/colibri/dataplane/tokenbucket.hpp \
  /root/repo/src/colibri/proto/codec.hpp \
  /root/repo/src/colibri/proto/encap.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/colibri/cserv/cserv.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/colibri/admission/eer_admission.hpp \
@@ -249,6 +251,7 @@ bench/CMakeFiles/bench_cserv_throughput.dir/bench_cserv_throughput.cpp.o: \
  /root/repo/src/colibri/reservation/segr.hpp \
  /root/repo/src/colibri/common/rand.hpp \
  /root/repo/src/colibri/cserv/bus.hpp \
+ /root/repo/src/colibri/telemetry/trace.hpp \
  /root/repo/src/colibri/cserv/ratelimit.hpp \
  /root/repo/src/colibri/cserv/registry.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \

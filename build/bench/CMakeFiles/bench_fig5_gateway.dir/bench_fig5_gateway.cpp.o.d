@@ -213,21 +213,22 @@ bench/CMakeFiles/bench_fig5_gateway.dir/bench_fig5_gateway.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/colibri/common/rand.hpp \
- /root/repo/src/colibri/dataplane/gateway.hpp \
+ /root/repo/src/colibri/dataplane/gateway.hpp /usr/include/c++/12/array \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/colibri/common/errors.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
- /root/repo/src/colibri/dataplane/restable.hpp /usr/include/c++/12/array \
+ /root/repo/src/colibri/dataplane/restable.hpp \
  /root/repo/src/colibri/dataplane/hvf.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/colibri/crypto/aes.hpp \
  /root/repo/src/colibri/proto/packet.hpp \
  /root/repo/src/colibri/common/bytes.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/span /root/repo/src/colibri/common/ids.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -236,4 +237,6 @@ bench/CMakeFiles/bench_fig5_gateway.dir/bench_fig5_gateway.cpp.o: \
  /root/repo/src/colibri/topology/segment.hpp \
  /root/repo/src/colibri/dataplane/tokenbucket.hpp \
  /root/repo/src/colibri/proto/codec.hpp \
- /root/repo/src/colibri/proto/encap.hpp
+ /root/repo/src/colibri/proto/encap.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

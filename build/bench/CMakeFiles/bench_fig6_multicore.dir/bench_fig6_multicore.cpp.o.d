@@ -221,19 +221,20 @@ bench/CMakeFiles/bench_fig6_multicore.dir/bench_fig6_multicore.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/colibri/common/rand.hpp \
- /root/repo/src/colibri/dataplane/gateway.hpp \
+ /root/repo/src/colibri/dataplane/gateway.hpp /usr/include/c++/12/array \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/colibri/common/errors.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
- /root/repo/src/colibri/dataplane/restable.hpp /usr/include/c++/12/array \
+ /root/repo/src/colibri/dataplane/restable.hpp \
  /root/repo/src/colibri/dataplane/hvf.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/colibri/crypto/aes.hpp \
  /root/repo/src/colibri/proto/packet.hpp \
  /root/repo/src/colibri/common/bytes.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/span /root/repo/src/colibri/common/ids.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -243,6 +244,8 @@ bench/CMakeFiles/bench_fig6_multicore.dir/bench_fig6_multicore.cpp.o: \
  /root/repo/src/colibri/dataplane/tokenbucket.hpp \
  /root/repo/src/colibri/proto/codec.hpp \
  /root/repo/src/colibri/proto/encap.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/colibri/dataplane/router.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \
  /usr/include/c++/12/unordered_set \

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/colibri_reservation.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/colibri_topology.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_telemetry.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

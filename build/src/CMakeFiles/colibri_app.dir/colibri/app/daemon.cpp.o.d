@@ -123,7 +123,7 @@ src/CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/colibri/dataplane/gateway.hpp \
+ /root/repo/src/colibri/dataplane/gateway.hpp /usr/include/c++/12/array \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime /usr/include/time.h \
@@ -166,8 +166,8 @@ src/CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
- /root/repo/src/colibri/dataplane/restable.hpp /usr/include/c++/12/array \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /root/repo/src/colibri/dataplane/restable.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
@@ -195,15 +195,7 @@ src/CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o: \
  /root/repo/src/colibri/dataplane/tokenbucket.hpp \
  /root/repo/src/colibri/proto/codec.hpp \
  /root/repo/src/colibri/proto/encap.hpp \
- /root/repo/src/colibri/cserv/cserv.hpp /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
@@ -226,14 +218,25 @@ src/CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/colibri/cserv/cserv.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/colibri/admission/eer_admission.hpp \
  /root/repo/src/colibri/admission/tube.hpp \
@@ -245,6 +248,7 @@ src/CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o: \
  /root/repo/src/colibri/reservation/segr.hpp \
  /root/repo/src/colibri/common/rand.hpp \
  /root/repo/src/colibri/cserv/bus.hpp \
+ /root/repo/src/colibri/telemetry/trace.hpp \
  /root/repo/src/colibri/cserv/ratelimit.hpp \
  /root/repo/src/colibri/cserv/registry.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \
@@ -256,7 +260,5 @@ src/CMakeFiles/colibri_app.dir/colibri/app/daemon.cpp.o: \
  /root/repo/src/colibri/reservation/db.hpp \
  /root/repo/src/colibri/reservation/eer.hpp \
  /root/repo/src/colibri/reservation/persist.hpp \
- /root/repo/src/colibri/topology/pathdb.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/colibri/topology/pathdb.hpp \
  /root/repo/src/colibri/topology/topology.hpp

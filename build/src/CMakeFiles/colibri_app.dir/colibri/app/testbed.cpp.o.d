@@ -206,7 +206,7 @@ src/CMakeFiles/colibri_app.dir/colibri/app/testbed.cpp.o: \
  /root/repo/src/colibri/common/errors.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/colibri/dataplane/gateway.hpp \
+ /root/repo/src/colibri/dataplane/gateway.hpp /usr/include/c++/12/array \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
@@ -214,8 +214,8 @@ src/CMakeFiles/colibri_app.dir/colibri/app/testbed.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
- /root/repo/src/colibri/dataplane/restable.hpp /usr/include/c++/12/array \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/colibri/dataplane/restable.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/colibri/dataplane/hvf.hpp /usr/include/c++/12/cstring \
@@ -233,6 +233,11 @@ src/CMakeFiles/colibri_app.dir/colibri/app/testbed.cpp.o: \
  /root/repo/src/colibri/dataplane/tokenbucket.hpp \
  /root/repo/src/colibri/proto/codec.hpp \
  /root/repo/src/colibri/proto/encap.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/colibri/cserv/cserv.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/colibri/admission/eer_admission.hpp \
@@ -245,6 +250,7 @@ src/CMakeFiles/colibri_app.dir/colibri/app/testbed.cpp.o: \
  /root/repo/src/colibri/reservation/segr.hpp \
  /root/repo/src/colibri/common/rand.hpp \
  /root/repo/src/colibri/cserv/bus.hpp \
+ /root/repo/src/colibri/telemetry/trace.hpp \
  /root/repo/src/colibri/cserv/ratelimit.hpp \
  /root/repo/src/colibri/cserv/registry.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \
@@ -256,9 +262,7 @@ src/CMakeFiles/colibri_app.dir/colibri/app/testbed.cpp.o: \
  /root/repo/src/colibri/reservation/db.hpp \
  /root/repo/src/colibri/reservation/eer.hpp \
  /root/repo/src/colibri/reservation/persist.hpp \
- /root/repo/src/colibri/topology/pathdb.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/colibri/topology/pathdb.hpp \
  /root/repo/src/colibri/topology/topology.hpp \
  /root/repo/src/colibri/dataplane/router.hpp \
  /root/repo/src/colibri/dataplane/dupsup.hpp \

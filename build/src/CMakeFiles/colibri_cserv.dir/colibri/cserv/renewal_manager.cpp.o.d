@@ -236,7 +236,13 @@ src/CMakeFiles/colibri_cserv.dir/colibri/cserv/renewal_manager.cpp.o: \
  /root/repo/src/colibri/cserv/bus.hpp \
  /root/repo/src/colibri/common/bytes.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/colibri/cserv/ratelimit.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/colibri/telemetry/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/colibri/telemetry/trace.hpp \
+ /root/repo/src/colibri/cserv/ratelimit.hpp \
  /root/repo/src/colibri/cserv/registry.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \
  /root/repo/src/colibri/dataplane/gateway.hpp \
@@ -256,8 +262,6 @@ src/CMakeFiles/colibri_cserv.dir/colibri/cserv/renewal_manager.cpp.o: \
  /root/repo/src/colibri/reservation/db.hpp \
  /root/repo/src/colibri/reservation/eer.hpp \
  /root/repo/src/colibri/reservation/persist.hpp \
- /root/repo/src/colibri/topology/pathdb.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/colibri/topology/pathdb.hpp \
  /root/repo/src/colibri/topology/topology.hpp \
  /root/repo/src/colibri/cserv/forecast.hpp

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/colibri_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/colibri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colibri_telemetry.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

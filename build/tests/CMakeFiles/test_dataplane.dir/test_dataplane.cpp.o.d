@@ -300,8 +300,11 @@ tests/CMakeFiles/test_dataplane.dir/test_dataplane.cpp.o: \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/colibri/common/ids.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/colibri/dataplane/dupsup.hpp \
  /root/repo/src/colibri/dataplane/gateway.hpp \
+ /root/repo/src/colibri/common/errors.hpp \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
  /root/repo/src/colibri/dataplane/restable.hpp \
  /root/repo/src/colibri/dataplane/hvf.hpp /usr/include/c++/12/cstring \

@@ -311,6 +311,8 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /root/repo/src/colibri/dataplane/tokenbucket.hpp \
  /root/repo/src/colibri/proto/codec.hpp \
  /root/repo/src/colibri/proto/encap.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/colibri/cserv/cserv.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/colibri/admission/eer_admission.hpp \
@@ -323,6 +325,7 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /root/repo/src/colibri/reservation/segr.hpp \
  /root/repo/src/colibri/common/rand.hpp \
  /root/repo/src/colibri/cserv/bus.hpp \
+ /root/repo/src/colibri/telemetry/trace.hpp \
  /root/repo/src/colibri/cserv/ratelimit.hpp \
  /root/repo/src/colibri/cserv/registry.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \

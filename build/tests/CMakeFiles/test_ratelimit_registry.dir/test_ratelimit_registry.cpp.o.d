@@ -293,12 +293,15 @@ tests/CMakeFiles/test_ratelimit_registry.dir/test_ratelimit_registry.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/colibri/cserv/bus.hpp \
+ /root/repo/src/colibri/cserv/bus.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/colibri/common/bytes.hpp /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/colibri/common/ids.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/colibri/telemetry/trace.hpp \
  /root/repo/src/colibri/cserv/ratelimit.hpp \
- /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/colibri/common/clock.hpp \
  /root/repo/src/colibri/cserv/registry.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

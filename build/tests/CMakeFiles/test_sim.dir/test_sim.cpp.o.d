@@ -297,10 +297,13 @@ tests/CMakeFiles/test_sim.dir/test_sim.cpp.o: \
  /root/repo/src/colibri/dataplane/router.hpp \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/colibri/common/errors.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/colibri/common/ids.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/colibri/dataplane/dupsup.hpp \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
  /root/repo/src/colibri/dataplane/restable.hpp \

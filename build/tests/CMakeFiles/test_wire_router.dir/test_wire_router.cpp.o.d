@@ -297,6 +297,7 @@ tests/CMakeFiles/test_wire_router.dir/test_wire_router.cpp.o: \
  /root/repo/src/colibri/dataplane/gateway.hpp \
  /root/repo/src/colibri/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/colibri/common/errors.hpp \
  /root/repo/src/colibri/dataplane/fastpacket.hpp \
  /root/repo/src/colibri/dataplane/restable.hpp \
  /root/repo/src/colibri/dataplane/hvf.hpp /usr/include/c++/12/cstring \
@@ -308,6 +309,8 @@ tests/CMakeFiles/test_wire_router.dir/test_wire_router.cpp.o: \
  /root/repo/src/colibri/dataplane/tokenbucket.hpp \
  /root/repo/src/colibri/proto/codec.hpp \
  /root/repo/src/colibri/proto/encap.hpp \
+ /root/repo/src/colibri/telemetry/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/colibri/dataplane/router.hpp \
  /root/repo/src/colibri/dataplane/blocklist.hpp \
  /usr/include/c++/12/unordered_set \

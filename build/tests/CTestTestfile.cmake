@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_telemetry[1]_include.cmake")
 include("/root/repo/build/tests/test_crypto[1]_include.cmake")
 include("/root/repo/build/tests/test_drkey[1]_include.cmake")
 include("/root/repo/build/tests/test_topology[1]_include.cmake")

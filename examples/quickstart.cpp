@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "colibri/app/testbed.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 using namespace colibri;
 
@@ -80,5 +81,10 @@ int main() {
               verdict == dataplane::BorderRouter::Verdict::kBadHvf
                   ? "rejected (bad HVF)"
                   : "UNEXPECTED");
+
+  // 6. Every component above reported into the process-wide metrics
+  //    registry as a side effect — dump the aggregate as JSON.
+  std::printf("\ntelemetry snapshot:\n%s\n",
+              telemetry::MetricsRegistry::global().to_json().c_str());
   return 0;
 }

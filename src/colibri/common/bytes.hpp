@@ -48,12 +48,13 @@ class ByteReader {
     return get_le<T>(data_.data() + pos_ - sizeof(T));
   }
 
+  // n == 0 is a no-op: dst may be null (e.g. an empty vector's data()).
   bool read_bytes(std::uint8_t* dst, size_t n) {
     if (!take(n)) {
-      std::memset(dst, 0, n);
+      if (n != 0) std::memset(dst, 0, n);
       return false;
     }
-    std::memcpy(dst, data_.data() + pos_ - n, n);
+    if (n != 0) std::memcpy(dst, data_.data() + pos_ - n, n);
     return true;
   }
 

@@ -18,6 +18,7 @@ const char* errc_name(Errc e) {
     case Errc::kBlocked: return "blocked";
     case Errc::kReplay: return "replay";
     case Errc::kInternal: return "internal";
+    case Errc::kOveruse: return "overuse";
   }
   return "unknown";
 }

@@ -1,14 +1,17 @@
 // Error codes and a lightweight Result type used across the control plane.
 //
 // The data-plane fast path never allocates or constructs Results; it uses
-// plain enums (see dataplane/router.hpp). Results are for control-plane
-// request handling, where the failure reason must travel back to the
-// initiator (paper §3.3: "the initiator can determine the location of
-// potential bottlenecks").
+// plain enums (see dataplane/router.hpp), which map onto Errc via
+// errc_from_verdict() so telemetry counter names and error names agree.
+// Results are for control-plane request handling, where the failure
+// reason must travel back to the initiator (paper §3.3: "the initiator
+// can determine the location of potential bottlenecks") — the optional
+// error-context string carries exactly that bottleneck location.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 
@@ -29,15 +32,29 @@ enum class Errc : std::uint8_t {
   kBlocked,                // source AS is on the blocklist
   kReplay,                 // duplicate suppression hit
   kInternal,
+  kOveruse,                // confirmed reservation overuse (§4.8)
 };
 
 const char* errc_name(Errc e);
 
+namespace detail {
+
+// Failure payload: the code plus an optional human-readable context
+// ("where on the path it went wrong"). Only error paths allocate.
+struct ResultError {
+  Errc code = Errc::kInternal;
+  std::string context;
+};
+
+}  // namespace detail
+
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}             // NOLINT(implicit)
-  Result(Errc e) : v_(e) {}                             // NOLINT(implicit)
+  Result(Errc e) : v_(detail::ResultError{e, {}}) {}    // NOLINT(implicit)
+  Result(Errc e, std::string context)
+      : v_(detail::ResultError{e, std::move(context)}) {}
 
   bool ok() const { return std::holds_alternative<T>(v_); }
   explicit operator bool() const { return ok(); }
@@ -46,10 +63,107 @@ class Result {
   T& value() { return std::get<T>(v_); }
   T&& take() { return std::move(std::get<T>(v_)); }
 
-  Errc error() const { return ok() ? Errc::kOk : std::get<Errc>(v_); }
+  Errc error() const {
+    return ok() ? Errc::kOk : std::get<detail::ResultError>(v_).code;
+  }
+  // Empty when ok or when no context was attached.
+  const std::string& error_context() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : std::get<detail::ResultError>(v_).context;
+  }
+
+  // Attaches (or prefixes) context on the error path; no-op when ok.
+  Result&& with_context(std::string context) && {
+    if (!ok()) {
+      auto& err = std::get<detail::ResultError>(v_);
+      if (err.context.empty()) {
+        err.context = std::move(context);
+      } else {
+        err.context = std::move(context) + ": " + err.context;
+      }
+    }
+    return std::move(*this);
+  }
+
+  // Transforms the success value; the error (and its context) pass
+  // through untouched.
+  template <typename F>
+  auto map(F&& f) && -> Result<std::invoke_result_t<F, T&&>> {
+    using U = std::invoke_result_t<F, T&&>;
+    if (!ok()) {
+      auto& err = std::get<detail::ResultError>(v_);
+      return Result<U>(err.code, std::move(err.context));
+    }
+    if constexpr (std::is_void_v<U>) {
+      std::forward<F>(f)(take());
+      return Result<U>();
+    } else {
+      return Result<U>(std::forward<F>(f)(take()));
+    }
+  }
+
+  // Chains another fallible step; F must return a Result.
+  template <typename F>
+  auto and_then(F&& f) && -> std::invoke_result_t<F, T&&> {
+    using R = std::invoke_result_t<F, T&&>;
+    if (!ok()) {
+      auto& err = std::get<detail::ResultError>(v_);
+      return R(err.code, std::move(err.context));
+    }
+    return std::forward<F>(f)(take());
+  }
 
  private:
-  std::variant<T, Errc> v_;
+  std::variant<T, detail::ResultError> v_;
+};
+
+// Result<void>: success carries no value. Errc::kOk constructs the
+// success state, so `return {};` and `return Errc::kOk;` both work.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : err_{Errc::kOk, {}} {}
+  Result(Errc e) : err_{e, {}} {}                       // NOLINT(implicit)
+  Result(Errc e, std::string context) : err_{e, std::move(context)} {}
+
+  bool ok() const { return err_.code == Errc::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const { return err_.code; }
+  const std::string& error_context() const { return err_.context; }
+
+  Result&& with_context(std::string context) && {
+    if (!ok()) {
+      if (err_.context.empty()) {
+        err_.context = std::move(context);
+      } else {
+        err_.context = std::move(context) + ": " + err_.context;
+      }
+    }
+    return std::move(*this);
+  }
+
+  template <typename F>
+  auto map(F&& f) && -> Result<std::invoke_result_t<F>> {
+    using U = std::invoke_result_t<F>;
+    if (!ok()) return Result<U>(err_.code, std::move(err_.context));
+    if constexpr (std::is_void_v<U>) {
+      std::forward<F>(f)();
+      return Result<U>();
+    } else {
+      return Result<U>(std::forward<F>(f)());
+    }
+  }
+
+  template <typename F>
+  auto and_then(F&& f) && -> std::invoke_result_t<F> {
+    using R = std::invoke_result_t<F>;
+    if (!ok()) return R(err_.code, std::move(err_.context));
+    return std::forward<F>(f)();
+  }
+
+ private:
+  detail::ResultError err_;
 };
 
 }  // namespace colibri

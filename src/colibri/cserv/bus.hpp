@@ -7,21 +7,47 @@
 // propagating back on unwind mirrors the RPC call chain, and every hop
 // pays real encode/decode cost so the control-plane benchmarks include
 // serialization like the paper's do.
+//
+// Telemetry: every call records the wall time spent in the destination's
+// handler — which, for a chained request, includes all downstream hops —
+// into the "bus.hop_latency_ns" histogram. Enabling the SpanCollector
+// additionally captures the full nested forward/unwind span tree of a
+// request (per-hop latency via SpanTrace::self_time_ns); when disabled,
+// tracing costs one predictable branch per call.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <unordered_map>
 
 #include "colibri/common/bytes.hpp"
 #include "colibri/common/ids.hpp"
+#include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/trace.hpp"
 
 namespace colibri::cserv {
 
-class MessageBus {
+// Point-in-time view of the bus counters (see snapshot()).
+struct BusStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class MessageBus : public telemetry::MetricsSource {
  public:
   // A handler consumes a serialized request packet and returns the
   // serialized response packet.
   using Handler = std::function<Bytes(BytesView)>;
+
+  // Registers with `registry` (nullptr = none); metrics export under
+  // "bus.*".
+  explicit MessageBus(telemetry::MetricsRegistry* registry =
+                          &telemetry::MetricsRegistry::global())
+      : registration_(registry, this) {}
+  ~MessageBus() override = default;
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
 
   void attach(AsId as, Handler handler) { handlers_[as] = std::move(handler); }
   void detach(AsId as) { handlers_.erase(as); }
@@ -33,18 +59,54 @@ class MessageBus {
   Bytes call(AsId dst, BytesView request) {
     auto it = handlers_.find(dst);
     if (it == handlers_.end()) return {};
-    ++messages_;
-    bytes_ += request.size();
-    return it->second(request);
+    messages_.inc();
+    bytes_.inc(request.size());
+    const std::int64_t t0 = steady_ns();
+    std::size_t span = 0;
+    const bool tracing = tracer_.enabled();
+    if (tracing) span = tracer_.open(dst.to_string(), t0, request.size());
+    Bytes response = it->second(request);
+    const std::int64_t t1 = steady_ns();
+    hop_latency_ns_.record_shared(static_cast<std::uint64_t>(t1 - t0));
+    if (tracing) tracer_.close(span, t1);
+    return response;
   }
 
-  std::uint64_t message_count() const { return messages_; }
-  std::uint64_t byte_count() const { return bytes_; }
+  // Span tracing (see telemetry/trace.hpp): enable, run a request, take.
+  telemetry::SpanCollector& tracer() { return tracer_; }
+
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  BusStats snapshot() const { return {messages_.value(), bytes_.value()}; }
+  void reset() {
+    messages_.reset();
+    bytes_.reset();
+    hop_latency_ns_.reset();
+  }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override {
+    sink.counter("bus.messages", messages_.value());
+    sink.counter("bus.bytes", bytes_.value());
+    const auto latency = hop_latency_ns_.snapshot();
+    if (latency.count != 0) sink.histogram("bus.hop_latency_ns", latency);
+  }
+
+  // Legacy accessors, kept as thin views of the counters.
+  std::uint64_t message_count() const { return messages_.value(); }
+  std::uint64_t byte_count() const { return bytes_.value(); }
 
  private:
+  static std::int64_t steady_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   std::unordered_map<AsId, Handler> handlers_;
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
+  telemetry::Counter messages_;
+  telemetry::Counter bytes_;
+  telemetry::Histogram hop_latency_ns_;
+  telemetry::SpanCollector tracer_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::cserv

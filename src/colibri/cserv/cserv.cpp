@@ -1,6 +1,7 @@
 #include "colibri/cserv/cserv.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "colibri/crypto/eax.hpp"
 #include "colibri/cserv/wire_internal.hpp"
@@ -9,6 +10,19 @@ namespace colibri::cserv {
 
 // Defined in handlers.cpp.
 Bytes process_request_bridge(CServ& self, proto::Packet pkt);
+
+namespace {
+
+// Paper §3.3: "the initiator can determine the location of potential
+// bottlenecks" — render the refusing AS from a response's fail_hop.
+std::string bottleneck_context(const std::vector<AsId>& ases,
+                               std::uint8_t fail_hop) {
+  if (fail_hop >= ases.size()) return {};
+  return "at " + ases[fail_hop].to_string() + " (hop " +
+         std::to_string(fail_hop) + ")";
+}
+
+}  // namespace
 
 CServ::CServ(const topology::Topology& topo, AsId local, MessageBus& bus,
              drkey::SimulatedPki& pki, const drkey::Key128& drkey_master,
@@ -26,7 +40,8 @@ CServ::CServ(const topology::Topology& topo, AsId local, MessageBus& bus,
       cfg_(cfg),
       db_(local),
       rate_limiter_(cfg.rate_limits),
-      rng_(local.raw() ^ 0xC011B121C0DEULL) {
+      rng_(local.raw() ^ 0xC011B121C0DEULL),
+      registration_(cfg.metrics, this) {
   // Interface capacities from the local traffic matrix (§4.7): the Colibri
   // share of each inter-domain link, plus the internal pseudo-interface 0
   // for traffic terminating in this AS.
@@ -134,8 +149,14 @@ Result<proto::ControlResponse> CServ::originate(
     proto::Packet pkt, const std::vector<AsId>& ases) {
   (void)ases;
   // The initiator is hop 0 of its own request; process locally, which
-  // recursively forwards down the path via the bus.
+  // recursively forwards down the path via the bus. The full forward +
+  // unwind wall time lands in the request-latency histogram.
+  const auto t0 = std::chrono::steady_clock::now();
   const Bytes resp_wire = process_request_bridge(*this, std::move(pkt));
+  metrics_.request_latency_ns.record_shared(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
   auto resp_pkt = proto::decode_packet(resp_wire);
   if (!resp_pkt) return Errc::kInternal;
   auto resp_ap = proto::decode_authed(resp_pkt->payload);
@@ -173,7 +194,11 @@ Result<ReservationResult> CServ::setup_segr(const topology::PathSegment& seg,
 
   auto resp = originate(std::move(pkt), msg.ases);
   if (!resp) return resp.error();
-  if (!resp.value().success) return resp.value().fail_code;
+  if (!resp.value().success) {
+    return Result<ReservationResult>(
+        resp.value().fail_code,
+        bottleneck_context(msg.ases, resp.value().fail_hop));
+  }
 
   segr_tokens_[ResKey{local_, pkt.resinfo.res_id}] = resp.value().tokens;
   return ReservationResult{ResKey{local_, pkt.resinfo.res_id},
@@ -210,12 +235,16 @@ Result<ReservationResult> CServ::renew_segr(const ResKey& key, BwKbps min_bw,
   const UnixSec new_exp = pkt.resinfo.exp_time;
   auto resp = originate(std::move(pkt), msg.ases);
   if (!resp) return resp.error();
-  if (!resp.value().success) return resp.value().fail_code;
+  if (!resp.value().success) {
+    return Result<ReservationResult>(
+        resp.value().fail_code,
+        bottleneck_context(msg.ases, resp.value().fail_hop));
+  }
   segr_tokens_[key] = resp.value().tokens;
   return ReservationResult{key, resp.value().final_bw_kbps, new_exp, new_ver};
 }
 
-Result<bool> CServ::activate_segr(const ResKey& key, ResVer version) {
+Result<void> CServ::activate_segr(const ResKey& key, ResVer version) {
   auto* rec = db_.segrs().find(key);
   if (rec == nullptr || key.src_as != local_) return Errc::kNoSuchReservation;
   if (!rec->pending || rec->pending->version != version) {
@@ -241,8 +270,11 @@ Result<bool> CServ::activate_segr(const ResKey& key, ResVer version) {
 
   auto resp = originate(std::move(pkt), ases);
   if (!resp) return resp.error();
-  if (!resp.value().success) return resp.value().fail_code;
-  return true;
+  if (!resp.value().success) {
+    return Result<void>(resp.value().fail_code,
+                        bottleneck_context(ases, resp.value().fail_hop));
+  }
+  return {};
 }
 
 bool CServ::publish_segr(const ResKey& key, std::vector<AsId> whitelist) {
@@ -436,7 +468,10 @@ Result<ReservationResult> CServ::finish_eer_request(proto::Packet pkt,
   auto resp_r = originate(std::move(pkt), msg.ases);
   if (!resp_r) return resp_r.error();
   const proto::ControlResponse& resp = resp_r.value();
-  if (!resp.success) return resp.fail_code;
+  if (!resp.success) {
+    return Result<ReservationResult>(
+        resp.fail_code, bottleneck_context(msg.ases, resp.fail_hop));
+  }
 
   // Unseal the hop authenticators (Eq. 5) with the per-AS DRKeys and
   // install the reservation at the gateway (Fig. 1b step 5).
@@ -599,6 +634,43 @@ size_t CServ::restore_from_wal() {
     }
   }
   return applied;
+}
+
+CservStats CServ::snapshot() const {
+  CservStats s;
+  s.seg_requests = metrics_.seg_requests.value();
+  s.seg_granted = metrics_.seg_granted.value();
+  s.eer_requests = metrics_.eer_requests.value();
+  s.eer_granted = metrics_.eer_granted.value();
+  s.auth_failures = metrics_.auth_failures.value();
+  s.rate_limited = metrics_.rate_limited.value();
+  s.policy_denied = metrics_.policy_denied.value();
+  return s;
+}
+
+void CServ::reset() {
+  metrics_.seg_requests.reset();
+  metrics_.seg_granted.reset();
+  metrics_.eer_requests.reset();
+  metrics_.eer_granted.reset();
+  metrics_.auth_failures.reset();
+  metrics_.rate_limited.reset();
+  metrics_.policy_denied.reset();
+  metrics_.request_latency_ns.reset();
+}
+
+void CServ::collect_metrics(telemetry::MetricSink& sink) const {
+  sink.counter("cserv.seg_requests", metrics_.seg_requests.value());
+  sink.counter("cserv.seg_granted", metrics_.seg_granted.value());
+  sink.counter("cserv.eer_requests", metrics_.eer_requests.value());
+  sink.counter("cserv.eer_granted", metrics_.eer_granted.value());
+  sink.counter("cserv.deny.auth-failed", metrics_.auth_failures.value());
+  sink.counter("cserv.deny.rate-limited", metrics_.rate_limited.value());
+  sink.counter("cserv.deny.policy-denied", metrics_.policy_denied.value());
+  const auto latency = metrics_.request_latency_ns.snapshot();
+  if (latency.count != 0) {
+    sink.histogram("cserv.request_latency_ns", latency);
+  }
 }
 
 }  // namespace colibri::cserv

@@ -44,8 +44,11 @@ struct CservConfig {
   std::uint32_t segr_lifetime_sec = reservation::kSegrLifetimeSec;
   std::uint32_t eer_lifetime_sec = reservation::kEerLifetimeSec;
   RateLimitConfig rate_limits;
+  // Registry this CServ exports its metrics to (nullptr = none).
+  telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::global();
 };
 
+// Point-in-time view of one CServ's admission counters (see snapshot()).
 struct CservStats {
   std::uint64_t seg_requests = 0;
   std::uint64_t seg_granted = 0;
@@ -63,7 +66,7 @@ struct ReservationResult {
   ResVer version = 0;
 };
 
-class CServ {
+class CServ : public telemetry::MetricsSource {
  public:
   CServ(const topology::Topology& topo, AsId local, MessageBus& bus,
         drkey::SimulatedPki& pki, const drkey::Key128& drkey_master,
@@ -74,6 +77,12 @@ class CServ {
   CServ(const CServ&) = delete;
   CServ& operator=(const CServ&) = delete;
 
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  CservStats snapshot() const;
+  void reset();
+  void collect_metrics(telemetry::MetricSink& sink) const override;
+  telemetry::MetricsRegistry* metrics_registry() const { return cfg_.metrics; }
+
   // --- wiring ------------------------------------------------------------
   void attach_gateway(dataplane::Gateway* gw) { gateway_ = gw; }
   SegrRegistry& registry() { return registry_; }
@@ -82,7 +91,8 @@ class CServ {
   const drkey::Engine& drkey_engine() const { return drkey_engine_; }
   admission::SegrAdmission& segr_admission() { return segr_admission_; }
   AsId local_as() const { return local_; }
-  const CservStats& stats() const { return stats_; }
+  // Legacy view, kept as a thin alias of snapshot().
+  CservStats stats() const { return snapshot(); }
 
   // Destination-side hook: the destination host "has to explicitly accept
   // the EER request" (§4.4). Default accepts everything.
@@ -100,7 +110,7 @@ class CServ {
   Result<ReservationResult> renew_segr(const ResKey& key, BwKbps min_bw,
                                        BwKbps max_bw);
   // Explicitly switches the pending version live on all on-path ASes.
-  Result<bool> activate_segr(const ResKey& key, ResVer version);
+  Result<void> activate_segr(const ResKey& key, ResVer version);
 
   // Publishes an established SegR for use by `whitelist` (empty = public).
   bool publish_segr(const ResKey& key, std::vector<AsId> whitelist);
@@ -213,7 +223,21 @@ class CServ {
   std::vector<dataplane::OffenseReport> offense_log_;
   std::unordered_map<ResKey, std::vector<proto::Hvf>> segr_tokens_;
   Rng rng_;
-  CservStats stats_;
+
+  // Control-plane admission counters; shared between the initiator API
+  // and the bus handlers, so increments are full RMW (inc()).
+  struct Metrics {
+    telemetry::Counter seg_requests;
+    telemetry::Counter seg_granted;
+    telemetry::Counter eer_requests;
+    telemetry::Counter eer_granted;
+    telemetry::Counter auth_failures;
+    telemetry::Counter rate_limited;
+    telemetry::Counter policy_denied;
+    telemetry::Histogram request_latency_ns;  // originate() wall time
+  };
+  Metrics metrics_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::cserv

@@ -103,15 +103,15 @@ Bytes Handlers::handle_seg(CServ& self, proto::Packet& pkt,
       msg->ases.size() != pkt.path.size() || msg->ases[hop] != self.local_) {
     return fail(self, pkt, Errc::kMalformed, hop);
   }
-  ++self.stats_.seg_requests;
+  self.metrics_.seg_requests.inc();
   const TimeNs now = self.clock_->now_ns();
 
   if (!verify_payload_mac(self, ap, pkt.resinfo, hop)) {
-    ++self.stats_.auth_failures;
+    self.metrics_.auth_failures.inc();
     return fail(self, pkt, Errc::kAuthFailed, hop);
   }
   if (!self.rate_limiter_.allow_request(pkt.resinfo.src_as, now)) {
-    ++self.stats_.rate_limited;
+    self.metrics_.rate_limited.inc();
     return fail(self, pkt, Errc::kRateLimited, hop);
   }
   if (self.denied_sources_.contains(pkt.resinfo.src_as)) {
@@ -123,7 +123,7 @@ Bytes Handlers::handle_seg(CServ& self, proto::Packet& pkt,
       return fail(self, pkt, Errc::kNoSuchReservation, hop);
     }
     if (!self.rate_limiter_.allow_renewal(pkt.resinfo.key(), now)) {
-      ++self.stats_.rate_limited;
+      self.metrics_.rate_limited.inc();
       return fail(self, pkt, Errc::kRateLimited, hop);
     }
   }
@@ -228,7 +228,7 @@ Bytes Handlers::forward_and_unwind_seg(CServ& self, proto::Packet& pkt,
     resp->tokens[hop] = dataplane::compute_seg_hvf(
         hop_cipher, final_ri, pkt.path[hop].ingress, pkt.path[hop].egress);
   }
-  ++self.stats_.seg_granted;
+  self.metrics_.seg_granted.inc();
 
   resp_pkt->payload = proto::encode_authed(*resp_ap);
   return proto::encode_packet(*resp_pkt);
@@ -269,7 +269,7 @@ Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
   const std::uint8_t hop = pkt.current_hop;
   if (msg == nullptr) return fail(self, pkt, Errc::kMalformed, hop);
   if (!verify_payload_mac(self, ap, pkt.resinfo, hop)) {
-    ++self.stats_.auth_failures;
+    self.metrics_.auth_failures.inc();
     return fail(self, pkt, Errc::kAuthFailed, hop);
   }
   auto* rec = self.db_.segrs().find(pkt.resinfo.key());
@@ -317,16 +317,16 @@ Bytes Handlers::handle_eer(CServ& self, proto::Packet& pkt,
       msg->ases.size() != msg->path.size() || msg->ases[hop] != self.local_) {
     return fail(self, pkt, Errc::kMalformed, hop);
   }
-  ++self.stats_.eer_requests;
+  self.metrics_.eer_requests.inc();
   const TimeNs now = self.clock_->now_ns();
   const UnixSec now_sec = self.clock_->now_sec();
 
   if (!verify_payload_mac(self, ap, pkt.resinfo, hop)) {
-    ++self.stats_.auth_failures;
+    self.metrics_.auth_failures.inc();
     return fail(self, pkt, Errc::kAuthFailed, hop);
   }
   if (!self.rate_limiter_.allow_request(pkt.resinfo.src_as, now)) {
-    ++self.stats_.rate_limited;
+    self.metrics_.rate_limited.inc();
     return fail(self, pkt, Errc::kRateLimited, hop);
   }
   if (self.denied_sources_.contains(pkt.resinfo.src_as)) {
@@ -334,7 +334,7 @@ Bytes Handlers::handle_eer(CServ& self, proto::Packet& pkt,
   }
   const bool renewal = pkt.type == proto::PacketType::kEerRenewal;
   if (renewal && !self.rate_limiter_.allow_renewal(pkt.resinfo.key(), now)) {
-    ++self.stats_.rate_limited;
+    self.metrics_.rate_limited.inc();
     return fail(self, pkt, Errc::kRateLimited, hop);
   }
 
@@ -380,7 +380,7 @@ Bytes Handlers::handle_eer(CServ& self, proto::Packet& pkt,
   const bool is_dest = hop + 1u >= msg->ases.size();
   if (is_source || is_dest) {
     if (msg->min_bw_kbps > self.cfg_.per_host_eer_cap_kbps) {
-      ++self.stats_.policy_denied;
+      self.metrics_.policy_denied.inc();
       return fail(self, pkt, Errc::kPolicyDenied, hop);
     }
     demand = std::min(demand, self.cfg_.per_host_eer_cap_kbps);
@@ -388,7 +388,7 @@ Bytes Handlers::handle_eer(CServ& self, proto::Packet& pkt,
   // Destination host acceptance (§4.4).
   if (is_dest && self.host_acceptor_ &&
       !self.host_acceptor_(pkt.eerinfo, demand)) {
-    ++self.stats_.policy_denied;
+    self.metrics_.policy_denied.inc();
     return fail(self, pkt, Errc::kPolicyDenied, hop);
   }
 
@@ -471,7 +471,7 @@ Bytes Handlers::forward_and_unwind_eer(CServ& self, proto::Packet& pkt,
         eax.seal(BytesView(nonce, sizeof(nonce)), aad,
                  BytesView(sigma.data(), sigma.size()));
   }
-  ++self.stats_.eer_granted;
+  self.metrics_.eer_granted.inc();
 
   resp_pkt->payload = proto::encode_authed(*resp_ap);
   return proto::encode_packet(*resp_pkt);

@@ -30,7 +30,7 @@ void RenewalManager::tick(UnixSec now) {
       // A pending version exists (e.g. from a manual renewal): activate it
       // instead of stacking another renewal on top.
       if (cserv_->activate_segr(key, rec->pending->version).ok()) {
-        ++stats_.activated;
+        metrics_.activated.inc();
       }
       continue;
     }
@@ -41,12 +41,12 @@ void RenewalManager::tick(UnixSec now) {
         std::max(forecaster.recommend(), rec->eer_allocated_kbps);
     auto renewed = cserv_->renew_segr(key, cfg_.min_bw_kbps, demand);
     if (!renewed.ok()) {
-      ++stats_.failed;
+      metrics_.failed.inc();
       continue;
     }
-    ++stats_.renewed;
+    metrics_.renewed.inc();
     if (cserv_->activate_segr(key, renewed.value().version).ok()) {
-      ++stats_.activated;
+      metrics_.activated.inc();
       if (cfg_.republish) {
         // Preserve the advert (and its whitelist) across the version bump.
         std::vector<AsId> whitelist;

@@ -25,16 +25,24 @@ struct RenewalManagerConfig {
   bool republish = true;
 };
 
+// Point-in-time view of the manager's counters (see snapshot()).
 struct RenewalStats {
   std::uint64_t renewed = 0;
   std::uint64_t activated = 0;
   std::uint64_t failed = 0;
 };
 
-class RenewalManager {
+class RenewalManager : public telemetry::MetricsSource {
  public:
+  // Exports "cserv.renewal.*" to the owning CServ's metrics registry.
   RenewalManager(CServ& cserv, const RenewalManagerConfig& cfg = {})
-      : cserv_(&cserv), cfg_(cfg) {}
+      : cserv_(&cserv),
+        cfg_(cfg),
+        registration_(cserv.metrics_registry(), this) {}
+  ~RenewalManager() override = default;
+
+  RenewalManager(const RenewalManager&) = delete;
+  RenewalManager& operator=(const RenewalManager&) = delete;
 
   // Starts managing a SegR this AS initiated.
   void manage(const ResKey& key) { forecasters_.try_emplace(key, cfg_.forecast); }
@@ -49,13 +57,38 @@ class RenewalManager {
   // Call alongside CServ::tick().
   void tick(UnixSec now);
 
-  const RenewalStats& stats() const { return stats_; }
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  RenewalStats snapshot() const {
+    return {metrics_.renewed.value(), metrics_.activated.value(),
+            metrics_.failed.value()};
+  }
+  void reset() {
+    metrics_.renewed.reset();
+    metrics_.activated.reset();
+    metrics_.failed.reset();
+  }
+  // Legacy view, kept as a thin alias of snapshot().
+  RenewalStats stats() const { return snapshot(); }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override {
+    sink.counter("cserv.renewal.renewed", metrics_.renewed.value());
+    sink.counter("cserv.renewal.activated", metrics_.activated.value());
+    sink.counter("cserv.renewal.failed", metrics_.failed.value());
+    sink.gauge("cserv.renewal.managed",
+               static_cast<std::int64_t>(forecasters_.size()));
+  }
 
  private:
   CServ* cserv_;
   RenewalManagerConfig cfg_;
   std::unordered_map<ResKey, DemandForecaster> forecasters_;
-  RenewalStats stats_;
+  struct Metrics {
+    telemetry::Counter renewed;
+    telemetry::Counter activated;
+    telemetry::Counter failed;
+  };
+  Metrics metrics_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::cserv

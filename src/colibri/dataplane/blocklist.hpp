@@ -14,6 +14,7 @@
 
 #include "colibri/common/clock.hpp"
 #include "colibri/common/ids.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
 
@@ -24,8 +25,24 @@ struct OffenseReport {
   std::uint64_t excess_bytes = 0;
 };
 
-class Blocklist {
+// Point-in-time view of the blocklist (see snapshot()).
+struct BlocklistStats {
+  std::uint64_t blocked_ases = 0;
+  std::uint64_t reports = 0;  // total offenses reported, drains included
+};
+
+class Blocklist : public telemetry::MetricsSource {
  public:
+  // Registers with `registry` (nullptr = none); metrics export under
+  // "blocklist.*", aggregated across instances.
+  explicit Blocklist(telemetry::MetricsRegistry* registry =
+                         &telemetry::MetricsRegistry::global())
+      : registration_(registry, this) {}
+  ~Blocklist() override = default;
+
+  Blocklist(const Blocklist&) = delete;
+  Blocklist& operator=(const Blocklist&) = delete;
+
   bool blocked(AsId src) const { return set_.contains(src); }
 
   void block(AsId src) { set_.insert(src); }
@@ -35,15 +52,29 @@ class Blocklist {
   void report(const OffenseReport& offense) {
     block(offense.offender);
     reports_.push_back(offense);
+    reports_total_.bump();
   }
   const std::vector<OffenseReport>& reports() const { return reports_; }
   std::vector<OffenseReport> drain_reports() {
     return std::exchange(reports_, {});
   }
 
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  BlocklistStats snapshot() const {
+    return {set_.size(), reports_total_.value()};
+  }
+  void reset() { reports_total_.reset(); }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override {
+    sink.gauge("blocklist.blocked_ases", static_cast<std::int64_t>(set_.size()));
+    sink.counter("blocklist.reports", reports_total_.value());
+  }
+
  private:
   std::unordered_set<AsId> set_;
   std::vector<OffenseReport> reports_;
+  telemetry::Counter reports_total_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::dataplane

@@ -59,10 +59,12 @@ double BloomFilter::predicted_fpr(size_t bits, int k, size_t n) {
   return std::pow(1.0 - std::exp(exponent), k);
 }
 
-DuplicateSuppression::DuplicateSuppression(const DupSupConfig& cfg)
+DuplicateSuppression::DuplicateSuppression(const DupSupConfig& cfg,
+                                           telemetry::MetricsRegistry* registry)
     : cfg_(cfg),
       current_(cfg.bits_per_filter, cfg.hashes),
-      previous_(cfg.bits_per_filter, cfg.hashes) {}
+      previous_(cfg.bits_per_filter, cfg.hashes),
+      registration_(registry, this) {}
 
 void DuplicateSuppression::maybe_rotate(TimeNs now) {
   if (now - window_start_ < cfg_.window_ns) return;
@@ -79,13 +81,13 @@ DuplicateSuppression::Verdict DuplicateSuppression::check(AsId src, ResId res,
   // Packets older than the combined history of both filters can no longer
   // be checked for duplication and must be dropped as stale.
   if (ts_ns + 2 * cfg_.window_ns < now) {
-    ++stale_;
+    stale_.bump();
     return Verdict::kStale;
   }
   const std::uint64_t h1 = mix64(src.raw() ^ (static_cast<std::uint64_t>(res) << 32) ^ ts);
   const std::uint64_t h2 = mix64(h1 ^ 0x6A09E667F3BCC909ULL) | 1;
   if (previous_.test(h1, h2) || current_.test_and_set(h1, h2)) {
-    ++duplicates_;
+    duplicates_.bump();
     return Verdict::kDuplicate;
   }
   return Verdict::kFresh;

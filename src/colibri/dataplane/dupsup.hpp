@@ -14,6 +14,7 @@
 
 #include "colibri/common/clock.hpp"
 #include "colibri/common/ids.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
 
@@ -44,9 +45,23 @@ struct DupSupConfig {
   TimeNs window_ns = 2 * kNsPerSec;  // covers ±0.1 s skew + propagation
 };
 
-class DuplicateSuppression {
+// Point-in-time view of the detector's counters (see snapshot()).
+struct DupSupStats {
+  std::uint64_t duplicates = 0;
+  std::uint64_t stale = 0;
+};
+
+class DuplicateSuppression : public telemetry::MetricsSource {
  public:
-  explicit DuplicateSuppression(const DupSupConfig& cfg = {});
+  // Registers with `registry` (nullptr = none); counters export under
+  // "dupsup.*", aggregated across instances.
+  explicit DuplicateSuppression(const DupSupConfig& cfg = {},
+                                telemetry::MetricsRegistry* registry =
+                                    &telemetry::MetricsRegistry::global());
+  ~DuplicateSuppression() override = default;
+
+  DuplicateSuppression(const DuplicateSuppression&) = delete;
+  DuplicateSuppression& operator=(const DuplicateSuppression&) = delete;
 
   enum class Verdict : std::uint8_t { kFresh, kDuplicate, kStale };
 
@@ -55,8 +70,22 @@ class DuplicateSuppression {
   Verdict check(AsId src, ResId res, std::uint32_t ts, TimeNs ts_ns,
                 TimeNs now);
 
-  std::uint64_t duplicates_seen() const { return duplicates_; }
-  std::uint64_t stale_seen() const { return stale_; }
+  std::uint64_t duplicates_seen() const { return duplicates_.value(); }
+  std::uint64_t stale_seen() const { return stale_.value(); }
+
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  DupSupStats snapshot() const {
+    return {duplicates_.value(), stale_.value()};
+  }
+  void reset() {
+    duplicates_.reset();
+    stale_.reset();
+  }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override {
+    sink.counter("dupsup.duplicates", duplicates_.value());
+    sink.counter("dupsup.stale", stale_.value());
+  }
 
  private:
   void maybe_rotate(TimeNs now);
@@ -65,8 +94,9 @@ class DuplicateSuppression {
   BloomFilter current_;
   BloomFilter previous_;
   TimeNs window_start_ = 0;
-  std::uint64_t duplicates_ = 0;
-  std::uint64_t stale_ = 0;
+  telemetry::Counter duplicates_;
+  telemetry::Counter stale_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::dataplane

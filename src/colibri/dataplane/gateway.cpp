@@ -38,11 +38,17 @@ proto::Packet to_packet(const FastPacket& fp) {
   return pkt;
 }
 
-Gateway::Gateway(AsId local_as, const Clock& clock, const GatewayConfig& cfg)
+Gateway::Gateway(AsId local_as, const Clock& clock, const GatewayConfig& cfg,
+                 telemetry::MetricsRegistry* registry)
     : local_as_(local_as),
       clock_(&clock),
       cfg_(cfg),
-      table_(cfg.expected_reservations) {}
+      table_(cfg.expected_reservations),
+      registration_(registry, this) {}
+
+namespace {
+inline std::size_t idx(Gateway::Verdict v) { return static_cast<std::size_t>(v); }
+}  // namespace
 
 bool Gateway::install(const proto::ResInfo& resinfo,
                       const proto::EerInfo& eerinfo,
@@ -72,12 +78,12 @@ Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
                                   FastPacket& out) {
   GatewayEntry* e = table_.find(id);
   if (e == nullptr) {
-    ++stats_.no_reservation;
+    verdicts_[idx(Verdict::kNoReservation)].bump();
     return Verdict::kNoReservation;
   }
   const TimeNs now = clock_->now_ns();
   if (e->resinfo.exp_time <= static_cast<UnixSec>(now / kNsPerSec)) {
-    ++stats_.expired;
+    verdicts_[idx(Verdict::kExpired)].bump();
     return Verdict::kExpired;
   }
 
@@ -96,7 +102,7 @@ Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
 
   // Deterministic monitoring (token bucket per EER).
   if (!e->bucket.allow(size, now)) {
-    ++stats_.rate_limited;
+    verdicts_[idx(Verdict::kRateLimited)].bump();
     return Verdict::kRateLimited;
   }
 
@@ -107,7 +113,7 @@ Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
   for (std::uint8_t i = 0; i < e->num_hops; ++i) {
     out.hvfs[i] = compute_data_hvf(e->sigmas[i], out.timestamp, size);
   }
-  ++stats_.forwarded;
+  verdicts_[idx(Verdict::kOk)].bump();
   return Verdict::kOk;
 }
 
@@ -133,6 +139,38 @@ size_t Gateway::process_burst(const ResId* ids,
     if (verdicts[i] == Verdict::kOk) ++ok;
   }
   return ok;
+}
+
+GatewayStats Gateway::snapshot() const {
+  GatewayStats s;
+  s.forwarded = verdicts_[idx(Verdict::kOk)].value();
+  s.no_reservation = verdicts_[idx(Verdict::kNoReservation)].value();
+  s.rate_limited = verdicts_[idx(Verdict::kRateLimited)].value();
+  s.expired = verdicts_[idx(Verdict::kExpired)].value();
+  return s;
+}
+
+void Gateway::reset() {
+  for (auto& c : verdicts_) c.reset();
+}
+
+void Gateway::collect_metrics(telemetry::MetricSink& sink) const {
+  sink.counter("gateway.forwarded", verdicts_[idx(Verdict::kOk)].value());
+  for (std::size_t i = idx(Verdict::kNoReservation); i < kNumVerdicts; ++i) {
+    const auto v = static_cast<Verdict>(i);
+    sink.counter(std::string("gateway.drop.") + errc_name(errc_from_verdict(v)),
+                 verdicts_[i].value());
+  }
+}
+
+Errc errc_from_verdict(Gateway::Verdict v) {
+  switch (v) {
+    case Gateway::Verdict::kOk: return Errc::kOk;
+    case Gateway::Verdict::kNoReservation: return Errc::kNoSuchReservation;
+    case Gateway::Verdict::kRateLimited: return Errc::kRateLimited;
+    case Gateway::Verdict::kExpired: return Errc::kExpired;
+  }
+  return Errc::kInternal;
 }
 
 }  // namespace colibri::dataplane

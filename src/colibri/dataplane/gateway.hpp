@@ -10,10 +10,14 @@
 // hop, since storing raw σ_i keeps per-reservation state small).
 #pragma once
 
+#include <array>
+
 #include "colibri/common/clock.hpp"
+#include "colibri/common/errors.hpp"
 #include "colibri/dataplane/fastpacket.hpp"
 #include "colibri/proto/encap.hpp"
 #include "colibri/dataplane/restable.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
 
@@ -23,6 +27,7 @@ struct GatewayConfig {
   size_t expected_reservations = 1024;
 };
 
+// Point-in-time view of one gateway's counters (see snapshot()).
 struct GatewayStats {
   std::uint64_t forwarded = 0;
   std::uint64_t no_reservation = 0;
@@ -30,9 +35,17 @@ struct GatewayStats {
   std::uint64_t expired = 0;
 };
 
-class Gateway {
+class Gateway : public telemetry::MetricsSource {
  public:
-  Gateway(AsId local_as, const Clock& clock, const GatewayConfig& cfg = {});
+  // Registers with `registry` (nullptr = none); counters export under
+  // "gateway.*", aggregated across instances (gateway shards).
+  Gateway(AsId local_as, const Clock& clock, const GatewayConfig& cfg = {},
+          telemetry::MetricsRegistry* registry =
+              &telemetry::MetricsRegistry::global());
+  ~Gateway() override = default;
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
 
   enum class Verdict : std::uint8_t {
     kOk = 0,
@@ -40,6 +53,7 @@ class Gateway {
     kRateLimited,
     kExpired,
   };
+  static constexpr std::size_t kNumVerdicts = 4;
 
   // --- control side -----------------------------------------------------
   // Installs (or replaces) the state for an EER after a successful setup
@@ -66,7 +80,14 @@ class Gateway {
   Verdict process_encapsulated(ResId id, std::uint32_t payload_bytes,
                                proto::Ipv4Encap intra, Bytes& frame_out);
 
-  const GatewayStats& stats() const { return stats_; }
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  GatewayStats snapshot() const;
+  void reset();
+  // Legacy view, kept as a thin alias of snapshot().
+  GatewayStats stats() const { return snapshot(); }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override;
+
   AsId local_as() const { return local_as_; }
 
  private:
@@ -74,7 +95,12 @@ class Gateway {
   const Clock* clock_;
   GatewayConfig cfg_;
   ResTable table_;
-  GatewayStats stats_;
+  std::array<telemetry::Counter, kNumVerdicts> verdicts_;
+  telemetry::ScopedSource registration_;
 };
+
+// Companion of errc_from_verdict(BorderRouter::Verdict): the gateway's
+// drop reasons expressed as control-plane error codes.
+Errc errc_from_verdict(Gateway::Verdict v);
 
 }  // namespace colibri::dataplane

@@ -22,10 +22,12 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-OverUseFlowDetector::OverUseFlowDetector(const OfdConfig& cfg)
+OverUseFlowDetector::OverUseFlowDetector(const OfdConfig& cfg,
+                                         telemetry::MetricsRegistry* registry)
     : cfg_(cfg),
       width_mask_(round_up_pow2(cfg.width) - 1),
-      cells_(static_cast<size_t>(cfg.depth) * (width_mask_ + 1), 0.0) {}
+      cells_(static_cast<size_t>(cfg.depth) * (width_mask_ + 1), 0.0),
+      registration_(registry, this) {}
 
 std::uint64_t OverUseFlowDetector::flow_hash(AsId src, ResId res) const {
   return mix64(src.raw() * 0x9E3779B97F4A7C15ULL ^ res);
@@ -50,7 +52,7 @@ OverUseFlowDetector::Verdict OverUseFlowDetector::update(AsId src, ResId res,
   if (auto it = watchlist_.find(key); it != watchlist_.end()) {
     if (it->second.bucket.allow(pkt_bytes, now)) return Verdict::kWatched;
     ++it->second.violations;
-    ++confirmed_;
+    confirmed_.bump();
     return Verdict::kOveruse;
   }
 
@@ -77,7 +79,7 @@ OverUseFlowDetector::Verdict OverUseFlowDetector::update(AsId src, ResId res,
 
   // Promote to deterministic monitoring: a token bucket at the reserved
   // rate with a small burst allowance decides overuse with certainty.
-  ++flagged_;
+  flagged_.bump();
   const std::uint64_t burst_bytes = static_cast<std::uint64_t>(
       cfg_.watch_burst_sec * static_cast<double>(bw_kbps) * 125.0);
   watchlist_.emplace(key,

@@ -20,6 +20,7 @@
 #include "colibri/common/clock.hpp"
 #include "colibri/common/ids.hpp"
 #include "colibri/dataplane/tokenbucket.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
 
@@ -34,9 +35,24 @@ struct OfdConfig {
   double watch_burst_sec = 0.20;
 };
 
-class OverUseFlowDetector {
+// Point-in-time view of the detector's counters (see snapshot()).
+struct OfdStats {
+  std::uint64_t flagged = 0;
+  std::uint64_t confirmed = 0;
+  std::uint64_t watchlist = 0;
+};
+
+class OverUseFlowDetector : public telemetry::MetricsSource {
  public:
-  explicit OverUseFlowDetector(const OfdConfig& cfg = {});
+  // Registers with `registry` (nullptr = none); counters export under
+  // "ofd.*", aggregated across instances.
+  explicit OverUseFlowDetector(const OfdConfig& cfg = {},
+                               telemetry::MetricsRegistry* registry =
+                                   &telemetry::MetricsRegistry::global());
+  ~OverUseFlowDetector() override = default;
+
+  OverUseFlowDetector(const OverUseFlowDetector&) = delete;
+  OverUseFlowDetector& operator=(const OverUseFlowDetector&) = delete;
 
   enum class Verdict : std::uint8_t {
     kOk,          // nothing suspicious
@@ -51,8 +67,23 @@ class OverUseFlowDetector {
                  TimeNs now);
 
   size_t watchlist_size() const { return watchlist_.size(); }
-  std::uint64_t flagged_total() const { return flagged_; }
-  std::uint64_t confirmed_total() const { return confirmed_; }
+  std::uint64_t flagged_total() const { return flagged_.value(); }
+  std::uint64_t confirmed_total() const { return confirmed_.value(); }
+
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  OfdStats snapshot() const {
+    return {flagged_.value(), confirmed_.value(), watchlist_.size()};
+  }
+  void reset() {
+    flagged_.reset();
+    confirmed_.reset();
+  }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override {
+    sink.counter("ofd.flagged", flagged_.value());
+    sink.counter("ofd.confirmed", confirmed_.value());
+    sink.gauge("ofd.watchlist", static_cast<std::int64_t>(watchlist_.size()));
+  }
 
   // Estimated normalized usage of a flow in the current epoch (tests).
   double estimate(AsId src, ResId res) const;
@@ -73,8 +104,9 @@ class OverUseFlowDetector {
   };
   std::unordered_map<ResKey, Watch> watchlist_;
 
-  std::uint64_t flagged_ = 0;
-  std::uint64_t confirmed_ = 0;
+  telemetry::Counter flagged_;
+  telemetry::Counter confirmed_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::dataplane

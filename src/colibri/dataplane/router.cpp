@@ -1,27 +1,44 @@
 #include "colibri/dataplane/router.hpp"
 
+#include <chrono>
+
 namespace colibri::dataplane {
 
-BorderRouter::BorderRouter(AsId local_as, const drkey::Key128& hop_key,
-                           const Clock& clock)
-    : local_as_(local_as), hop_cipher_(hop_key.bytes.data()), clock_(&clock) {}
+namespace {
 
-BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
+inline std::size_t idx(BorderRouter::Verdict v) {
+  return static_cast<std::size_t>(v);
+}
+
+inline std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BorderRouter::BorderRouter(AsId local_as, const drkey::Key128& hop_key,
+                           const Clock& clock,
+                           telemetry::MetricsRegistry* registry)
+    : local_as_(local_as),
+      hop_cipher_(hop_key.bytes.data()),
+      clock_(&clock),
+      registration_(registry, this) {}
+
+BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt) {
   // Format checks.
   if (pkt.num_hops == 0 || pkt.num_hops > kMaxHops ||
       pkt.current_hop >= pkt.num_hops) {
-    ++stats_.malformed;
     return Verdict::kMalformed;
   }
   const TimeNs now = clock_->now_ns();
   // Reservation expiry.
   if (pkt.resinfo.exp_time <= static_cast<UnixSec>(now / kNsPerSec)) {
-    ++stats_.expired;
     return Verdict::kExpired;
   }
   // Policing: traffic from blocked source ASes is dropped up front.
   if (blocklist_ != nullptr && blocklist_->blocked(pkt.resinfo.src_as)) {
-    ++stats_.blocked;
     return Verdict::kBlocked;
   }
 
@@ -37,7 +54,6 @@ BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
     expected = compute_seg_hvf(hop_cipher_, pkt.resinfo, hop.in, hop.eg);
   }
   if (!hvf_equal(expected, pkt.hvfs[pkt.current_hop])) {
-    ++stats_.bad_hvf;
     return Verdict::kBadHvf;
   }
 
@@ -50,7 +66,6 @@ BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
     const auto verdict = dupsup_->check(pkt.resinfo.src_as, pkt.resinfo.res_id,
                                         pkt.timestamp, ts_ns, now);
     if (verdict != DuplicateSuppression::Verdict::kFresh) {
-      ++stats_.replayed;
       return Verdict::kReplay;
     }
   }
@@ -61,7 +76,6 @@ BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
         ofd_->update(pkt.resinfo.src_as, pkt.resinfo.res_id, pkt.wire_size(),
                      pkt.resinfo.bw_kbps, now);
     if (verdict == OverUseFlowDetector::Verdict::kOveruse) {
-      ++stats_.overuse_dropped;
       if (blocklist_ != nullptr) {
         blocklist_->report(OffenseReport{pkt.resinfo.src_as,
                                          pkt.resinfo.res_id, now,
@@ -72,17 +86,77 @@ BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
   }
 
   if (pkt.at_last_hop()) {
-    ++stats_.delivered;
     return Verdict::kDeliver;
   }
   ++pkt.current_hop;
-  ++stats_.forwarded;
   return Verdict::kForward;
+}
+
+BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
+  if (sample_every_ != 0 && --sample_countdown_ == 0) {
+    sample_countdown_ = sample_every_;
+    const std::int64_t t0 = steady_now_ns();
+    const Verdict v = classify(pkt);
+    validate_latency_ns_.record(
+        static_cast<std::uint64_t>(steady_now_ns() - t0));
+    verdicts_[idx(v)].bump();
+    return v;
+  }
+  const Verdict v = classify(pkt);
+  verdicts_[idx(v)].bump();
+  return v;
 }
 
 void BorderRouter::process_burst(FastPacket* pkts, size_t n,
                                  Verdict* verdicts) {
   for (size_t i = 0; i < n; ++i) verdicts[i] = process(pkts[i]);
+}
+
+RouterStats BorderRouter::snapshot() const {
+  RouterStats s;
+  s.forwarded = verdicts_[idx(Verdict::kForward)].value();
+  s.delivered = verdicts_[idx(Verdict::kDeliver)].value();
+  s.bad_hvf = verdicts_[idx(Verdict::kBadHvf)].value();
+  s.expired = verdicts_[idx(Verdict::kExpired)].value();
+  s.malformed = verdicts_[idx(Verdict::kMalformed)].value();
+  s.blocked = verdicts_[idx(Verdict::kBlocked)].value();
+  s.replayed = verdicts_[idx(Verdict::kReplay)].value();
+  s.overuse_dropped = verdicts_[idx(Verdict::kOveruse)].value();
+  return s;
+}
+
+void BorderRouter::reset() {
+  for (auto& c : verdicts_) c.reset();
+  validate_latency_ns_.reset();
+}
+
+void BorderRouter::collect_metrics(telemetry::MetricSink& sink) const {
+  sink.counter("router.forwarded", verdicts_[idx(Verdict::kForward)].value());
+  sink.counter("router.delivered", verdicts_[idx(Verdict::kDeliver)].value());
+  for (std::size_t i = idx(Verdict::kBadHvf); i < kNumVerdicts; ++i) {
+    const auto v = static_cast<Verdict>(i);
+    sink.counter(std::string("router.drop.") + errc_name(errc_from_verdict(v)),
+                 verdicts_[i].value());
+  }
+  const auto latency = validate_latency_ns_.snapshot();
+  if (latency.count != 0) {
+    sink.histogram("router.validate_latency_ns", latency);
+  }
+}
+
+Errc errc_from_verdict(BorderRouter::Verdict v) {
+  switch (v) {
+    case BorderRouter::Verdict::kForward:
+    case BorderRouter::Verdict::kDeliver:
+      return Errc::kOk;
+    case BorderRouter::Verdict::kBadHvf: return Errc::kAuthFailed;
+    case BorderRouter::Verdict::kExpired: return Errc::kExpired;
+    case BorderRouter::Verdict::kMalformed: return Errc::kMalformed;
+    case BorderRouter::Verdict::kBlocked: return Errc::kBlocked;
+    case BorderRouter::Verdict::kReplay: return Errc::kReplay;
+    case BorderRouter::Verdict::kOveruse: return Errc::kOveruse;
+  }
+  return Errc::kInternal;
 }
 
 }  // namespace colibri::dataplane

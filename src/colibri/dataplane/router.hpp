@@ -10,17 +10,28 @@
 // detector; the paper's speedtest (Figs. 5-6) measures the router without
 // the duplicate-suppression component, which our benchmarks mirror by
 // leaving the hooks null.
+//
+// Telemetry: verdict counters are instance-local single-writer atomics
+// (one router instance is driven by one thread at a time, as in the
+// multicore benchmarks) exported through the process-wide
+// MetricsRegistry; per-packet validation latency is sampled into a
+// histogram only when set_latency_sampling() enables it.
 #pragma once
 
+#include <array>
+
 #include "colibri/common/clock.hpp"
+#include "colibri/common/errors.hpp"
 #include "colibri/dataplane/blocklist.hpp"
 #include "colibri/dataplane/dupsup.hpp"
 #include "colibri/dataplane/fastpacket.hpp"
 #include "colibri/dataplane/ofd.hpp"
 #include "colibri/drkey/drkey.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
 
+// Point-in-time view of one router's counters (see snapshot()).
 struct RouterStats {
   std::uint64_t forwarded = 0;
   std::uint64_t delivered = 0;
@@ -32,12 +43,19 @@ struct RouterStats {
   std::uint64_t overuse_dropped = 0;
 };
 
-class BorderRouter {
+class BorderRouter : public telemetry::MetricsSource {
  public:
   // `hop_key` is this AS's secret key K_i used in Eqs. 3-4; its AES
   // schedule is expanded once here and reused for every packet.
-  BorderRouter(AsId local_as, const drkey::Key128& hop_key,
-               const Clock& clock);
+  // The router registers with `registry` (nullptr = none) and exports
+  // its counters under "router.*", aggregated across instances.
+  BorderRouter(AsId local_as, const drkey::Key128& hop_key, const Clock& clock,
+               telemetry::MetricsRegistry* registry =
+                   &telemetry::MetricsRegistry::global());
+  ~BorderRouter() override = default;
+
+  BorderRouter(const BorderRouter&) = delete;
+  BorderRouter& operator=(const BorderRouter&) = delete;
 
   enum class Verdict : std::uint8_t {
     kForward = 0,  // HVF valid; cursor advanced to the next AS
@@ -49,6 +67,7 @@ class BorderRouter {
     kReplay,
     kOveruse,
   };
+  static constexpr std::size_t kNumVerdicts = 8;
 
   // Validates and advances one packet. The packet's current_hop must
   // point at this AS's hop entry.
@@ -62,17 +81,43 @@ class BorderRouter {
   void attach_dupsup(DuplicateSuppression* d) { dupsup_ = d; }
   void attach_ofd(OverUseFlowDetector* o) { ofd_ = o; }
 
-  const RouterStats& stats() const { return stats_; }
+  // Records the wall-clock validation latency of every `every_n`th
+  // packet into the "router.validate_latency_ns" histogram; 0 (default)
+  // disables sampling and keeps the fast path clock-free.
+  void set_latency_sampling(std::uint32_t every_n) {
+    sample_every_ = every_n;
+    sample_countdown_ = every_n;
+  }
+
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  RouterStats snapshot() const;
+  void reset();
+  // Legacy view, kept as a thin alias of snapshot().
+  RouterStats stats() const { return snapshot(); }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override;
+
   AsId local_as() const { return local_as_; }
 
  private:
+  Verdict classify(FastPacket& pkt);
+
   AsId local_as_;
   crypto::Aes128 hop_cipher_;  // K_i schedule, expanded once
   const Clock* clock_;
   Blocklist* blocklist_ = nullptr;
   DuplicateSuppression* dupsup_ = nullptr;
   OverUseFlowDetector* ofd_ = nullptr;
-  RouterStats stats_;
+  std::uint32_t sample_every_ = 0;
+  std::uint32_t sample_countdown_ = 0;
+  std::array<telemetry::Counter, kNumVerdicts> verdicts_;
+  telemetry::Histogram validate_latency_ns_;
+  telemetry::ScopedSource registration_;
 };
+
+// The single mapping between data-plane verdicts and control-plane error
+// codes; telemetry counter names and Result errors derive from it, so
+// "router.drop.auth-failed" and Errc::kAuthFailed always agree.
+Errc errc_from_verdict(BorderRouter::Verdict v);
 
 }  // namespace colibri::dataplane

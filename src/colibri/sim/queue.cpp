@@ -15,6 +15,21 @@ PriorityPort::PriorityPort(Simulator& sim, double rate_bps,
                            size_t queue_limit_bytes)
     : sim_(&sim), rate_bps_(rate_bps), queue_limit_bytes_(queue_limit_bytes) {}
 
+void PriorityPort::collect_metrics(telemetry::MetricSink& sink) const {
+  for (size_t c = 0; c < kNumClasses; ++c) {
+    const std::string prefix =
+        std::string("sim.port.") +
+        traffic_class_name(static_cast<TrafficClass>(c)) + ".";
+    const ClassCounters& ctr = counters_[c];
+    sink.counter(prefix + "enqueued_pkts", ctr.enqueued_pkts);
+    sink.counter(prefix + "sent_pkts", ctr.sent_pkts);
+    sink.counter(prefix + "dropped_pkts", ctr.dropped_pkts);
+    sink.counter(prefix + "dropped_bytes", ctr.dropped_bytes);
+    sink.gauge(prefix + "queued_bytes",
+               static_cast<std::int64_t>(queued_bytes_[c]));
+  }
+}
+
 void PriorityPort::enqueue(SimPacket pkt) {
   const auto c = static_cast<size_t>(pkt.cls);
   ClassCounters& ctr = counters_[c];

@@ -13,6 +13,7 @@
 
 #include "colibri/dataplane/fastpacket.hpp"
 #include "colibri/sim/event.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::sim {
 
@@ -42,13 +43,31 @@ struct ClassCounters {
   std::uint64_t sent_bytes = 0;
 };
 
-class PriorityPort {
+// Point-in-time view of one port (see snapshot()).
+struct PortStats {
+  std::array<ClassCounters, kNumClasses> classes{};
+  std::array<std::uint64_t, kNumClasses> queued_bytes{};
+};
+
+class PriorityPort : public telemetry::MetricsSource {
  public:
   using Sink = std::function<void(SimPacket&&)>;
 
   // rate in bits/second; per-class buffer limit in bytes (drop tail).
   PriorityPort(Simulator& sim, double rate_bps,
                size_t queue_limit_bytes = 1 << 20);
+  ~PriorityPort() override = default;
+
+  PriorityPort(const PriorityPort&) = delete;
+  PriorityPort& operator=(const PriorityPort&) = delete;
+
+  // Opt-in registration (the simulator creates ports freely; only
+  // scenario-level ports export): metrics appear under "sim.port.*",
+  // aggregated across attached ports. The port must stay at a stable
+  // address while attached.
+  void attach_metrics(telemetry::MetricsRegistry* registry) {
+    registration_.rebind(registry, this);
+  }
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
@@ -58,6 +77,17 @@ class PriorityPort {
     return counters_[static_cast<size_t>(c)];
   }
   double rate_bps() const { return rate_bps_; }
+
+  // Uniform stats accessors: consistent point-in-time view + reset.
+  PortStats snapshot() const {
+    PortStats s;
+    s.classes = counters_;
+    for (size_t i = 0; i < kNumClasses; ++i) s.queued_bytes[i] = queued_bytes_[i];
+    return s;
+  }
+  void reset() { counters_ = {}; }
+
+  void collect_metrics(telemetry::MetricSink& sink) const override;
 
  private:
   void start_transmission();
@@ -74,6 +104,7 @@ class PriorityPort {
   std::array<ClassCounters, kNumClasses> counters_{};
   bool busy_ = false;
   Sink sink_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::sim

@@ -65,8 +65,10 @@ PhaseResult ProtectionScenario::run_phase(const std::vector<FlowSpec>& flows) {
   dst_br.attach_ofd(&ofd);
   dst_br.attach_dupsup(&dupsup);
 
-  // Output port (40 Gbps) with a measuring sink.
+  // Output port (40 Gbps) with a measuring sink; its queue depths and
+  // per-class drops export through the process-wide registry.
   PriorityPort out_port(sim, cfg_.link_gbps * kGbps);
+  out_port.attach_metrics(&telemetry::MetricsRegistry::global());
   std::unordered_map<std::uint64_t, std::uint64_t> delivered_bytes;
   const TimeNs measure_start = cfg_.warmup_ns;
   out_port.set_sink([&](SimPacket&& pkt) {

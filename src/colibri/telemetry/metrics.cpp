@@ -1,0 +1,225 @@
+#include "colibri/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace colibri::telemetry {
+
+namespace {
+
+// Minimal JSON string escaping (metric names are plain ASCII in
+// practice, but the exporter must never emit invalid JSON).
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::bucket_upper_bound(std::size_t i) {
+  if (i + 1 >= kHistogramBuckets) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank || seen == count) {
+      return static_cast<double>(bucket_upper_bound(i));
+    }
+  }
+  return static_cast<double>(bucket_upper_bound(buckets.size() - 1));
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(256 + 48 * (counters.size() + gauges.size()) +
+              256 * histograms.size());
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    append_u64(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_u64(out, h.sum);
+    out += ",\"p50\":";
+    out += std::to_string(static_cast<std::uint64_t>(h.percentile(0.50)));
+    out += ",\"p99\":";
+    out += std::to_string(static_cast<std::uint64_t>(h.percentile(0.99)));
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;  // sparse export
+      if (!bfirst) out.push_back(',');
+      bfirst = false;
+      out.push_back('[');
+      append_u64(out, HistogramSnapshot::bucket_upper_bound(i));
+      out.push_back(',');
+      append_u64(out, h.buckets[i]);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::attach(const MetricsSource* source) {
+  if (source == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.push_back(source);
+}
+
+void MetricsRegistry::detach(const MetricsSource* source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(sources_, source);
+}
+
+std::size_t MetricsRegistry::source_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sources_.size();
+}
+
+namespace {
+
+// Sink that merges equal names by summation into a MetricsSnapshot.
+class MergingSink final : public MetricSink {
+ public:
+  explicit MergingSink(MetricsSnapshot& out) : out_(&out) {}
+
+  void counter(std::string_view name, std::uint64_t value) override {
+    out_->counters[std::string(name)] += value;
+  }
+  void gauge(std::string_view name, std::int64_t value) override {
+    out_->gauges[std::string(name)] += value;
+  }
+  void histogram(std::string_view name, const HistogramSnapshot& h) override {
+    out_->histograms[std::string(name)].merge(h);
+  }
+
+ private:
+  MetricsSnapshot* out_;
+};
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  MergingSink sink(s);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) sink.counter(name, c->value());
+  for (const auto& [name, g] : gauges_) sink.gauge(name, g->value());
+  for (const auto& [name, h] : histograms_) sink.histogram(name, h->snapshot());
+  for (const auto* src : sources_) src->collect_metrics(sink);
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace colibri::telemetry

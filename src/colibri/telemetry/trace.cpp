@@ -1,0 +1,61 @@
+#include "colibri/telemetry/trace.hpp"
+
+#include <utility>
+
+namespace colibri::telemetry {
+
+std::int64_t SpanTrace::self_time_ns(std::size_t i) const {
+  std::int64_t t = spans[i].duration_ns;
+  const auto parent = static_cast<std::int32_t>(i);
+  for (const Span& s : spans) {
+    if (s.parent == parent) t -= s.duration_ns;
+  }
+  return t;
+}
+
+std::string SpanTrace::to_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"name\":\"" + s.name + "\",\"parent\":" +
+           std::to_string(s.parent) + ",\"depth\":" + std::to_string(s.depth) +
+           ",\"start_ns\":" + std::to_string(s.start_ns) +
+           ",\"duration_ns\":" + std::to_string(s.duration_ns) +
+           ",\"bytes\":" + std::to_string(s.bytes) + "}";
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::size_t SpanCollector::open(std::string name, std::int64_t now_ns,
+                                std::uint64_t bytes) {
+  if (origin_ns_ < 0) origin_ns_ = now_ns;
+  Span s;
+  s.name = std::move(name);
+  s.parent = stack_.empty() ? -1 : static_cast<std::int32_t>(stack_.back());
+  s.depth = static_cast<std::int32_t>(stack_.size());
+  s.start_ns = now_ns - origin_ns_;
+  s.bytes = bytes;
+  trace_.spans.push_back(std::move(s));
+  const std::size_t index = trace_.spans.size() - 1;
+  stack_.push_back(index);
+  return index;
+}
+
+void SpanCollector::close(std::size_t index, std::int64_t now_ns) {
+  if (index >= trace_.spans.size()) return;
+  Span& s = trace_.spans[index];
+  s.duration_ns = (now_ns - origin_ns_) - s.start_ns;
+  if (!stack_.empty() && stack_.back() == index) stack_.pop_back();
+}
+
+SpanTrace SpanCollector::take() {
+  SpanTrace t = std::move(trace_);
+  trace_ = {};
+  stack_.clear();
+  origin_ns_ = -1;
+  return t;
+}
+
+}  // namespace colibri::telemetry

@@ -1,0 +1,68 @@
+// Lightweight span tracing for the control plane.
+//
+// A control-plane request travels hop-by-hop down the path and the
+// response is assembled on the unwind (paper Fig. 1a/1b); the MessageBus
+// opens one span per hop call, so a collected trace is the full nested
+// forward/unwind tree of a request. Spans record wall duration of the
+// whole subtree; `SpanTrace::self_time_ns()` subtracts the direct
+// children, giving the per-hop processing (forward + unwind work at that
+// AS, excluding downstream).
+//
+// Collection is opt-in: when disabled (the default) the bus pays one
+// predictable branch per call and records nothing — the
+// zero-overhead-when-unused guarantee documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace colibri::telemetry {
+
+struct Span {
+  std::string name;              // e.g. destination AS of the hop call
+  std::int32_t parent = -1;      // index into SpanTrace::spans, -1 = root
+  std::int32_t depth = 0;        // nesting depth (0 = initiator's call)
+  std::int64_t start_ns = 0;     // relative to the trace start
+  std::int64_t duration_ns = 0;  // wall time of the whole subtree
+  std::uint64_t bytes = 0;       // request payload size
+};
+
+struct SpanTrace {
+  std::vector<Span> spans;
+
+  // Span duration minus its direct children: the hop's own processing.
+  std::int64_t self_time_ns(std::size_t i) const;
+  std::string to_json() const;
+};
+
+class SpanCollector {
+ public:
+  bool enabled() const { return enabled_; }
+
+  // Clears any previous trace and starts collecting.
+  void enable() {
+    enabled_ = true;
+    trace_.spans.clear();
+    stack_.clear();
+    origin_ns_ = -1;
+  }
+  void disable() { enabled_ = false; }
+
+  // Drains the collected trace (collection stays enabled).
+  SpanTrace take();
+  const SpanTrace& trace() const { return trace_; }
+
+  // Recording API (used by the MessageBus). `open` returns the span
+  // index to pass back to `close`.
+  std::size_t open(std::string name, std::int64_t now_ns, std::uint64_t bytes);
+  void close(std::size_t index, std::int64_t now_ns);
+
+ private:
+  bool enabled_ = false;
+  std::int64_t origin_ns_ = -1;
+  SpanTrace trace_;
+  std::vector<std::size_t> stack_;  // indices of currently open spans
+};
+
+}  // namespace colibri::telemetry

@@ -1,6 +1,9 @@
 // Unit tests: identifiers, byte codecs, clocks, timestamps, RNG.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <type_traits>
+
 #include "colibri/common/bytes.hpp"
 #include "colibri/common/clock.hpp"
 #include "colibri/common/errors.hpp"
@@ -192,6 +195,96 @@ TEST(ResultTest, HoldsValueOrError) {
   Result<int> err(Errc::kExpired);
   EXPECT_FALSE(err.ok());
   EXPECT_EQ(err.error(), Errc::kExpired);
+}
+
+TEST(ResultTest, VoidSpecialization) {
+  Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.error(), Errc::kOk);
+
+  Result<void> err(Errc::kPolicyDenied);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), Errc::kPolicyDenied);
+
+  // kOk through the error constructor still means success.
+  Result<void> ok2(Errc::kOk);
+  EXPECT_TRUE(ok2.ok());
+}
+
+TEST(ResultTest, ErrorContextCarriesBottleneckLocation) {
+  Result<int> plain(Errc::kBandwidthUnavailable);
+  EXPECT_TRUE(plain.error_context().empty());
+
+  Result<int> located(Errc::kBandwidthUnavailable, "at 1-110 (hop 2)");
+  EXPECT_FALSE(located.ok());
+  EXPECT_EQ(located.error_context(), "at 1-110 (hop 2)");
+
+  auto annotated = Result<int>(Errc::kExpired).with_context("renewal window");
+  EXPECT_EQ(annotated.error(), Errc::kExpired);
+  EXPECT_EQ(annotated.error_context(), "renewal window");
+
+  // with_context on a success value is a no-op.
+  auto still_ok = Result<int>(7).with_context("ignored");
+  EXPECT_TRUE(still_ok.ok());
+  EXPECT_EQ(still_ok.value(), 7);
+}
+
+TEST(ResultTest, MapTransformsValueAndPropagatesError) {
+  auto doubled = Result<int>(21).map([](int v) { return v * 2; });
+  EXPECT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+
+  auto err = Result<int>(Errc::kExpired, "ctx").map([](int v) { return v * 2; });
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), Errc::kExpired);
+  EXPECT_EQ(err.error_context(), "ctx");
+
+  // map to a different type, and map to void.
+  auto str = Result<int>(5).map([](int v) { return std::to_string(v); });
+  EXPECT_EQ(str.value(), "5");
+  int observed = 0;
+  auto voided = Result<int>(9).map([&](int v) { observed = v; });
+  static_assert(std::is_same_v<decltype(voided), Result<void>>);
+  EXPECT_TRUE(voided.ok());
+  EXPECT_EQ(observed, 9);
+
+  // Result<void>::map chains into a value-producing stage.
+  auto from_void = Result<void>().map([] { return 3; });
+  EXPECT_EQ(from_void.value(), 3);
+}
+
+TEST(ResultTest, AndThenChainsShortCircuitingOnError) {
+  auto chain = Result<int>(10).and_then([](int v) -> Result<std::string> {
+    if (v > 5) return std::string("big");
+    return {Errc::kMalformed};
+  });
+  EXPECT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value(), "big");
+
+  auto failed = Result<int>(2).and_then([](int v) -> Result<std::string> {
+    if (v > 5) return std::string("big");
+    return {Errc::kMalformed, "too small"};
+  });
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error(), Errc::kMalformed);
+  EXPECT_EQ(failed.error_context(), "too small");
+
+  // Error short-circuits: the continuation must not run.
+  bool ran = false;
+  auto skipped = Result<int>(Errc::kExpired).and_then([&](int) -> Result<int> {
+    ran = true;
+    return 1;
+  });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(skipped.error(), Errc::kExpired);
+
+  // Result<void>::and_then.
+  auto vchain = Result<void>().and_then([]() -> Result<int> { return 11; });
+  EXPECT_EQ(vchain.value(), 11);
+}
+
+TEST(ResultTest, OveruseErrcHasName) {
+  EXPECT_STREQ(errc_name(Errc::kOveruse), "overuse");
 }
 
 }  // namespace

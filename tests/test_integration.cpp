@@ -6,6 +6,7 @@
 
 #include "colibri/app/testbed.hpp"
 #include "colibri/sim/scenario.hpp"
+#include "colibri/telemetry/metrics.hpp"
 
 namespace colibri {
 namespace {
@@ -51,6 +52,83 @@ TEST_F(IntegrationTest, LifeOfAPacket) {
       }
     }
     clock_.advance(1'000'000);
+  }
+}
+
+// Observability: after real traffic through the testbed, one global
+// registry snapshot exposes router verdict counters, cserv admission
+// counters, and latency histograms — without any component wiring
+// beyond construction.
+TEST_F(IntegrationTest, TelemetrySnapshotCoversControlAndDataPlane) {
+  auto& reg = telemetry::MetricsRegistry::global();
+
+  const AsId src{1, 112}, dst{2, 221};
+  // Sample every packet's validation latency at the first-hop router.
+  bed_.router(src).set_latency_sampling(1);
+
+  auto session = bed_.daemon(src).open_session(
+      dst, HostAddr::from_u64(0xA), HostAddr::from_u64(0xB), 1000, 100'000);
+  ASSERT_TRUE(session.ok()) << errc_name(session.error());
+  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
+  ASSERT_NE(rec, nullptr);
+
+  for (int n = 0; n < 20; ++n) {
+    dataplane::FastPacket pkt;
+    ASSERT_EQ(session.value().send(1000, pkt), dataplane::Gateway::Verdict::kOk);
+    for (const auto& hop : rec->path) {
+      (void)bed_.router(hop.as).process(pkt);
+    }
+    clock_.advance(1'000'000);
+  }
+  bed_.router(src).set_latency_sampling(0);
+
+  const auto snap = reg.snapshot();
+  // Data plane: router verdicts (forwarded across all on-path routers)
+  // and gateway accounting.
+  EXPECT_GE(snap.counters.at("router.forwarded"), 20u);
+  EXPECT_GE(snap.counters.at("router.delivered"), 20u);
+  EXPECT_EQ(snap.counters.count("router.drop.auth-failed"), 1u);
+  EXPECT_GE(snap.counters.at("gateway.forwarded"), 20u);
+  // Control plane: admission outcomes from provisioning + the EER.
+  EXPECT_GT(snap.counters.at("cserv.seg_requests"), 0u);
+  EXPECT_GT(snap.counters.at("cserv.seg_granted"), 0u);
+  EXPECT_GT(snap.counters.at("cserv.eer_granted"), 0u);
+  // Latency histograms populated on both planes.
+  EXPECT_GT(snap.histograms.at("cserv.request_latency_ns").count, 0u);
+  EXPECT_GE(snap.histograms.at("router.validate_latency_ns").count, 20u);
+  EXPECT_GT(snap.histograms.at("bus.hop_latency_ns").count, 0u);
+
+  // The JSON export carries the same names.
+  const std::string json = reg.to_json();
+  for (const char* needle :
+       {"router.forwarded", "cserv.seg_granted", "router.validate_latency_ns",
+        "\"p99\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+// Bus span tracing: opt-in, records the nested control-plane call chain
+// of a single request with per-hop self time.
+TEST_F(IntegrationTest, BusSpanTracingRecordsControlPlaneHops) {
+  auto& tracer = bed_.bus().tracer();
+  tracer.enable();
+  const AsId src{1, 111}, dst{2, 222};
+  auto session = bed_.daemon(src).open_session(
+      dst, HostAddr::from_u64(0x1), HostAddr::from_u64(0x2), 1000, 50'000);
+  tracer.disable();
+  ASSERT_TRUE(session.ok()) << errc_name(session.error());
+
+  const auto trace = tracer.take();
+  ASSERT_FALSE(trace.spans.empty());
+  // Every span closed, durations are sane, and self time never exceeds
+  // the span's own duration.
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    const auto& s = trace.spans[i];
+    EXPECT_GE(s.duration_ns, 0);
+    EXPECT_LE(trace.self_time_ns(i), s.duration_ns);
+    if (s.parent >= 0) {
+      EXPECT_EQ(trace.spans[static_cast<size_t>(s.parent)].depth, s.depth - 1);
+    }
   }
 }
 

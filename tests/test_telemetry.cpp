@@ -1,0 +1,263 @@
+// Telemetry layer: counter/gauge/histogram semantics, concurrent
+// increments, source aggregation, JSON snapshot round-trip, span
+// tracing, and the verdict→Errc mapping used for counter names.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "colibri/common/errors.hpp"
+#include "colibri/dataplane/gateway.hpp"
+#include "colibri/dataplane/router.hpp"
+#include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/trace.hpp"
+
+namespace colibri {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::HistogramSnapshot;
+using telemetry::MetricsRegistry;
+
+TEST(CounterTest, IncAndBump) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.bump(8);
+  EXPECT_EQ(c.value(), 50u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromManyThreads) {
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record_shared(static_cast<std::uint64_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketsByPowerOfTwoAndPercentiles) {
+  Histogram h;
+  h.record(0);      // bucket 0
+  h.record(1);      // bucket 1: [1,1]
+  h.record(3);      // bucket 2: [2,3]
+  h.record(1000);   // bucket 10: [512,1023]
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 1004u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[10], 1u);
+  // p100 upper bound covers the largest sample, p0 the smallest bucket.
+  EXPECT_GE(s.percentile(1.0), 1000.0);
+  EXPECT_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1004.0 / 4.0);
+}
+
+TEST(HistogramTest, OverflowLandsInLastBucket) {
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[telemetry::kHistogramBuckets - 1], 1u);
+}
+
+TEST(HistogramTest, MergeIsBucketwise) {
+  Histogram a, b;
+  a.record(3);
+  b.record(3);
+  b.record(1000);
+  auto sa = a.snapshot();
+  sa.merge(b.snapshot());
+  EXPECT_EQ(sa.count, 3u);
+  EXPECT_EQ(sa.buckets[2], 2u);
+  EXPECT_EQ(sa.buckets[10], 1u);
+}
+
+TEST(RegistryTest, OwnedMetricsAreGetOrCreate) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("x.count");
+  Counter& c2 = reg.counter("x.count");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc(5);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("x.count"), 5u);
+}
+
+class FakeSource final : public telemetry::MetricsSource {
+ public:
+  explicit FakeSource(std::uint64_t v) : v_(v) {}
+  void collect_metrics(telemetry::MetricSink& sink) const override {
+    sink.counter("fake.count", v_);
+    sink.gauge("fake.gauge", static_cast<std::int64_t>(v_));
+    HistogramSnapshot h;
+    h.count = 1;
+    h.sum = v_;
+    h.buckets[3] = 1;
+    sink.histogram("fake.hist", h);
+  }
+
+ private:
+  std::uint64_t v_;
+};
+
+TEST(RegistryTest, SourcesAggregateBySummation) {
+  MetricsRegistry reg;
+  FakeSource a(10), b(32);
+  {
+    telemetry::ScopedSource sa(&reg, &a);
+    telemetry::ScopedSource sb(&reg, &b);
+    EXPECT_EQ(reg.source_count(), 2u);
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("fake.count"), 42u);
+    EXPECT_EQ(snap.gauges.at("fake.gauge"), 42);
+    EXPECT_EQ(snap.histograms.at("fake.hist").count, 2u);
+    EXPECT_EQ(snap.histograms.at("fake.hist").buckets[3], 2u);
+  }
+  EXPECT_EQ(reg.source_count(), 0u);  // ScopedSource detached both
+}
+
+// Tiny JSON validator: structure only (balanced, quoted keys), enough to
+// catch malformed exporter output without a JSON dependency.
+bool json_is_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_str;
+}
+
+TEST(RegistryTest, JsonSnapshotRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("a.gauge").set(-7);
+  reg.histogram("a.lat_ns").record_shared(100);
+  reg.histogram("a.lat_ns").record_shared(200);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.gauge\":-7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.lat_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":300"), std::string::npos) << json;
+
+  reg.reset();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a.count"), 0u);
+  EXPECT_EQ(snap.histograms.at("a.lat_ns").count, 0u);
+}
+
+TEST(RegistryTest, JsonEscapesSpecialCharacters) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with\nstuff").inc();
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos)
+      << json;
+}
+
+TEST(ErrcFromVerdictTest, RouterMappingIsExhaustiveAndDistinct) {
+  using V = dataplane::BorderRouter::Verdict;
+  // Success verdicts map to kOk.
+  EXPECT_EQ(dataplane::errc_from_verdict(V::kForward), Errc::kOk);
+  EXPECT_EQ(dataplane::errc_from_verdict(V::kDeliver), Errc::kOk);
+  // Every drop verdict maps to a distinct, non-kOk error whose name
+  // telemetry uses as the counter label.
+  const std::vector<V> drops = {V::kBadHvf,  V::kExpired, V::kMalformed,
+                                V::kBlocked, V::kReplay,  V::kOveruse};
+  std::set<Errc> seen;
+  for (const V v : drops) {
+    const Errc e = dataplane::errc_from_verdict(v);
+    EXPECT_NE(e, Errc::kOk);
+    EXPECT_STRNE(errc_name(e), "unknown");
+    seen.insert(e);
+  }
+  EXPECT_EQ(seen.size(), drops.size());
+  EXPECT_EQ(dataplane::errc_from_verdict(V::kBadHvf), Errc::kAuthFailed);
+  EXPECT_EQ(dataplane::errc_from_verdict(V::kOveruse), Errc::kOveruse);
+}
+
+TEST(ErrcFromVerdictTest, GatewayMappingIsExhaustiveAndDistinct) {
+  using V = dataplane::Gateway::Verdict;
+  EXPECT_EQ(dataplane::errc_from_verdict(V::kOk), Errc::kOk);
+  const std::vector<V> drops = {V::kNoReservation, V::kRateLimited,
+                                V::kExpired};
+  std::set<Errc> seen;
+  for (const V v : drops) {
+    const Errc e = dataplane::errc_from_verdict(v);
+    EXPECT_NE(e, Errc::kOk);
+    seen.insert(e);
+  }
+  EXPECT_EQ(seen.size(), drops.size());
+}
+
+TEST(SpanTraceTest, NestedSpansAndSelfTime) {
+  telemetry::SpanCollector col;
+  EXPECT_FALSE(col.enabled());
+  col.enable();
+  // Simulated 3-hop chain: A calls B calls C (times in ns).
+  const auto a = col.open("1-110", 0, 100);
+  const auto b = col.open("1-100", 100, 80);
+  const auto c = col.open("2-200", 150, 60);
+  col.close(c, 250);  // C took 100
+  col.close(b, 400);  // B subtree took 300
+  col.close(a, 500);  // A subtree took 500
+  const auto trace = col.take();
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.spans[0].parent, -1);
+  EXPECT_EQ(trace.spans[1].parent, 0);
+  EXPECT_EQ(trace.spans[2].parent, 1);
+  EXPECT_EQ(trace.spans[0].depth, 0);
+  EXPECT_EQ(trace.spans[2].depth, 2);
+  EXPECT_EQ(trace.spans[0].duration_ns, 500);
+  EXPECT_EQ(trace.spans[1].duration_ns, 300);
+  EXPECT_EQ(trace.spans[2].duration_ns, 100);
+  // Self time excludes direct children: A = 500-300, B = 300-100, C = 100.
+  EXPECT_EQ(trace.self_time_ns(0), 200);
+  EXPECT_EQ(trace.self_time_ns(1), 200);
+  EXPECT_EQ(trace.self_time_ns(2), 100);
+  EXPECT_TRUE(json_is_balanced(trace.to_json()));
+  // take() drained the collector.
+  EXPECT_TRUE(col.trace().spans.empty());
+}
+
+}  // namespace
+}  // namespace colibri
