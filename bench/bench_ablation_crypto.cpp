@@ -9,6 +9,8 @@
 //     h = 4 hops) and the border router (Eq. 4 + Eq. 6).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "colibri/common/rand.hpp"
 #include "colibri/crypto/cbcmac.hpp"
 #include "colibri/crypto/cmac.hpp"
@@ -158,4 +160,4 @@ BENCHMARK(BM_RouterCryptoBudget);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_ablation_crypto);

@@ -6,6 +6,8 @@
 // nines), against the analytic prediction.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "colibri/common/rand.hpp"
 #include "colibri/dataplane/dupsup.hpp"
 
@@ -69,4 +71,4 @@ BENCHMARK(BM_BloomFalsePositiveRate)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_ablation_dupsup);

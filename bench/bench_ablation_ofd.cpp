@@ -8,6 +8,8 @@
 // memory, which is exactly the resource the sketch exists to save).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "colibri/common/rand.hpp"
 #include "colibri/dataplane/ofd.hpp"
 
@@ -95,4 +97,4 @@ BENCHMARK(BM_OfdDetectionQuality)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_ablation_ofd);

@@ -7,6 +7,7 @@
 // priority earns its place.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "colibri/sim/cbwfq.hpp"
 
 namespace {
@@ -17,7 +18,9 @@ using namespace colibri::sim;
 struct Result {
   double colibri_delivery = 0;
   double be_delivery = 0;
+  double colibri_p50_us = 0;
   double colibri_p99_us = 0;
+  double colibri_pkts_per_sec = 0;
 };
 
 template <typename Port>
@@ -70,8 +73,11 @@ Result run(Port& port, Simulator& sim) {
                   static_cast<double>(b.enqueued_pkts + b.dropped_pkts);
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
+    r.colibri_p50_us = latencies[latencies.size() / 2];
     r.colibri_p99_us = latencies[latencies.size() * 99 / 100];
   }
+  r.colibri_pkts_per_sec =
+      static_cast<double>(c.sent_pkts) / (kDuration / 1e9);
   return r;
 }
 
@@ -83,29 +89,30 @@ int main() {
   std::printf("%-18s %18s %18s %16s\n", "discipline", "colibri delivery",
               "best-effort del.", "colibri p99 [us]");
 
+  // ops/s = Colibri packets delivered per second; p50/p99 = queuing latency.
+  colibri::benchjson::ManualBench json("bench_ablation_qdisc");
+  const auto report = [&json](const char* name, const Result& r) {
+    std::printf("%-18s %17.1f%% %17.1f%% %16.1f\n", name,
+                r.colibri_delivery * 100, r.be_delivery * 100,
+                r.colibri_p99_us);
+    json.add(name, r.colibri_pkts_per_sec, r.colibri_p50_us * 1e3,
+             r.colibri_p99_us * 1e3);
+  };
+
   {
     Simulator sim;
     PriorityPort port(sim, 10e9, 1 << 20);
-    const Result r = run(port, sim);
-    std::printf("%-18s %17.1f%% %17.1f%% %16.1f\n", "strict priority",
-                r.colibri_delivery * 100, r.be_delivery * 100,
-                r.colibri_p99_us);
+    report("strict priority", run(port, sim));
   }
   {
     Simulator sim;
     CbwfqPort port(sim, 10e9, CbwfqWeights{0.75, 0.05, 0.20}, 1 << 20);
-    const Result r = run(port, sim);
-    std::printf("%-18s %17.1f%% %17.1f%% %16.1f\n", "CBWFQ 75/5/20",
-                r.colibri_delivery * 100, r.be_delivery * 100,
-                r.colibri_p99_us);
+    report("CBWFQ 75/5/20", run(port, sim));
   }
   {
     Simulator sim;
     FifoPort port(sim, 10e9, 1 << 20);
-    const Result r = run(port, sim);
-    std::printf("%-18s %17.1f%% %17.1f%% %16.1f\n", "FIFO (baseline)",
-                r.colibri_delivery * 100, r.be_delivery * 100,
-                r.colibri_p99_us);
+    report("FIFO (baseline)", run(port, sim));
   }
   std::printf("\nExpected shape: both Colibri-aware disciplines deliver all\n"
               "Colibri data; strict priority gives the lowest latency; FIFO\n"

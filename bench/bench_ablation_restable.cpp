@@ -6,6 +6,8 @@
 // entries — the cache-miss regime that shapes Fig. 5's r-dependence.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <unordered_map>
 
 #include "colibri/common/rand.hpp"
@@ -87,4 +89,4 @@ BENCHMARK(BM_ResTableChurn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_ablation_restable);

@@ -7,6 +7,8 @@
 // 32-packet bursts.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "colibri/common/rand.hpp"
 #include "colibri/dataplane/gateway.hpp"
 #include "colibri/dataplane/router.hpp"
@@ -122,4 +124,4 @@ BENCHMARK(BM_WireRouterBurst);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_ablation_wire);

@@ -6,6 +6,8 @@
 // PktSize enters the MAC as a number).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <memory>
 
 #include "colibri/common/rand.hpp"
@@ -134,4 +136,4 @@ BENCHMARK(BM_RouterPayloadSize)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_appE_payload);

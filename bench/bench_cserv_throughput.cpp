@@ -13,6 +13,8 @@
 // per-deployment config) so the limiter does not cap the measurement.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <memory>
 
 #include "colibri/app/testbed.hpp"
@@ -116,4 +118,4 @@ BENCHMARK(BM_EerRenewal)->Unit(benchmark::kMicrosecond)->Iterations(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_cserv_throughput);

@@ -9,6 +9,8 @@
 // bench_cserv_throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "colibri/admission/segr_admission.hpp"
 #include "colibri/common/rand.hpp"
 
@@ -98,4 +100,4 @@ BENCHMARK(BM_SegrAdmissionChurn)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_fig3_segr_admission);

@@ -5,6 +5,8 @@
 // Paper result: flat in both dimensions (a constant-time counter check).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <memory>
 #include <vector>
 
@@ -107,4 +109,4 @@ BENCHMARK(BM_EerAdmissionTransfer)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_fig4_eer_admission);

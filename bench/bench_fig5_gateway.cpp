@@ -9,6 +9,8 @@
 // (16 ASes, 2^20 res); decreasing in both dimensions.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <map>
 #include <memory>
 
@@ -128,4 +130,4 @@ BENCHMARK(BM_GatewayBurst)->Arg(1 << 10)->Arg(1 << 15)->Arg(1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_fig5_gateway);

@@ -12,6 +12,8 @@
 // EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <map>
 #include <memory>
 #include <thread>
@@ -175,4 +177,4 @@ BENCHMARK(BM_RouterMulticore)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_fig6_multicore);

@@ -1,0 +1,182 @@
+// Machine-readable benchmark results.
+//
+// Every bench_* binary writes BENCH_<name>.json next to its console
+// output: one JSON object with a `results` array of
+//   {"name": ..., "ops_per_sec": ..., "p50_ns": ..., "p99_ns": ...}
+// so CI and the perf-tracking scripts can diff runs without scraping
+// the human-readable table.
+//
+// Percentiles are computed over the per-repetition iteration times of
+// each benchmark family: a single run (the default) yields
+// p50 == p99 == the measured time; pass --benchmark_repetitions=N to
+// get real spread. ops_per_sec prefers the items_per_second counter
+// (set via SetItemsProcessed) and falls back to iterations per second.
+//
+// google-benchmark binaries: replace BENCHMARK_MAIN() with
+// COLIBRI_BENCH_MAIN(<name>). Plain-main binaries: fill a ManualBench
+// and let its destructor write the file.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#if __has_include(<benchmark/benchmark.h>)
+#include <benchmark/benchmark.h>
+#define COLIBRI_BENCH_HAVE_GBENCH 1
+#endif
+
+namespace colibri::benchjson {
+
+struct Sample {
+  double time_ns = 0;
+  double items_per_sec = 0;  // 0 = not reported
+};
+
+inline double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+// Accumulates per-family samples and writes BENCH_<name>.json.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add_sample(const std::string& family, const Sample& s) {
+    samples_[family].push_back(s);
+  }
+
+  // Direct entry for benchmarks that compute their own aggregate.
+  void add_result(const std::string& name, double ops_per_sec, double p50_ns,
+                  double p99_ns) {
+    results_.push_back({name, ops_per_sec, p50_ns, p99_ns});
+  }
+
+  bool write() {
+    for (const auto& [family, samples] : samples_) {
+      std::vector<double> times;
+      double items = 0;
+      for (const Sample& s : samples) {
+        times.push_back(s.time_ns);
+        items = std::max(items, s.items_per_sec);
+      }
+      const double p50 = percentile(times, 0.50);
+      const double ops = items > 0 ? items : (p50 > 0 ? 1e9 / p50 : 0);
+      results_.push_back({family, ops, p50, percentile(times, 0.99)});
+    }
+    samples_.clear();
+
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\"benchmark\":\"%s\",\"results\":[",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Entry& e = results_[i];
+      std::fprintf(f,
+                   "%s\n {\"name\":\"%s\",\"ops_per_sec\":%.6g,"
+                   "\"p50_ns\":%.6g,\"p99_ns\":%.6g}",
+                   i == 0 ? "" : ",", json_escape(e.name).c_str(),
+                   e.ops_per_sec, e.p50_ns, e.p99_ns);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu results)\n", path.c_str(),
+                 results_.size());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ops_per_sec;
+    double p50_ns;
+    double p99_ns;
+  };
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::map<std::string, std::vector<Sample>> samples_;
+  std::vector<Entry> results_;
+};
+
+// RAII wrapper for plain-main benchmarks: add results, destructor writes.
+class ManualBench {
+ public:
+  explicit ManualBench(std::string bench_name)
+      : writer_(std::move(bench_name)) {}
+  ~ManualBench() { writer_.write(); }
+
+  void add(const std::string& name, double ops_per_sec, double p50_ns,
+           double p99_ns) {
+    writer_.add_result(name, ops_per_sec, p50_ns, p99_ns);
+  }
+
+ private:
+  JsonWriter writer_;
+};
+
+#ifdef COLIBRI_BENCH_HAVE_GBENCH
+
+// Console output as usual, plus sample capture for the JSON file.
+class JsonEmittingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonEmittingReporter(std::string bench_name)
+      : writer_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type == Run::RT_Aggregate) continue;
+      Sample s;
+      if (run.iterations > 0) {
+        s.time_ns = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      }
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        s.items_per_sec = it->second.value;
+      }
+      writer_.add_sample(run.benchmark_name(), s);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    writer_.write();
+  }
+
+ private:
+  JsonWriter writer_;
+};
+
+#define COLIBRI_BENCH_MAIN(bench_name)                                       \
+  int main(int argc, char** argv) {                                          \
+    benchmark::Initialize(&argc, argv);                                      \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;        \
+    colibri::benchjson::JsonEmittingReporter reporter(#bench_name);          \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                            \
+    benchmark::Shutdown();                                                   \
+    return 0;                                                                \
+  }
+
+#endif  // COLIBRI_BENCH_HAVE_GBENCH
+
+}  // namespace colibri::benchjson

@@ -9,6 +9,8 @@
 // the network grows.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <chrono>
 #include <memory>
 
@@ -98,4 +100,4 @@ BENCHMARK(BM_EerAcrossGeneratedTopology)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COLIBRI_BENCH_MAIN(bench_scale_controlplane);

@@ -11,6 +11,7 @@
 // delivers ~0.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "colibri/sim/scenario.hpp"
 
 int main() {
@@ -27,6 +28,10 @@ int main() {
   std::printf("%-26s %-6s %10s %10s\n", "Traffic class", "input", "offered",
               "output");
 
+  // ops/s = delivered bits per second per flow; latency is not measured
+  // by this scenario, so the percentile fields stay zero.
+  colibri::benchjson::ManualBench json("bench_table2_protection");
+
   const auto phases = table2_phases();
   for (size_t p = 0; p < phases.size(); ++p) {
     const PhaseResult r = scenario.run_phase(phases[p]);
@@ -37,6 +42,8 @@ int main() {
     for (const auto& f : r.flows) {
       std::printf("%-26s %-6d %10.3f %10.3f\n", f.label.c_str(),
                   f.input_port + 1, f.offered_gbps, f.delivered_gbps);
+      json.add("phase" + std::to_string(p + 1) + "/" + f.label,
+               f.delivered_gbps * 1e9, 0, 0);
     }
     std::printf("    [router: %llu bad-HVF drops, %llu overuse drops]\n",
                 static_cast<unsigned long long>(r.router_bad_hvf),

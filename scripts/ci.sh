@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the default (Release) tree and the
+# ASan+UBSan tree (COLIBRI_SANITIZE=ON). Any failing step fails the run.
+#
+#   scripts/ci.sh              # both presets
+#   scripts/ci.sh default      # just one
+#   JOBS=4 scripts/ci.sh       # limit build parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+PRESETS=("$@")
+[ ${#PRESETS[@]} -gt 0 ] || PRESETS=(default asan)
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== [$preset] configure"
+  cmake --preset "$preset"
+  echo "=== [$preset] build"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test"
+  ctest --preset "$preset"
+done
+
+echo "=== all presets green: ${PRESETS[*]}"

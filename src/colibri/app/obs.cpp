@@ -1,0 +1,136 @@
+#include "colibri/app/obs.hpp"
+
+#include <vector>
+
+#include "colibri/app/testbed.hpp"
+#include "colibri/cserv/renewal_manager.hpp"
+#include "colibri/telemetry/openmetrics.hpp"
+
+namespace colibri::app {
+
+ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
+  SimClock clock(1'000 * kNsPerSec);
+  telemetry::MetricsRegistry registry;
+  telemetry::EventLog events(clock);
+
+  cserv::CservConfig cfg;
+  cfg.metrics = &registry;
+  cfg.events = &events;
+  Testbed bed(topology::builders::two_isd_topology(), clock, cfg);
+  bed.provision_all_segments(/*min_bw=*/1'000, /*max_bw=*/2'000'000);
+
+  const AsId src_as{1, 112}, dst_as{2, 212};
+  auto session = bed.daemon(src_as).open_session(
+      dst_as, HostAddr::from_u64(0xA11CE), HostAddr::from_u64(0xB0B),
+      /*min_bw=*/1'000, /*max_bw=*/50'000);
+  ObsArtifacts out;
+  if (!session.ok()) return out;
+
+  const auto* eer = bed.cserv(src_as).db().eers().find(session.value().key());
+  if (eer == nullptr) return out;
+  // The record is swept once the EER expires below; keep our own copy.
+  const std::vector<topology::Hop> path = eer->path;
+
+  // Flight recorders: one on the source gateway, one per on-path router.
+  telemetry::FlightRecorder::Config rcfg;
+  rcfg.capacity = opts.recorder_capacity;
+  rcfg.sample_every = opts.sample_every;
+  telemetry::FlightRecorder gw_rec(rcfg);
+  bed.gateway(src_as).attach_flight_recorder(&gw_rec);
+  std::vector<std::unique_ptr<telemetry::FlightRecorder>> router_recs;
+  for (const auto& hop : path) {
+    router_recs.push_back(std::make_unique<telemetry::FlightRecorder>(rcfg));
+    bed.router(hop.as).attach_flight_recorder(router_recs.back().get());
+  }
+
+  // Policing at the first transit AS, with escalations on the event log.
+  dataplane::Blocklist blocklist(&registry);
+  dataplane::DuplicateSuppression dupsup;
+  blocklist.set_event_log(&events);
+  dataplane::BorderRouter& first_router = bed.router(path[0].as);
+  first_router.attach_blocklist(&blocklist);
+  first_router.attach_dupsup(&dupsup);
+
+  // Clean traffic end to end, paced at the reserved rate.
+  dataplane::FastPacket last_good{};
+  bool have_good = false;
+  for (int i = 0; i < opts.packets; ++i) {
+    dataplane::FastPacket pkt;
+    if (session.value().send(1'000, pkt) != dataplane::Gateway::Verdict::kOk) {
+      continue;
+    }
+    const dataplane::FastPacket fresh = pkt;
+    bool dropped = false;
+    for (const auto& hop : path) {
+      const auto v = bed.router(hop.as).process(pkt);
+      if (v != dataplane::BorderRouter::Verdict::kForward &&
+          v != dataplane::BorderRouter::Verdict::kDeliver) {
+        dropped = true;
+        break;
+      }
+    }
+    out.delivered += !dropped;
+    last_good = fresh;
+    have_good = true;
+    clock.advance(session.value().pace_interval_ns(1'000));
+  }
+
+  if (have_good) {
+    // Tampered bandwidth field: rejected by the HVF check (Eq. 6).
+    dataplane::FastPacket evil = last_good;
+    evil.resinfo.bw_kbps *= 100;
+    (void)first_router.process(evil);
+    // Replay of an already-seen packet: caught by duplicate suppression.
+    dataplane::FastPacket replay = last_good;
+    (void)first_router.process(replay);
+    (void)first_router.process(replay);
+  }
+  // Unknown reservation at the gateway.
+  dataplane::FastPacket unknown_out;
+  (void)bed.gateway(src_as).process(0xDEAD'BEEF, 1'000, unknown_out);
+  // A confirmed offense escalates: blocklist + CServ denial.
+  const dataplane::OffenseReport offense{AsId{2, 999}, 42, clock.now_ns(),
+                                         50'000};
+  blocklist.report(offense);
+  bed.cserv(path[0].as).report_offense(offense);
+
+  // Automatic SegR renewal: jump to within the renewal lead of expiry.
+  std::vector<std::unique_ptr<cserv::RenewalManager>> managers;
+  for (AsId as : bed.topology().as_ids()) {
+    managers.push_back(std::make_unique<cserv::RenewalManager>(bed.cserv(as)));
+    managers.back()->manage_all_local();
+  }
+  clock.set((1'000 + reservation::kSegrLifetimeSec - 30) * kNsPerSec);
+  for (auto& m : managers) m->tick(clock.now_sec());
+
+  // Let the EER run out; the sweep emits the expiry audit events.
+  clock.advance(60 * kNsPerSec);
+  bed.tick_all();
+
+  out.metrics = registry.snapshot();
+  out.metrics_json = out.metrics.to_json();
+  out.openmetrics = telemetry::to_openmetrics(out.metrics);
+  out.events_count = events.size();
+  out.events_jsonl = events.to_jsonl();
+  std::string records;
+  std::size_t n_records = 0;
+  auto drain_into = [&](telemetry::FlightRecorder& r) {
+    n_records += r.size();
+    records += r.to_jsonl();
+  };
+  drain_into(gw_rec);
+  for (auto& r : router_recs) drain_into(*r);
+  out.records_count = n_records;
+  out.records_jsonl = std::move(records);
+
+  // Detach before the local recorders/policing objects go out of scope.
+  bed.gateway(src_as).attach_flight_recorder(nullptr);
+  for (size_t i = 0; i < path.size(); ++i) {
+    bed.router(path[i].as).attach_flight_recorder(nullptr);
+  }
+  first_router.attach_blocklist(nullptr);
+  first_router.attach_dupsup(nullptr);
+  return out;
+}
+
+}  // namespace colibri::app

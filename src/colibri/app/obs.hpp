@@ -1,0 +1,48 @@
+// Observability demo scenario (used by the colibri_obs tool and tests).
+//
+// Brings up a two-ISD testbed with the full observability layer wired
+// in — packet flight recorders on the source AS's gateway and on every
+// on-path border router, the structured event log attached to all
+// CServs and policing components, and the process metrics registry —
+// then drives a reservation lifecycle through it: SegR provisioning,
+// EER admission, clean traffic, a burst of deliberately broken packets
+// (tampering, replay, overuse), automatic SegR renewal + activation,
+// and final expiry. The artifacts it returns are exactly what the
+// three exposition surfaces produce: a metrics snapshot (JSON and
+// OpenMetrics), the audit-event JSON lines, and the drained flight
+// records.
+#pragma once
+
+#include <string>
+
+#include "colibri/telemetry/events.hpp"
+#include "colibri/telemetry/flight_recorder.hpp"
+#include "colibri/telemetry/metrics.hpp"
+
+namespace colibri::app {
+
+struct ObsOptions {
+  // Clean data packets pushed end to end.
+  int packets = 200;
+  // Flight-recorder sampling period (1 = every packet; 0 = drops only).
+  std::uint32_t sample_every = 8;
+  std::size_t recorder_capacity = 256;
+};
+
+struct ObsArtifacts {
+  telemetry::MetricsSnapshot metrics;
+  std::string metrics_json;
+  std::string openmetrics;
+  std::string events_jsonl;   // audit trail, one JSON object per line
+  std::string records_jsonl;  // flight records, one JSON object per line
+  std::size_t events_count = 0;
+  std::size_t records_count = 0;
+  int delivered = 0;  // clean packets that crossed the whole path
+};
+
+// Runs the scenario against a fresh metrics registry, event log, and
+// recorders; everything is torn down before returning, so repeated
+// calls are independent.
+ObsArtifacts run_obs_scenario(const ObsOptions& opts = {});
+
+}  // namespace colibri::app

@@ -1,0 +1,107 @@
+// colibri_obs: run the observability demo scenario and dump or query
+// what the three exposition surfaces produced.
+//
+//   $ ./colibri_obs                         # everything, sectioned
+//   $ ./colibri_obs --dump=openmetrics      # OpenMetrics text only
+//   $ ./colibri_obs --dump=events           # audit-event JSON lines
+//   $ ./colibri_obs --dump=records          # flight-record JSON lines
+//   $ ./colibri_obs --query=router.forwarded
+//   $ ./colibri_obs --packets=1000 --sample-every=1
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "colibri/app/obs.hpp"
+
+namespace {
+
+const char* arg_value(const char* arg, const char* name) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return nullptr;
+  return arg + n + 1;
+}
+
+int query(const colibri::telemetry::MetricsSnapshot& m, const char* name) {
+  if (auto it = m.counters.find(name); it != m.counters.end()) {
+    std::printf("counter %s = %llu\n", name,
+                static_cast<unsigned long long>(it->second));
+    return 0;
+  }
+  if (auto it = m.gauges.find(name); it != m.gauges.end()) {
+    std::printf("gauge %s = %lld\n", name,
+                static_cast<long long>(it->second));
+    return 0;
+  }
+  if (auto it = m.histograms.find(name); it != m.histograms.end()) {
+    std::printf("histogram %s: count=%llu sum=%llu p50=%llu p99=%llu\n", name,
+                static_cast<unsigned long long>(it->second.count),
+                static_cast<unsigned long long>(it->second.sum),
+                static_cast<unsigned long long>(it->second.percentile(0.50)),
+                static_cast<unsigned long long>(it->second.percentile(0.99)));
+    return 0;
+  }
+  std::fprintf(stderr, "no series named '%s'\n", name);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  colibri::app::ObsOptions opts;
+  std::string dump = "all";
+  std::string query_name;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = arg_value(argv[i], "--dump")) {
+      dump = v;
+    } else if (const char* v = arg_value(argv[i], "--query")) {
+      query_name = v;
+    } else if (const char* v = arg_value(argv[i], "--packets")) {
+      opts.packets = std::atoi(v);
+    } else if (const char* v = arg_value(argv[i], "--sample-every")) {
+      opts.sample_every = static_cast<std::uint32_t>(std::atoi(v));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--dump=all|metrics|openmetrics|events|records]"
+                   " [--query=NAME] [--packets=N] [--sample-every=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const colibri::app::ObsArtifacts art = colibri::app::run_obs_scenario(opts);
+  if (art.delivered == 0) {
+    std::fprintf(stderr, "scenario failed: no packets delivered\n");
+    return 1;
+  }
+
+  if (!query_name.empty()) return query(art.metrics, query_name.c_str());
+
+  const bool all = dump == "all";
+  if (all) {
+    std::printf("# scenario: delivered=%d events=%zu flight_records=%zu\n\n",
+                art.delivered, art.events_count, art.records_count);
+  }
+  if (all || dump == "metrics") {
+    if (all) std::printf("## metrics (json)\n");
+    std::printf("%s\n", art.metrics_json.c_str());
+  }
+  if (all || dump == "openmetrics") {
+    if (all) std::printf("\n## metrics (openmetrics)\n");
+    std::fputs(art.openmetrics.c_str(), stdout);
+  }
+  if (all || dump == "events") {
+    if (all) std::printf("\n## events (jsonl)\n");
+    std::fputs(art.events_jsonl.c_str(), stdout);
+  }
+  if (all || dump == "records") {
+    if (all) std::printf("\n## flight records (jsonl)\n");
+    std::fputs(art.records_jsonl.c_str(), stdout);
+  }
+  if (!(all || dump == "metrics" || dump == "openmetrics" ||
+        dump == "events" || dump == "records")) {
+    std::fprintf(stderr, "unknown --dump=%s\n", dump.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -31,8 +31,12 @@ Testbed::Testbed(topology::Topology topo, const Clock& clock,
     s.cserv = std::make_unique<cserv::CServ>(topo_, as, bus_, pki_,
                                              drkey_master, hop_key, clock,
                                              cserv_cfg);
-    s.gateway = std::make_unique<dataplane::Gateway>(as, clock);
-    s.router = std::make_unique<dataplane::BorderRouter>(as, hop_key, clock);
+    // Gateways and routers report into the same registry as the CServs,
+    // so a testbed built against a private registry is fully isolated.
+    s.gateway = std::make_unique<dataplane::Gateway>(
+        as, clock, dataplane::GatewayConfig{}, cserv_cfg.metrics);
+    s.router = std::make_unique<dataplane::BorderRouter>(as, hop_key, clock,
+                                                         cserv_cfg.metrics);
     s.cserv->attach_gateway(s.gateway.get());
     s.daemon = std::make_unique<ColibriDaemon>(*s.cserv, *s.gateway, clock);
     stacks_.emplace(as, std::move(s));

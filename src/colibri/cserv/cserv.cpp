@@ -567,7 +567,14 @@ void CServ::report_offense(const dataplane::OffenseReport& offense) {
   // Misbehavior is established with certainty (cryptographic checks +
   // deterministic monitoring), so drastic measures are safe (§4.8):
   // deny all future reservations from the offender.
-  denied_sources_.insert(offense.offender);
+  const bool newly_denied = denied_sources_.insert(offense.offender).second;
+  if (cfg_.events != nullptr && newly_denied) {
+    cfg_.events
+        ->emit(telemetry::Severity::kError, "cserv", "source.denied")
+        .str("offender", offense.offender.to_string())
+        .u64("res_id", offense.reservation)
+        .u64("excess_bytes", offense.excess_bytes);
+  }
 }
 
 void CServ::tick() {
@@ -576,10 +583,20 @@ void CServ::tick() {
   db_.eers().sweep(now, [this](const reservation::EerRecord& rec) {
     eer_admission_.release(rec.key);
     if (wal_ != nullptr) wal_->log_eer_erase(rec.key);
+    if (cfg_.events != nullptr) {
+      cfg_.events->emit(telemetry::Severity::kInfo, "cserv", "eer.expired")
+          .str("src_as", rec.key.src_as.to_string())
+          .u64("res_id", rec.key.res_id);
+    }
   });
   db_.segrs().sweep(now, [this](const reservation::SegrRecord& rec) {
     segr_admission_.release(rec.key);
     if (wal_ != nullptr) wal_->log_segr_erase(rec.key);
+    if (cfg_.events != nullptr) {
+      cfg_.events->emit(telemetry::Severity::kInfo, "cserv", "segr.expired")
+          .str("src_as", rec.key.src_as.to_string())
+          .u64("res_id", rec.key.res_id);
+    }
   });
   registry_.expire(now);
   key_cache_.expire(now);

@@ -30,6 +30,7 @@
 #include "colibri/proto/messages.hpp"
 #include "colibri/reservation/db.hpp"
 #include "colibri/reservation/persist.hpp"
+#include "colibri/telemetry/events.hpp"
 #include "colibri/topology/pathdb.hpp"
 
 namespace colibri::cserv {
@@ -46,6 +47,9 @@ struct CservConfig {
   RateLimitConfig rate_limits;
   // Registry this CServ exports its metrics to (nullptr = none).
   telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::global();
+  // Structured event log for the reservation lifecycle audit trail
+  // (nullptr = no events). Owned by the caller; must outlive the CServ.
+  telemetry::EventLog* events = nullptr;
 };
 
 // Point-in-time view of one CServ's admission counters (see snapshot()).
@@ -82,6 +86,7 @@ class CServ : public telemetry::MetricsSource {
   void reset();
   void collect_metrics(telemetry::MetricSink& sink) const override;
   telemetry::MetricsRegistry* metrics_registry() const { return cfg_.metrics; }
+  telemetry::EventLog* event_log() const { return cfg_.events; }
 
   // --- wiring ------------------------------------------------------------
   void attach_gateway(dataplane::Gateway* gw) { gateway_ = gw; }

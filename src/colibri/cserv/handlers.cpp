@@ -46,8 +46,36 @@ class Handlers {
                         const proto::EerRequest& msg, BwKbps final_bw);
 };
 
+namespace {
+
+const char* request_name(proto::PacketType t) {
+  switch (t) {
+    case proto::PacketType::kSegSetup: return "seg-setup";
+    case proto::PacketType::kSegRenewal: return "seg-renewal";
+    case proto::PacketType::kSegActivation: return "seg-activation";
+    case proto::PacketType::kEerSetup: return "eer-setup";
+    case proto::PacketType::kEerRenewal: return "eer-renewal";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
+
 Bytes Handlers::fail(CServ& self, const proto::Packet& pkt, Errc code,
                      std::uint8_t hop) {
+  // Every refusal funnels through here, so this is the single audit
+  // point for denials: the event names the refusing AS (the bottleneck
+  // location the initiator learns per §3.3) and the unified reason.
+  if (self.cfg_.events != nullptr) {
+    self.cfg_.events
+        ->emit(telemetry::Severity::kWarn, "cserv", "request.denied")
+        .str("request", request_name(pkt.type))
+        .str("reason", errc_name(code))
+        .str("at", self.local_.to_string())
+        .u64("hop", hop)
+        .str("src_as", pkt.resinfo.src_as.to_string())
+        .u64("res_id", pkt.resinfo.res_id);
+  }
   proto::ControlResponse resp;
   resp.success = false;
   resp.fail_code = code;
@@ -229,6 +257,17 @@ Bytes Handlers::forward_and_unwind_seg(CServ& self, proto::Packet& pkt,
         hop_cipher, final_ri, pkt.path[hop].ingress, pkt.path[hop].egress);
   }
   self.metrics_.seg_granted.inc();
+  if (self.cfg_.events != nullptr) {
+    self.cfg_.events
+        ->emit(telemetry::Severity::kInfo, "cserv",
+               renewal ? "segr.renewed" : "segr.admitted")
+        .str("src_as", pkt.resinfo.src_as.to_string())
+        .u64("res_id", pkt.resinfo.res_id)
+        .u64("version", pkt.resinfo.version)
+        .u64("bw_kbps", final_bw)
+        .u64("exp_time", pkt.resinfo.exp_time)
+        .u64("hop", hop);
+  }
 
   resp_pkt->payload = proto::encode_authed(*resp_ap);
   return proto::encode_packet(*resp_pkt);
@@ -304,6 +343,15 @@ Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
   rec->active = *rec->pending;
   rec->pending.reset();
   if (self.wal_ != nullptr) self.wal_->log_segr_upsert(*rec);
+  if (self.cfg_.events != nullptr) {
+    self.cfg_.events
+        ->emit(telemetry::Severity::kInfo, "cserv", "segr.activated")
+        .str("src_as", pkt.resinfo.src_as.to_string())
+        .u64("res_id", pkt.resinfo.res_id)
+        .u64("version", msg->version)
+        .u64("bw_kbps", rec->active.bw_kbps)
+        .u64("exp_time", rec->active.exp_time);
+  }
   return resp_wire;
 }
 
@@ -472,6 +520,18 @@ Bytes Handlers::forward_and_unwind_eer(CServ& self, proto::Packet& pkt,
                  BytesView(sigma.data(), sigma.size()));
   }
   self.metrics_.eer_granted.inc();
+  if (self.cfg_.events != nullptr) {
+    self.cfg_.events
+        ->emit(telemetry::Severity::kInfo, "cserv",
+               pkt.type == proto::PacketType::kEerRenewal ? "eer.renewed"
+                                                          : "eer.admitted")
+        .str("src_as", pkt.resinfo.src_as.to_string())
+        .u64("res_id", pkt.resinfo.res_id)
+        .u64("version", pkt.resinfo.version)
+        .u64("bw_kbps", final_bw)
+        .u64("exp_time", pkt.resinfo.exp_time)
+        .u64("hop", hop);
+  }
 
   resp_pkt->payload = proto::encode_authed(*resp_ap);
   return proto::encode_packet(*resp_pkt);

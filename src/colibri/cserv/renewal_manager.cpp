@@ -40,13 +40,35 @@ void RenewalManager::tick(UnixSec now) {
     const BwKbps demand =
         std::max(forecaster.recommend(), rec->eer_allocated_kbps);
     auto renewed = cserv_->renew_segr(key, cfg_.min_bw_kbps, demand);
+    telemetry::EventLog* events = cserv_->event_log();
     if (!renewed.ok()) {
       metrics_.failed.inc();
+      if (events != nullptr) {
+        events->emit(telemetry::Severity::kWarn, "renewal", "segr.failed")
+            .str("src_as", key.src_as.to_string())
+            .u64("res_id", key.res_id)
+            .str("reason", errc_name(renewed.error()))
+            .u64("demand_kbps", demand);
+      }
       continue;
     }
     metrics_.renewed.inc();
+    if (events != nullptr) {
+      events->emit(telemetry::Severity::kInfo, "renewal", "segr.renewed")
+          .str("src_as", key.src_as.to_string())
+          .u64("res_id", key.res_id)
+          .u64("version", renewed.value().version)
+          .u64("bw_kbps", renewed.value().bw_kbps)
+          .u64("exp_time", renewed.value().exp_time);
+    }
     if (cserv_->activate_segr(key, renewed.value().version).ok()) {
       metrics_.activated.inc();
+      if (events != nullptr) {
+        events->emit(telemetry::Severity::kInfo, "renewal", "segr.activated")
+            .str("src_as", key.src_as.to_string())
+            .u64("res_id", key.res_id)
+            .u64("version", renewed.value().version);
+      }
       if (cfg_.republish) {
         // Preserve the advert (and its whitelist) across the version bump.
         std::vector<AsId> whitelist;

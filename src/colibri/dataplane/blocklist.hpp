@@ -14,6 +14,7 @@
 
 #include "colibri/common/clock.hpp"
 #include "colibri/common/ids.hpp"
+#include "colibri/telemetry/events.hpp"
 #include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
@@ -49,10 +50,20 @@ class Blocklist : public telemetry::MetricsSource {
   void unblock(AsId src) { set_.erase(src); }
   size_t size() const { return set_.size(); }
 
+  // Audit-trail hook (nullable): blocklist escalations are rare and
+  // security-relevant, so each newly blocked AS is logged as an event.
+  void set_event_log(telemetry::EventLog* log) { events_ = log; }
+
   void report(const OffenseReport& offense) {
-    block(offense.offender);
+    const bool newly_blocked = set_.insert(offense.offender).second;
     reports_.push_back(offense);
     reports_total_.bump();
+    if (events_ != nullptr && newly_blocked) {
+      events_->emit(telemetry::Severity::kError, "blocklist", "as.blocked")
+          .str("offender", offense.offender.to_string())
+          .u64("res_id", offense.reservation)
+          .u64("excess_bytes", offense.excess_bytes);
+    }
   }
   const std::vector<OffenseReport>& reports() const { return reports_; }
   std::vector<OffenseReport> drain_reports() {
@@ -74,6 +85,7 @@ class Blocklist : public telemetry::MetricsSource {
   std::unordered_set<AsId> set_;
   std::vector<OffenseReport> reports_;
   telemetry::Counter reports_total_;
+  telemetry::EventLog* events_ = nullptr;
   telemetry::ScopedSource registration_;
 };
 

@@ -74,16 +74,21 @@ bool Gateway::install(const proto::ResInfo& resinfo,
 
 bool Gateway::remove(ResId id) { return table_.erase(id); }
 
-Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
-                                  FastPacket& out) {
+Gateway::Verdict Gateway::classify(ResId id, std::uint32_t payload_bytes,
+                                   FastPacket& out,
+                                   telemetry::FlightRecord* rec) {
   GatewayEntry* e = table_.find(id);
   if (e == nullptr) {
-    verdicts_[idx(Verdict::kNoReservation)].bump();
     return Verdict::kNoReservation;
   }
   const TimeNs now = clock_->now_ns();
+  if (rec != nullptr) {
+    rec->time_ns = now;
+    rec->src_as = e->resinfo.src_as.raw();
+    rec->version = e->resinfo.version;
+    rec->exp_time = e->resinfo.exp_time;
+  }
   if (e->resinfo.exp_time <= static_cast<UnixSec>(now / kNsPerSec)) {
-    verdicts_[idx(Verdict::kExpired)].bump();
     return Verdict::kExpired;
   }
 
@@ -99,22 +104,63 @@ Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
   out.payload_bytes = payload_bytes;
   out.ifaces = e->ifaces;
   const std::uint32_t size = out.wire_size();
+  if (rec != nullptr) {
+    rec->wire_bytes = size;
+    rec->bucket_checked = true;
+    rec->bucket_available_bytes = e->bucket.available_bytes();
+  }
 
   // Deterministic monitoring (token bucket per EER).
   if (!e->bucket.allow(size, now)) {
-    verdicts_[idx(Verdict::kRateLimited)].bump();
     return Verdict::kRateLimited;
   }
 
   // High-precision timestamp, unique per packet for this source.
   out.timestamp = PacketTimestamp::encode(now, e->resinfo.exp_time);
+  if (rec != nullptr) rec->timestamp = out.timestamp;
 
   // One single-block MAC per on-path AS (Eq. 6), keyed by σ_i.
   for (std::uint8_t i = 0; i < e->num_hops; ++i) {
     out.hvfs[i] = compute_data_hvf(e->sigmas[i], out.timestamp, size);
   }
-  verdicts_[idx(Verdict::kOk)].bump();
   return Verdict::kOk;
+}
+
+Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
+                                  FastPacket& out) {
+  if (recorder_ != nullptr) [[unlikely]] {
+    return process_recorded(id, payload_bytes, out);
+  }
+  const Verdict v = classify(id, payload_bytes, out, nullptr);
+  verdicts_[idx(v)].bump();
+  return v;
+}
+
+// See BorderRouter::process_recorded for the sampling/commit contract.
+Gateway::Verdict Gateway::process_recorded(ResId id,
+                                           std::uint32_t payload_bytes,
+                                           FastPacket& out) {
+  if (!recorder_->armed()) {
+    const Verdict v = classify(id, payload_bytes, out, nullptr);
+    verdicts_[idx(v)].bump();
+    return v;
+  }
+  const bool sampled = recorder_->sample_tick();
+  telemetry::FlightRecord rec;
+  rec.component = telemetry::FlightRecorder::kGateway;
+  rec.time_ns = clock_->now_ns();  // classify overwrites once entry found
+  rec.res_id = id;
+  rec.src_as = local_as_.raw();  // unknown reservation: report our own AS
+  const Verdict v = classify(id, payload_bytes, out, &rec);
+  verdicts_[idx(v)].bump();
+  const bool is_drop = v != Verdict::kOk;
+  if (sampled || (is_drop && recorder_->record_drops())) {
+    rec.verdict = static_cast<std::uint8_t>(v);
+    rec.errc = static_cast<std::uint8_t>(errc_from_verdict(v));
+    rec.forced_by_drop = !sampled;
+    recorder_->commit(rec);
+  }
+  return v;
 }
 
 Gateway::Verdict Gateway::process_encapsulated(ResId id,

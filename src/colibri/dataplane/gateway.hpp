@@ -17,6 +17,7 @@
 #include "colibri/dataplane/fastpacket.hpp"
 #include "colibri/proto/encap.hpp"
 #include "colibri/dataplane/restable.hpp"
+#include "colibri/telemetry/flight_recorder.hpp"
 #include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
@@ -73,6 +74,13 @@ class Gateway : public telemetry::MetricsSource {
   size_t process_burst(const ResId* ids, const std::uint32_t* payload_bytes,
                        size_t n, FastPacket* out, Verdict* verdicts);
 
+  // Per-instance packet flight recorder (owned by the caller; nullptr
+  // detaches). Same contract as BorderRouter::attach_flight_recorder:
+  // one predicted branch when detached, no heap allocation when armed.
+  void attach_flight_recorder(telemetry::FlightRecorder* r) {
+    recorder_ = r;
+  }
+
   // Like process(), but emits the packet serialized and encapsulated for
   // the intra-AS network (App. B): IPv4/UDP toward the egress border
   // router with the DSCP stamped by the gateway — hosts cannot choose
@@ -91,10 +99,18 @@ class Gateway : public telemetry::MetricsSource {
   AsId local_as() const { return local_as_; }
 
  private:
+  // `rec` is nullptr on the fast path; when non-null, decision-time
+  // detail (token-bucket level, reservation identity) is captured.
+  Verdict classify(ResId id, std::uint32_t payload_bytes, FastPacket& out,
+                   telemetry::FlightRecord* rec);
+  Verdict process_recorded(ResId id, std::uint32_t payload_bytes,
+                           FastPacket& out);
+
   AsId local_as_;
   const Clock* clock_;
   GatewayConfig cfg_;
   ResTable table_;
+  telemetry::FlightRecorder* recorder_ = nullptr;
   std::array<telemetry::Counter, kNumVerdicts> verdicts_;
   telemetry::ScopedSource registration_;
 };

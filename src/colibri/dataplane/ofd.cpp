@@ -53,6 +53,12 @@ OverUseFlowDetector::Verdict OverUseFlowDetector::update(AsId src, ResId res,
     if (it->second.bucket.allow(pkt_bytes, now)) return Verdict::kWatched;
     ++it->second.violations;
     confirmed_.bump();
+    if (events_ != nullptr && it->second.violations == 1) {
+      events_->emit(telemetry::Severity::kError, "ofd", "flow.confirmed")
+          .str("src_as", src.to_string())
+          .u64("res_id", res)
+          .u64("bw_kbps", bw_kbps);
+    }
     return Verdict::kOveruse;
   }
 
@@ -80,6 +86,12 @@ OverUseFlowDetector::Verdict OverUseFlowDetector::update(AsId src, ResId res,
   // Promote to deterministic monitoring: a token bucket at the reserved
   // rate with a small burst allowance decides overuse with certainty.
   flagged_.bump();
+  if (events_ != nullptr) {
+    events_->emit(telemetry::Severity::kWarn, "ofd", "flow.flagged")
+        .str("src_as", src.to_string())
+        .u64("res_id", res)
+        .u64("bw_kbps", bw_kbps);
+  }
   const std::uint64_t burst_bytes = static_cast<std::uint64_t>(
       cfg_.watch_burst_sec * static_cast<double>(bw_kbps) * 125.0);
   watchlist_.emplace(key,

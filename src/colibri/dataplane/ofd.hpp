@@ -20,6 +20,7 @@
 #include "colibri/common/clock.hpp"
 #include "colibri/common/ids.hpp"
 #include "colibri/dataplane/tokenbucket.hpp"
+#include "colibri/telemetry/events.hpp"
 #include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
@@ -66,6 +67,11 @@ class OverUseFlowDetector : public telemetry::MetricsSource {
   Verdict update(AsId src, ResId res, std::uint32_t pkt_bytes, BwKbps bw_kbps,
                  TimeNs now);
 
+  // Audit-trail hook (nullable): escalations (sketch flag, first
+  // confirmed overuse of a flow) are logged as events; the per-packet
+  // kOk/kWatched outcomes never touch the log.
+  void set_event_log(telemetry::EventLog* log) { events_ = log; }
+
   size_t watchlist_size() const { return watchlist_.size(); }
   std::uint64_t flagged_total() const { return flagged_.value(); }
   std::uint64_t confirmed_total() const { return confirmed_.value(); }
@@ -106,6 +112,7 @@ class OverUseFlowDetector : public telemetry::MetricsSource {
 
   telemetry::Counter flagged_;
   telemetry::Counter confirmed_;
+  telemetry::EventLog* events_ = nullptr;
   telemetry::ScopedSource registration_;
 };
 

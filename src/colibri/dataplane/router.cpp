@@ -26,13 +26,27 @@ BorderRouter::BorderRouter(AsId local_as, const drkey::Key128& hop_key,
       clock_(&clock),
       registration_(registry, this) {}
 
-BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt) {
+template <bool kRecording>
+BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt,
+                                             telemetry::FlightRecord* rec) {
   // Format checks.
   if (pkt.num_hops == 0 || pkt.num_hops > kMaxHops ||
       pkt.current_hop >= pkt.num_hops) {
     return Verdict::kMalformed;
   }
   const TimeNs now = clock_->now_ns();
+  if constexpr (kRecording) {
+    rec->time_ns = now;
+    rec->src_as = pkt.resinfo.src_as.raw();
+    rec->res_id = pkt.resinfo.res_id;
+    rec->version = pkt.resinfo.version;
+    rec->hop = pkt.current_hop;
+    rec->if_in = pkt.ifaces[pkt.current_hop].in;
+    rec->if_eg = pkt.ifaces[pkt.current_hop].eg;
+    rec->timestamp = pkt.timestamp;
+    rec->wire_bytes = pkt.wire_size();
+    rec->exp_time = pkt.resinfo.exp_time;
+  }
   // Reservation expiry.
   if (pkt.resinfo.exp_time <= static_cast<UnixSec>(now / kNsPerSec)) {
     return Verdict::kExpired;
@@ -53,6 +67,13 @@ BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt) {
     // Eq. 3: static SegR token.
     expected = compute_seg_hvf(hop_cipher_, pkt.resinfo, hop.in, hop.eg);
   }
+  if constexpr (kRecording) {
+    rec->hvf_checked = true;
+    std::copy_n(pkt.hvfs[pkt.current_hop].begin(), rec->hvf_got.size(),
+                rec->hvf_got.begin());
+    std::copy_n(expected.begin(), rec->hvf_want.size(),
+                rec->hvf_want.begin());
+  }
   if (!hvf_equal(expected, pkt.hvfs[pkt.current_hop])) {
     return Verdict::kBadHvf;
   }
@@ -65,6 +86,9 @@ BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt) {
         PacketTimestamp::decode(pkt.timestamp, pkt.resinfo.exp_time);
     const auto verdict = dupsup_->check(pkt.resinfo.src_as, pkt.resinfo.res_id,
                                         pkt.timestamp, ts_ns, now);
+    if constexpr (kRecording) {
+      rec->dupsup_verdict = static_cast<std::uint8_t>(verdict);
+    }
     if (verdict != DuplicateSuppression::Verdict::kFresh) {
       return Verdict::kReplay;
     }
@@ -75,6 +99,9 @@ BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt) {
     const auto verdict =
         ofd_->update(pkt.resinfo.src_as, pkt.resinfo.res_id, pkt.wire_size(),
                      pkt.resinfo.bw_kbps, now);
+    if constexpr (kRecording) {
+      rec->ofd_verdict = static_cast<std::uint8_t>(verdict);
+    }
     if (verdict == OverUseFlowDetector::Verdict::kOveruse) {
       if (blocklist_ != nullptr) {
         blocklist_->report(OffenseReport{pkt.resinfo.src_as,
@@ -93,17 +120,48 @@ BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt) {
 }
 
 BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
+  if (recorder_ != nullptr) [[unlikely]] {
+    return process_recorded(pkt);
+  }
   if (sample_every_ != 0 && --sample_countdown_ == 0) {
     sample_countdown_ = sample_every_;
     const std::int64_t t0 = steady_now_ns();
-    const Verdict v = classify(pkt);
+    const Verdict v = classify<false>(pkt, nullptr);
     validate_latency_ns_.record(
         static_cast<std::uint64_t>(steady_now_ns() - t0));
     verdicts_[idx(v)].bump();
     return v;
   }
-  const Verdict v = classify(pkt);
+  const Verdict v = classify<false>(pkt, nullptr);
   verdicts_[idx(v)].bump();
+  return v;
+}
+
+// process() with a flight recorder attached. Detail is captured into a
+// stack-local record during classification (a handful of stores, no
+// allocation) and committed to the ring when the deterministic sampler
+// keeps the packet or the verdict is a drop under record-on-drop mode.
+BorderRouter::Verdict BorderRouter::process_recorded(FastPacket& pkt) {
+  if (!recorder_->armed()) {
+    const Verdict v = classify<false>(pkt, nullptr);
+    verdicts_[idx(v)].bump();
+    return v;
+  }
+  const bool sampled = recorder_->sample_tick();
+  telemetry::FlightRecord rec;
+  rec.component = telemetry::FlightRecorder::kRouter;
+  rec.time_ns = clock_->now_ns();  // classify overwrites unless malformed
+  rec.res_id = pkt.resinfo.res_id;
+  rec.src_as = pkt.resinfo.src_as.raw();
+  const Verdict v = classify<true>(pkt, &rec);
+  verdicts_[idx(v)].bump();
+  const bool is_drop = v != Verdict::kForward && v != Verdict::kDeliver;
+  if (sampled || (is_drop && recorder_->record_drops())) {
+    rec.verdict = static_cast<std::uint8_t>(v);
+    rec.errc = static_cast<std::uint8_t>(errc_from_verdict(v));
+    rec.forced_by_drop = !sampled;
+    recorder_->commit(rec);
+  }
   return v;
 }
 

@@ -27,6 +27,7 @@
 #include "colibri/dataplane/fastpacket.hpp"
 #include "colibri/dataplane/ofd.hpp"
 #include "colibri/drkey/drkey.hpp"
+#include "colibri/telemetry/flight_recorder.hpp"
 #include "colibri/telemetry/metrics.hpp"
 
 namespace colibri::dataplane {
@@ -80,6 +81,14 @@ class BorderRouter : public telemetry::MetricsSource {
   void attach_blocklist(Blocklist* b) { blocklist_ = b; }
   void attach_dupsup(DuplicateSuppression* d) { dupsup_ = d; }
   void attach_ofd(OverUseFlowDetector* o) { ofd_ = o; }
+  // Per-instance packet flight recorder (owned by the caller; nullptr
+  // detaches). With no recorder the fast path pays one predicted
+  // branch; with one attached, per-packet decision traces are captured
+  // per the recorder's sampling/record-on-drop configuration without
+  // any heap allocation.
+  void attach_flight_recorder(telemetry::FlightRecorder* r) {
+    recorder_ = r;
+  }
 
   // Records the wall-clock validation latency of every `every_n`th
   // packet into the "router.validate_latency_ns" histogram; 0 (default)
@@ -100,7 +109,12 @@ class BorderRouter : public telemetry::MetricsSource {
   AsId local_as() const { return local_as_; }
 
  private:
-  Verdict classify(FastPacket& pkt);
+  // Compile-time split so the fast path carries no capture branches:
+  // classify<false> ignores `rec`; classify<true> fills decision-time
+  // detail (HVF comparison, dupsup/OFD verdicts) into it.
+  template <bool kRecording>
+  Verdict classify(FastPacket& pkt, telemetry::FlightRecord* rec);
+  Verdict process_recorded(FastPacket& pkt);
 
   AsId local_as_;
   crypto::Aes128 hop_cipher_;  // K_i schedule, expanded once
@@ -108,6 +122,7 @@ class BorderRouter : public telemetry::MetricsSource {
   Blocklist* blocklist_ = nullptr;
   DuplicateSuppression* dupsup_ = nullptr;
   OverUseFlowDetector* ofd_ = nullptr;
+  telemetry::FlightRecorder* recorder_ = nullptr;
   std::uint32_t sample_every_ = 0;
   std::uint32_t sample_countdown_ = 0;
   std::array<telemetry::Counter, kNumVerdicts> verdicts_;

@@ -1,0 +1,247 @@
+#include "colibri/telemetry/events.hpp"
+
+#include <cstdlib>
+
+#include "colibri/telemetry/metrics.hpp"
+
+namespace colibri::telemetry {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+std::string Event::to_json() const {
+  std::string out;
+  out.reserve(128 + 32 * fields.size());
+  out += "{\"time_ns\":";
+  out += std::to_string(time_ns);
+  out += ",\"severity\":\"";
+  out += severity_name(severity);
+  out += "\",\"component\":";
+  append_json_string(out, component);
+  out += ",\"name\":";
+  append_json_string(out, name);
+  out += ",\"fields\":{";
+  bool first = true;
+  for (const EventField& f : fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, f.key);
+    out.push_back(':');
+    switch (f.kind) {
+      case EventField::Kind::kU64: out += std::to_string(f.u); break;
+      case EventField::Kind::kI64: out += std::to_string(f.i); break;
+      case EventField::Kind::kStr: append_json_string(out, f.s); break;
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+// Minimal parser for exactly the JSON subset Event::to_json() emits.
+// Not a general JSON parser: object keys are unescaped in the order the
+// exporter writes them, values are integers or strings.
+struct LineParser {
+  std::string_view s;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void expect(char c) {
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+    } else {
+      ok = false;
+    }
+  }
+  bool peek(char c) const { return pos < s.size() && s[pos] == c; }
+
+  std::string string() {
+    std::string out;
+    expect('"');
+    while (ok && pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c == '\\' && pos < s.size()) {
+        const char e = s[pos++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) {
+              ok = false;
+              return out;
+            }
+            c = static_cast<char>(
+                std::strtoul(std::string(s.substr(pos, 4)).c_str(), nullptr,
+                             16));
+            pos += 4;
+            break;
+          }
+          default: ok = false; return out;
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  // Parses an integer; sets `negative` so the caller can pick the kind.
+  std::int64_t integer(bool& negative) {
+    negative = peek('-');
+    const std::size_t start = pos;
+    if (negative) ++pos;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+    if (pos == start + (negative ? 1u : 0u)) {
+      ok = false;
+      return 0;
+    }
+    return std::strtoll(std::string(s.substr(start, pos - start)).c_str(),
+                        nullptr, 10);
+  }
+
+  void key(std::string_view expected) {
+    const std::string k = string();
+    if (k != expected) ok = false;
+    expect(':');
+  }
+};
+
+Severity severity_from_name(std::string_view n, bool& ok) {
+  if (n == "debug") return Severity::kDebug;
+  if (n == "info") return Severity::kInfo;
+  if (n == "warn") return Severity::kWarn;
+  if (n == "error") return Severity::kError;
+  ok = false;
+  return Severity::kInfo;
+}
+
+}  // namespace
+
+std::optional<Event> Event::from_json(std::string_view line) {
+  LineParser p{line};
+  Event ev;
+  bool neg = false;
+
+  p.expect('{');
+  p.key("time_ns");
+  ev.time_ns = p.integer(neg);
+  p.expect(',');
+  p.key("severity");
+  ev.severity = severity_from_name(p.string(), p.ok);
+  p.expect(',');
+  p.key("component");
+  ev.component = p.string();
+  p.expect(',');
+  p.key("name");
+  ev.name = p.string();
+  p.expect(',');
+  p.key("fields");
+  p.expect('{');
+  while (p.ok && !p.peek('}')) {
+    EventField f;
+    f.key = p.string();
+    p.expect(':');
+    if (p.peek('"')) {
+      f.kind = EventField::Kind::kStr;
+      f.s = p.string();
+    } else {
+      const std::int64_t v = p.integer(neg);
+      if (neg) {
+        f.kind = EventField::Kind::kI64;
+        f.i = v;
+      } else {
+        f.kind = EventField::Kind::kU64;
+        f.u = static_cast<std::uint64_t>(v);
+      }
+    }
+    ev.fields.push_back(std::move(f));
+    if (p.peek(',')) p.expect(',');
+  }
+  p.expect('}');
+  p.expect('}');
+  if (!p.ok || p.pos != line.size()) return std::nullopt;
+  return ev;
+}
+
+const EventField* Event::field(std::string_view key) const {
+  for (const EventField& f : fields) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> Event::u64(std::string_view key) const {
+  const EventField* f = field(key);
+  if (f == nullptr) return std::nullopt;
+  switch (f->kind) {
+    case EventField::Kind::kU64: return f->u;
+    case EventField::Kind::kI64: return static_cast<std::uint64_t>(f->i);
+    case EventField::Kind::kStr: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Event::str(std::string_view key) const {
+  const EventField* f = field(key);
+  if (f == nullptr || f->kind != EventField::Kind::kStr) return std::nullopt;
+  return f->s;
+}
+
+void EventLog::append(Event ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<Event> EventLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<Event> EventLog::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out{events_.begin(), events_.end()};
+  events_.clear();
+  return out;
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string EventLog::to_jsonl() const {
+  std::string out;
+  for (const Event& ev : events()) {
+    out += ev.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace colibri::telemetry

@@ -1,0 +1,109 @@
+#include "colibri/telemetry/flight_recorder.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace colibri::telemetry {
+
+namespace {
+
+void append_hex(std::string& out, const std::uint8_t* p, std::size_t n) {
+  char buf[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", p[i]);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string FlightRecord::to_json() const {
+  std::string out;
+  out.reserve(256);
+  out += "{\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"time_ns\":";
+  out += std::to_string(time_ns);
+  out += ",\"component\":\"";
+  out += component == FlightRecorder::kRouter ? "router" : "gateway";
+  out += "\",\"verdict\":";
+  out += std::to_string(verdict);
+  out += ",\"reason\":\"";
+  out += errc_name(static_cast<Errc>(errc));
+  out += "\",\"forced_by_drop\":";
+  out += forced_by_drop ? "true" : "false";
+  out += ",\"src_as\":";
+  out += std::to_string(src_as);
+  out += ",\"res_id\":";
+  out += std::to_string(res_id);
+  out += ",\"version\":";
+  out += std::to_string(version);
+  out += ",\"hop\":";
+  out += std::to_string(hop);
+  out += ",\"if_in\":";
+  out += std::to_string(if_in);
+  out += ",\"if_eg\":";
+  out += std::to_string(if_eg);
+  out += ",\"timestamp\":";
+  out += std::to_string(timestamp);
+  out += ",\"wire_bytes\":";
+  out += std::to_string(wire_bytes);
+  out += ",\"exp_time\":";
+  out += std::to_string(exp_time);
+  if (hvf_checked) {
+    out += ",\"hvf_got\":\"";
+    append_hex(out, hvf_got.data(), hvf_got.size());
+    out += "\",\"hvf_want\":\"";
+    append_hex(out, hvf_want.data(), hvf_want.size());
+    out += '"';
+  }
+  if (dupsup_verdict != kNotConsulted) {
+    out += ",\"dupsup_verdict\":";
+    out += std::to_string(dupsup_verdict);
+  }
+  if (ofd_verdict != kNotConsulted) {
+    out += ",\"ofd_verdict\":";
+    out += std::to_string(ofd_verdict);
+  }
+  if (bucket_checked) {
+    out += ",\"bucket_available_bytes\":";
+    out += std::to_string(bucket_available_bytes);
+  }
+  out += '}';
+  return out;
+}
+
+FlightRecorder::FlightRecorder(const Config& cfg)
+    : ring_(std::bit_ceil(cfg.capacity < 2 ? std::size_t{2} : cfg.capacity)),
+      mask_(ring_.size() - 1),
+      sample_every_(cfg.sample_every),
+      sample_countdown_(cfg.sample_every),
+      record_drops_(cfg.record_drops) {}
+
+std::vector<FlightRecord> FlightRecorder::records() const {
+  std::vector<FlightRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = head_ - n;
+  for (std::uint64_t i = first; i < head_; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i) & mask_]);
+  }
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::drain() {
+  std::vector<FlightRecord> out = records();
+  head_ = 0;
+  return out;
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for (const FlightRecord& r : records()) {
+    out += r.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace colibri::telemetry

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace colibri::telemetry {
-
-namespace {
 
 // Minimal JSON string escaping (metric names are plain ASCII in
 // practice, but the exporter must never emit invalid JSON).
@@ -30,6 +29,8 @@ void append_json_string(std::string& out, std::string_view s) {
   }
   out.push_back('"');
 }
+
+namespace {
 
 void append_u64(std::string& out, std::uint64_t v) {
   out += std::to_string(v);
@@ -127,14 +128,39 @@ std::string MetricsSnapshot::to_json() const {
     }
     out += "]}";
   }
-  out += "}}";
+  out += '}';
+  if (!collisions.empty()) {
+    out += ",\"collisions\":[";
+    first = true;
+    for (const auto& name : collisions) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_json_string(out, name);
+    }
+    out.push_back(']');
+  }
+  out += '}';
   return out;
 }
+
+namespace {
+
+[[noreturn]] void throw_kind_conflict(std::string_view name,
+                                      const char* requested) {
+  throw std::logic_error("metric name '" + std::string(name) +
+                         "' already registered as a different kind than " +
+                         requested);
+}
+
+}  // namespace
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
+    if (gauges_.contains(name) || histograms_.contains(name)) {
+      throw_kind_conflict(name, "counter");
+    }
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
   }
@@ -145,6 +171,9 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
+    if (counters_.contains(name) || histograms_.contains(name)) {
+      throw_kind_conflict(name, "gauge");
+    }
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
   }
   return *it->second;
@@ -154,6 +183,9 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    if (counters_.contains(name) || gauges_.contains(name)) {
+      throw_kind_conflict(name, "histogram");
+    }
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
              .first;
   }
@@ -179,22 +211,41 @@ std::size_t MetricsRegistry::source_count() const {
 namespace {
 
 // Sink that merges equal names by summation into a MetricsSnapshot.
+// Equal names of *equal kind* sum; a name re-reported as a different
+// kind (a source bug the registry cannot catch, since sources own
+// their metrics) is kept under "<name>.<kind>" and recorded in
+// snapshot.collisions instead of being silently summed.
 class MergingSink final : public MetricSink {
  public:
   explicit MergingSink(MetricsSnapshot& out) : out_(&out) {}
 
   void counter(std::string_view name, std::uint64_t value) override {
-    out_->counters[std::string(name)] += value;
+    out_->counters[resolve(name, Kind::kCounter, "counter")] += value;
   }
   void gauge(std::string_view name, std::int64_t value) override {
-    out_->gauges[std::string(name)] += value;
+    out_->gauges[resolve(name, Kind::kGauge, "gauge")] += value;
   }
   void histogram(std::string_view name, const HistogramSnapshot& h) override {
-    out_->histograms[std::string(name)].merge(h);
+    out_->histograms[resolve(name, Kind::kHistogram, "histogram")].merge(h);
   }
 
  private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  std::string resolve(std::string_view name, Kind kind,
+                      const char* kind_name) {
+    auto [it, inserted] = kinds_.try_emplace(std::string(name), kind);
+    if (inserted || it->second == kind) return it->first;
+    // Cross-kind conflict: namespace this series by its kind.
+    if (std::find(out_->collisions.begin(), out_->collisions.end(),
+                  it->first) == out_->collisions.end()) {
+      out_->collisions.push_back(it->first);
+    }
+    return it->first + "." + kind_name;
+  }
+
   MetricsSnapshot* out_;
+  std::map<std::string, Kind, std::less<>> kinds_;
 };
 
 }  // namespace

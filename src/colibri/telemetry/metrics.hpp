@@ -35,6 +35,10 @@
 
 namespace colibri::telemetry {
 
+// Appends `s` as a quoted, escaped JSON string. Shared by the JSON
+// exporters (metrics snapshot, event log, flight recorder).
+void append_json_string(std::string& out, std::string_view s);
+
 class Counter {
  public:
   // Thread-safe increment (RMW).
@@ -136,6 +140,11 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  // Names that sources reported with conflicting metric kinds during
+  // collection. The conflicting series is kept under a namespaced name
+  // ("<name>.counter" / "<name>.gauge" / "<name>.histogram") instead of
+  // being silently summed into the wrong kind.
+  std::vector<std::string> collisions;
 
   std::string to_json() const;
 };
@@ -147,6 +156,9 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   // Get-or-create; references remain valid for the registry's lifetime.
+  // A name is bound to one metric kind: re-registering it as a
+  // different kind throws std::logic_error instead of creating an
+  // ambiguous series (two exposition types under one name).
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);

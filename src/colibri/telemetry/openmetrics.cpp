@@ -1,0 +1,85 @@
+#include "colibri/telemetry/openmetrics.hpp"
+
+namespace colibri::telemetry {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_type_line(std::string& out, const std::string& name,
+                      const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view internal_name) {
+  std::string out = "colibri_";
+  for (const char c : internal_name) {
+    out.push_back(valid_name_char(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(96 * (snapshot.counters.size() + snapshot.gauges.size()) +
+              512 * snapshot.histograms.size() + 16);
+
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string n = openmetrics_name(name);
+    append_type_line(out, n, "counter");
+    out += n;
+    out += "_total ";
+    out += std::to_string(v);
+    out.push_back('\n');
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = openmetrics_name(name);
+    append_type_line(out, n, "gauge");
+    out += n;
+    out.push_back(' ');
+    out += std::to_string(v);
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = openmetrics_name(name);
+    append_type_line(out, n, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;  // elide empty buckets (sparse)
+      cumulative += h.buckets[i];
+      // The last bucket is unbounded and folds into +Inf below.
+      if (i + 1 >= h.buckets.size()) break;
+      out += n;
+      out += "_bucket{le=\"";
+      out += std::to_string(HistogramSnapshot::bucket_upper_bound(i));
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out.push_back('\n');
+    }
+    out += n;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(h.count);
+    out.push_back('\n');
+    out += n;
+    out += "_sum ";
+    out += std::to_string(h.sum);
+    out.push_back('\n');
+    out += n;
+    out += "_count ";
+    out += std::to_string(h.count);
+    out.push_back('\n');
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace colibri::telemetry

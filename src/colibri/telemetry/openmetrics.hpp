@@ -1,0 +1,35 @@
+// OpenMetrics text exposition of a MetricsSnapshot.
+//
+// The JSON export (MetricsSnapshot::to_json()) is the programmatic
+// interface; this renders the same snapshot in the OpenMetrics text
+// format so any Prometheus-compatible scraper can consume a Colibri
+// process without an adapter. Both exports walk the same snapshot, so
+// they agree on every series by construction (and a test asserts it).
+//
+// Mapping:
+//  * internal names are dotted ("router.drop.auth-failed"); exposition
+//    names are prefixed "colibri_" and sanitized ('.', '-' -> '_'):
+//    colibri_router_drop_auth_failed
+//  * counters emit "# TYPE <n> counter" + "<n>_total <v>"
+//  * gauges emit "# TYPE <n> gauge" + "<n> <v>"
+//  * histograms emit cumulative "<n>_bucket{le="..."}" lines over the
+//    power-of-two bucket bounds (zero-count buckets are elided; the
+//    +Inf bucket is always present), then "<n>_sum" and "<n>_count"
+//  * the exposition ends with "# EOF"
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "colibri/telemetry/metrics.hpp"
+
+namespace colibri::telemetry {
+
+// "router.drop.auth-failed" -> "colibri_router_drop_auth_failed".
+// Any character outside [a-zA-Z0-9_:] becomes '_'; a leading digit is
+// prefixed with '_'.
+std::string openmetrics_name(std::string_view internal_name);
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot);
+
+}  // namespace colibri::telemetry
