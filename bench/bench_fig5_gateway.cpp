@@ -102,6 +102,52 @@ BENCHMARK(BM_GatewayForward)
     ->ArgsProduct({{2, 4, 8, 16}, {1, 1 << 10, 1 << 15, 1 << 17, 1 << 20}})
     ->Unit(benchmark::kNanosecond);
 
+// Same worst-case random-id stream through the staged batch pipeline
+// (sequential lookup/expiry prepare, then multi-lane AES HVF
+// computation): 64-packet batches via Gateway::process_batch. The
+// derived gateway_batched_over_scalar/<ases>/<r> rows in the JSON
+// record the speedup over BM_GatewayForward at identical arguments.
+void BM_GatewayForwardBatched(benchmark::State& state) {
+  const int num_ases = static_cast<int>(state.range(0));
+  const std::int64_t r = state.range(1);
+  Gateway& gw = gateway_for(num_ases, r);
+
+  Rng rng(42);
+  std::vector<ResId> ids(1 << 16);
+  for (auto& id : ids) {
+    id = static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+  }
+
+  constexpr size_t kBatch = 64;
+  std::uint32_t sizes[kBatch] = {};
+  std::vector<FastPacket> pkts(kBatch);
+  std::vector<Gateway::Verdict> verdicts(kBatch);
+
+  size_t i = 0;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    gw.process_batch(ids.data() + i, sizes, kBatch, pkts.data(),
+                     verdicts.data());
+    benchmark::DoNotOptimize(pkts[0].hvfs[0]);
+    i += kBatch;
+    if (i + kBatch > ids.size()) i = 0;
+    processed += kBatch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["on_path_ases"] = num_ases;
+  state.counters["reservations(r)"] = static_cast<double>(r);
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_GatewayForwardBatched)
+    ->ArgsProduct({{2, 4, 8, 16}, {1, 1 << 10, 1 << 15, 1 << 17, 1 << 20}})
+    ->Unit(benchmark::kNanosecond);
+
+[[maybe_unused]] const bool kRatioRows = benchjson::request_ratio(
+    "gateway_batched_over_scalar", "BM_GatewayForwardBatched",
+    "BM_GatewayForward");
+
 // Burst API variant (DPDK-style 32-packet bursts), path length 4.
 void BM_GatewayBurst(benchmark::State& state) {
   const std::int64_t r = state.range(0);

@@ -45,6 +45,33 @@ inline double percentile(std::vector<double> v, double q) {
   return v[lo] + (v[hi] - v[lo]) * frac;
 }
 
+// Derived ratio rows. A bench file registers
+//   request_ratio("gateway_batched_over_scalar",
+//                 "BM_GatewayForwardBatched", "BM_GatewayForward");
+// and write() then emits, for every numerator family
+// "<numer>/<args>" with a measured "<denom>/<args>" counterpart, an
+// extra result "<name>/<args>" whose ops_per_sec is the throughput
+// ratio ops(numer)/ops(denom). For ratio rows p50_ns carries the
+// numerator's p50 and p99_ns the denominator's p50, so the absolute
+// times behind the ratio stay recoverable from the JSON alone.
+struct RatioRequest {
+  std::string name;
+  std::string numer;
+  std::string denom;
+};
+
+inline std::vector<RatioRequest>& ratio_requests() {
+  static std::vector<RatioRequest> reqs;
+  return reqs;
+}
+
+inline bool request_ratio(std::string name, std::string numer,
+                          std::string denom) {
+  ratio_requests().push_back(
+      {std::move(name), std::move(numer), std::move(denom)});
+  return true;
+}
+
 // Accumulates per-family samples and writes BENCH_<name>.json.
 class JsonWriter {
  public:
@@ -74,6 +101,28 @@ class JsonWriter {
       results_.push_back({family, ops, p50, percentile(times, 0.99)});
     }
     samples_.clear();
+
+    const std::size_t measured = results_.size();
+    for (const auto& req : ratio_requests()) {
+      for (std::size_t i = 0; i < measured; ++i) {
+        const std::string& n = results_[i].name;
+        if (n.compare(0, req.numer.size(), req.numer) != 0) continue;
+        if (n.size() > req.numer.size() && n[req.numer.size()] != '/') {
+          continue;  // e.g. "BM_Foo" must not match "BM_FooBatched"
+        }
+        const std::string suffix = n.substr(req.numer.size());
+        const std::string want = req.denom + suffix;
+        for (std::size_t j = 0; j < measured; ++j) {
+          if (results_[j].name != want || results_[j].ops_per_sec <= 0) {
+            continue;
+          }
+          results_.push_back({req.name + suffix,
+                              results_[i].ops_per_sec / results_[j].ops_per_sec,
+                              results_[i].p50_ns, results_[j].p50_ns});
+          break;
+        }
+      }
+    }
 
     const std::string path = "BENCH_" + bench_name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");

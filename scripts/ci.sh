@@ -2,6 +2,14 @@
 # CI entry point: build + test the default (Release) tree and the
 # ASan+UBSan tree (COLIBRI_SANITIZE=ON). Any failing step fails the run.
 #
+# After each preset's full suite, the data-plane parity gate re-runs by
+# name: the wire-fuzz corpus replay (tests/fuzz) plus the scalar-vs-
+# batched differential suites. These are the tests that prove the
+# batched/sharded pipeline is observationally identical to the scalar
+# reference, so they get their own visible (and grep-able) CI step —
+# under the asan preset this is the required "differential under
+# ASan+UBSan" run.
+#
 #   scripts/ci.sh              # both presets
 #   scripts/ci.sh default      # just one
 #   JOBS=4 scripts/ci.sh       # limit build parallelism
@@ -19,6 +27,9 @@ for preset in "${PRESETS[@]}"; do
   cmake --build --preset "$preset" -j "$JOBS"
   echo "=== [$preset] test"
   ctest --preset "$preset"
+  echo "=== [$preset] data-plane parity gate (fuzz corpus + differential)"
+  ctest --preset "$preset" \
+    -R 'fuzz_corpus_replay|RouterDifferential|GatewayDifferential|ShardedGatewayTest|CmacMultiTest'
 done
 
 echo "=== all presets green: ${PRESETS[*]}"

@@ -29,6 +29,13 @@ class Aes128 {
   void decrypt_block(const std::uint8_t in[kBlockSize],
                      std::uint8_t out[kBlockSize]) const;
 
+  // Same-key multi-block ECB over `n` independent blocks. On AES-NI the
+  // blocks are interleaved four wide so the pipelined aesenc latency is
+  // amortized across lanes (the batched data-plane pipeline's workhorse).
+  // in and out may alias element-wise.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t n_blocks) const;
+
   // Expanded encryption round keys, 11 x 16 bytes, little-endian order.
   const std::uint8_t* round_keys() const { return enc_rk_; }
 
@@ -48,11 +55,27 @@ class Aes128 {
   alignas(16) std::uint8_t dec_rk_[16 * (kRounds + 1)] = {};
 };
 
+// Portable reference primitives operating on a raw round-key schedule.
+// Aes128 delegates here; the multi-lane batch helpers (cmac_multi.hpp)
+// use them as the fallback when AES-NI is unavailable.
+namespace portable {
+void expand_key(const std::uint8_t key[16], std::uint8_t rk[176]);
+void encrypt_block(const std::uint8_t rk[176], const std::uint8_t in[16],
+                   std::uint8_t out[16]);
+}  // namespace portable
+
 // AES-NI backend hooks (defined in aesni.cpp when compiled in).
 namespace aesni {
 bool runtime_supported();
+void expand_key(const std::uint8_t key[16], std::uint8_t rk[176]);
 void encrypt_block(const std::uint8_t rk[176], const std::uint8_t in[16],
                    std::uint8_t out[16]);
+// Same key, n blocks, interleaved 4-wide.
+void encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                    std::uint8_t* out, std::size_t n);
+// n independent (round-key schedule, block) lanes, interleaved 4-wide.
+void encrypt_each(const std::uint8_t* const* rks, const std::uint8_t* in,
+                  std::uint8_t* out, std::size_t n);
 }  // namespace aesni
 
 }  // namespace colibri::crypto

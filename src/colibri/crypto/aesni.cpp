@@ -17,6 +17,35 @@ bool runtime_supported() {
   return supported;
 }
 
+// AESKEYGENASSIST-based schedule expansion; bit-identical to the
+// portable expansion (asserted by the crypto tests), ~10x faster.
+void expand_key(const std::uint8_t key[16], std::uint8_t rk[176]) {
+  auto* out = reinterpret_cast<__m128i*>(rk);
+  __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  _mm_storeu_si128(out, k);
+  const auto step = [&k](__m128i assist) {
+    assist = _mm_shuffle_epi32(assist, _MM_SHUFFLE(3, 3, 3, 3));
+    k = _mm_xor_si128(k, _mm_slli_si128(k, 4));
+    k = _mm_xor_si128(k, _mm_slli_si128(k, 4));
+    k = _mm_xor_si128(k, _mm_slli_si128(k, 4));
+    k = _mm_xor_si128(k, assist);
+  };
+#define COLIBRI_EXPAND_ROUND(r, rcon)                    \
+  step(_mm_aeskeygenassist_si128(k, rcon));              \
+  _mm_storeu_si128(out + (r), k)
+  COLIBRI_EXPAND_ROUND(1, 0x01);
+  COLIBRI_EXPAND_ROUND(2, 0x02);
+  COLIBRI_EXPAND_ROUND(3, 0x04);
+  COLIBRI_EXPAND_ROUND(4, 0x08);
+  COLIBRI_EXPAND_ROUND(5, 0x10);
+  COLIBRI_EXPAND_ROUND(6, 0x20);
+  COLIBRI_EXPAND_ROUND(7, 0x40);
+  COLIBRI_EXPAND_ROUND(8, 0x80);
+  COLIBRI_EXPAND_ROUND(9, 0x1b);
+  COLIBRI_EXPAND_ROUND(10, 0x36);
+#undef COLIBRI_EXPAND_ROUND
+}
+
 void encrypt_block(const std::uint8_t rk[176], const std::uint8_t in[16],
                    std::uint8_t out[16]) {
   const auto* k = reinterpret_cast<const __m128i*>(rk);
@@ -33,6 +62,79 @@ void encrypt_block(const std::uint8_t rk[176], const std::uint8_t in[16],
   b = _mm_aesenc_si128(b, _mm_loadu_si128(k + 9));
   b = _mm_aesenclast_si128(b, _mm_loadu_si128(k + 10));
   _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+// Four blocks under one schedule, states interleaved so the aesenc
+// pipeline (latency ~4 cycles, throughput 1-2/cycle) stays full.
+static inline void encrypt_blocks4(const __m128i* k, const std::uint8_t* in,
+                                   std::uint8_t* out) {
+  const auto* pi = reinterpret_cast<const __m128i*>(in);
+  __m128i b0 = _mm_loadu_si128(pi + 0);
+  __m128i b1 = _mm_loadu_si128(pi + 1);
+  __m128i b2 = _mm_loadu_si128(pi + 2);
+  __m128i b3 = _mm_loadu_si128(pi + 3);
+  const __m128i k0 = _mm_loadu_si128(k);
+  b0 = _mm_xor_si128(b0, k0);
+  b1 = _mm_xor_si128(b1, k0);
+  b2 = _mm_xor_si128(b2, k0);
+  b3 = _mm_xor_si128(b3, k0);
+  for (int r = 1; r < 10; ++r) {
+    const __m128i kr = _mm_loadu_si128(k + r);
+    b0 = _mm_aesenc_si128(b0, kr);
+    b1 = _mm_aesenc_si128(b1, kr);
+    b2 = _mm_aesenc_si128(b2, kr);
+    b3 = _mm_aesenc_si128(b3, kr);
+  }
+  const __m128i kl = _mm_loadu_si128(k + 10);
+  b0 = _mm_aesenclast_si128(b0, kl);
+  b1 = _mm_aesenclast_si128(b1, kl);
+  b2 = _mm_aesenclast_si128(b2, kl);
+  b3 = _mm_aesenclast_si128(b3, kl);
+  auto* po = reinterpret_cast<__m128i*>(out);
+  _mm_storeu_si128(po + 0, b0);
+  _mm_storeu_si128(po + 1, b1);
+  _mm_storeu_si128(po + 2, b2);
+  _mm_storeu_si128(po + 3, b3);
+}
+
+void encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                    std::uint8_t* out, std::size_t n) {
+  const auto* k = reinterpret_cast<const __m128i*>(rk);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) encrypt_blocks4(k, in + 16 * i, out + 16 * i);
+  for (; i < n; ++i) encrypt_block(rk, in + 16 * i, out + 16 * i);
+}
+
+void encrypt_each(const std::uint8_t* const* rks, const std::uint8_t* in,
+                  std::uint8_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto* pi = reinterpret_cast<const __m128i*>(in + 16 * i);
+    const auto* k0 = reinterpret_cast<const __m128i*>(rks[i + 0]);
+    const auto* k1 = reinterpret_cast<const __m128i*>(rks[i + 1]);
+    const auto* k2 = reinterpret_cast<const __m128i*>(rks[i + 2]);
+    const auto* k3 = reinterpret_cast<const __m128i*>(rks[i + 3]);
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(pi + 0), _mm_loadu_si128(k0));
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(pi + 1), _mm_loadu_si128(k1));
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(pi + 2), _mm_loadu_si128(k2));
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(pi + 3), _mm_loadu_si128(k3));
+    for (int r = 1; r < 10; ++r) {
+      b0 = _mm_aesenc_si128(b0, _mm_loadu_si128(k0 + r));
+      b1 = _mm_aesenc_si128(b1, _mm_loadu_si128(k1 + r));
+      b2 = _mm_aesenc_si128(b2, _mm_loadu_si128(k2 + r));
+      b3 = _mm_aesenc_si128(b3, _mm_loadu_si128(k3 + r));
+    }
+    b0 = _mm_aesenclast_si128(b0, _mm_loadu_si128(k0 + 10));
+    b1 = _mm_aesenclast_si128(b1, _mm_loadu_si128(k1 + 10));
+    b2 = _mm_aesenclast_si128(b2, _mm_loadu_si128(k2 + 10));
+    b3 = _mm_aesenclast_si128(b3, _mm_loadu_si128(k3 + 10));
+    auto* po = reinterpret_cast<__m128i*>(out + 16 * i);
+    _mm_storeu_si128(po + 0, b0);
+    _mm_storeu_si128(po + 1, b1);
+    _mm_storeu_si128(po + 2, b2);
+    _mm_storeu_si128(po + 3, b3);
+  }
+  for (; i < n; ++i) encrypt_block(rks[i], in + 16 * i, out + 16 * i);
 }
 
 }  // namespace colibri::crypto::aesni

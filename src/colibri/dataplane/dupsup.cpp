@@ -49,6 +49,13 @@ bool BloomFilter::test(std::uint64_t h1, std::uint64_t h2) const {
   return true;
 }
 
+void BloomFilter::prefetch(std::uint64_t h1, std::uint64_t h2) const {
+  for (int i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+    __builtin_prefetch(&words_[bit >> 6], 0, 1);
+  }
+}
+
 void BloomFilter::clear() {
   std::fill(words_.begin(), words_.end(), 0);
 }
@@ -71,6 +78,15 @@ void DuplicateSuppression::maybe_rotate(TimeNs now) {
   std::swap(current_, previous_);
   current_.clear();
   window_start_ = now;
+}
+
+void DuplicateSuppression::prefetch(AsId src, ResId res,
+                                    std::uint32_t ts) const {
+  const std::uint64_t h1 =
+      mix64(src.raw() ^ (static_cast<std::uint64_t>(res) << 32) ^ ts);
+  const std::uint64_t h2 = mix64(h1 ^ 0x6A09E667F3BCC909ULL) | 1;
+  previous_.prefetch(h1, h2);
+  current_.prefetch(h1, h2);
 }
 
 DuplicateSuppression::Verdict DuplicateSuppression::check(AsId src, ResId res,

@@ -26,6 +26,8 @@ class BloomFilter {
   // Inserts the element; returns true if it was (probably) already there.
   bool test_and_set(std::uint64_t h1, std::uint64_t h2);
   bool test(std::uint64_t h1, std::uint64_t h2) const;
+  // Prefetch the words the k probes of (h1, h2) will touch.
+  void prefetch(std::uint64_t h1, std::uint64_t h2) const;
   void clear();
 
   size_t bit_count() const { return words_.size() * 64; }
@@ -69,6 +71,10 @@ class DuplicateSuppression : public telemetry::MetricsSource {
   // local time. Inserts fresh identifiers.
   Verdict check(AsId src, ResId res, std::uint32_t ts, TimeNs ts_ns,
                 TimeNs now);
+
+  // Prefetch the Bloom-filter words check() would touch for this
+  // identifier. Purely a cache hint; no state changes.
+  void prefetch(AsId src, ResId res, std::uint32_t ts) const;
 
   std::uint64_t duplicates_seen() const { return duplicates_.value(); }
   std::uint64_t stale_seen() const { return stale_.value(); }

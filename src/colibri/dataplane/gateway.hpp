@@ -65,13 +65,37 @@ class Gateway : public telemetry::MetricsSource {
   bool remove(ResId id);
   size_t reservation_count() const { return table_.size(); }
 
+  // Raw-entry plumbing for shard management (ShardedGateway::resize
+  // moves live entries — token-bucket fill level included — between
+  // shards without re-deriving anything).
+  bool install_entry(ResId id, GatewayEntry entry) {
+    return table_.insert(id, std::move(entry));
+  }
+  // Visits every installed entry as fn(ResId, const GatewayEntry&).
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    table_.for_each(fn);
+  }
+
   // --- fast path ---------------------------------------------------------
   // Host hands in (ResId, payload length); the gateway monitors, stamps,
   // authenticates, and emits the complete packet into `out`.
   Verdict process(ResId id, std::uint32_t payload_bytes, FastPacket& out);
 
   // DPDK-style burst entry point; returns number of packets that passed.
+  // Scalar reference loop: processes packets one at a time.
   size_t process_burst(const ResId* ids, const std::uint32_t* payload_bytes,
+                       size_t n, FastPacket* out, Verdict* verdicts);
+
+  // Staged batch pipeline: restable prefetch for the whole batch, then
+  // a sequential per-packet prepare (lookup, expiry, header assembly,
+  // token bucket, timestamp — stateful and order-dependent: duplicate
+  // ids in one batch drain the bucket in arrival order), then a
+  // multi-lane Eq. 6 HVF fill with one AES state in flight per
+  // (packet, hop) lane. Verdicts, counters, and flight records are
+  // byte-identical to calling process() per packet in order. Any n is
+  // accepted (chunked internally); returns the number that passed.
+  size_t process_batch(const ResId* ids, const std::uint32_t* payload_bytes,
                        size_t n, FastPacket* out, Verdict* verdicts);
 
   // Per-instance packet flight recorder (owned by the caller; nullptr
@@ -94,17 +118,31 @@ class Gateway : public telemetry::MetricsSource {
   // Legacy view, kept as a thin alias of snapshot().
   GatewayStats stats() const { return snapshot(); }
 
+  // Emits under "gateway.*" (bare names routed through a PrefixedSink).
   void collect_metrics(telemetry::MetricSink& sink) const override;
+  // Same counters with bare names ("forwarded", "drop.<errc>") so a
+  // container can re-export them under its own namespace — the
+  // ShardedGateway publishes each shard as "gateway_shard.<i>.*".
+  void collect_metrics_bare(telemetry::MetricSink& sink) const;
 
   AsId local_as() const { return local_as_; }
 
  private:
+  // Everything except the per-hop HVF fill: lookup, expiry, header
+  // assembly, token bucket, timestamp. Shared by the scalar classify()
+  // and the batched pipeline (which defers the HVF crypto to a
+  // multi-lane stage); on kOk, `*entry_out` points at the live entry.
   // `rec` is nullptr on the fast path; when non-null, decision-time
   // detail (token-bucket level, reservation identity) is captured.
+  Verdict prepare(ResId id, std::uint32_t payload_bytes, FastPacket& out,
+                  GatewayEntry** entry_out, telemetry::FlightRecord* rec);
   Verdict classify(ResId id, std::uint32_t payload_bytes, FastPacket& out,
                    telemetry::FlightRecord* rec);
   Verdict process_recorded(ResId id, std::uint32_t payload_bytes,
                            FastPacket& out);
+  size_t process_batch_chunk(const ResId* ids,
+                             const std::uint32_t* payload_bytes, size_t n,
+                             FastPacket* out, Verdict* verdicts);
 
   AsId local_as_;
   const Clock* clock_;

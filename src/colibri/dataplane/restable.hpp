@@ -50,6 +50,24 @@ class ResTable {
   const GatewayEntry* find(ResId id) const;
   bool erase(ResId id);
 
+  // Software-prefetch the probe start for `id` (key word and slot). The
+  // batched pipeline issues these for the whole batch before the lookup
+  // stage so DRAM latency overlaps across packets.
+  void prefetch(ResId id) const {
+    const size_t i = probe(id);
+    __builtin_prefetch(&keys_[i], 0, 3);
+    __builtin_prefetch(&slots_[i], 0, 1);
+  }
+
+  // Visits every live entry as fn(ResId, const GatewayEntry&). Iteration
+  // order is unspecified (hash order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty && keys_[i] != kTombstone) fn(keys_[i], slots_[i]);
+    }
+  }
+
   size_t size() const { return size_; }
   size_t capacity() const { return keys_.size(); }
 

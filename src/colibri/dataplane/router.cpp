@@ -1,6 +1,9 @@
 #include "colibri/dataplane/router.hpp"
 
 #include <chrono>
+#include <cstring>
+
+#include "colibri/crypto/cmac_multi.hpp"
 
 namespace colibri::dataplane {
 
@@ -35,6 +38,27 @@ BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt,
     return Verdict::kMalformed;
   }
   const TimeNs now = clock_->now_ns();
+  return finalize<kRecording>(
+      pkt, now,
+      [&]() -> proto::Hvf {
+        const IfPair hop = pkt.ifaces[pkt.current_hop];
+        if (pkt.is_eer) {
+          // Eq. 4 then Eq. 6: recreate σ_i from K_i, derive the
+          // per-packet HVF.
+          const HopAuth sigma = compute_hopauth(hop_cipher_, pkt.resinfo,
+                                                pkt.eerinfo, hop.in, hop.eg);
+          return compute_data_hvf(sigma, pkt.timestamp, pkt.wire_size());
+        }
+        // Eq. 3: static SegR token.
+        return compute_seg_hvf(hop_cipher_, pkt.resinfo, hop.in, hop.eg);
+      },
+      rec);
+}
+
+template <bool kRecording, typename HvfFn>
+BorderRouter::Verdict BorderRouter::finalize(FastPacket& pkt, TimeNs now,
+                                             HvfFn&& expected_hvf,
+                                             telemetry::FlightRecord* rec) {
   if constexpr (kRecording) {
     rec->time_ns = now;
     rec->src_as = pkt.resinfo.src_as.raw();
@@ -56,17 +80,7 @@ BorderRouter::Verdict BorderRouter::classify(FastPacket& pkt,
     return Verdict::kBlocked;
   }
 
-  const IfPair hop = pkt.ifaces[pkt.current_hop];
-  proto::Hvf expected;
-  if (pkt.is_eer) {
-    // Eq. 4 then Eq. 6: recreate σ_i from K_i, derive the per-packet HVF.
-    const HopAuth sigma = compute_hopauth(hop_cipher_, pkt.resinfo,
-                                          pkt.eerinfo, hop.in, hop.eg);
-    expected = compute_data_hvf(sigma, pkt.timestamp, pkt.wire_size());
-  } else {
-    // Eq. 3: static SegR token.
-    expected = compute_seg_hvf(hop_cipher_, pkt.resinfo, hop.in, hop.eg);
-  }
+  const proto::Hvf expected = expected_hvf();
   if constexpr (kRecording) {
     rec->hvf_checked = true;
     std::copy_n(pkt.hvfs[pkt.current_hop].begin(), rec->hvf_got.size(),
@@ -168,6 +182,150 @@ BorderRouter::Verdict BorderRouter::process_recorded(FastPacket& pkt) {
 void BorderRouter::process_burst(FastPacket* pkts, size_t n,
                                  Verdict* verdicts) {
   for (size_t i = 0; i < n; ++i) verdicts[i] = process(pkts[i]);
+}
+
+// Multi-lane expected-HVF computation. All per-packet MACs under K_i
+// share one key, so the CBC-MAC chains of the whole batch run through
+// Aes128::encrypt_blocks (4-wide interleaved on AES-NI); the Eq. 6
+// encryption is keyed per packet by σ_i, so those lanes go through
+// AesSchedule + aes128_encrypt_each. Pure computation — no telemetry,
+// no clock, no hook state — which is why it may run speculatively for
+// packets the sequential finalize later drops as expired or blocked.
+void BorderRouter::batch_expected_hvfs(const FastPacket* pkts, std::size_t n,
+                                       const bool* fmt_ok,
+                                       proto::Hvf* expected) const {
+  constexpr std::size_t kCap = PacketBatch::kCapacity;
+  constexpr std::size_t kHopStride = 64;  // kHopAuthInputLen (57) padded
+  constexpr std::size_t kSegStride = 32;  // kSegMacInputLen (25) padded
+  static_assert(proto::kHopAuthInputLen <= kHopStride);
+  static_assert(proto::kSegMacInputLen <= kSegStride);
+  static_assert(proto::kDataMacInputLen <= 16);
+
+  std::uint8_t eer_lane[kCap];
+  std::uint8_t seg_lane[kCap];
+  std::size_t n_eer = 0, n_seg = 0;
+  alignas(16) std::uint8_t eer_msgs[kCap * kHopStride];
+  alignas(16) std::uint8_t seg_msgs[kCap * kSegStride];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!fmt_ok[i]) continue;
+    const FastPacket& p = pkts[i];
+    const IfPair hop = p.ifaces[p.current_hop];
+    if (p.is_eer) {
+      proto::build_hopauth_input(p.resinfo, p.eerinfo, hop.in, hop.eg,
+                                 eer_msgs + n_eer * kHopStride);
+      eer_lane[n_eer++] = static_cast<std::uint8_t>(i);
+    } else {
+      proto::build_seg_mac_input(p.resinfo, hop.in, hop.eg,
+                                 seg_msgs + n_seg * kSegStride);
+      seg_lane[n_seg++] = static_cast<std::uint8_t>(i);
+    }
+  }
+
+  if (n_seg != 0) {
+    // Eq. 3, all SegR lanes under K_i at once.
+    alignas(16) std::uint8_t macs[kCap * 16];
+    crypto::cbcmac_fixed_multi(hop_cipher_, seg_msgs, proto::kSegMacInputLen,
+                               kSegStride, n_seg, macs);
+    for (std::size_t j = 0; j < n_seg; ++j) {
+      proto::Hvf& v = expected[seg_lane[j]];
+      std::memcpy(v.data(), macs + 16 * j, v.size());
+    }
+  }
+
+  if (n_eer != 0) {
+    // Eq. 4: all σ_i lanes under K_i at once.
+    alignas(16) std::uint8_t sigmas[kCap * 16];
+    crypto::cbcmac_fixed_multi(hop_cipher_, eer_msgs, proto::kHopAuthInputLen,
+                               kHopStride, n_eer, sigmas);
+    // Eq. 6: one single-block encryption per packet, keyed by its σ_i.
+    crypto::AesSchedule scheds[kCap];
+    alignas(16) std::uint8_t blocks[kCap * 16];
+    std::memset(blocks, 0, 16 * n_eer);
+    for (std::size_t j = 0; j < n_eer; ++j) {
+      scheds[j].expand(sigmas + 16 * j);
+      const FastPacket& p = pkts[eer_lane[j]];
+      proto::build_data_mac_input(p.timestamp, p.wire_size(), blocks + 16 * j);
+    }
+    alignas(16) std::uint8_t enc[kCap * 16];
+    crypto::aes128_encrypt_each(scheds, n_eer, blocks, enc);
+    for (std::size_t j = 0; j < n_eer; ++j) {
+      proto::Hvf& v = expected[eer_lane[j]];
+      std::memcpy(v.data(), enc + 16 * j, v.size());
+    }
+  }
+}
+
+void BorderRouter::process_batch(PacketBatch& batch, Verdict* verdicts) {
+  constexpr std::size_t kCap = PacketBatch::kCapacity;
+  const std::size_t n = batch.size;
+  FastPacket* pkts = batch.pkts.data();
+  const bool armed = recorder_ != nullptr && recorder_->armed();
+
+  // Stage 1: header sanity + clock sampling, sequential in packet order.
+  // Clock-call parity with the scalar path: exactly one now_ns() per
+  // well-formed packet (plus the recorder's pre-classify sample when
+  // armed), in arrival order, so verdicts match even under a clock that
+  // advances per call.
+  TimeNs now[kCap];
+  TimeNs pre[kCap];
+  bool fmt_ok[kCap];
+  bool sampled[kCap];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (armed) {
+      sampled[i] = recorder_->sample_tick();
+      pre[i] = clock_->now_ns();
+    }
+    const FastPacket& p = pkts[i];
+    fmt_ok[i] = !(p.num_hops == 0 || p.num_hops > kMaxHops ||
+                  p.current_hop >= p.num_hops);
+    if (fmt_ok[i]) now[i] = clock_->now_ns();
+  }
+
+  // Stage 2: prefetch the dupsup Bloom-filter words for the whole batch
+  // so the sequential finalize finds them in cache.
+  if (dupsup_ != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const FastPacket& p = pkts[i];
+      if (fmt_ok[i] && p.is_eer && p.type == proto::PacketType::kData) {
+        dupsup_->prefetch(p.resinfo.src_as, p.resinfo.res_id, p.timestamp);
+      }
+    }
+  }
+
+  // Stage 3: batched expected HVFs (pure, possibly speculative).
+  proto::Hvf expected[kCap];
+  batch_expected_hvfs(pkts, n, fmt_ok, expected);
+
+  // Stage 4: sequential per-packet finalize, in arrival order. The
+  // stateful hooks demand this: packet i's overuse report may land its
+  // source AS on the blocklist before packet j > i is checked, and the
+  // dupsup filter must observe duplicates in stream order.
+  for (std::size_t i = 0; i < n; ++i) {
+    Verdict v;
+    if (!armed) {
+      v = fmt_ok[i] ? finalize<false>(
+                          pkts[i], now[i], [&] { return expected[i]; }, nullptr)
+                    : Verdict::kMalformed;
+    } else {
+      telemetry::FlightRecord rec;
+      rec.component = telemetry::FlightRecorder::kRouter;
+      rec.time_ns = pre[i];  // finalize overwrites unless malformed
+      rec.res_id = pkts[i].resinfo.res_id;
+      rec.src_as = pkts[i].resinfo.src_as.raw();
+      v = fmt_ok[i] ? finalize<true>(
+                          pkts[i], now[i], [&] { return expected[i]; }, &rec)
+                    : Verdict::kMalformed;
+      const bool is_drop = v != Verdict::kForward && v != Verdict::kDeliver;
+      if (sampled[i] || (is_drop && recorder_->record_drops())) {
+        rec.verdict = static_cast<std::uint8_t>(v);
+        rec.errc = static_cast<std::uint8_t>(errc_from_verdict(v));
+        rec.forced_by_drop = !sampled[i];
+        recorder_->commit(rec);
+      }
+    }
+    verdicts_[idx(v)].bump();
+    verdicts[i] = v;
+  }
 }
 
 RouterStats BorderRouter::snapshot() const {

@@ -22,6 +22,7 @@
 
 #include "colibri/common/clock.hpp"
 #include "colibri/common/errors.hpp"
+#include "colibri/dataplane/batch.hpp"
 #include "colibri/dataplane/blocklist.hpp"
 #include "colibri/dataplane/dupsup.hpp"
 #include "colibri/dataplane/fastpacket.hpp"
@@ -75,7 +76,19 @@ class BorderRouter : public telemetry::MetricsSource {
   Verdict process(FastPacket& pkt);
 
   // DPDK-style burst processing (32-packet bursts in the benchmarks).
+  // Scalar reference loop: processes packets one at a time.
   void process_burst(FastPacket* pkts, size_t n, Verdict* verdicts);
+
+  // Staged batch pipeline. Runs each validation stage across the whole
+  // batch — header sanity + clock sampling, dupsup prefetch, multi-lane
+  // expected-HVF crypto — then a sequential per-packet finalize that
+  // shares its predicates with the scalar classify(), so verdicts, errc
+  // mapping, telemetry counters, and flight-recorder records are
+  // byte-identical to calling process() on each packet in order.
+  // (The only scalar-path feature the batch path does not replicate is
+  // set_latency_sampling(), whose wall-clock histogram is inherently
+  // per-call.) Writes batch.size verdicts.
+  void process_batch(PacketBatch& batch, Verdict* verdicts);
 
   // Optional monitoring/policing hooks (owned by the caller).
   void attach_blocklist(Blocklist* b) { blocklist_ = b; }
@@ -92,7 +105,8 @@ class BorderRouter : public telemetry::MetricsSource {
 
   // Records the wall-clock validation latency of every `every_n`th
   // packet into the "router.validate_latency_ns" histogram; 0 (default)
-  // disables sampling and keeps the fast path clock-free.
+  // disables sampling and keeps the fast path clock-free. Applies to
+  // the scalar process()/process_burst() path only.
   void set_latency_sampling(std::uint32_t every_n) {
     sample_every_ = every_n;
     sample_countdown_ = every_n;
@@ -114,6 +128,21 @@ class BorderRouter : public telemetry::MetricsSource {
   // detail (HVF comparison, dupsup/OFD verdicts) into it.
   template <bool kRecording>
   Verdict classify(FastPacket& pkt, telemetry::FlightRecord* rec);
+  // Everything after the format check and clock sample: expiry,
+  // blocklist, HVF comparison, dupsup, OFD, cursor advance. The ONE
+  // definition of those predicates — the scalar classify() and the
+  // batched pipeline both end here, which is what makes the
+  // differential harness's parity guarantee structural rather than
+  // coincidental. `expected_hvf` is a lazy provider: the scalar path
+  // computes the MAC only if the packet survives the cheap checks; the
+  // batched path returns a precomputed value.
+  template <bool kRecording, typename HvfFn>
+  Verdict finalize(FastPacket& pkt, TimeNs now, HvfFn&& expected_hvf,
+                   telemetry::FlightRecord* rec);
+  // Multi-lane expected-HVF computation for a batch (Eqs. 3/4/6 with
+  // the AES states of all packets kept in flight).
+  void batch_expected_hvfs(const FastPacket* pkts, std::size_t n,
+                           const bool* fmt_ok, proto::Hvf* expected) const;
   Verdict process_recorded(FastPacket& pkt);
 
   AsId local_as_;

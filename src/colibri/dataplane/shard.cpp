@@ -1,0 +1,226 @@
+#include "colibri/dataplane/shard.hpp"
+
+#include <string>
+
+namespace colibri::dataplane {
+
+ShardedGateway::ShardedGateway(AsId local_as, const Clock& clock,
+                               size_t num_shards, const GatewayConfig& cfg,
+                               telemetry::MetricsRegistry* registry)
+    : local_as_(local_as),
+      clock_(&clock),
+      cfg_(cfg),
+      registration_(registry, this) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Gateway>(local_as_, *clock_, cfg_,
+                                                /*registry=*/nullptr));
+  }
+}
+
+bool ShardedGateway::install(const proto::ResInfo& resinfo,
+                             const proto::EerInfo& eerinfo,
+                             const std::vector<topology::Hop>& path,
+                             const std::vector<HopAuth>& sigmas) {
+  return shards_[shard_of(resinfo.res_id)]->install(resinfo, eerinfo, path,
+                                                    sigmas);
+}
+
+bool ShardedGateway::remove(ResId id) {
+  return shards_[shard_of(id)]->remove(id);
+}
+
+size_t ShardedGateway::reservation_count() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->reservation_count();
+  return total;
+}
+
+void ShardedGateway::resize(size_t new_count) {
+  if (new_count == 0) new_count = 1;
+  std::vector<std::pair<ResId, GatewayEntry>> entries;
+  entries.reserve(reservation_count());
+  for (const auto& s : shards_) {
+    s->for_each_entry([&](ResId id, const GatewayEntry& e) {
+      entries.emplace_back(id, e);
+    });
+  }
+  std::vector<std::unique_ptr<Gateway>> next;
+  next.reserve(new_count);
+  for (size_t i = 0; i < new_count; ++i) {
+    next.push_back(std::make_unique<Gateway>(local_as_, *clock_, cfg_,
+                                             /*registry=*/nullptr));
+  }
+  shards_ = std::move(next);
+  for (auto& [id, e] : entries) {
+    shards_[shard_of(id)]->install_entry(id, std::move(e));
+  }
+}
+
+ShardedGateway::Verdict ShardedGateway::process(ResId id,
+                                                std::uint32_t payload_bytes,
+                                                FastPacket& out) {
+  return shards_[shard_of(id)]->process(id, payload_bytes, out);
+}
+
+size_t ShardedGateway::process_batch(const ResId* ids,
+                                     const std::uint32_t* payload_bytes,
+                                     size_t n, FastPacket* out,
+                                     Verdict* verdicts) {
+  // Demux in chunks so the per-shard compaction scratch stays bounded.
+  constexpr size_t kChunk = 64;
+  size_t ok = 0;
+  for (size_t done = 0; done < n; done += kChunk) {
+    const size_t m = (n - done < kChunk) ? n - done : kChunk;
+    const ResId* cids = ids + done;
+    const std::uint32_t* cpl = payload_bytes + done;
+    std::uint8_t shard_idx[kChunk];
+    for (size_t i = 0; i < m; ++i) {
+      shard_idx[i] = static_cast<std::uint8_t>(shard_of(cids[i]));
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      ResId sub_ids[kChunk];
+      std::uint32_t sub_pl[kChunk];
+      std::uint8_t slot[kChunk];
+      size_t k = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (shard_idx[i] == s) {
+          sub_ids[k] = cids[i];
+          sub_pl[k] = cpl[i];
+          slot[k] = static_cast<std::uint8_t>(i);
+          ++k;
+        }
+      }
+      if (k == 0) continue;
+      FastPacket sub_out[kChunk];
+      Verdict sub_v[kChunk];
+      ok += shards_[s]->process_batch(sub_ids, sub_pl, k, sub_out, sub_v);
+      for (size_t j = 0; j < k; ++j) {
+        verdicts[done + slot[j]] = sub_v[j];
+        if (sub_v[j] == Verdict::kOk) out[done + slot[j]] = sub_out[j];
+      }
+    }
+  }
+  return ok;
+}
+
+GatewayStats ShardedGateway::snapshot() const {
+  GatewayStats total;
+  for (const auto& s : shards_) {
+    const GatewayStats g = s->snapshot();
+    total.forwarded += g.forwarded;
+    total.no_reservation += g.no_reservation;
+    total.rate_limited += g.rate_limited;
+    total.expired += g.expired;
+  }
+  return total;
+}
+
+void ShardedGateway::reset() {
+  for (auto& s : shards_) s->reset();
+}
+
+void ShardedGateway::collect_metrics(telemetry::MetricSink& sink) const {
+  sink.gauge("gateway_shard.count", static_cast<std::int64_t>(shards_.size()));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    telemetry::PrefixedSink prefixed(
+        "gateway_shard." + std::to_string(i) + ".", sink);
+    shards_[i]->collect_metrics_bare(prefixed);
+  }
+}
+
+ShardedGatewayRuntime::ShardedGatewayRuntime(ShardedGateway& gateway,
+                                             size_t ring_capacity)
+    : gateway_(&gateway) {
+  shards_.reserve(gateway.shard_count());
+  for (size_t i = 0; i < gateway.shard_count(); ++i) {
+    shards_.push_back(std::make_unique<PerShard>(ring_capacity));
+  }
+}
+
+ShardedGatewayRuntime::~ShardedGatewayRuntime() { stop(); }
+
+void ShardedGatewayRuntime::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardedGatewayRuntime::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& ps : shards_) {
+    if (ps->thread.joinable()) ps->thread.join();
+  }
+}
+
+bool ShardedGatewayRuntime::submit(ResId id, std::uint32_t payload_bytes) {
+  PerShard& ps = *shards_[gateway_->shard_of(id)];
+  if (!ps.ring.try_push(ShardRequest{id, payload_bytes})) return false;
+  ++ps.submitted;
+  return true;
+}
+
+size_t ShardedGatewayRuntime::submit_burst(const ShardRequest* reqs,
+                                           size_t n) {
+  size_t accepted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (submit(reqs[i].id, reqs[i].payload_bytes)) ++accepted;
+  }
+  return accepted;
+}
+
+bool ShardedGatewayRuntime::idle() const {
+  for (const auto& ps : shards_) {
+    if (ps->processed.load(std::memory_order_acquire) != ps->submitted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardedGatewayRuntime::drain() const {
+  while (!idle()) std::this_thread::yield();
+}
+
+ShardedGatewayRuntime::WorkerStats ShardedGatewayRuntime::worker_stats(
+    size_t shard) const {
+  const PerShard& ps = *shards_[shard];
+  WorkerStats s;
+  s.processed = ps.processed.load(std::memory_order_acquire);
+  s.batches = ps.batches.load(std::memory_order_acquire);
+  s.ok = ps.ok.load(std::memory_order_acquire);
+  return s;
+}
+
+void ShardedGatewayRuntime::worker_loop(size_t shard_index) {
+  PerShard& ps = *shards_[shard_index];
+  Gateway& shard = gateway_->shard(shard_index);
+  constexpr size_t kBurst = 64;
+  ShardRequest reqs[kBurst];
+  ResId ids[kBurst];
+  std::uint32_t payloads[kBurst];
+  FastPacket out[kBurst];
+  Gateway::Verdict verdicts[kBurst];
+  while (true) {
+    const size_t m = ps.ring.pop_burst(reqs, kBurst);
+    if (m == 0) {
+      // Exit only once the stop signal is down AND the ring is drained
+      // (stop() flips running_ before joining, so check order matters).
+      if (!running_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      ids[i] = reqs[i].id;
+      payloads[i] = reqs[i].payload_bytes;
+    }
+    const size_t okc = shard.process_batch(ids, payloads, m, out, verdicts);
+    ps.ok.fetch_add(okc, std::memory_order_relaxed);
+    ps.batches.fetch_add(1, std::memory_order_relaxed);
+    ps.processed.fetch_add(m, std::memory_order_release);
+  }
+}
+
+}  // namespace colibri::dataplane

@@ -6,11 +6,19 @@ bool TokenBucket::allow(std::uint64_t bytes, TimeNs now) {
   if (now > last_ns_) {
     // kbps -> milli-bytes/ns: rate_kbps * 1000 bit/s = rate_kbps * 125 B/s
     // = rate_kbps * 125e-9 B/ns = rate_kbps * 125 * 1e-6 mB/ns.
+    // elapsed * rate * 125 overflows u64 after ~41 s of idle at the max
+    // rate (0xFFFFFFFF kbps), which used to refill a near-random token
+    // count on the first packet after a long sim-clock gap. Widen to
+    // 128-bit and saturate at the burst cap — beyond the cap the exact
+    // refill is irrelevant anyway.
     const std::uint64_t elapsed = static_cast<std::uint64_t>(now - last_ns_);
-    const std::uint64_t refill_mb =
-        elapsed * static_cast<std::uint64_t>(rate_kbps_) * 125 / 1'000'000;
-    tokens_mb_ += refill_mb;
     const std::uint64_t cap = burst_bytes_ * kScale;
+    const unsigned __int128 refill_wide =
+        static_cast<unsigned __int128>(elapsed) *
+        static_cast<std::uint64_t>(rate_kbps_) * 125 / 1'000'000;
+    const std::uint64_t refill_mb =
+        refill_wide > cap ? cap : static_cast<std::uint64_t>(refill_wide);
+    tokens_mb_ += refill_mb;
     if (tokens_mb_ > cap) tokens_mb_ = cap;
     // Only advance the stamp when the refill is non-zero, so sub-resolution
     // intervals accumulate instead of being truncated away each packet.

@@ -135,6 +135,35 @@ class MetricsSource {
   virtual void collect_metrics(MetricSink& sink) const = 0;
 };
 
+// Decorator that prepends a prefix to every metric name before
+// forwarding to the wrapped sink. Lets a container re-export a
+// component's metrics under its own namespace — e.g. a ShardedGateway
+// collecting each shard under "gateway_shard.<i>." — without the
+// component knowing where it lives.
+class PrefixedSink : public MetricSink {
+ public:
+  PrefixedSink(std::string prefix, MetricSink& inner)
+      : prefix_(std::move(prefix)), inner_(inner) {}
+
+  void counter(std::string_view name, std::uint64_t value) override {
+    scratch_.assign(prefix_).append(name);
+    inner_.counter(scratch_, value);
+  }
+  void gauge(std::string_view name, std::int64_t value) override {
+    scratch_.assign(prefix_).append(name);
+    inner_.gauge(scratch_, value);
+  }
+  void histogram(std::string_view name, const HistogramSnapshot& h) override {
+    scratch_.assign(prefix_).append(name);
+    inner_.histogram(scratch_, h);
+  }
+
+ private:
+  std::string prefix_;
+  MetricSink& inner_;
+  std::string scratch_;
+};
+
 // Full registry state at one point in time.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;

@@ -2,11 +2,14 @@
 // SHA-256, plus AES-NI/portable cross-checks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "colibri/common/rand.hpp"
 #include "colibri/crypto/aes.hpp"
 #include "colibri/crypto/cbcmac.hpp"
+#include "colibri/crypto/cmac_multi.hpp"
 #include "colibri/crypto/cmac.hpp"
 #include "colibri/crypto/ctr.hpp"
 #include "colibri/crypto/eax.hpp"
@@ -283,6 +286,116 @@ TEST(Sha256Test, IncrementalMatchesOneShot) {
   inc.update(BytesView(msg.data() + 100, 463));
   inc.update(BytesView(msg.data() + 563, msg.size() - 563));
   EXPECT_EQ(inc.finish(), Sha256::hash(msg));
+}
+
+// --- Multi-lane batch primitives (cmac_multi) -------------------------------
+// The batched data-plane pipeline is only allowed to exist because these
+// produce byte-identical output to the scalar primitives.
+
+TEST(CmacMultiTest, ScheduleExpansionMatchesPortable) {
+  Rng rng(11);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::uint8_t key[16];
+    rng.fill(key, sizeof(key));
+    std::uint8_t want[176];
+    portable::expand_key(key, want);
+    AesSchedule s;
+    s.expand(key);  // AESKEYGENASSIST path when the CPU has AES-NI
+    EXPECT_EQ(0, std::memcmp(s.rk, want, sizeof(want)));
+  }
+}
+
+TEST(CmacMultiTest, EncryptBlocksMatchesScalar) {
+  Rng rng(12);
+  std::uint8_t key[16];
+  rng.fill(key, sizeof(key));
+  const Aes128 aes(key);
+  // Exercise the 4-wide interleave plus every remainder length.
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 31u, 64u}) {
+    Bytes in(16 * n), got(16 * n), want(16 * n);
+    rng.fill(in.data(), in.size());
+    aes.encrypt_blocks(in.data(), got.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      aes.encrypt_block(in.data() + 16 * i, want.data() + 16 * i);
+    }
+    EXPECT_EQ(got, want) << "n=" << n;
+  }
+}
+
+TEST(CmacMultiTest, EncryptEachMatchesPerLaneCipher) {
+  Rng rng(13);
+  for (size_t n : {1u, 3u, 4u, 6u, 16u, 33u}) {
+    std::vector<AesSchedule> scheds(n);
+    std::vector<Aes128> ciphers;
+    Bytes in(16 * n), got(16 * n), want(16 * n);
+    rng.fill(in.data(), in.size());
+    for (size_t i = 0; i < n; ++i) {
+      std::uint8_t key[16];
+      rng.fill(key, sizeof(key));
+      scheds[i].expand(key);
+      ciphers.emplace_back(key);
+    }
+    aes128_encrypt_each(scheds.data(), n, in.data(), got.data());
+    for (size_t i = 0; i < n; ++i) {
+      ciphers[i].encrypt_block(in.data() + 16 * i, want.data() + 16 * i);
+    }
+    EXPECT_EQ(got, want) << "n=" << n;
+  }
+}
+
+TEST(CmacMultiTest, CbcmacFixedMultiMatchesScalarLanes) {
+  Rng rng(14);
+  std::uint8_t key[16];
+  rng.fill(key, sizeof(key));
+  const Aes128 aes(key);
+  // Message lengths covering exact-block and ragged tails (the data
+  // plane uses 25- and 57-byte MAC inputs).
+  for (size_t msg_len : {16u, 25u, 32u, 57u, 64u}) {
+    const size_t stride = (msg_len + 15) / 16 * 16;
+    for (size_t n : {1u, 2u, 5u, 64u}) {
+      Bytes msgs(stride * n);
+      rng.fill(msgs.data(), msgs.size());
+      Bytes got(16 * n);
+      cbcmac_fixed_multi(aes, msgs.data(), msg_len, stride, n, got.data());
+      for (size_t l = 0; l < n; ++l) {
+        // Inline scalar CBC-MAC reference (mirrors dataplane::cbcmac_fixed).
+        std::uint8_t x[16] = {};
+        size_t off = 0;
+        while (off < msg_len) {
+          const size_t b = std::min<size_t>(16, msg_len - off);
+          for (size_t i = 0; i < b; ++i) x[i] ^= msgs[l * stride + off + i];
+          aes.encrypt_block(x, x);
+          off += b;
+        }
+        EXPECT_EQ(0, std::memcmp(got.data() + 16 * l, x, 16))
+            << "msg_len=" << msg_len << " lane=" << l << "/" << n;
+      }
+    }
+  }
+}
+
+TEST(CmacMultiTest, MultiLanePrimitivesAgreeUnderForcedPortable) {
+  // The portable fallback must produce the same bytes as the AES-NI
+  // path (when present), because a batch computed on one machine must
+  // verify on another.
+  Rng rng(15);
+  std::uint8_t key[16], block[16];
+  rng.fill(key, sizeof(key));
+  rng.fill(block, sizeof(block));
+  AesSchedule fast;
+  fast.expand(key);
+  std::uint8_t out_fast[16];
+  aes128_encrypt_each(&fast, 1, block, out_fast);
+
+  Aes128::set_force_portable(true);
+  AesSchedule slow;
+  slow.expand(key);
+  std::uint8_t out_slow[16];
+  aes128_encrypt_each(&slow, 1, block, out_slow);
+  Aes128::set_force_portable(false);
+
+  EXPECT_EQ(0, std::memcmp(fast.rk, slow.rk, sizeof(fast.rk)));
+  EXPECT_EQ(0, std::memcmp(out_fast, out_slow, 16));
 }
 
 // RFC 4231 test case 2.
