@@ -148,6 +148,79 @@ BENCHMARK(BM_GatewayForwardBatched)
     "gateway_batched_over_scalar", "BM_GatewayForwardBatched",
     "BM_GatewayForward");
 
+// The batched pipeline again, with the stage profiler recording every
+// batch. Two derived artifacts land in the JSON:
+//  * gateway_profiler_overhead/<args>: throughput ratio of the
+//    unprofiled run over this one (how much attribution costs);
+//  * gateway_stage/<stage> rows: per-batch wall-time p50/p99 of each
+//    pipeline stage, pulled from the profiler histograms after the
+//    timed loop (ops_per_sec carries the sample count), plus a
+//    gateway_batch_occupancy row whose percentiles are packets/batch.
+void BM_GatewayForwardBatchedProfiled(benchmark::State& state) {
+  const int num_ases = static_cast<int>(state.range(0));
+  const std::int64_t r = state.range(1);
+  Gateway& gw = gateway_for(num_ases, r);
+
+  Rng rng(42);
+  std::vector<ResId> ids(1 << 16);
+  for (auto& id : ids) {
+    id = static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+  }
+
+  constexpr size_t kBatch = 64;
+  std::uint32_t sizes[kBatch] = {};
+  std::vector<FastPacket> pkts(kBatch);
+  std::vector<Gateway::Verdict> verdicts(kBatch);
+
+  telemetry::StageProfiler& prof = gw.profiler();
+  prof.reset();
+  prof.set_enabled(true);
+
+  size_t i = 0;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    gw.process_batch(ids.data() + i, sizes, kBatch, pkts.data(),
+                     verdicts.data());
+    benchmark::DoNotOptimize(pkts[0].hvfs[0]);
+    i += kBatch;
+    if (i + kBatch > ids.size()) i = 0;
+    processed += kBatch;
+  }
+  prof.set_enabled(false);  // the shared gateway cache stays unprofiled
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+
+  for (size_t s = 0; s < prof.stage_count(); ++s) {
+    const telemetry::HistogramSnapshot h = prof.stage_snapshot(s);
+    if (h.count == 0) continue;
+    benchjson::add_extra_result(
+        "gateway_stage/" + prof.stage_name(s),
+        static_cast<double>(h.count),
+        static_cast<double>(h.percentile(0.50)),
+        static_cast<double>(h.percentile(0.99)));
+  }
+  const telemetry::HistogramSnapshot occ = prof.occupancy_snapshot();
+  if (occ.count != 0) {
+    benchjson::add_extra_result("gateway_batch_occupancy",
+                                static_cast<double>(occ.count),
+                                static_cast<double>(occ.percentile(0.50)),
+                                static_cast<double>(occ.percentile(0.99)));
+  }
+  prof.reset();
+}
+
+// One representative grid point: the profiled run exists to price the
+// profiler and attribute stage time, not to re-sweep the whole figure.
+BENCHMARK(BM_GatewayForwardBatchedProfiled)
+    ->Args({4, 1 << 15})
+    ->Unit(benchmark::kNanosecond);
+
+[[maybe_unused]] const bool kOverheadRow = benchjson::request_ratio(
+    "gateway_profiler_overhead", "BM_GatewayForwardBatched",
+    "BM_GatewayForwardBatchedProfiled");
+
 // Burst API variant (DPDK-style 32-packet bursts), path length 4.
 void BM_GatewayBurst(benchmark::State& state) {
   const std::int64_t r = state.range(0);

@@ -72,6 +72,34 @@ inline bool request_ratio(std::string name, std::string numer,
   return true;
 }
 
+// Extra rows computed by benchmark code itself (e.g. per-stage latency
+// percentiles pulled out of a StageProfiler after the timed loop).
+// Name-keyed with overwrite semantics: google-benchmark re-enters the
+// benchmark function several times while calibrating the iteration
+// count, and only the final (longest) run should survive into the JSON.
+struct ExtraResult {
+  std::string name;
+  double ops_per_sec = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+};
+
+inline std::vector<ExtraResult>& extra_results() {
+  static std::vector<ExtraResult> rows;
+  return rows;
+}
+
+inline void add_extra_result(const std::string& name, double ops_per_sec,
+                             double p50_ns, double p99_ns) {
+  for (ExtraResult& row : extra_results()) {
+    if (row.name == name) {
+      row = {name, ops_per_sec, p50_ns, p99_ns};
+      return;
+    }
+  }
+  extra_results().push_back({name, ops_per_sec, p50_ns, p99_ns});
+}
+
 // Accumulates per-family samples and writes BENCH_<name>.json.
 class JsonWriter {
  public:
@@ -123,6 +151,11 @@ class JsonWriter {
         }
       }
     }
+
+    for (const ExtraResult& row : extra_results()) {
+      results_.push_back({row.name, row.ops_per_sec, row.p50_ns, row.p99_ns});
+    }
+    extra_results().clear();
 
     const std::string path = "BENCH_" + bench_name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the default (Release) tree and the
-# ASan+UBSan tree (COLIBRI_SANITIZE=ON). Any failing step fails the run.
+# CI entry point: build + test the default (Release) tree, the
+# ASan+UBSan tree (COLIBRI_SANITIZE=ON), and the TSan tree
+# (COLIBRI_SANITIZE=thread). Any failing step fails the run.
 #
-# After each preset's full suite, the data-plane parity gate re-runs by
-# name: the wire-fuzz corpus replay (tests/fuzz) plus the scalar-vs-
-# batched differential suites. These are the tests that prove the
-# batched/sharded pipeline is observationally identical to the scalar
-# reference, so they get their own visible (and grep-able) CI step —
-# under the asan preset this is the required "differential under
+# After each functional preset's full suite, the data-plane parity gate
+# re-runs by name: the wire-fuzz corpus replay (tests/fuzz) plus the
+# scalar-vs-batched differential suites. These are the tests that prove
+# the batched/sharded pipeline is observationally identical to the
+# scalar reference, so they get their own visible (and grep-able) CI
+# step — under the asan preset this is the required "differential under
 # ASan+UBSan" run.
 #
-#   scripts/ci.sh              # both presets
+# The tsan preset is a race lane, not a functional lane: it runs the
+# concurrency-shaped suites (the telemetry stress test, the sharded
+# runtime drain/health tests, the SPSC ring, concurrent counters) under
+# ThreadSanitizer instead of repeating the whole functional suite.
+#
+# The default preset additionally smoke-tests the colibri_obs tool end
+# to end: run the demo scenario, dump every artifact, export a Perfetto
+# trace, and query the sharded-runtime health surface.
+#
+#   scripts/ci.sh              # all three presets
 #   scripts/ci.sh default      # just one
 #   JOBS=4 scripts/ci.sh       # limit build parallelism
 set -euo pipefail
@@ -18,18 +28,43 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 PRESETS=("$@")
-[ ${#PRESETS[@]} -gt 0 ] || PRESETS=(default asan)
+[ ${#PRESETS[@]} -gt 0 ] || PRESETS=(default asan tsan)
+
+TSAN_SUITES='TelemetryStressTest|ShardedRuntimeTest|SpscRingTest'
+TSAN_SUITES+='|CounterTest.ConcurrentIncrementsFromManyThreads'
 
 for preset in "${PRESETS[@]}"; do
   echo "=== [$preset] configure"
   cmake --preset "$preset"
   echo "=== [$preset] build"
   cmake --build --preset "$preset" -j "$JOBS"
+  if [ "$preset" = tsan ]; then
+    echo "=== [$preset] concurrency race gate (telemetry + sharded runtime)"
+    ctest --preset "$preset" -R "$TSAN_SUITES"
+    continue
+  fi
   echo "=== [$preset] test"
   ctest --preset "$preset"
   echo "=== [$preset] data-plane parity gate (fuzz corpus + differential)"
   ctest --preset "$preset" \
-    -R 'fuzz_corpus_replay|RouterDifferential|GatewayDifferential|ShardedGatewayTest|CmacMultiTest'
+    -R 'fuzz_corpus_replay|RouterDifferential|GatewayDifferential|ShardedGatewayTest|CmacMultiTest|BatchedFlightRecorderTest'
+done
+
+for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = default ]; then
+    echo "=== [default] colibri_obs smoke (scenario, dumps, trace, health)"
+    OBS=build/src/colibri_obs
+    [ -x "$OBS" ] || OBS=$(find build -name colibri_obs -type f | head -1)
+    "$OBS" > /dev/null
+    "$OBS" --dump=openmetrics | grep -q '^# EOF$'
+    "$OBS" --dump=events | head -1 | grep -q '"name"'
+    "$OBS" --query=router.forwarded > /dev/null
+    trace_out=$(mktemp /tmp/colibri_trace.XXXXXX.json)
+    "$OBS" trace --perfetto "$trace_out" | grep -q 'trace events'
+    grep -q '"traceEvents"' "$trace_out"
+    rm -f "$trace_out"
+    "$OBS" health | grep -q 'stall detector'
+  fi
 done
 
 echo "=== all presets green: ${PRESETS[*]}"

@@ -38,6 +38,22 @@ struct ObsArtifacts {
   std::size_t events_count = 0;
   std::size_t records_count = 0;
   int delivered = 0;  // clean packets that crossed the whole path
+
+  // Perfetto/Chrome trace-event JSON covering the multi-AS setup
+  // conversation (bus spans, one track per AS), the lifecycle audit
+  // events, and the captured data-plane stage spans of the batched leg.
+  std::string perfetto_json;
+  std::size_t trace_events = 0;
+  std::size_t trace_tracks = 0;
+
+  // Sharded-runtime health surface after the runtime leg: one line per
+  // shard (ring depth, high watermark, rejections, heartbeats) plus the
+  // stall-detector verdict. The same numbers land in the metrics
+  // snapshot under "gateway_runtime.*".
+  std::string health_text;
+  std::size_t health_shards = 0;
+  std::uint64_t health_rejected = 0;
+  std::size_t stalled_shards = 0;
 };
 
 // Runs the scenario against a fresh metrics registry, event log, and

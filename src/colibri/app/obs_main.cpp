@@ -1,5 +1,5 @@
 // colibri_obs: run the observability demo scenario and dump or query
-// what the three exposition surfaces produced.
+// what the exposition surfaces produced.
 //
 //   $ ./colibri_obs                         # everything, sectioned
 //   $ ./colibri_obs --dump=openmetrics      # OpenMetrics text only
@@ -7,6 +7,9 @@
 //   $ ./colibri_obs --dump=records          # flight-record JSON lines
 //   $ ./colibri_obs --query=router.forwarded
 //   $ ./colibri_obs --packets=1000 --sample-every=1
+//   $ ./colibri_obs trace --perfetto out.json  # Chrome/Perfetto trace
+//   $ ./colibri_obs trace                      # same JSON to stdout
+//   $ ./colibri_obs health                     # sharded-runtime health
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,9 +52,16 @@ int query(const colibri::telemetry::MetricsSnapshot& m, const char* name) {
 
 int main(int argc, char** argv) {
   colibri::app::ObsOptions opts;
+  std::string command;  // "" = dump/query, "trace", "health"
   std::string dump = "all";
   std::string query_name;
-  for (int i = 1; i < argc; ++i) {
+  std::string perfetto_path;
+  int argi = 1;
+  if (argi < argc && (std::strcmp(argv[argi], "trace") == 0 ||
+                      std::strcmp(argv[argi], "health") == 0)) {
+    command = argv[argi++];
+  }
+  for (int i = argi; i < argc; ++i) {
     if (const char* v = arg_value(argv[i], "--dump")) {
       dump = v;
     } else if (const char* v = arg_value(argv[i], "--query")) {
@@ -60,10 +70,16 @@ int main(int argc, char** argv) {
       opts.packets = std::atoi(v);
     } else if (const char* v = arg_value(argv[i], "--sample-every")) {
       opts.sample_every = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = arg_value(argv[i], "--perfetto")) {
+      perfetto_path = v;
+    } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--dump=all|metrics|openmetrics|events|records]"
-                   " [--query=NAME] [--packets=N] [--sample-every=N]\n",
+                   "usage: %s [trace|health]"
+                   " [--dump=all|metrics|openmetrics|events|records]"
+                   " [--query=NAME] [--packets=N] [--sample-every=N]"
+                   " [--perfetto[=]PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -73,6 +89,33 @@ int main(int argc, char** argv) {
   if (art.delivered == 0) {
     std::fprintf(stderr, "scenario failed: no packets delivered\n");
     return 1;
+  }
+
+  if (command == "trace") {
+    if (perfetto_path.empty()) {
+      std::fputs(art.perfetto_json.c_str(), stdout);
+      return 0;
+    }
+    std::FILE* f = std::fopen(perfetto_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", perfetto_path.c_str());
+      return 1;
+    }
+    std::fputs(art.perfetto_json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s: %zu trace events on %zu tracks "
+                "(load in ui.perfetto.dev)\n",
+                perfetto_path.c_str(), art.trace_events, art.trace_tracks);
+    return 0;
+  }
+  if (command == "health") {
+    std::printf("# sharded gateway runtime: %zu shards, %llu rejected "
+                "submissions, %zu stalled\n",
+                art.health_shards,
+                static_cast<unsigned long long>(art.health_rejected),
+                art.stalled_shards);
+    std::fputs(art.health_text.c_str(), stdout);
+    return art.stalled_shards == 0 ? 0 : 1;
   }
 
   if (!query_name.empty()) return query(art.metrics, query_name.c_str());

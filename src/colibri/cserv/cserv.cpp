@@ -571,6 +571,7 @@ void CServ::report_offense(const dataplane::OffenseReport& offense) {
   if (cfg_.events != nullptr && newly_denied) {
     cfg_.events
         ->emit(telemetry::Severity::kError, "cserv", "source.denied")
+        .str("as", local_.to_string())
         .str("offender", offense.offender.to_string())
         .u64("res_id", offense.reservation)
         .u64("excess_bytes", offense.excess_bytes);
@@ -585,6 +586,7 @@ void CServ::tick() {
     if (wal_ != nullptr) wal_->log_eer_erase(rec.key);
     if (cfg_.events != nullptr) {
       cfg_.events->emit(telemetry::Severity::kInfo, "cserv", "eer.expired")
+          .str("as", local_.to_string())
           .str("src_as", rec.key.src_as.to_string())
           .u64("res_id", rec.key.res_id);
     }
@@ -594,6 +596,7 @@ void CServ::tick() {
     if (wal_ != nullptr) wal_->log_segr_erase(rec.key);
     if (cfg_.events != nullptr) {
       cfg_.events->emit(telemetry::Severity::kInfo, "cserv", "segr.expired")
+          .str("as", local_.to_string())
           .str("src_as", rec.key.src_as.to_string())
           .u64("res_id", rec.key.res_id);
     }

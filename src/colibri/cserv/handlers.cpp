@@ -69,12 +69,19 @@ Bytes Handlers::fail(CServ& self, const proto::Packet& pkt, Errc code,
   if (self.cfg_.events != nullptr) {
     self.cfg_.events
         ->emit(telemetry::Severity::kWarn, "cserv", "request.denied")
+        .str("as", self.local_.to_string())
         .str("request", request_name(pkt.type))
         .str("reason", errc_name(code))
         .str("at", self.local_.to_string())
         .u64("hop", hop)
         .str("src_as", pkt.resinfo.src_as.to_string())
         .u64("res_id", pkt.resinfo.res_id);
+  }
+  telemetry::SpanCollector& tracer = self.bus_->tracer();
+  if (tracer.in_span()) {
+    tracer.annotate("verdict", "denied");
+    tracer.annotate("reason", errc_name(code));
+    tracer.annotate("res_id", std::to_string(pkt.resinfo.res_id));
   }
   proto::ControlResponse resp;
   resp.success = false;
@@ -261,12 +268,23 @@ Bytes Handlers::forward_and_unwind_seg(CServ& self, proto::Packet& pkt,
     self.cfg_.events
         ->emit(telemetry::Severity::kInfo, "cserv",
                renewal ? "segr.renewed" : "segr.admitted")
+        .str("as", self.local_.to_string())
         .str("src_as", pkt.resinfo.src_as.to_string())
         .u64("res_id", pkt.resinfo.res_id)
         .u64("version", pkt.resinfo.version)
         .u64("bw_kbps", final_bw)
         .u64("exp_time", pkt.resinfo.exp_time)
         .u64("hop", hop);
+  }
+  // Trace-context propagation: this handler ran under the bus span of
+  // the hop call that delivered the request, so tag that span with what
+  // this AS decided — the Perfetto export then shows the admission
+  // verdict on every hop of the setup without a context parameter.
+  telemetry::SpanCollector& tracer = self.bus_->tracer();
+  if (tracer.in_span()) {
+    tracer.annotate("verdict", renewal ? "segr.renewed" : "segr.admitted");
+    tracer.annotate("res_id", std::to_string(pkt.resinfo.res_id));
+    tracer.annotate("bw_kbps", std::to_string(final_bw));
   }
 
   resp_pkt->payload = proto::encode_authed(*resp_ap);
@@ -346,11 +364,18 @@ Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
   if (self.cfg_.events != nullptr) {
     self.cfg_.events
         ->emit(telemetry::Severity::kInfo, "cserv", "segr.activated")
+        .str("as", self.local_.to_string())
         .str("src_as", pkt.resinfo.src_as.to_string())
         .u64("res_id", pkt.resinfo.res_id)
         .u64("version", msg->version)
         .u64("bw_kbps", rec->active.bw_kbps)
         .u64("exp_time", rec->active.exp_time);
+  }
+  telemetry::SpanCollector& tracer = self.bus_->tracer();
+  if (tracer.in_span()) {
+    tracer.annotate("verdict", "segr.activated");
+    tracer.annotate("res_id", std::to_string(pkt.resinfo.res_id));
+    tracer.annotate("version", std::to_string(msg->version));
   }
   return resp_wire;
 }
@@ -525,12 +550,21 @@ Bytes Handlers::forward_and_unwind_eer(CServ& self, proto::Packet& pkt,
         ->emit(telemetry::Severity::kInfo, "cserv",
                pkt.type == proto::PacketType::kEerRenewal ? "eer.renewed"
                                                           : "eer.admitted")
+        .str("as", self.local_.to_string())
         .str("src_as", pkt.resinfo.src_as.to_string())
         .u64("res_id", pkt.resinfo.res_id)
         .u64("version", pkt.resinfo.version)
         .u64("bw_kbps", final_bw)
         .u64("exp_time", pkt.resinfo.exp_time)
         .u64("hop", hop);
+  }
+  telemetry::SpanCollector& tracer = self.bus_->tracer();
+  if (tracer.in_span()) {
+    tracer.annotate("verdict", pkt.type == proto::PacketType::kEerRenewal
+                                   ? "eer.renewed"
+                                   : "eer.admitted");
+    tracer.annotate("res_id", std::to_string(pkt.resinfo.res_id));
+    tracer.annotate("bw_kbps", std::to_string(final_bw));
   }
 
   resp_pkt->payload = proto::encode_authed(*resp_ap);

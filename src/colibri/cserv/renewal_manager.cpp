@@ -45,6 +45,7 @@ void RenewalManager::tick(UnixSec now) {
       metrics_.failed.inc();
       if (events != nullptr) {
         events->emit(telemetry::Severity::kWarn, "renewal", "segr.failed")
+            .str("as", cserv_->local_as().to_string())
             .str("src_as", key.src_as.to_string())
             .u64("res_id", key.res_id)
             .str("reason", errc_name(renewed.error()))
@@ -55,6 +56,7 @@ void RenewalManager::tick(UnixSec now) {
     metrics_.renewed.inc();
     if (events != nullptr) {
       events->emit(telemetry::Severity::kInfo, "renewal", "segr.renewed")
+          .str("as", cserv_->local_as().to_string())
           .str("src_as", key.src_as.to_string())
           .u64("res_id", key.res_id)
           .u64("version", renewed.value().version)
@@ -65,6 +67,7 @@ void RenewalManager::tick(UnixSec now) {
       metrics_.activated.inc();
       if (events != nullptr) {
         events->emit(telemetry::Severity::kInfo, "renewal", "segr.activated")
+            .str("as", cserv_->local_as().to_string())
             .str("src_as", key.src_as.to_string())
             .u64("res_id", key.res_id)
             .u64("version", renewed.value().version);

@@ -144,6 +144,17 @@ Gateway::Verdict Gateway::classify(ResId id, std::uint32_t payload_bytes,
 
 Gateway::Verdict Gateway::process(ResId id, std::uint32_t payload_bytes,
                                   FastPacket& out) {
+  if (profiler_.enabled()) [[unlikely]] {
+    const std::int64_t t0 = telemetry::profiler_now_ns();
+    const Verdict v = process_impl(id, payload_bytes, out);
+    profiler_.finish(kStageScalar, t0);
+    return v;
+  }
+  return process_impl(id, payload_bytes, out);
+}
+
+Gateway::Verdict Gateway::process_impl(ResId id, std::uint32_t payload_bytes,
+                                       FastPacket& out) {
   if (recorder_ != nullptr) [[unlikely]] {
     return process_recorded(id, payload_bytes, out);
   }
@@ -222,10 +233,13 @@ size_t Gateway::process_batch_chunk(const ResId* ids,
                                     Verdict* verdicts) {
   constexpr size_t kChunk = 64;
   const bool armed = recorder_ != nullptr && recorder_->armed();
+  const bool prof = profiler_.enabled();
+  std::int64_t tp = prof ? telemetry::profiler_now_ns() : 0;
 
   // Stage 1: prefetch the reservation-table probe lines for the whole
   // batch so the sequential prepare stage overlaps its DRAM misses.
   for (size_t i = 0; i < n; ++i) table_.prefetch(ids[i]);
+  if (prof) tp = profiler_.lap(kStagePrefetch, tp);
 
   // Stage 2: sequential prepare in arrival order. The token bucket and
   // timestamp encoder are stateful: duplicate ids within one batch must
@@ -263,6 +277,7 @@ size_t Gateway::process_batch_chunk(const ResId* ids,
       ents[i] = nullptr;
     }
   }
+  if (prof) tp = profiler_.lap(kStagePrepare, tp);
 
   // Stage 3: multi-lane Eq. 6 HVF fill. Every (packet, hop) pair is one
   // AES lane with its own σ_i key; lanes are expanded with the fast
@@ -295,6 +310,10 @@ size_t Gateway::process_batch_chunk(const ResId* ids,
     }
   }
   if (l != 0) flush();
+  if (prof) {
+    profiler_.lap(kStageHvfCrypto, tp);
+    profiler_.count_batch(n);
+  }
   return ok;
 }
 
@@ -309,6 +328,7 @@ GatewayStats Gateway::snapshot() const {
 
 void Gateway::reset() {
   for (auto& c : verdicts_) c.reset();
+  profiler_.reset();
 }
 
 void Gateway::collect_metrics_bare(telemetry::MetricSink& sink) const {
@@ -318,6 +338,7 @@ void Gateway::collect_metrics_bare(telemetry::MetricSink& sink) const {
     sink.counter(std::string("drop.") + errc_name(errc_from_verdict(v)),
                  verdicts_[i].value());
   }
+  profiler_.collect_metrics(sink);
 }
 
 void Gateway::collect_metrics(telemetry::MetricSink& sink) const {

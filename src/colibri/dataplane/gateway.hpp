@@ -19,6 +19,7 @@
 #include "colibri/dataplane/restable.hpp"
 #include "colibri/telemetry/flight_recorder.hpp"
 #include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/profiler.hpp"
 
 namespace colibri::dataplane {
 
@@ -105,6 +106,21 @@ class Gateway : public telemetry::MetricsSource {
     recorder_ = r;
   }
 
+  // Per-stage latency profiler (disabled by default). When enabled,
+  // process_batch() attributes nanoseconds to each pipeline stage
+  // (prefetch / prepare / hvf_crypto) per 64-packet chunk plus the
+  // chunk-occupancy histogram; the scalar process() records under the
+  // "scalar" stage. Exported as "gateway.stage.<label>_ns" (and
+  // re-exported per shard as "gateway_shard.<i>.stage.<label>_ns").
+  telemetry::StageProfiler& profiler() { return profiler_; }
+  const telemetry::StageProfiler& profiler() const { return profiler_; }
+
+  // Stage indices in profiler() — order matches the pipeline.
+  static constexpr std::size_t kStagePrefetch = 0;
+  static constexpr std::size_t kStagePrepare = 1;
+  static constexpr std::size_t kStageHvfCrypto = 2;
+  static constexpr std::size_t kStageScalar = 3;
+
   // Like process(), but emits the packet serialized and encapsulated for
   // the intra-AS network (App. B): IPv4/UDP toward the egress border
   // router with the DSCP stamped by the gateway — hosts cannot choose
@@ -140,6 +156,8 @@ class Gateway : public telemetry::MetricsSource {
                    telemetry::FlightRecord* rec);
   Verdict process_recorded(ResId id, std::uint32_t payload_bytes,
                            FastPacket& out);
+  // process() minus the profiler wrapper (the common fast path).
+  Verdict process_impl(ResId id, std::uint32_t payload_bytes, FastPacket& out);
   size_t process_batch_chunk(const ResId* ids,
                              const std::uint32_t* payload_bytes, size_t n,
                              FastPacket* out, Verdict* verdicts);
@@ -150,6 +168,8 @@ class Gateway : public telemetry::MetricsSource {
   ResTable table_;
   telemetry::FlightRecorder* recorder_ = nullptr;
   std::array<telemetry::Counter, kNumVerdicts> verdicts_;
+  telemetry::StageProfiler profiler_{"prefetch", "prepare", "hvf_crypto",
+                                     "scalar"};
   telemetry::ScopedSource registration_;
 };
 

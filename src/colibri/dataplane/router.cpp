@@ -134,6 +134,16 @@ BorderRouter::Verdict BorderRouter::finalize(FastPacket& pkt, TimeNs now,
 }
 
 BorderRouter::Verdict BorderRouter::process(FastPacket& pkt) {
+  if (profiler_.enabled()) [[unlikely]] {
+    const std::int64_t t0 = telemetry::profiler_now_ns();
+    const Verdict v = process_impl(pkt);
+    profiler_.finish(kStageScalar, t0);
+    return v;
+  }
+  return process_impl(pkt);
+}
+
+BorderRouter::Verdict BorderRouter::process_impl(FastPacket& pkt) {
   if (recorder_ != nullptr) [[unlikely]] {
     return process_recorded(pkt);
   }
@@ -260,6 +270,8 @@ void BorderRouter::process_batch(PacketBatch& batch, Verdict* verdicts) {
   const std::size_t n = batch.size;
   FastPacket* pkts = batch.pkts.data();
   const bool armed = recorder_ != nullptr && recorder_->armed();
+  const bool prof = profiler_.enabled();
+  std::int64_t tp = prof ? telemetry::profiler_now_ns() : 0;
 
   // Stage 1: header sanity + clock sampling, sequential in packet order.
   // Clock-call parity with the scalar path: exactly one now_ns() per
@@ -280,6 +292,7 @@ void BorderRouter::process_batch(PacketBatch& batch, Verdict* verdicts) {
                   p.current_hop >= p.num_hops);
     if (fmt_ok[i]) now[i] = clock_->now_ns();
   }
+  if (prof) tp = profiler_.lap(kStageHeaderSanity, tp);
 
   // Stage 2: prefetch the dupsup Bloom-filter words for the whole batch
   // so the sequential finalize finds them in cache.
@@ -291,10 +304,12 @@ void BorderRouter::process_batch(PacketBatch& batch, Verdict* verdicts) {
       }
     }
   }
+  if (prof) tp = profiler_.lap(kStagePrefetch, tp);
 
   // Stage 3: batched expected HVFs (pure, possibly speculative).
   proto::Hvf expected[kCap];
   batch_expected_hvfs(pkts, n, fmt_ok, expected);
+  if (prof) tp = profiler_.lap(kStageHvfCrypto, tp);
 
   // Stage 4: sequential per-packet finalize, in arrival order. The
   // stateful hooks demand this: packet i's overuse report may land its
@@ -326,6 +341,10 @@ void BorderRouter::process_batch(PacketBatch& batch, Verdict* verdicts) {
     verdicts_[idx(v)].bump();
     verdicts[i] = v;
   }
+  if (prof) {
+    profiler_.lap(kStageFinalize, tp);
+    profiler_.count_batch(n);
+  }
 }
 
 RouterStats BorderRouter::snapshot() const {
@@ -344,6 +363,7 @@ RouterStats BorderRouter::snapshot() const {
 void BorderRouter::reset() {
   for (auto& c : verdicts_) c.reset();
   validate_latency_ns_.reset();
+  profiler_.reset();
 }
 
 void BorderRouter::collect_metrics(telemetry::MetricSink& sink) const {
@@ -358,6 +378,8 @@ void BorderRouter::collect_metrics(telemetry::MetricSink& sink) const {
   if (latency.count != 0) {
     sink.histogram("router.validate_latency_ns", latency);
   }
+  telemetry::PrefixedSink prefixed("router.", sink);
+  profiler_.collect_metrics(prefixed);
 }
 
 Errc errc_from_verdict(BorderRouter::Verdict v) {

@@ -30,6 +30,7 @@
 #include "colibri/drkey/drkey.hpp"
 #include "colibri/telemetry/flight_recorder.hpp"
 #include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/profiler.hpp"
 
 namespace colibri::dataplane {
 
@@ -103,6 +104,22 @@ class BorderRouter : public telemetry::MetricsSource {
     recorder_ = r;
   }
 
+  // Per-stage latency profiler (disabled by default). When enabled,
+  // process_batch() attributes nanoseconds to each pipeline stage
+  // (header_sanity / prefetch / hvf_crypto / finalize) and records the
+  // batch-occupancy histogram; the scalar process() records its whole
+  // validation under the "scalar" stage. Exported as
+  // "router.stage.<label>_ns" / "router.batch_occupancy".
+  telemetry::StageProfiler& profiler() { return profiler_; }
+  const telemetry::StageProfiler& profiler() const { return profiler_; }
+
+  // Stage indices in profiler() — order matches the pipeline.
+  static constexpr std::size_t kStageHeaderSanity = 0;
+  static constexpr std::size_t kStagePrefetch = 1;
+  static constexpr std::size_t kStageHvfCrypto = 2;
+  static constexpr std::size_t kStageFinalize = 3;
+  static constexpr std::size_t kStageScalar = 4;
+
   // Records the wall-clock validation latency of every `every_n`th
   // packet into the "router.validate_latency_ns" histogram; 0 (default)
   // disables sampling and keeps the fast path clock-free. Applies to
@@ -144,6 +161,8 @@ class BorderRouter : public telemetry::MetricsSource {
   void batch_expected_hvfs(const FastPacket* pkts, std::size_t n,
                            const bool* fmt_ok, proto::Hvf* expected) const;
   Verdict process_recorded(FastPacket& pkt);
+  // process() minus the profiler wrapper (the common fast path).
+  Verdict process_impl(FastPacket& pkt);
 
   AsId local_as_;
   crypto::Aes128 hop_cipher_;  // K_i schedule, expanded once
@@ -156,6 +175,8 @@ class BorderRouter : public telemetry::MetricsSource {
   std::uint32_t sample_countdown_ = 0;
   std::array<telemetry::Counter, kNumVerdicts> verdicts_;
   telemetry::Histogram validate_latency_ns_;
+  telemetry::StageProfiler profiler_{"header_sanity", "prefetch", "hvf_crypto",
+                                     "finalize", "scalar"};
   telemetry::ScopedSource registration_;
 };
 

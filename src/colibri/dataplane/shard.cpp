@@ -130,9 +130,13 @@ void ShardedGateway::collect_metrics(telemetry::MetricSink& sink) const {
   }
 }
 
-ShardedGatewayRuntime::ShardedGatewayRuntime(ShardedGateway& gateway,
-                                             size_t ring_capacity)
-    : gateway_(&gateway) {
+ShardedGatewayRuntime::ShardedGatewayRuntime(
+    ShardedGateway& gateway, size_t ring_capacity,
+    telemetry::MetricsRegistry* registry)
+    : gateway_(&gateway),
+      stall_baseline_(gateway.shard_count(), 0),
+      stall_baselined_(gateway.shard_count(), false),
+      registration_(registry, this) {
   shards_.reserve(gateway.shard_count());
   for (size_t i = 0; i < gateway.shard_count(); ++i) {
     shards_.push_back(std::make_unique<PerShard>(ring_capacity));
@@ -157,8 +161,20 @@ void ShardedGatewayRuntime::stop() {
 
 bool ShardedGatewayRuntime::submit(ResId id, std::uint32_t payload_bytes) {
   PerShard& ps = *shards_[gateway_->shard_of(id)];
-  if (!ps.ring.try_push(ShardRequest{id, payload_bytes})) return false;
-  ++ps.submitted;
+  if (!ps.ring.try_push(ShardRequest{id, payload_bytes})) {
+    ps.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint64_t submitted =
+      ps.submitted.load(std::memory_order_relaxed) + 1;
+  ps.submitted.store(submitted, std::memory_order_release);
+  // Ring depth as the producer sees it; the worker only shrinks it, so
+  // this never under-reports the true high watermark.
+  const std::uint64_t depth =
+      submitted - ps.processed.load(std::memory_order_acquire);
+  if (depth > ps.high_watermark.load(std::memory_order_relaxed)) {
+    ps.high_watermark.store(depth, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -173,7 +189,8 @@ size_t ShardedGatewayRuntime::submit_burst(const ShardRequest* reqs,
 
 bool ShardedGatewayRuntime::idle() const {
   for (const auto& ps : shards_) {
-    if (ps->processed.load(std::memory_order_acquire) != ps->submitted) {
+    if (ps->processed.load(std::memory_order_acquire) !=
+        ps->submitted.load(std::memory_order_acquire)) {
       return false;
     }
   }
@@ -194,6 +211,57 @@ ShardedGatewayRuntime::WorkerStats ShardedGatewayRuntime::worker_stats(
   return s;
 }
 
+ShardedGatewayRuntime::ShardHealth ShardedGatewayRuntime::shard_health(
+    size_t shard) const {
+  const PerShard& ps = *shards_[shard];
+  ShardHealth h;
+  // Load processed before submitted: a concurrently draining worker can
+  // then only make depth look larger, never wrap below zero.
+  h.processed = ps.processed.load(std::memory_order_acquire);
+  h.submitted = ps.submitted.load(std::memory_order_acquire);
+  h.batches = ps.batches.load(std::memory_order_acquire);
+  h.ok = ps.ok.load(std::memory_order_acquire);
+  h.rejected = ps.rejected.load(std::memory_order_acquire);
+  h.heartbeats = ps.heartbeats.load(std::memory_order_acquire);
+  h.ring_depth = h.submitted >= h.processed ? h.submitted - h.processed : 0;
+  h.high_watermark = ps.high_watermark.load(std::memory_order_acquire);
+  return h;
+}
+
+std::vector<size_t> ShardedGatewayRuntime::check_stalls() {
+  std::vector<size_t> stalled;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardHealth h = shard_health(i);
+    if (stall_baselined_[i] && h.ring_depth > 0 &&
+        h.heartbeats == stall_baseline_[i]) {
+      stalled.push_back(i);
+    }
+    stall_baseline_[i] = h.heartbeats;
+    stall_baselined_[i] = true;
+  }
+  return stalled;
+}
+
+void ShardedGatewayRuntime::collect_metrics(
+    telemetry::MetricSink& sink) const {
+  sink.gauge("gateway_runtime.shard.count",
+             static_cast<std::int64_t>(shards_.size()));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardHealth h = shard_health(i);
+    const std::string prefix = "gateway_runtime.shard." + std::to_string(i);
+    sink.gauge(prefix + ".ring_depth",
+               static_cast<std::int64_t>(h.ring_depth));
+    sink.gauge(prefix + ".ring_high_watermark",
+               static_cast<std::int64_t>(h.high_watermark));
+    sink.counter(prefix + ".submitted", h.submitted);
+    sink.counter(prefix + ".processed", h.processed);
+    sink.counter(prefix + ".batches", h.batches);
+    sink.counter(prefix + ".ok", h.ok);
+    sink.counter(prefix + ".rejected", h.rejected);
+    sink.counter(prefix + ".heartbeats", h.heartbeats);
+  }
+}
+
 void ShardedGatewayRuntime::worker_loop(size_t shard_index) {
   PerShard& ps = *shards_[shard_index];
   Gateway& shard = gateway_->shard(shard_index);
@@ -204,6 +272,9 @@ void ShardedGatewayRuntime::worker_loop(size_t shard_index) {
   FastPacket out[kBurst];
   Gateway::Verdict verdicts[kBurst];
   while (true) {
+    // Advances even on idle spins: liveness, not progress — the stall
+    // detector keys off this never freezing while the thread is alive.
+    ps.heartbeats.fetch_add(1, std::memory_order_release);
     const size_t m = ps.ring.pop_burst(reqs, kBurst);
     if (m == 0) {
       // Exit only once the stop signal is down AND the ring is drained

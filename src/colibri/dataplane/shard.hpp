@@ -112,7 +112,16 @@ struct ShardRequest {
 // shard's process_batch. Output packets are consumed into worker-local
 // scratch — the runtime is a throughput engine; verdict accounting
 // lives in the per-shard gateway counters plus the worker stats here.
-class ShardedGatewayRuntime {
+//
+// Health surface: every shard continuously publishes its ring depth
+// (submitted - processed), the deepest the ring has ever been
+// (high_watermark), how many submissions bounced off a full ring
+// (rejected), and a worker heartbeat that advances every loop
+// iteration — idle spins included — so a monitor can tell "queue is
+// deep but draining" from "worker is stuck". All of it is exported as
+// "gateway_runtime.shard.<i>.*" when a registry is passed, and
+// check_stalls() turns the heartbeats into a yes/no stall verdict.
+class ShardedGatewayRuntime : public telemetry::MetricsSource {
  public:
   struct WorkerStats {
     std::uint64_t processed = 0;  // requests popped and classified
@@ -120,9 +129,25 @@ class ShardedGatewayRuntime {
     std::uint64_t ok = 0;         // Verdict::kOk results
   };
 
+  // Point-in-time health view of one shard (see shard_health()).
+  struct ShardHealth {
+    std::uint64_t submitted = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t rejected = 0;        // submissions refused: ring full
+    std::uint64_t heartbeats = 0;      // worker loop iterations
+    std::uint64_t ring_depth = 0;      // submitted - processed
+    std::uint64_t high_watermark = 0;  // max ring_depth ever observed
+  };
+
+  // The runtime registers with `registry` (nullptr = none, the default
+  // — benchmarks construct throwaway runtimes) and exports the health
+  // gauges/counters under "gateway_runtime.*".
   explicit ShardedGatewayRuntime(ShardedGateway& gateway,
-                                 size_t ring_capacity = 4096);
-  ~ShardedGatewayRuntime();
+                                 size_t ring_capacity = 4096,
+                                 telemetry::MetricsRegistry* registry = nullptr);
+  ~ShardedGatewayRuntime() override;
 
   ShardedGatewayRuntime(const ShardedGatewayRuntime&) = delete;
   ShardedGatewayRuntime& operator=(const ShardedGatewayRuntime&) = delete;
@@ -146,15 +171,34 @@ class ShardedGatewayRuntime {
 
   size_t shard_count() const { return shards_.size(); }
   WorkerStats worker_stats(size_t shard) const;
+  ShardHealth shard_health(size_t shard) const;
+
+  // Stall detector: returns the indices of shards that have queued work
+  // (ring_depth > 0) but whose worker heartbeat has not advanced since
+  // the previous check_stalls() call. Call it from one monitoring
+  // thread at whatever cadence defines "stalled" (two calls bracket the
+  // observation window); the first call only baselines and returns
+  // nothing for shards it has not observed before.
+  std::vector<size_t> check_stalls();
+
+  // Health gauges/counters, "gateway_runtime.shard.<i>.*" plus the
+  // "gateway_runtime.shard.count" gauge. Safe concurrently with the
+  // producer and the workers (atomics only).
+  void collect_metrics(telemetry::MetricSink& sink) const override;
 
  private:
   struct PerShard {
     explicit PerShard(size_t ring_capacity) : ring(ring_capacity) {}
     SpscRing<ShardRequest> ring;
-    std::uint64_t submitted = 0;  // producer-side
+    // Producer-side writes, monitor-side reads.
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> high_watermark{0};
+    // Worker-side writes.
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> heartbeats{0};
     std::thread thread;
   };
 
@@ -163,6 +207,10 @@ class ShardedGatewayRuntime {
   ShardedGateway* gateway_;
   std::vector<std::unique_ptr<PerShard>> shards_;
   std::atomic<bool> running_{false};
+  // check_stalls() baseline: heartbeat seen last call, one per shard.
+  std::vector<std::uint64_t> stall_baseline_;
+  std::vector<bool> stall_baselined_;
+  telemetry::ScopedSource registration_;
 };
 
 }  // namespace colibri::dataplane

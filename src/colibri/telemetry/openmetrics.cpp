@@ -18,7 +18,83 @@ void append_type_line(std::string& out, const std::string& name,
   out.push_back('\n');
 }
 
+// Help text per series family, matched by longest internal-name prefix
+// (order entries specific before generic).
+struct HelpEntry {
+  const char* prefix;
+  const char* help;
+};
+constexpr HelpEntry kHelp[] = {
+    {"router.stage.", "Wall time this border-router pipeline stage spent per batch, nanoseconds"},
+    {"router.batch_occupancy", "Packets per processed border-router batch"},
+    {"router.drop.", "Packets dropped by the border router, by reason"},
+    {"router.forwarded", "Packets validated and forwarded to the next AS"},
+    {"router.delivered", "Packets validated and delivered at the last hop"},
+    {"router.validate_latency_ns", "Sampled wall-clock validation latency, nanoseconds"},
+    {"gateway.stage.", "Wall time this gateway pipeline stage spent per batch chunk, nanoseconds"},
+    {"gateway.batch_occupancy", "Packets per processed gateway batch chunk"},
+    {"gateway.drop.", "Host packets refused by the gateway, by reason"},
+    {"gateway.forwarded", "Host packets monitored, authenticated, and emitted"},
+    {"gateway_shard.count", "Gateway shards currently configured"},
+    {"gateway_shard.", "Per-shard gateway series (see the gateway family)"},
+    {"gateway_runtime.shard.count", "Sharded-runtime worker shards"},
+    {"gateway_runtime.", "Sharded-runtime health: ring depth, watermarks, rejections, heartbeats"},
+    {"bus.", "Control-plane message bus"},
+    {"events.", "Structured audit event log"},
+    {"flight_recorder.", "Packet flight recorder"},
+};
+
+void append_help_line(std::string& out, const std::string& name,
+                      std::string_view internal_name) {
+  const char* help = openmetrics_help(internal_name);
+  if (help == nullptr) return;
+  out += "# HELP ";
+  out += name;
+  out.push_back(' ');
+  out += openmetrics_escape_help(help);
+  out.push_back('\n');
+}
+
 }  // namespace
+
+const char* openmetrics_help(std::string_view internal_name) {
+  const HelpEntry* best = nullptr;
+  for (const HelpEntry& e : kHelp) {
+    const std::string_view prefix(e.prefix);
+    if (internal_name.substr(0, prefix.size()) == prefix &&
+        (best == nullptr || prefix.size() > std::string_view(best->prefix).size())) {
+      best = &e;
+    }
+  }
+  return best == nullptr ? nullptr : best->help;
+}
+
+std::string openmetrics_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string openmetrics_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
 
 std::string openmetrics_name(std::string_view internal_name) {
   std::string out = "colibri_";
@@ -35,6 +111,7 @@ std::string to_openmetrics(const MetricsSnapshot& snapshot) {
 
   for (const auto& [name, v] : snapshot.counters) {
     const std::string n = openmetrics_name(name);
+    append_help_line(out, n, name);
     append_type_line(out, n, "counter");
     out += n;
     out += "_total ";
@@ -43,6 +120,7 @@ std::string to_openmetrics(const MetricsSnapshot& snapshot) {
   }
   for (const auto& [name, v] : snapshot.gauges) {
     const std::string n = openmetrics_name(name);
+    append_help_line(out, n, name);
     append_type_line(out, n, "gauge");
     out += n;
     out.push_back(' ');
@@ -51,6 +129,7 @@ std::string to_openmetrics(const MetricsSnapshot& snapshot) {
   }
   for (const auto& [name, h] : snapshot.histograms) {
     const std::string n = openmetrics_name(name);
+    append_help_line(out, n, name);
     append_type_line(out, n, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
@@ -60,7 +139,8 @@ std::string to_openmetrics(const MetricsSnapshot& snapshot) {
       if (i + 1 >= h.buckets.size()) break;
       out += n;
       out += "_bucket{le=\"";
-      out += std::to_string(HistogramSnapshot::bucket_upper_bound(i));
+      out += openmetrics_escape_label(
+          std::to_string(HistogramSnapshot::bucket_upper_bound(i)));
       out += "\"} ";
       out += std::to_string(cumulative);
       out.push_back('\n');

@@ -15,6 +15,9 @@
 //  * histograms emit cumulative "<n>_bucket{le="..."}" lines over the
 //    power-of-two bucket bounds (zero-count buckets are elided; the
 //    +Inf bucket is always present), then "<n>_sum" and "<n>_count"
+//  * well-known series families additionally get a "# HELP" line
+//    (before TYPE, as the spec orders them), with the help text
+//    escaped per the spec; label values go through the same escaping
 //  * the exposition ends with "# EOF"
 #pragma once
 
@@ -29,6 +32,16 @@ namespace colibri::telemetry {
 // Any character outside [a-zA-Z0-9_:] becomes '_'; a leading digit is
 // prefixed with '_'.
 std::string openmetrics_name(std::string_view internal_name);
+
+// Label-value escaping per the OpenMetrics text format: backslash,
+// double quote, and line feed become \\ \" \n.
+std::string openmetrics_escape_label(std::string_view value);
+// HELP-text escaping: backslash and line feed only (quotes are legal).
+std::string openmetrics_escape_help(std::string_view text);
+
+// Help text for a well-known internal series name (longest matching
+// family prefix), or nullptr when the family has no registered help.
+const char* openmetrics_help(std::string_view internal_name);
 
 std::string to_openmetrics(const MetricsSnapshot& snapshot);
 

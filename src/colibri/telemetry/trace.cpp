@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "colibri/telemetry/metrics.hpp"
+
 namespace colibri::telemetry {
 
 std::int64_t SpanTrace::self_time_ns(std::size_t i) const {
@@ -18,21 +20,43 @@ std::string SpanTrace::to_json() const {
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const Span& s = spans[i];
     if (i != 0) out.push_back(',');
-    out += "{\"name\":\"" + s.name + "\",\"parent\":" +
-           std::to_string(s.parent) + ",\"depth\":" + std::to_string(s.depth) +
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"category\":";
+    append_json_string(out, s.category);
+    out += ",\"id\":" + std::to_string(s.id) +
+           ",\"parent\":" + std::to_string(s.parent) +
+           ",\"depth\":" + std::to_string(s.depth) +
            ",\"start_ns\":" + std::to_string(s.start_ns) +
            ",\"duration_ns\":" + std::to_string(s.duration_ns) +
-           ",\"bytes\":" + std::to_string(s.bytes) + "}";
+           ",\"bytes\":" + std::to_string(s.bytes);
+    if (s.truncated) out += ",\"truncated\":true";
+    if (!s.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t a = 0; a < s.args.size(); ++a) {
+        if (a != 0) out.push_back(',');
+        append_json_string(out, s.args[a].first);
+        out.push_back(':');
+        append_json_string(out, s.args[a].second);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
   }
   out.push_back(']');
   return out;
 }
 
 std::size_t SpanCollector::open(std::string name, std::int64_t now_ns,
-                                std::uint64_t bytes) {
-  if (origin_ns_ < 0) origin_ns_ = now_ns;
+                                std::uint64_t bytes, std::string category) {
+  if (origin_ns_ < 0) {
+    origin_ns_ = now_ns;
+    trace_.origin_ns = now_ns;
+  }
   Span s;
   s.name = std::move(name);
+  s.category = std::move(category);
+  s.id = next_id_++;
   s.parent = stack_.empty() ? -1 : static_cast<std::int32_t>(stack_.back());
   s.depth = static_cast<std::int32_t>(stack_.size());
   s.start_ns = now_ns - origin_ns_;
@@ -40,21 +64,40 @@ std::size_t SpanCollector::open(std::string name, std::int64_t now_ns,
   trace_.spans.push_back(std::move(s));
   const std::size_t index = trace_.spans.size() - 1;
   stack_.push_back(index);
-  return index;
+  return static_cast<std::size_t>((epoch_ << kIndexBits) |
+                                  static_cast<std::uint64_t>(index));
 }
 
-void SpanCollector::close(std::size_t index, std::int64_t now_ns) {
+void SpanCollector::close(std::size_t token, std::int64_t now_ns) {
+  if ((static_cast<std::uint64_t>(token) >> kIndexBits) != epoch_) {
+    return;  // span belonged to a trace that was already drained
+  }
+  const std::size_t index =
+      static_cast<std::size_t>(token & ((std::uint64_t{1} << kIndexBits) - 1));
   if (index >= trace_.spans.size()) return;
   Span& s = trace_.spans[index];
   s.duration_ns = (now_ns - origin_ns_) - s.start_ns;
   if (!stack_.empty() && stack_.back() == index) stack_.pop_back();
 }
 
+void SpanCollector::annotate(std::string_view key, std::string_view value) {
+  if (!enabled_ || stack_.empty()) return;
+  trace_.spans[stack_.back()].args.emplace_back(std::string(key),
+                                                std::string(value));
+}
+
 SpanTrace SpanCollector::take() {
+  // Close-as-truncated: a span still on the stack has no meaningful
+  // duration yet; mark it so consumers can tell "fast" from "cut off".
+  for (const std::size_t i : stack_) {
+    trace_.spans[i].duration_ns = -1;
+    trace_.spans[i].truncated = true;
+  }
   SpanTrace t = std::move(trace_);
   trace_ = {};
   stack_.clear();
   origin_ns_ = -1;
+  ++epoch_;  // pending close() tokens die here
   return t;
 }
 

@@ -8,28 +8,49 @@
 // children, giving the per-hop processing (forward + unwind work at that
 // AS, excluding downstream).
 //
+// Spans carry a process-unique id, a category ("bus", ...) and typed
+// key/value args; code running *inside* an open span (the CServ
+// admission handlers) annotates the innermost span through the
+// collector — that is how a reservation id propagates hop-by-hop
+// through a setup without threading a context parameter through every
+// call. The Perfetto exporter (trace_export.hpp) renders the result
+// one track per AS.
+//
 // Collection is opt-in: when disabled (the default) the bus pays one
 // predictable branch per call and records nothing — the
 // zero-overhead-when-unused guarantee documented in DESIGN.md.
+//
+// take()/enable() while spans are still open is well-defined: the open
+// spans are closed-as-truncated in the drained trace (duration -1,
+// truncated flag set) and the epoch advances, so a close() issued for a
+// span from before the drain is recognized by its stale epoch and
+// ignored instead of corrupting the next trace.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace colibri::telemetry {
 
 struct Span {
   std::string name;              // e.g. destination AS of the hop call
+  std::string category;          // "bus" for hop calls; free-form
+  std::uint64_t id = 0;          // unique per collector, never reused
   std::int32_t parent = -1;      // index into SpanTrace::spans, -1 = root
   std::int32_t depth = 0;        // nesting depth (0 = initiator's call)
   std::int64_t start_ns = 0;     // relative to the trace start
-  std::int64_t duration_ns = 0;  // wall time of the whole subtree
+  std::int64_t duration_ns = 0;  // wall time of the subtree; -1 truncated
   std::uint64_t bytes = 0;       // request payload size
+  bool truncated = false;        // still open when the trace was drained
+  // Annotations attached while the span was open (res_id, verdict, ...).
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 struct SpanTrace {
   std::vector<Span> spans;
+  std::int64_t origin_ns = 0;  // absolute time of start_ns == 0
 
   // Span duration minus its direct children: the hop's own processing.
   std::int64_t self_time_ns(std::size_t i) const;
@@ -40,27 +61,45 @@ class SpanCollector {
  public:
   bool enabled() const { return enabled_; }
 
-  // Clears any previous trace and starts collecting.
+  // Clears any previous trace and starts collecting. Spans left open by
+  // an earlier epoch are abandoned (their close() becomes a no-op).
   void enable() {
     enabled_ = true;
-    trace_.spans.clear();
+    trace_ = {};
     stack_.clear();
     origin_ns_ = -1;
+    ++epoch_;
   }
   void disable() { enabled_ = false; }
 
-  // Drains the collected trace (collection stays enabled).
+  // Drains the collected trace (collection stays enabled). Spans still
+  // open are closed-as-truncated in the returned trace; their pending
+  // close() calls are ignored.
   SpanTrace take();
   const SpanTrace& trace() const { return trace_; }
 
-  // Recording API (used by the MessageBus). `open` returns the span
-  // index to pass back to `close`.
-  std::size_t open(std::string name, std::int64_t now_ns, std::uint64_t bytes);
-  void close(std::size_t index, std::int64_t now_ns);
+  // Recording API (used by the MessageBus). `open` returns an opaque
+  // token to pass back to `close`; a token from before the last take()
+  // or enable() closes nothing.
+  std::size_t open(std::string name, std::int64_t now_ns, std::uint64_t bytes,
+                   std::string category = "bus");
+  void close(std::size_t token, std::int64_t now_ns);
+
+  // Attaches a key/value arg to the innermost open span; no-op when
+  // disabled or no span is open. This is the trace-context propagation
+  // hook: handlers running under a bus span tag it with what they
+  // decided (reservation id, admission verdict, granted bandwidth).
+  void annotate(std::string_view key, std::string_view value);
+  // True iff a span is currently open (annotations would attach).
+  bool in_span() const { return enabled_ && !stack_.empty(); }
 
  private:
+  static constexpr std::uint32_t kIndexBits = 32;
+
   bool enabled_ = false;
   std::int64_t origin_ns_ = -1;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t next_id_ = 1;
   SpanTrace trace_;
   std::vector<std::size_t> stack_;  // indices of currently open spans
 };

@@ -1,0 +1,211 @@
+#include "colibri/telemetry/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace colibri::telemetry {
+
+namespace {
+
+// Trace-event timestamps are microseconds; keep ns resolution as
+// fractional digits.
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  out += buf;
+}
+
+constexpr std::int64_t kSourceGapNs = 50'000;  // 50 us between sources
+
+}  // namespace
+
+PerfettoTraceBuilder::Track PerfettoTraceBuilder::track(
+    std::string_view process, std::string_view thread) {
+  std::string key(process);
+  key.push_back('\0');
+  key.append(thread);
+  if (auto it = tracks_.find(key); it != tracks_.end()) return it->second;
+
+  auto [pit, fresh_pid] =
+      pids_.try_emplace(std::string(process),
+                        static_cast<std::uint32_t>(pids_.size() + 1));
+  const std::uint32_t pid = pit->second;
+  if (fresh_pid) {
+    std::string m = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                    std::to_string(pid) + ",\"args\":{\"name\":";
+    append_json_string(m, process);
+    m += "}}";
+    metadata_.push_back(std::move(m));
+  }
+
+  const Track t{pid, static_cast<std::uint32_t>(tracks_.size() + 1)};
+  std::string m = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+                  std::to_string(t.pid) +
+                  ",\"tid\":" + std::to_string(t.tid) + ",\"args\":{\"name\":";
+  append_json_string(m, thread);
+  m += "}}";
+  metadata_.push_back(std::move(m));
+  tracks_.emplace(std::move(key), t);
+  return t;
+}
+
+void PerfettoTraceBuilder::append_common(std::string& out, Track t,
+                                         std::string_view name,
+                                         std::string_view category,
+                                         std::int64_t ts_ns) {
+  out += "{\"name\":";
+  append_json_string(out, name);
+  out += ",\"cat\":";
+  append_json_string(out, category.empty() ? "colibri" : category);
+  out += ",\"pid\":" + std::to_string(t.pid) +
+         ",\"tid\":" + std::to_string(t.tid) + ",\"ts\":";
+  append_us(out, ts_ns);
+}
+
+void PerfettoTraceBuilder::append_args(std::string& out, const Args& args) {
+  out += ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_json_string(out, args[i].first);
+    out.push_back(':');
+    append_json_string(out, args[i].second);
+  }
+  out.push_back('}');
+}
+
+void PerfettoTraceBuilder::add_complete(Track t, std::string_view name,
+                                        std::string_view category,
+                                        std::int64_t start_ns,
+                                        std::int64_t dur_ns, const Args& args) {
+  std::string e;
+  append_common(e, t, name, category, start_ns);
+  e += ",\"ph\":\"X\",\"dur\":";
+  append_us(e, dur_ns < 0 ? 0 : dur_ns);
+  append_args(e, args);
+  e.push_back('}');
+  body_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::add_instant(Track t, std::string_view name,
+                                       std::string_view category,
+                                       std::int64_t ts_ns, const Args& args) {
+  std::string e;
+  append_common(e, t, name, category, ts_ns);
+  e += ",\"ph\":\"i\",\"s\":\"t\"";
+  append_args(e, args);
+  e.push_back('}');
+  body_.push_back(std::move(e));
+}
+
+std::int64_t PerfettoTraceBuilder::place(std::int64_t src_min_ns,
+                                         std::int64_t src_max_ns) {
+  const std::int64_t shift = cursor_ns_ - src_min_ns;
+  cursor_ns_ += (src_max_ns - src_min_ns) + kSourceGapNs;
+  return shift;
+}
+
+void PerfettoTraceBuilder::add_span_trace(const SpanTrace& trace,
+                                          std::string_view process,
+                                          std::string_view label) {
+  if (trace.spans.empty()) return;
+  std::int64_t lo = trace.spans.front().start_ns, hi = lo;
+  for (const Span& s : trace.spans) {
+    lo = std::min(lo, s.start_ns);
+    hi = std::max(hi, s.start_ns + std::max<std::int64_t>(s.duration_ns, 0));
+  }
+  const std::int64_t shift = place(lo, hi);
+
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const Span& s = trace.spans[i];
+    const Track t = track(process, s.name);
+    std::string name(label);
+    if (!name.empty()) name += ": ";
+    name += s.name;
+    Args args = s.args;
+    args.emplace_back("span_id", std::to_string(s.id));
+    args.emplace_back("depth", std::to_string(s.depth));
+    args.emplace_back("bytes", std::to_string(s.bytes));
+    args.emplace_back("self_time_ns", std::to_string(trace.self_time_ns(i)));
+    if (s.truncated) {
+      add_instant(t, name + " (truncated)", s.category, s.start_ns + shift,
+                  args);
+    } else {
+      add_complete(t, name, s.category, s.start_ns + shift, s.duration_ns,
+                   args);
+    }
+  }
+}
+
+void PerfettoTraceBuilder::add_events(const std::vector<Event>& events,
+                                      std::string_view process) {
+  if (events.empty()) return;
+  std::int64_t lo = events.front().time_ns, hi = lo;
+  for (const Event& e : events) {
+    lo = std::min(lo, e.time_ns);
+    hi = std::max(hi, e.time_ns);
+  }
+  const std::int64_t shift = place(lo, hi);
+
+  for (const Event& e : events) {
+    const std::optional<std::string> as = e.str("as");
+    const Track t = track(process, as.has_value() ? *as : e.component);
+    Args args;
+    args.emplace_back("severity", severity_name(e.severity));
+    args.emplace_back("component", e.component);
+    for (const EventField& f : e.fields) {
+      switch (f.kind) {
+        case EventField::Kind::kU64:
+          args.emplace_back(f.key, std::to_string(f.u));
+          break;
+        case EventField::Kind::kI64:
+          args.emplace_back(f.key, std::to_string(f.i));
+          break;
+        case EventField::Kind::kStr:
+          args.emplace_back(f.key, f.s);
+          break;
+      }
+    }
+    add_instant(t, e.name, e.component, e.time_ns + shift, args);
+  }
+}
+
+void PerfettoTraceBuilder::add_stage_spans(const StageProfiler& profiler,
+                                           const std::vector<StageSpan>& spans,
+                                           std::string_view process,
+                                           std::string_view thread) {
+  if (spans.empty()) return;
+  std::int64_t lo = spans.front().t0_ns, hi = lo;
+  for (const StageSpan& s : spans) {
+    lo = std::min(lo, s.t0_ns);
+    hi = std::max(hi, s.t1_ns);
+  }
+  const std::int64_t shift = place(lo, hi);
+
+  const Track t = track(process, thread);
+  for (const StageSpan& s : spans) {
+    Args args;
+    args.emplace_back("batch", std::to_string(s.batch));
+    add_complete(t, profiler.stage_name(s.stage), "pipeline", s.t0_ns + shift,
+                 s.t1_ns - s.t0_ns, args);
+  }
+}
+
+std::string PerfettoTraceBuilder::to_json() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& part : {&metadata_, &body_}) {
+    for (const std::string& e : *part) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('\n');
+      out += e;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace colibri::telemetry

@@ -474,6 +474,7 @@ TEST(EventLogTest, JsonlRoundTripsEveryLine) {
 // neither a well-formed comment nor a well-formed sample.
 struct ParsedExposition {
   std::map<std::string, std::string> types;   // family -> counter|gauge|...
+  std::map<std::string, std::string> helps;   // family -> escaped help text
   std::map<std::string, double> samples;      // full series name -> value
   bool saw_eof = false;
 };
@@ -488,6 +489,30 @@ ParsedExposition parse_openmetrics(const std::string& text) {
     EXPECT_FALSE(out.saw_eof) << "content after # EOF: " << line;
     if (line == "# EOF") {
       out.saw_eof = true;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const auto space = rest.find(' ');
+      EXPECT_NE(space, std::string::npos) << line;
+      if (space == std::string::npos) continue;
+      const std::string family = rest.substr(0, space);
+      const std::string help = rest.substr(space + 1);
+      EXPECT_FALSE(help.empty()) << line;
+      // Spec ordering: HELP precedes TYPE for its family, once.
+      EXPECT_EQ(out.types.count(family), 0u)
+          << "HELP after TYPE for " << family;
+      EXPECT_EQ(out.helps.count(family), 0u)
+          << "duplicate HELP for " << family;
+      // Escaping: a raw backslash must be part of \\ or \n.
+      for (std::size_t i = 0; i < help.size(); ++i) {
+        if (help[i] != '\\') continue;
+        EXPECT_LT(i + 1, help.size()) << line;
+        if (i + 1 >= help.size()) break;
+        EXPECT_TRUE(help[i + 1] == '\\' || help[i + 1] == 'n') << line;
+        ++i;
+      }
+      out.helps[family] = help;
       continue;
     }
     if (line.rfind("# TYPE ", 0) == 0) {
@@ -601,6 +626,48 @@ TEST(OpenMetricsTest, StrictParseAndAgreementWithSnapshot) {
   EXPECT_EQ(exp.samples.at("colibri_cserv_requests_total"), 17.0);
   EXPECT_EQ(exp.samples.at("colibri_bus_inflight"), -2.0);
   EXPECT_EQ(exp.samples.at("colibri_cserv_admission_latency_ns_count"), 5.0);
+}
+
+TEST(OpenMetricsTest, EscapingHelpers) {
+  EXPECT_EQ(telemetry::openmetrics_escape_label("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(telemetry::openmetrics_escape_help("a\\b\nc\"d"),
+            "a\\\\b\\nc\"d");  // quotes are legal in HELP text
+}
+
+TEST(OpenMetricsTest, HelpTableMatchesByLongestPrefix) {
+  // Specific entry wins over the family entry it is nested under.
+  const char* shard_count = telemetry::openmetrics_help(
+      "gateway_runtime.shard.count");
+  const char* shard_series = telemetry::openmetrics_help(
+      "gateway_runtime.shard.0.ring_depth");
+  ASSERT_NE(shard_count, nullptr);
+  ASSERT_NE(shard_series, nullptr);
+  EXPECT_STRNE(shard_count, shard_series);
+  EXPECT_NE(telemetry::openmetrics_help("router.stage.hvf_crypto_ns"),
+            nullptr);
+  EXPECT_EQ(telemetry::openmetrics_help("no.such.family"), nullptr);
+}
+
+TEST(OpenMetricsTest, HelpLinesPrecedeTypeAndOnlyKnownFamilies) {
+  MetricsRegistry registry;
+  registry.counter("router.forwarded").inc(3);
+  registry.histogram("router.stage.hvf_crypto_ns").record_shared(512);
+  registry.gauge("gateway_runtime.shard.count").set(4);
+  registry.counter("unregistered.family").inc(1);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  // parse_openmetrics itself asserts HELP-before-TYPE, single HELP per
+  // family, and spec escaping of the help text.
+  const ParsedExposition exp = parse_openmetrics(to_openmetrics(snap));
+  expect_exposition_agrees(snap, exp);
+  EXPECT_EQ(exp.helps.at("colibri_router_forwarded"),
+            telemetry::openmetrics_help("router.forwarded"));
+  EXPECT_EQ(exp.helps.count("colibri_router_stage_hvf_crypto_ns"), 1u);
+  EXPECT_EQ(exp.helps.count("colibri_gateway_runtime_shard_count"), 1u);
+  // Families without registered help text get no HELP line at all.
+  EXPECT_EQ(exp.helps.count("colibri_unregistered_family"), 0u);
+  EXPECT_EQ(exp.types.count("colibri_unregistered_family"), 1u);
 }
 
 // --- Multi-source snapshot / reset interleaving ------------------------------

@@ -1,18 +1,29 @@
 // Telemetry layer: counter/gauge/histogram semantics, concurrent
 // increments, source aggregation, JSON snapshot round-trip, span
-// tracing, and the verdict→Errc mapping used for counter names.
+// tracing, the stage profiler, the Perfetto trace export, and the
+// verdict→Errc mapping used for counter names. Ends with a concurrent
+// stress test meant to run under the TSan preset.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "colibri/common/clock.hpp"
 #include "colibri/common/errors.hpp"
 #include "colibri/dataplane/gateway.hpp"
 #include "colibri/dataplane/router.hpp"
+#include "colibri/telemetry/events.hpp"
+#include "colibri/telemetry/flight_recorder.hpp"
 #include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/openmetrics.hpp"
+#include "colibri/telemetry/profiler.hpp"
 #include "colibri/telemetry/trace.hpp"
+#include "colibri/telemetry/trace_export.hpp"
 
 namespace colibri {
 namespace {
@@ -22,6 +33,7 @@ using telemetry::Gauge;
 using telemetry::Histogram;
 using telemetry::HistogramSnapshot;
 using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
 
 TEST(CounterTest, IncAndBump) {
   Counter c;
@@ -257,6 +269,341 @@ TEST(SpanTraceTest, NestedSpansAndSelfTime) {
   EXPECT_TRUE(json_is_balanced(trace.to_json()));
   // take() drained the collector.
   EXPECT_TRUE(col.trace().spans.empty());
+}
+
+// --- SpanCollector edge cases (drain/re-enable with open spans) --------------
+
+TEST(SpanCollectorTest, TakeClosesOpenSpansAsTruncated) {
+  telemetry::SpanCollector col;
+  col.enable();
+  const auto a = col.open("1-110", 0, 10);
+  const auto b = col.open("1-100", 50, 5);
+  col.close(b, 80);
+  const auto c = col.open("2-200", 90, 7);
+  // a and c are still open when the trace is drained.
+  const auto trace = col.take();
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_TRUE(trace.spans[0].truncated);
+  EXPECT_EQ(trace.spans[0].duration_ns, -1);
+  EXPECT_FALSE(trace.spans[1].truncated);
+  EXPECT_EQ(trace.spans[1].duration_ns, 30);
+  EXPECT_TRUE(trace.spans[2].truncated);
+  EXPECT_EQ(trace.spans[2].duration_ns, -1);
+
+  // Tokens from before the drain are stale: closing them is a no-op
+  // and must not corrupt the next trace.
+  col.close(a, 1'000);
+  col.close(c, 1'000);
+  EXPECT_TRUE(col.trace().spans.empty());
+  const auto d = col.open("3-300", 0, 1);
+  col.close(d, 10);
+  const auto next = col.take();
+  ASSERT_EQ(next.spans.size(), 1u);
+  EXPECT_EQ(next.spans[0].name, "3-300");
+  EXPECT_EQ(next.spans[0].duration_ns, 10);
+  EXPECT_FALSE(next.spans[0].truncated);
+}
+
+TEST(SpanCollectorTest, ReenableInvalidatesOutstandingTokens) {
+  telemetry::SpanCollector col;
+  col.enable();
+  const auto a = col.open("1-110", 0, 10);
+  col.enable();  // clears the trace and bumps the epoch
+  EXPECT_FALSE(col.in_span());
+  const auto b = col.open("1-100", 5, 1);
+  col.close(a, 50);  // stale epoch: must not close b
+  EXPECT_TRUE(col.in_span());
+  col.close(b, 60);
+  const auto trace = col.take();
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_EQ(trace.spans[0].name, "1-100");
+  EXPECT_EQ(trace.spans[0].duration_ns, 55);
+}
+
+TEST(SpanCollectorTest, AnnotateAttachesToInnermostOpenSpan) {
+  telemetry::SpanCollector col;
+  col.annotate("ignored", "collector disabled");  // no-op, no crash
+  col.enable();
+  col.annotate("ignored", "no span open");  // no-op, no crash
+  EXPECT_FALSE(col.in_span());
+  const auto a = col.open("1-110", 0, 1);
+  col.annotate("outer", "x");
+  const auto b = col.open("1-100", 1, 1);
+  col.annotate("res_id", "42");
+  col.close(b, 2);
+  col.annotate("verdict", "admitted");  // b closed: attaches to a again
+  col.close(a, 3);
+  const auto trace = col.take();
+  ASSERT_EQ(trace.spans.size(), 2u);
+  ASSERT_EQ(trace.spans[0].args.size(), 2u);
+  EXPECT_EQ(trace.spans[0].args[0].first, "outer");
+  EXPECT_EQ(trace.spans[0].args[1].first, "verdict");
+  EXPECT_EQ(trace.spans[0].args[1].second, "admitted");
+  ASSERT_EQ(trace.spans[1].args.size(), 1u);
+  EXPECT_EQ(trace.spans[1].args[0].first, "res_id");
+  EXPECT_EQ(trace.spans[1].args[0].second, "42");
+}
+
+TEST(SpanCollectorTest, SpanIdsNeverReusedAcrossDrains) {
+  telemetry::SpanCollector col;
+  col.enable();
+  col.close(col.open("x", 0, 0), 1);
+  const auto t1 = col.take();
+  col.close(col.open("y", 0, 0), 1);
+  const auto t2 = col.take();
+  ASSERT_EQ(t1.spans.size(), 1u);
+  ASSERT_EQ(t2.spans.size(), 1u);
+  EXPECT_NE(t1.spans[0].id, t2.spans[0].id);
+}
+
+// --- StageProfiler -----------------------------------------------------------
+
+// MetricSink that captures everything emitted, for name/value asserts.
+struct CaptureSink final : telemetry::MetricSink {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> hists;
+  void counter(std::string_view name, std::uint64_t value) override {
+    counters[std::string(name)] += value;
+  }
+  void gauge(std::string_view name, std::int64_t value) override {
+    gauges[std::string(name)] = value;
+  }
+  void histogram(std::string_view name,
+                 const HistogramSnapshot& h) override {
+    hists[std::string(name)] = h;
+  }
+};
+
+TEST(StageProfilerTest, DisabledProfilerEmitsNothing) {
+  telemetry::StageProfiler prof{"alpha", "beta"};
+  EXPECT_FALSE(prof.enabled());
+  EXPECT_EQ(prof.begin(), 0);  // disabled begin() never reads the clock
+  EXPECT_EQ(prof.stage_count(), 2u);
+  EXPECT_EQ(prof.stage_name(0), "alpha");
+  CaptureSink sink;
+  prof.collect_metrics(sink);
+  EXPECT_TRUE(sink.hists.empty());  // never-run stages are elided
+}
+
+TEST(StageProfilerTest, PerStageHistogramsAndOccupancy) {
+  telemetry::StageProfiler prof{"alpha", "beta"};
+  prof.set_enabled(true);
+  prof.record(0, 100, 228);  // 128 ns
+  prof.record(0, 0, 100);
+  prof.record(1, 0, 5'000);
+  prof.record(1, 10, 5);    // clock went backwards: clamped to 0, counted
+  prof.record(7, 0, 1);     // out-of-range stage index: ignored
+  prof.count_batch(32);
+  prof.count_batch(64);
+  EXPECT_EQ(prof.batches(), 2u);
+
+  EXPECT_EQ(prof.stage_snapshot(0).count, 2u);
+  EXPECT_EQ(prof.stage_snapshot(0).sum, 228u);
+  EXPECT_EQ(prof.stage_snapshot(1).count, 2u);
+  EXPECT_EQ(prof.stage_snapshot(1).sum, 5'000u);
+  const HistogramSnapshot occ = prof.occupancy_snapshot();
+  EXPECT_EQ(occ.count, 2u);
+  EXPECT_EQ(occ.sum, 96u);
+
+  CaptureSink sink;
+  prof.collect_metrics(sink);
+  ASSERT_EQ(sink.hists.count("stage.alpha_ns"), 1u);
+  ASSERT_EQ(sink.hists.count("stage.beta_ns"), 1u);
+  ASSERT_EQ(sink.hists.count("batch_occupancy"), 1u);
+  EXPECT_EQ(sink.hists.at("stage.alpha_ns").sum, 228u);
+
+  prof.reset();
+  EXPECT_EQ(prof.batches(), 0u);
+  CaptureSink after;
+  prof.collect_metrics(after);
+  EXPECT_TRUE(after.hists.empty());
+}
+
+TEST(StageProfilerTest, SpanCaptureKeepsMostRecentWindowOldestFirst) {
+  telemetry::StageProfiler prof{"stage"};
+  prof.set_enabled(true);
+  EXPECT_FALSE(prof.capturing());
+  EXPECT_TRUE(prof.spans().empty());
+  prof.set_span_capture(4);
+  EXPECT_TRUE(prof.capturing());
+  for (int i = 0; i < 6; ++i) {
+    prof.record(0, i * 10, i * 10 + 5);
+    prof.count_batch(1);
+  }
+  const auto spans = prof.spans();
+  ASSERT_EQ(spans.size(), 4u);  // window of the most recent 4 of 6
+  EXPECT_EQ(spans.front().t0_ns, 20);
+  EXPECT_EQ(spans.front().batch, 2u);
+  EXPECT_EQ(spans.back().t0_ns, 50);
+  EXPECT_EQ(spans.back().batch, 5u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].t0_ns, spans[i].t0_ns);  // oldest-first
+  }
+  prof.clear_spans();
+  EXPECT_TRUE(prof.spans().empty());
+}
+
+// --- Perfetto trace export ---------------------------------------------------
+
+TEST(PerfettoExportTest, TracksAreStableAndMetadataEmitted) {
+  telemetry::PerfettoTraceBuilder builder;
+  const auto t1 = builder.track("control-plane", "1-110");
+  const auto t2 = builder.track("control-plane", "1-100");
+  const auto t3 = builder.track("data-plane", "1-110");
+  const auto t1again = builder.track("control-plane", "1-110");
+  EXPECT_EQ(t1.pid, t1again.pid);
+  EXPECT_EQ(t1.tid, t1again.tid);
+  EXPECT_EQ(t1.pid, t2.pid);   // same process
+  EXPECT_NE(t1.tid, t2.tid);   // distinct thread per track
+  EXPECT_NE(t1.pid, t3.pid);   // distinct process
+  EXPECT_EQ(builder.track_count(), 3u);
+
+  builder.add_complete(t1, "work", "bus", 1'000, 500, {{"res_id", "7"}});
+  builder.add_instant(t2, "mark", "lifecycle", 2'000);
+  EXPECT_EQ(builder.event_count(), 2u);
+  const std::string json = builder.to_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"res_id\":\"7\""), std::string::npos);
+}
+
+TEST(PerfettoExportTest, SpanTraceGetsOneTrackPerAsAndTruncatedInstants) {
+  telemetry::SpanCollector col;
+  col.enable();
+  const auto a = col.open("1-110", 0, 10);
+  const auto b = col.open("1-100", 100, 5);
+  col.close(b, 300);
+  (void)a;  // left open: drained as truncated
+  const auto trace = col.take();
+
+  telemetry::PerfettoTraceBuilder builder;
+  builder.add_span_trace(trace, "control-plane", "setup");
+  EXPECT_EQ(builder.track_count(), 2u);  // one per AS
+  EXPECT_EQ(builder.event_count(), 2u);  // one complete + one instant
+  const std::string json = builder.to_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("truncated"), std::string::npos) << json;
+  EXPECT_NE(json.find("setup: "), std::string::npos) << json;
+}
+
+TEST(PerfettoExportTest, EventsGroupByAsFieldThenComponent) {
+  SimClock clock(1'000);
+  telemetry::EventLog log(clock);
+  log.emit(telemetry::Severity::kInfo, "cserv", "eer.admitted")
+      .str("as", "1-110")
+      .u64("res_id", 7);
+  clock.advance(10);
+  log.emit(telemetry::Severity::kInfo, "cserv", "segr.expired")
+      .str("as", "1-100");
+  clock.advance(10);
+  log.emit(telemetry::Severity::kWarn, "renewal", "segr.failed");  // no AS
+
+  telemetry::PerfettoTraceBuilder builder;
+  builder.add_events(log.events(), "lifecycle");
+  EXPECT_EQ(builder.track_count(), 3u);  // 1-110, 1-100, renewal
+  EXPECT_EQ(builder.event_count(), 3u);
+  EXPECT_TRUE(json_is_balanced(builder.to_json()));
+}
+
+TEST(PerfettoExportTest, StageSpansRenderOnOneTrack) {
+  telemetry::StageProfiler prof{"alpha", "beta"};
+  prof.set_enabled(true);
+  prof.set_span_capture(8);
+  prof.record(0, 1'000, 1'500);
+  prof.record(1, 1'500, 1'800);
+  prof.count_batch(64);
+
+  telemetry::PerfettoTraceBuilder builder;
+  builder.add_stage_spans(prof, prof.spans(), "data-plane", "gateway 1-110");
+  EXPECT_EQ(builder.track_count(), 1u);
+  EXPECT_EQ(builder.event_count(), 2u);
+  const std::string json = builder.to_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("alpha"), std::string::npos);
+  EXPECT_NE(json.find("beta"), std::string::npos);
+}
+
+// --- Concurrent stress (run under the tsan preset) ---------------------------
+
+// Writer threads hammer the shared-safe surfaces (Counter, Histogram::
+// record_shared, EventLog) plus thread-owned single-writer facilities
+// (StageProfiler, FlightRecorder — one instance per thread, per their
+// documented contracts) while a reader concurrently snapshots the
+// registry and renders both exports. TSan proves the synchronization;
+// the final counts prove nothing was lost.
+TEST(TelemetryStressTest, ConcurrentWritersWhileReaderSnapshots) {
+  SystemClock clock;
+  MetricsRegistry registry;
+  telemetry::EventLog events(clock, 1024);
+  Counter& ops = registry.counter("stress.ops");
+  Histogram& lat = registry.histogram("stress.lat_ns");
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_written{0};
+  constexpr int kWriters = 3;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      telemetry::FlightRecorder recorder({.capacity = 64, .sample_every = 1,
+                                          .record_drops = true});
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ops.inc();
+        lat.record_shared(n % 4'096);
+        events.emit(telemetry::Severity::kInfo, "stress", "tick")
+            .u64("n", n)
+            .u64("writer", static_cast<std::uint64_t>(w));
+        if (recorder.sample_tick()) {
+          telemetry::FlightRecord r;
+          r.res_id = n;
+          recorder.commit(r);
+        }
+        ++n;
+      }
+      EXPECT_EQ(recorder.committed(), n);  // ring stayed thread-local
+      total_written.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
+  // Single-writer profiler on its own thread (span capture off: the
+  // span ring is part of the single-writer surface, not the shared one).
+  writers.emplace_back([&] {
+    telemetry::StageProfiler prof{"hot", "cold"};
+    prof.set_enabled(true);
+    std::int64_t t = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      prof.record(0, t, t + 10);
+      prof.record(1, t + 10, t + 30);
+      prof.count_batch(32);
+      t += 30;
+    }
+    EXPECT_EQ(prof.stage_snapshot(0).count, prof.batches());
+  });
+
+  // Reader: concurrent snapshots + both text exports must be torn-free
+  // (every counter monotone, every histogram internally consistent).
+  std::uint64_t last_ops = 0;
+  for (int i = 0; i < 25; ++i) {
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_GE(snap.counters.at("stress.ops"), last_ops);
+    last_ops = snap.counters.at("stress.ops");
+    EXPECT_TRUE(json_is_balanced(snap.to_json()));
+    const std::string om = telemetry::to_openmetrics(snap);
+    EXPECT_NE(om.find("# EOF"), std::string::npos);
+    (void)events.size();
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+
+  EXPECT_EQ(ops.value(), total_written.load());
+  EXPECT_EQ(lat.snapshot().count, total_written.load());
+  EXPECT_EQ(events.size() + events.dropped(), total_written.load());
 }
 
 }  // namespace
