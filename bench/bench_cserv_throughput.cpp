@@ -70,6 +70,41 @@ void BM_SegReqEndToEnd(benchmark::State& state) {
 // expiry) within the provisioned capacity during the measurement.
 BENCHMARK(BM_SegReqEndToEnd)->Unit(benchmark::kMicrosecond)->Iterations(20000);
 
+// The same SegR setup with distributed tracing on: every bus hop opens a
+// span, stamps the wire trace context, and the capture is drained each
+// iteration (the steady-state usage pattern — a bounded capture per
+// request). The segr_traced_over_plain ratio row quantifies the tracing
+// tax; with the tracer off the bus pays a single branch, which is the
+// default measured by BM_SegReqEndToEnd above.
+void BM_SegReqTracedEndToEnd(benchmark::State& state) {
+  Bed& b = Bed::instance();
+  auto& cserv = b.bed->cserv(AsId{1, 112});
+  auto& tracer = b.bed->bus().tracer();
+  tracer.enable();
+  std::uint64_t ok = 0;
+  std::uint64_t spans = 0;
+  for (auto _ : state) {
+    auto r = cserv.setup_segr(b.seg, 1, 100);
+    benchmark::DoNotOptimize(r);
+    ok += r.ok();
+    spans += tracer.take().spans.size();
+  }
+  tracer.disable();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ok));
+  state.counters["SegReq_per_sec"] = benchmark::Counter(
+      static_cast<double>(ok), benchmark::Counter::kIsRate);
+  state.counters["spans_per_req"] =
+      ok > 0 ? static_cast<double>(spans) / static_cast<double>(ok) : 0;
+  if (ok == 0) state.SkipWithError("no SegReq succeeded");
+}
+
+BENCHMARK(BM_SegReqTracedEndToEnd)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20000);
+
+const bool kTracedRatio = colibri::benchjson::request_ratio(
+    "segr_traced_over_plain", "BM_SegReqTracedEndToEnd", "BM_SegReqEndToEnd");
+
 // Full EER setup over up+core+down (5-6 ASes): admission at every AS plus
 // per-hop HopAuth computation (Eq. 4) and AEAD sealing/unsealing (Eq. 5).
 void BM_EeReqEndToEnd(benchmark::State& state) {

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the BENCH_*.json files a benchmark run emitted (see
+bench/bench_json.hpp for the schema) against the committed baselines in
+bench/baselines/.  A result regresses when its throughput drops below
+(1 - tolerance) x baseline or a latency percentile rises above
+(1 + tolerance) x baseline.
+
+Only benchmarks with a committed baseline are gated: a new bench binary
+is not a regression, it just is not protected until its baseline is
+seeded with --write-baselines.  A baseline whose BENCH file or result
+row disappeared from the current run *is* an error -- silently losing
+coverage is how gates rot.
+
+  scripts/check_bench.py --current build/bench             # gate
+  scripts/check_bench.py --current build/bench \
+      --write-baselines                                    # (re)seed
+  scripts/check_bench.py --current build/bench --tolerance 0.5
+
+Exit codes: 0 all gated results within tolerance, 1 regression or
+missing coverage, 2 usage / IO error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_TOLERANCE = 0.35  # fraction; generous because CI machines vary
+
+
+def load_results(path):
+    """BENCH_*.json -> {result name: {ops_per_sec, p50_ns, p99_ns}}."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("results", []):
+        out[row["name"]] = {
+            "ops_per_sec": float(row.get("ops_per_sec", 0)),
+            "p50_ns": float(row.get("p50_ns", 0)),
+            "p99_ns": float(row.get("p99_ns", 0)),
+        }
+    return out
+
+
+def bench_files(directory):
+    return sorted(
+        f for f in os.listdir(directory)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+
+
+def check_file(name, baseline, current, tolerance):
+    """Returns a list of violation strings for one benchmark file."""
+    violations = []
+    for result, base in sorted(baseline.items()):
+        cur = current.get(result)
+        if cur is None:
+            violations.append(
+                f"{name}: result '{result}' present in baseline but missing "
+                f"from the current run")
+            continue
+        # Throughput must not drop.
+        if base["ops_per_sec"] > 0:
+            floor = base["ops_per_sec"] * (1 - tolerance)
+            if cur["ops_per_sec"] < floor:
+                violations.append(
+                    f"{name}: {result}: ops_per_sec {cur['ops_per_sec']:.4g} "
+                    f"< {floor:.4g} (baseline {base['ops_per_sec']:.4g}, "
+                    f"tolerance {tolerance:.0%})")
+        # Latency percentiles must not rise.
+        for pct in ("p50_ns", "p99_ns"):
+            if base[pct] <= 0:
+                continue
+            ceiling = base[pct] * (1 + tolerance)
+            if cur[pct] > ceiling:
+                violations.append(
+                    f"{name}: {result}: {pct} {cur[pct]:.4g} > "
+                    f"{ceiling:.4g} (baseline {base[pct]:.4g}, "
+                    f"tolerance {tolerance:.0%})")
+    return violations
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of committed baseline BENCH_*.json")
+    ap.add_argument("--current", required=True,
+                    help="directory the benchmark run wrote BENCH_*.json to")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="allowed fractional slack (default %(default)s)")
+    ap.add_argument("--write-baselines", action="store_true",
+                    help="copy the current BENCH_*.json over the baselines "
+                         "instead of gating")
+    args = ap.parse_args()
+
+    if not os.path.isdir(args.current):
+        print(f"check_bench: current dir not found: {args.current}",
+              file=sys.stderr)
+        return 2
+    if not (0 <= args.tolerance < 10):
+        print(f"check_bench: implausible tolerance {args.tolerance}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baselines:
+        os.makedirs(args.baselines, exist_ok=True)
+        copied = bench_files(args.current)
+        if not copied:
+            print(f"check_bench: no BENCH_*.json in {args.current}",
+                  file=sys.stderr)
+            return 2
+        for f in copied:
+            shutil.copyfile(os.path.join(args.current, f),
+                            os.path.join(args.baselines, f))
+            print(f"seeded baseline {f}")
+        return 0
+
+    if not os.path.isdir(args.baselines):
+        print(f"check_bench: baseline dir not found: {args.baselines}",
+              file=sys.stderr)
+        return 2
+    gated = bench_files(args.baselines)
+    if not gated:
+        print(f"check_bench: no baselines in {args.baselines}",
+              file=sys.stderr)
+        return 2
+
+    violations = []
+    checked = 0
+    for f in gated:
+        cur_path = os.path.join(args.current, f)
+        if not os.path.isfile(cur_path):
+            violations.append(
+                f"{f}: baseline exists but the current run did not emit it")
+            continue
+        baseline = load_results(os.path.join(args.baselines, f))
+        current = load_results(cur_path)
+        violations.extend(check_file(f, baseline, current, args.tolerance))
+        checked += len(baseline)
+
+    if violations:
+        print(f"check_bench: {len(violations)} violation(s):",
+              file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {checked} gated result(s) across {len(gated)} "
+          f"benchmark(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

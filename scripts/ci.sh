@@ -20,8 +20,16 @@
 # to end: run the demo scenario, dump every artifact, export a Perfetto
 # trace, and query the sharded-runtime health surface.
 #
+# The opt-in bench-gate lane (not part of the default preset list —
+# benchmark numbers are machine-sensitive, so it only runs when asked
+# for) builds the Release tree, runs every benchmark that has a
+# committed baseline under bench/baselines/, and fails the run if
+# throughput or latency percentiles regressed beyond the tolerance
+# (BENCH_TOLERANCE, default from scripts/check_bench.py).
+#
 #   scripts/ci.sh              # all three presets
 #   scripts/ci.sh default      # just one
+#   scripts/ci.sh bench-gate   # benchmark regression gate only
 #   JOBS=4 scripts/ci.sh       # limit build parallelism
 set -euo pipefail
 
@@ -34,6 +42,22 @@ TSAN_SUITES='TelemetryStressTest|ShardedRuntimeTest|SpscRingTest'
 TSAN_SUITES+='|CounterTest.ConcurrentIncrementsFromManyThreads'
 
 for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = bench-gate ]; then
+    echo "=== [bench-gate] configure + build (default preset)"
+    cmake --preset default
+    cmake --build --preset default -j "$JOBS"
+    BENCH_DIR=$(dirname "$(find build -name bench_cserv_throughput -type f | head -1)")
+    echo "=== [bench-gate] run baselined benchmarks"
+    for baseline in bench/baselines/BENCH_*.json; do
+      bench=$(basename "$baseline" .json)
+      bench=${bench#BENCH_}
+      (cd "$BENCH_DIR" && "./$bench" > /dev/null)
+    done
+    echo "=== [bench-gate] compare against bench/baselines"
+    python3 scripts/check_bench.py --current "$BENCH_DIR" \
+      ${BENCH_TOLERANCE:+--tolerance "$BENCH_TOLERANCE"}
+    continue
+  fi
   echo "=== [$preset] configure"
   cmake --preset "$preset"
   echo "=== [$preset] build"

@@ -38,6 +38,14 @@ ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
   ObsArtifacts out;
   if (!session.ok()) return out;
 
+  // Stitch the captured spans into causal trees (one per originated
+  // request) and register the assembler so cserv.trace.* — per-hop
+  // latency histograms, orphan/truncated counters — lands in the
+  // snapshot taken below.
+  telemetry::TraceAssembler assembler(&registry);
+  assembler.add_capture(setup_trace);
+  out.traces = assembler.assemble();
+
   const auto* eer = bed.cserv(src_as).db().eers().find(session.value().key());
   if (eer == nullptr) return out;
   // The record is swept once the EER expires below; keep our own copy.

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "colibri/telemetry/events.hpp"
 #include "colibri/telemetry/flight_recorder.hpp"
 #include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/trace_assembler.hpp"
 
 namespace colibri::app {
 
@@ -40,11 +42,19 @@ struct ObsArtifacts {
   int delivered = 0;  // clean packets that crossed the whole path
 
   // Perfetto/Chrome trace-event JSON covering the multi-AS setup
-  // conversation (bus spans, one track per AS), the lifecycle audit
-  // events, and the captured data-plane stage spans of the batched leg.
+  // conversation (bus spans, one track per AS, cross-track flow arrows
+  // along the causal hop chain), the lifecycle audit events, and the
+  // captured data-plane stage spans of the batched leg.
   std::string perfetto_json;
   std::size_t trace_events = 0;
   std::size_t trace_tracks = 0;
+
+  // Assembled causal traces of the setup conversation (one per
+  // originated request: each SegR provisioning step, the EER admission)
+  // with per-hop latency attribution; `colibri_obs trace --reservation`
+  // renders one of these as a waterfall. The cserv.trace.* series of
+  // the metrics snapshot are derived from the same assembly.
+  std::vector<telemetry::AssembledTrace> traces;
 
   // Sharded-runtime health surface after the runtime leg: one line per
   // shard (ring depth, high watermark, rejections, heartbeats) plus the

@@ -1,0 +1,194 @@
+#include "colibri/app/obs_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "colibri/app/obs.hpp"
+
+namespace colibri::app {
+namespace {
+
+const char* arg_value(const char* arg, const char* name) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return nullptr;
+  return arg + n + 1;
+}
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [trace|health]"
+               " [--dump=all|metrics|openmetrics|events|records]"
+               " [--query=NAME] [--packets=N] [--sample-every=N]"
+               " [--scenario=default]"
+               " [--perfetto[=]PATH] [--reservation[=]RES_ID]\n",
+               prog);
+  return 2;
+}
+
+int query(const colibri::telemetry::MetricsSnapshot& m, const char* name) {
+  if (auto it = m.counters.find(name); it != m.counters.end()) {
+    std::printf("counter %s = %llu\n", name,
+                static_cast<unsigned long long>(it->second));
+    return 0;
+  }
+  if (auto it = m.gauges.find(name); it != m.gauges.end()) {
+    std::printf("gauge %s = %lld\n", name,
+                static_cast<long long>(it->second));
+    return 0;
+  }
+  if (auto it = m.histograms.find(name); it != m.histograms.end()) {
+    std::printf("histogram %s: count=%llu sum=%llu p50=%llu p99=%llu\n", name,
+                static_cast<unsigned long long>(it->second.count),
+                static_cast<unsigned long long>(it->second.sum),
+                static_cast<unsigned long long>(it->second.percentile(0.50)),
+                static_cast<unsigned long long>(it->second.percentile(0.99)));
+    return 0;
+  }
+  std::fprintf(stderr, "no series named '%s'\n", name);
+  return 1;
+}
+
+}  // namespace
+
+int run_obs_cli(int argc, const char* const* argv) {
+  ObsOptions opts;
+  std::string command;  // "" = dump/query, "trace", "health"
+  std::string dump = "all";
+  std::string query_name;
+  std::string perfetto_path;
+  std::string reservation;  // trace --reservation: waterfall for one res
+  int argi = 1;
+  if (argi < argc && argv[argi][0] != '-') {
+    if (std::strcmp(argv[argi], "trace") == 0 ||
+        std::strcmp(argv[argi], "health") == 0) {
+      command = argv[argi++];
+    } else {
+      std::fprintf(stderr, "unknown command '%s'\n", argv[argi]);
+      return usage(argv[0]);
+    }
+  }
+  for (int i = argi; i < argc; ++i) {
+    if (const char* v = arg_value(argv[i], "--dump")) {
+      dump = v;
+    } else if (const char* v = arg_value(argv[i], "--query")) {
+      query_name = v;
+    } else if (const char* v = arg_value(argv[i], "--packets")) {
+      opts.packets = std::atoi(v);
+    } else if (const char* v = arg_value(argv[i], "--sample-every")) {
+      opts.sample_every = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = arg_value(argv[i], "--scenario")) {
+      // One scenario today; the option exists so a bad name fails the
+      // invocation instead of silently running the default.
+      if (std::strcmp(v, "default") != 0) {
+        std::fprintf(stderr, "unknown scenario '%s'\n", v);
+        return usage(argv[0]);
+      }
+    } else if (const char* v = arg_value(argv[i], "--perfetto")) {
+      perfetto_path = v;
+    } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_path = argv[++i];
+    } else if (const char* v = arg_value(argv[i], "--reservation")) {
+      reservation = v;
+    } else if (std::strcmp(argv[i], "--reservation") == 0 && i + 1 < argc) {
+      reservation = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!reservation.empty() &&
+      (command != "trace" ||
+       reservation.find_first_not_of("0123456789") != std::string::npos)) {
+    std::fprintf(stderr, "--reservation requires the trace command and a "
+                         "numeric reservation id\n");
+    return usage(argv[0]);
+  }
+
+  const ObsArtifacts art = run_obs_scenario(opts);
+  if (art.delivered == 0) {
+    std::fprintf(stderr, "scenario failed: no packets delivered\n");
+    return 1;
+  }
+
+  if (command == "trace") {
+    if (!reservation.empty()) {
+      // Hop-by-hop waterfall of the one trace that carried this
+      // reservation's setup, bottleneck highlighted.
+      const std::int64_t res_id = std::strtoll(reservation.c_str(), nullptr,
+                                               10);
+      const telemetry::AssembledTrace* t =
+          telemetry::TraceAssembler::find_by_res_id(art.traces, res_id);
+      if (t == nullptr) {
+        std::fprintf(stderr, "no assembled trace for reservation %lld;"
+                             " traced reservations:",
+                     static_cast<long long>(res_id));
+        for (const auto& tr : art.traces) {
+          if (tr.res_id() >= 0) {
+            std::fprintf(stderr, " %lld", static_cast<long long>(tr.res_id()));
+          }
+        }
+        std::fputc('\n', stderr);
+        return 1;
+      }
+      std::fputs(t->waterfall().c_str(), stdout);
+      return 0;
+    }
+    if (perfetto_path.empty()) {
+      std::fputs(art.perfetto_json.c_str(), stdout);
+      return 0;
+    }
+    std::FILE* f = std::fopen(perfetto_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", perfetto_path.c_str());
+      return 1;
+    }
+    std::fputs(art.perfetto_json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s: %zu trace events on %zu tracks "
+                "(load in ui.perfetto.dev)\n",
+                perfetto_path.c_str(), art.trace_events, art.trace_tracks);
+    return 0;
+  }
+  if (command == "health") {
+    std::printf("# sharded gateway runtime: %zu shards, %llu rejected "
+                "submissions, %zu stalled\n",
+                art.health_shards,
+                static_cast<unsigned long long>(art.health_rejected),
+                art.stalled_shards);
+    std::fputs(art.health_text.c_str(), stdout);
+    return art.stalled_shards == 0 ? 0 : 1;
+  }
+
+  if (!query_name.empty()) return query(art.metrics, query_name.c_str());
+
+  const bool all = dump == "all";
+  if (all) {
+    std::printf("# scenario: delivered=%d events=%zu flight_records=%zu\n\n",
+                art.delivered, art.events_count, art.records_count);
+  }
+  if (all || dump == "metrics") {
+    if (all) std::printf("## metrics (json)\n");
+    std::printf("%s\n", art.metrics_json.c_str());
+  }
+  if (all || dump == "openmetrics") {
+    if (all) std::printf("\n## metrics (openmetrics)\n");
+    std::fputs(art.openmetrics.c_str(), stdout);
+  }
+  if (all || dump == "events") {
+    if (all) std::printf("\n## events (jsonl)\n");
+    std::fputs(art.events_jsonl.c_str(), stdout);
+  }
+  if (all || dump == "records") {
+    if (all) std::printf("\n## flight records (jsonl)\n");
+    std::fputs(art.records_jsonl.c_str(), stdout);
+  }
+  if (!(all || dump == "metrics" || dump == "openmetrics" ||
+        dump == "events" || dump == "records")) {
+    std::fprintf(stderr, "unknown --dump=%s\n", dump.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace colibri::app

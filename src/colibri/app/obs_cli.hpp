@@ -1,0 +1,16 @@
+// Argument parsing + dispatch of the colibri_obs tool, as a library
+// function so tests can drive the CLI surface (including its error
+// paths: unknown subcommand, bad option, missing option value,
+// nonexistent scenario) without spawning a process.
+#pragma once
+
+namespace colibri::app {
+
+// Exactly what colibri_obs's main() does: parse `argv`, run the
+// scenario, print to stdout/stderr. Returns the process exit code:
+// 0 success, 1 runtime failure (scenario failed, unknown query name,
+// reservation not found), 2 usage error (bad flag or subcommand, with a
+// usage message on stderr).
+int run_obs_cli(int argc, const char* const* argv);
+
+}  // namespace colibri::app

@@ -9,142 +9,10 @@
 //   $ ./colibri_obs --packets=1000 --sample-every=1
 //   $ ./colibri_obs trace --perfetto out.json  # Chrome/Perfetto trace
 //   $ ./colibri_obs trace                      # same JSON to stdout
+//   $ ./colibri_obs trace --reservation 7      # per-hop setup waterfall
 //   $ ./colibri_obs health                     # sharded-runtime health
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-
-#include "colibri/app/obs.hpp"
-
-namespace {
-
-const char* arg_value(const char* arg, const char* name) {
-  const size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return nullptr;
-  return arg + n + 1;
-}
-
-int query(const colibri::telemetry::MetricsSnapshot& m, const char* name) {
-  if (auto it = m.counters.find(name); it != m.counters.end()) {
-    std::printf("counter %s = %llu\n", name,
-                static_cast<unsigned long long>(it->second));
-    return 0;
-  }
-  if (auto it = m.gauges.find(name); it != m.gauges.end()) {
-    std::printf("gauge %s = %lld\n", name,
-                static_cast<long long>(it->second));
-    return 0;
-  }
-  if (auto it = m.histograms.find(name); it != m.histograms.end()) {
-    std::printf("histogram %s: count=%llu sum=%llu p50=%llu p99=%llu\n", name,
-                static_cast<unsigned long long>(it->second.count),
-                static_cast<unsigned long long>(it->second.sum),
-                static_cast<unsigned long long>(it->second.percentile(0.50)),
-                static_cast<unsigned long long>(it->second.percentile(0.99)));
-    return 0;
-  }
-  std::fprintf(stderr, "no series named '%s'\n", name);
-  return 1;
-}
-
-}  // namespace
+#include "colibri/app/obs_cli.hpp"
 
 int main(int argc, char** argv) {
-  colibri::app::ObsOptions opts;
-  std::string command;  // "" = dump/query, "trace", "health"
-  std::string dump = "all";
-  std::string query_name;
-  std::string perfetto_path;
-  int argi = 1;
-  if (argi < argc && (std::strcmp(argv[argi], "trace") == 0 ||
-                      std::strcmp(argv[argi], "health") == 0)) {
-    command = argv[argi++];
-  }
-  for (int i = argi; i < argc; ++i) {
-    if (const char* v = arg_value(argv[i], "--dump")) {
-      dump = v;
-    } else if (const char* v = arg_value(argv[i], "--query")) {
-      query_name = v;
-    } else if (const char* v = arg_value(argv[i], "--packets")) {
-      opts.packets = std::atoi(v);
-    } else if (const char* v = arg_value(argv[i], "--sample-every")) {
-      opts.sample_every = static_cast<std::uint32_t>(std::atoi(v));
-    } else if (const char* v = arg_value(argv[i], "--perfetto")) {
-      perfetto_path = v;
-    } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
-      perfetto_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [trace|health]"
-                   " [--dump=all|metrics|openmetrics|events|records]"
-                   " [--query=NAME] [--packets=N] [--sample-every=N]"
-                   " [--perfetto[=]PATH]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-
-  const colibri::app::ObsArtifacts art = colibri::app::run_obs_scenario(opts);
-  if (art.delivered == 0) {
-    std::fprintf(stderr, "scenario failed: no packets delivered\n");
-    return 1;
-  }
-
-  if (command == "trace") {
-    if (perfetto_path.empty()) {
-      std::fputs(art.perfetto_json.c_str(), stdout);
-      return 0;
-    }
-    std::FILE* f = std::fopen(perfetto_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", perfetto_path.c_str());
-      return 1;
-    }
-    std::fputs(art.perfetto_json.c_str(), f);
-    std::fclose(f);
-    std::printf("wrote %s: %zu trace events on %zu tracks "
-                "(load in ui.perfetto.dev)\n",
-                perfetto_path.c_str(), art.trace_events, art.trace_tracks);
-    return 0;
-  }
-  if (command == "health") {
-    std::printf("# sharded gateway runtime: %zu shards, %llu rejected "
-                "submissions, %zu stalled\n",
-                art.health_shards,
-                static_cast<unsigned long long>(art.health_rejected),
-                art.stalled_shards);
-    std::fputs(art.health_text.c_str(), stdout);
-    return art.stalled_shards == 0 ? 0 : 1;
-  }
-
-  if (!query_name.empty()) return query(art.metrics, query_name.c_str());
-
-  const bool all = dump == "all";
-  if (all) {
-    std::printf("# scenario: delivered=%d events=%zu flight_records=%zu\n\n",
-                art.delivered, art.events_count, art.records_count);
-  }
-  if (all || dump == "metrics") {
-    if (all) std::printf("## metrics (json)\n");
-    std::printf("%s\n", art.metrics_json.c_str());
-  }
-  if (all || dump == "openmetrics") {
-    if (all) std::printf("\n## metrics (openmetrics)\n");
-    std::fputs(art.openmetrics.c_str(), stdout);
-  }
-  if (all || dump == "events") {
-    if (all) std::printf("\n## events (jsonl)\n");
-    std::fputs(art.events_jsonl.c_str(), stdout);
-  }
-  if (all || dump == "records") {
-    if (all) std::printf("\n## flight records (jsonl)\n");
-    std::fputs(art.records_jsonl.c_str(), stdout);
-  }
-  if (!(all || dump == "metrics" || dump == "openmetrics" ||
-        dump == "events" || dump == "records")) {
-    std::fprintf(stderr, "unknown --dump=%s\n", dump.c_str());
-    return 2;
-  }
-  return 0;
+  return colibri::app::run_obs_cli(argc, argv);
 }

@@ -1,3 +1,94 @@
 #include "colibri/cserv/bus.hpp"
 
-// Header-only implementation; this translation unit anchors the target.
+#include "colibri/proto/codec.hpp"
+
+namespace colibri::cserv {
+namespace {
+
+// Channel tag of packet frames; mirrors wire::kChanPacket
+// (wire_internal.hpp pulls in the registry/keyserver headers, which this
+// low-level TU must not depend on).
+constexpr std::uint8_t kPacketChannel = 0;
+
+// splitmix64 finalizer: bijective, cheap, and spreads sequential
+// counters over the full 64-bit space so ids from different buses or
+// scenarios do not collide on low bits.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t MessageBus::next_span_id() {
+  // Never zero: zero span ids mean "absent context".
+  std::uint64_t id = mix64(++span_seq_);
+  if (id == 0) id = mix64(++span_seq_);
+  return id;
+}
+
+proto::TraceContext MessageBus::new_root_context(std::int64_t now_ns) {
+  if (!tracer_.enabled()) return {};
+  proto::TraceContext ctx;
+  ++trace_seq_;
+  ctx.trace_hi =
+      mix64(static_cast<std::uint64_t>(now_ns) ^ (trace_seq_ << 32));
+  ctx.trace_lo = mix64(trace_seq_);
+  ctx.span_id = next_span_id();
+  ctx.parent_span_id = 0;
+  ctx.flags = proto::TraceContext::kSampled;
+  return ctx;
+}
+
+proto::TraceContext MessageBus::child_context() {
+  if (!current_ctx_.present()) return {};
+  proto::TraceContext ctx = current_ctx_;
+  ctx.parent_span_id = current_ctx_.span_id;
+  ctx.span_id = next_span_id();
+  return ctx;
+}
+
+Bytes MessageBus::call(AsId dst, BytesView request) {
+  auto it = handlers_.find(dst);
+  if (it == handlers_.end()) return {};
+  messages_.inc();
+  bytes_.inc(request.size());
+  const std::int64_t t0 = steady_ns();
+  std::size_t span = 0;
+  bool span_open = false;
+  proto::TraceContext prev_ctx;
+  const bool tracing = tracer_.enabled();
+  if (tracing) {
+    // The context rides in the packet header; auxiliary channels
+    // (registry queries, key fetches) carry none, but when issued from
+    // inside a traced handler they are causally part of that request —
+    // chain them as children so the assembled tree attributes their
+    // latency to the hop that paid for it.
+    proto::TraceContext ctx;
+    if (!request.empty() && request[0] == kPacketChannel) {
+      ctx = proto::peek_trace_context(request.subspan(1));
+    }
+    if (!ctx.present()) ctx = child_context();
+    if (!ctx.present() || ctx.sampled()) {
+      span = tracer_.open(dst.to_string(), t0, request.size());
+      if (ctx.present()) {
+        tracer_.set_trace_ids(span, ctx.trace_hi, ctx.trace_lo, ctx.span_id,
+                              ctx.parent_span_id);
+      }
+      span_open = true;
+    }
+    prev_ctx = exchange_context(ctx);
+  }
+  Bytes response = it->second(request);
+  const std::int64_t t1 = steady_ns();
+  hop_latency_ns_.record_shared(static_cast<std::uint64_t>(t1 - t0));
+  if (tracing) {
+    current_ctx_ = prev_ctx;
+    if (span_open) tracer_.close(span, t1);
+  }
+  return response;
+}
+
+}  // namespace colibri::cserv

@@ -14,6 +14,13 @@
 // additionally captures the full nested forward/unwind span tree of a
 // request (per-hop latency via SpanTrace::self_time_ns); when disabled,
 // tracing costs one predictable branch per call.
+// Distributed tracing: each bus delivery carries (or is assigned) a
+// proto::TraceContext — 128-bit trace id, per-hop span id, parent span
+// id — so the spans recorded at every AS stitch into one causal tree
+// (telemetry::TraceAssembler). Context ids are generated from the
+// initiator's Clock reading and per-bus sequence counters, never from
+// wall-clock randomness, keeping SimClock runs and the twin-universe
+// differential tests bit-reproducible.
 #pragma once
 
 #include <chrono>
@@ -22,6 +29,7 @@
 
 #include "colibri/common/bytes.hpp"
 #include "colibri/common/ids.hpp"
+#include "colibri/proto/packet.hpp"
 #include "colibri/telemetry/metrics.hpp"
 #include "colibri/telemetry/trace.hpp"
 
@@ -55,25 +63,37 @@ class MessageBus : public telemetry::MetricsSource {
   bool reachable(AsId as) const { return handlers_.contains(as); }
 
   // Delivers a request to `dst` and returns its response. Empty response
-  // means the destination is unreachable or refused to answer.
-  Bytes call(AsId dst, BytesView request) {
-    auto it = handlers_.find(dst);
-    if (it == handlers_.end()) return {};
-    messages_.inc();
-    bytes_.inc(request.size());
-    const std::int64_t t0 = steady_ns();
-    std::size_t span = 0;
-    const bool tracing = tracer_.enabled();
-    if (tracing) span = tracer_.open(dst.to_string(), t0, request.size());
-    Bytes response = it->second(request);
-    const std::int64_t t1 = steady_ns();
-    hop_latency_ns_.record_shared(static_cast<std::uint64_t>(t1 - t0));
-    if (tracing) tracer_.close(span, t1);
-    return response;
-  }
+  // means the destination is unreachable or refused to answer. When
+  // tracing is enabled, the trace context is peeked out of kChanPacket
+  // frames (or derived from the caller's context for auxiliary channels
+  // like key fetches) and installed as the current context for the
+  // duration of the handler, so nested forwards chain causally.
+  Bytes call(AsId dst, BytesView request);
 
   // Span tracing (see telemetry/trace.hpp): enable, run a request, take.
   telemetry::SpanCollector& tracer() { return tracer_; }
+  bool tracing_active() const { return tracer_.enabled(); }
+
+  // --- distributed-tracing context -------------------------------------
+  // Context of the request currently being delivered (absent outside a
+  // traced delivery).
+  const proto::TraceContext& current_context() const { return current_ctx_; }
+  // Starts a fresh sampled trace for a request originated on this bus.
+  // `now_ns` is the initiator's Clock reading: mixed into the trace id so
+  // distinct SimClock scenarios get distinct ids while identical runs
+  // reproduce identical traces. Returns a zeroed context when tracing is
+  // off — propagation then costs nothing on the wire.
+  proto::TraceContext new_root_context(std::int64_t now_ns);
+  // Child of the current context (same trace, fresh span id, parent =
+  // current span); zeroed when there is no current context.
+  proto::TraceContext child_context();
+  // Swaps the current context (used by CServ::originate, which processes
+  // hop 0 inline without a bus call); returns the previous one.
+  proto::TraceContext exchange_context(const proto::TraceContext& ctx) {
+    proto::TraceContext prev = current_ctx_;
+    current_ctx_ = ctx;
+    return prev;
+  }
 
   // Uniform stats accessors: consistent point-in-time view + reset.
   BusStats snapshot() const { return {messages_.value(), bytes_.value()}; }
@@ -101,11 +121,16 @@ class MessageBus : public telemetry::MetricsSource {
         .count();
   }
 
+  std::uint64_t next_span_id();
+
   std::unordered_map<AsId, Handler> handlers_;
   telemetry::Counter messages_;
   telemetry::Counter bytes_;
   telemetry::Histogram hop_latency_ns_;
   telemetry::SpanCollector tracer_;
+  proto::TraceContext current_ctx_;
+  std::uint64_t trace_seq_ = 0;  // one per new_root_context
+  std::uint64_t span_seq_ = 0;   // one per generated span id
   telemetry::ScopedSource registration_;
 };
 

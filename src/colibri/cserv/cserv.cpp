@@ -151,11 +151,43 @@ Result<proto::ControlResponse> CServ::originate(
   // The initiator is hop 0 of its own request; process locally, which
   // recursively forwards down the path via the bus. The full forward +
   // unwind wall time lands in the request-latency histogram.
+  //
+  // Distributed tracing: hop 0 never crosses the bus, so the root of the
+  // trace is created here — a fresh trace id (derived from this AS's
+  // Clock and the bus sequence, reproducible under SimClock) and a root
+  // span covering the local processing. Downstream hops chain off it via
+  // the context stamped into forwarded packets.
+  const bool tracing = bus_->tracing_active();
+  proto::TraceContext root_ctx;
+  proto::TraceContext prev_ctx;
+  std::size_t root_span = 0;
   const auto t0 = std::chrono::steady_clock::now();
+  if (tracing) {
+    root_ctx = bus_->new_root_context(clock_->now_ns());
+    pkt.trace = root_ctx;
+    pkt.has_trace = root_ctx.present();
+    root_span = bus_->tracer().open(
+        local_.to_string(),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t0.time_since_epoch())
+            .count(),
+        pkt.wire_size());
+    bus_->tracer().set_trace_ids(root_span, root_ctx.trace_hi,
+                                 root_ctx.trace_lo, root_ctx.span_id,
+                                 /*parent_span_id=*/0);
+    prev_ctx = bus_->exchange_context(root_ctx);
+  }
   const Bytes resp_wire = process_request_bridge(*this, std::move(pkt));
+  const auto t1 = std::chrono::steady_clock::now();
+  if (tracing) {
+    (void)bus_->exchange_context(prev_ctx);
+    bus_->tracer().close(root_span,
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             t1.time_since_epoch())
+                             .count());
+  }
   metrics_.request_latency_ns.record_shared(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
           .count()));
   auto resp_pkt = proto::decode_packet(resp_wire);
   if (!resp_pkt) return Errc::kInternal;

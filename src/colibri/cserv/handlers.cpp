@@ -1,6 +1,7 @@
 // On-path request processing: the forward pass (admission hop by hop) and
 // the backward pass (token / HopAuth issuance) of Fig. 1a/1b.
 #include <algorithm>
+#include <chrono>
 
 #include "colibri/crypto/eax.hpp"
 #include "colibri/cserv/cserv.hpp"
@@ -58,6 +59,43 @@ const char* request_name(proto::PacketType t) {
     default: return "unknown";
   }
 }
+
+// Re-stamps the trace context for the next hop: the forwarded packet
+// becomes a child span of this AS's delivery span, so each AS on the
+// path opens a child of the upstream hop (never a disconnected root).
+// No-op when tracing is off — the packet then carries no trace block
+// and the wire bytes are identical to the pre-extension format.
+void stamp_child_context(MessageBus& bus, proto::Packet& fwd) {
+  if (!bus.tracing_active()) return;
+  const proto::TraceContext ctx = bus.child_context();
+  fwd.trace = ctx;
+  fwd.has_trace = ctx.present();
+}
+
+// Times the admission-algorithm call when (and only when) this request
+// is being traced; the annotation feeds per-hop attribution — "how much
+// of this hop's self time was the admission decision".
+class AdmissionTimer {
+ public:
+  explicit AdmissionTimer(telemetry::SpanCollector& tracer)
+      : tracer_(tracer), armed_(tracer.in_span()) {
+    if (armed_) {
+      t0_ = std::chrono::steady_clock::now().time_since_epoch().count();
+    }
+  }
+  ~AdmissionTimer() {
+    if (armed_) {
+      const std::int64_t t1 =
+          std::chrono::steady_clock::now().time_since_epoch().count();
+      tracer_.annotate("admission_ns", std::to_string(t1 - t0_));
+    }
+  }
+
+ private:
+  telemetry::SpanCollector& tracer_;
+  bool armed_;
+  std::int64_t t0_ = 0;
+};
 
 }  // namespace
 
@@ -173,7 +211,10 @@ Bytes Handlers::handle_seg(CServ& self, proto::Packet& pkt,
   areq.egress = pkt.path[hop].egress;
   areq.min_bw_kbps = msg->min_bw_kbps;
   areq.demand_kbps = msg->max_bw_kbps;
-  auto admitted = self.segr_admission_.admit(areq);
+  auto admitted = [&] {
+    AdmissionTimer timer(self.bus_->tracer());
+    return self.segr_admission_.admit(areq);
+  }();
   if (!admitted) {
     // Clean up and tell the initiator where the bottleneck is (§3.3).
     return fail(self, pkt, admitted.error(), hop);
@@ -207,6 +248,7 @@ Bytes Handlers::forward_and_unwind_seg(CServ& self, proto::Packet& pkt,
     proto::Packet fwd = pkt;
     fwd.current_hop = hop + 1;
     fwd.payload = proto::encode_authed(ap);
+    stamp_child_context(*self.bus_, fwd);
     resp_wire = self.bus_->call(msg.ases[hop + 1], wire::packet_frame(proto::encode_packet(fwd)));
   }
 
@@ -347,6 +389,7 @@ Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
   } else {
     proto::Packet fwd = pkt;
     fwd.current_hop = hop + 1;
+    stamp_child_context(*self.bus_, fwd);
     resp_wire =
         self.bus_->call(rec->hops[hop + 1].as, wire::packet_frame(proto::encode_packet(fwd)));
   }
@@ -471,7 +514,10 @@ Bytes Handlers::handle_eer(CServ& self, proto::Packet& pkt,
   areq.min_bw_kbps = msg->min_bw_kbps;
   areq.segr_in = segr_in;
   areq.segr_out = segr_out;
-  auto admitted = self.eer_admission_.admit(areq, now_sec);
+  auto admitted = [&] {
+    AdmissionTimer timer(self.bus_->tracer());
+    return self.eer_admission_.admit(areq, now_sec);
+  }();
   if (!admitted) return fail(self, pkt, admitted.error(), hop);
 
   return forward_and_unwind_eer(self, pkt, ap, *msg, admitted.value());
@@ -504,6 +550,7 @@ Bytes Handlers::forward_and_unwind_eer(CServ& self, proto::Packet& pkt,
     proto::Packet fwd = pkt;
     fwd.current_hop = hop + 1;
     fwd.payload = proto::encode_authed(ap);
+    stamp_child_context(*self.bus_, fwd);
     resp_wire = self.bus_->call(msg.ases[hop + 1], wire::packet_frame(proto::encode_packet(fwd)));
   }
 

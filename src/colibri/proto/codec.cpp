@@ -1,9 +1,12 @@
 #include "colibri/proto/codec.hpp"
 
+#include "colibri/proto/messages.hpp"
+
 namespace colibri::proto {
 namespace {
 
 constexpr std::uint8_t kFlagEer = 0x01;
+constexpr std::uint8_t kFlagTrace = 0x02;
 constexpr std::uint8_t kMaxHops = 64;
 
 }  // namespace
@@ -12,7 +15,8 @@ Bytes encode_packet(const Packet& pkt) {
   Bytes out;
   out.reserve(pkt.wire_size());
   out.push_back(static_cast<std::uint8_t>(pkt.type));
-  out.push_back(pkt.is_eer ? kFlagEer : 0);
+  out.push_back(static_cast<std::uint8_t>((pkt.is_eer ? kFlagEer : 0) |
+                                          (pkt.has_trace ? kFlagTrace : 0)));
   out.push_back(static_cast<std::uint8_t>(pkt.path.size()));
   out.push_back(pkt.current_hop);
 
@@ -26,6 +30,7 @@ Bytes encode_packet(const Packet& pkt) {
     append_bytes(out, BytesView(pkt.eerinfo.src_host.bytes, 16));
     append_bytes(out, BytesView(pkt.eerinfo.dst_host.bytes, 16));
   }
+  if (pkt.has_trace) put_trace_context(out, pkt.trace);
 
   put_le(out, pkt.timestamp);
   put_le(out, static_cast<std::uint32_t>(pkt.payload.size()));
@@ -53,8 +58,11 @@ std::optional<Packet> decode_packet(BytesView wire) {
   }
   pkt.type = static_cast<PacketType>(type);
   const auto flags = r.read<std::uint8_t>();
-  if ((flags & ~kFlagEer) != 0) return std::nullopt;  // unknown flag bits
+  if ((flags & ~(kFlagEer | kFlagTrace)) != 0) {
+    return std::nullopt;  // unknown flag bits
+  }
   pkt.is_eer = (flags & kFlagEer) != 0;
+  pkt.has_trace = (flags & kFlagTrace) != 0;
   const auto hop_count = r.read<std::uint8_t>();
   if (hop_count == 0 || hop_count > kMaxHops) return std::nullopt;
   pkt.current_hop = r.read<std::uint8_t>();
@@ -70,6 +78,7 @@ std::optional<Packet> decode_packet(BytesView wire) {
     r.read_bytes(pkt.eerinfo.src_host.bytes, 16);
     r.read_bytes(pkt.eerinfo.dst_host.bytes, 16);
   }
+  if (pkt.has_trace) pkt.trace = get_trace_context(r);
 
   pkt.timestamp = r.read<std::uint32_t>();
   const auto payload_len = r.read<std::uint32_t>();
@@ -88,6 +97,18 @@ std::optional<Packet> decode_packet(BytesView wire) {
   pkt.payload = r.read_vec(payload_len);
   if (!r.ok()) return std::nullopt;
   return pkt;
+}
+
+TraceContext peek_trace_context(BytesView wire) {
+  if (wire.size() < 2) return {};
+  const std::uint8_t flags = wire[1];
+  if ((flags & kFlagTrace) == 0) return {};
+  // Skip the fixed prefix: type|flags|hop_count|current_hop + ResInfo,
+  // plus the EERInfo block when present.
+  const size_t offset = 4 + 21 + ((flags & kFlagEer) != 0 ? 32 : 0);
+  if (wire.size() < offset + kTraceContextLen) return {};
+  ByteReader r(wire.subspan(offset));
+  return get_trace_context(r);
 }
 
 }  // namespace colibri::proto

@@ -217,4 +217,22 @@ std::optional<AuthedPayload> decode_authed(BytesView wire) {
   return ap;
 }
 
+void put_trace_context(Bytes& out, const TraceContext& tc) {
+  put_le(out, tc.trace_hi);
+  put_le(out, tc.trace_lo);
+  put_le(out, tc.span_id);
+  put_le(out, tc.parent_span_id);
+  out.push_back(tc.flags);
+}
+
+TraceContext get_trace_context(ByteReader& r) {
+  TraceContext tc;
+  tc.trace_hi = r.read<std::uint64_t>();
+  tc.trace_lo = r.read<std::uint64_t>();
+  tc.span_id = r.read<std::uint64_t>();
+  tc.parent_span_id = r.read<std::uint64_t>();
+  tc.flags = r.read<std::uint8_t>();
+  return tc;
+}
+
 }  // namespace colibri::proto

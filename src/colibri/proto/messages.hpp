@@ -80,4 +80,15 @@ struct AuthedPayload {
 Bytes encode_authed(const AuthedPayload& ap);
 std::optional<AuthedPayload> decode_authed(BytesView wire);
 
+// --- trace-context block (codec extension, DESIGN.md §4.11) -----------
+// Fixed little-endian layout, kTraceContextLen bytes:
+//   u64 trace_hi | u64 trace_lo | u64 span_id | u64 parent_span_id |
+//   u8 flags
+// The context rides in the packet *header*, not inside AuthedPayload:
+// the payload is covered by the per-AS DRKey MACs and must stay
+// immutable hop to hop, while the context mutates at every forwarding
+// AS (each hop re-stamps span_id/parent_span_id).
+void put_trace_context(Bytes& out, const TraceContext& tc);
+TraceContext get_trace_context(ByteReader& r);
+
 }  // namespace colibri::proto

@@ -32,6 +32,7 @@ bool is_control(PacketType t) { return t != PacketType::kData; }
 std::uint32_t Packet::wire_size() const {
   size_t s = kFixedHeader + path.size() * kPerHop + payload.size();
   if (is_eer) s += kEerInfoLen;
+  if (has_trace) s += kTraceContextLen;
   return static_cast<std::uint32_t>(s);
 }
 

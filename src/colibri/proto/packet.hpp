@@ -36,6 +36,36 @@ enum class PacketType : std::uint8_t {
 
 bool is_control(PacketType t);
 
+// Distributed-tracing context carried in control packets (wire extension,
+// DESIGN.md §4.11): a 128-bit trace id naming the whole multi-AS request,
+// the 64-bit span id of the hop that sent this packet, and the span it
+// was itself a child of. Every forwarding AS opens a child span of the
+// upstream hop, so the per-AS captures stitch into one causal tree.
+//
+// Ids are generated deterministically (Clock + per-bus sequence, see
+// MessageBus::new_root_context) — never from wall-clock randomness — so
+// twin-universe differential runs and SimClock scenarios reproduce
+// bit-identical traces. A zeroed context means "not traced".
+struct TraceContext {
+  std::uint64_t trace_hi = 0;        // trace id, high 64 bits
+  std::uint64_t trace_lo = 0;        // trace id, low 64 bits
+  std::uint64_t span_id = 0;         // id of the sending hop's span
+  std::uint64_t parent_span_id = 0;  // 0 = root span of the trace
+  std::uint8_t flags = 0;            // bit 0: sampled
+
+  static constexpr std::uint8_t kSampled = 0x01;
+
+  bool sampled() const { return (flags & kSampled) != 0; }
+  // True iff this context carries a real trace (all-zero ids = absent).
+  bool present() const { return (trace_hi | trace_lo | span_id) != 0; }
+
+  friend constexpr auto operator<=>(const TraceContext&,
+                                    const TraceContext&) = default;
+};
+
+// Encoded size of the optional trace-context block.
+inline constexpr size_t kTraceContextLen = 4 * 8 + 1;
+
 // Reservation metadata carried in every packet (Eq. 2c).
 struct ResInfo {
   AsId src_as;
@@ -60,11 +90,16 @@ struct EerInfo {
 struct Packet {
   PacketType type = PacketType::kData;
   bool is_eer = false;  // EERInfo valid; selects Eq. 4/6 vs Eq. 3 validation
+  // Trace block present on the wire. Kept distinct from trace.present()
+  // so a frame carrying an all-zero context re-encodes canonically
+  // (byte-identical), which the fuzz harness asserts.
+  bool has_trace = false;
   std::uint8_t current_hop = 0;  // forwarding cursor into `path`
 
   std::vector<topology::Hop> path;  // Eq. 2b: (In_i, Eg_i) per AS
   ResInfo resinfo;
   EerInfo eerinfo;
+  TraceContext trace;  // meaningful only when has_trace
   std::uint32_t timestamp = 0;  // Ts: high-precision, relative to ExpT
   std::vector<Hvf> hvfs;        // one per on-path AS
   Bytes payload;

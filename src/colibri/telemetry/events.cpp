@@ -1,5 +1,6 @@
 #include "colibri/telemetry/events.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "colibri/telemetry/metrics.hpp"
@@ -21,6 +22,8 @@ std::string Event::to_json() const {
   out.reserve(128 + 32 * fields.size());
   out += "{\"time_ns\":";
   out += std::to_string(time_ns);
+  out += ",\"seq\":";
+  out += std::to_string(seq);
   out += ",\"severity\":\"";
   out += severity_name(severity);
   out += "\",\"component\":";
@@ -137,6 +140,10 @@ std::optional<Event> Event::from_json(std::string_view line) {
   p.key("time_ns");
   ev.time_ns = p.integer(neg);
   p.expect(',');
+  p.key("seq");
+  ev.seq = static_cast<std::uint64_t>(p.integer(neg));
+  if (neg) p.ok = false;
+  p.expect(',');
   p.key("severity");
   ev.severity = severity_from_name(p.string(), p.ok);
   p.expect(',');
@@ -199,6 +206,11 @@ std::optional<std::string> Event::str(std::string_view key) const {
 }
 
 void EventLog::append(Event ev) {
+  // Process-global, not per-log: a deployment runs one EventLog per
+  // registry but tools merge the JSONL streams, and the merged order
+  // must be reconstructible.
+  static std::atomic<std::uint64_t> next_seq{0};
+  ev.seq = next_seq.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     events_.pop_front();

@@ -48,14 +48,19 @@ struct EventField {
 
 struct Event {
   TimeNs time_ns = 0;
+  // Process-global monotonic sequence number, assigned at append time.
+  // SimClock timestamps can tie (many events in one simulated instant);
+  // seq breaks the tie, giving consumers a total order across all logs
+  // of the process.
+  std::uint64_t seq = 0;
   Severity severity = Severity::kInfo;
   std::string component;  // "cserv", "renewal", "blocklist", "ofd", ...
   std::string name;       // "eer.admitted", "segr.expired", ...
   std::vector<EventField> fields;
 
   // One JSON object, no trailing newline:
-  // {"time_ns":..,"severity":"info","component":"cserv","name":"..",
-  //  "fields":{"k":v,...}}
+  // {"time_ns":..,"seq":..,"severity":"info","component":"cserv",
+  //  "name":"..","fields":{"k":v,...}}
   std::string to_json() const;
   // Parses exactly the subset to_json() emits (schema round-trip).
   static std::optional<Event> from_json(std::string_view line);

@@ -31,6 +31,12 @@ std::string SpanTrace::to_json() const {
            ",\"duration_ns\":" + std::to_string(s.duration_ns) +
            ",\"bytes\":" + std::to_string(s.bytes);
     if (s.truncated) out += ",\"truncated\":true";
+    if ((s.trace_hi | s.trace_lo) != 0) {
+      out += ",\"trace_hi\":" + std::to_string(s.trace_hi) +
+             ",\"trace_lo\":" + std::to_string(s.trace_lo) +
+             ",\"ctx_span\":" + std::to_string(s.ctx_span) +
+             ",\"ctx_parent\":" + std::to_string(s.ctx_parent);
+    }
     if (!s.args.empty()) {
       out += ",\"args\":{";
       for (std::size_t a = 0; a < s.args.size(); ++a) {
@@ -78,6 +84,20 @@ void SpanCollector::close(std::size_t token, std::int64_t now_ns) {
   Span& s = trace_.spans[index];
   s.duration_ns = (now_ns - origin_ns_) - s.start_ns;
   if (!stack_.empty() && stack_.back() == index) stack_.pop_back();
+}
+
+void SpanCollector::set_trace_ids(std::size_t token, std::uint64_t trace_hi,
+                                  std::uint64_t trace_lo, std::uint64_t span_id,
+                                  std::uint64_t parent_span_id) {
+  if ((static_cast<std::uint64_t>(token) >> kIndexBits) != epoch_) return;
+  const std::size_t index =
+      static_cast<std::size_t>(token & ((std::uint64_t{1} << kIndexBits) - 1));
+  if (index >= trace_.spans.size()) return;
+  Span& s = trace_.spans[index];
+  s.trace_hi = trace_hi;
+  s.trace_lo = trace_lo;
+  s.ctx_span = span_id;
+  s.ctx_parent = parent_span_id;
 }
 
 void SpanCollector::annotate(std::string_view key, std::string_view value) {

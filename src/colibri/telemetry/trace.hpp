@@ -44,6 +44,15 @@ struct Span {
   std::int64_t duration_ns = 0;  // wall time of the subtree; -1 truncated
   std::uint64_t bytes = 0;       // request payload size
   bool truncated = false;        // still open when the trace was drained
+  // Distributed-tracing identity (zero = span not part of a cross-AS
+  // trace). Raw u64s rather than a proto type: telemetry sits below
+  // proto in the library layering. ctx_span names this hop on the wire;
+  // ctx_parent names the upstream hop's span — the TraceAssembler links
+  // captures into one causal tree through these.
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t ctx_span = 0;
+  std::uint64_t ctx_parent = 0;
   // Annotations attached while the span was open (res_id, verdict, ...).
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -84,6 +93,11 @@ class SpanCollector {
   std::size_t open(std::string name, std::int64_t now_ns, std::uint64_t bytes,
                    std::string category = "bus");
   void close(std::size_t token, std::int64_t now_ns);
+  // Stamps the distributed-tracing identity onto an open span; a stale
+  // token (from before the last take()/enable()) is ignored like close().
+  void set_trace_ids(std::size_t token, std::uint64_t trace_hi,
+                     std::uint64_t trace_lo, std::uint64_t span_id,
+                     std::uint64_t parent_span_id);
 
   // Attaches a key/value arg to the innermost open span; no-op when
   // disabled or no span is open. This is the trace-context propagation

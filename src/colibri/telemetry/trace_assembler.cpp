@@ -1,0 +1,240 @@
+#include "colibri/telemetry/trace_assembler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace colibri::telemetry {
+
+namespace {
+
+// "123.4us"-style rendering for the waterfall; traces span nanoseconds
+// to milliseconds, microseconds with one fractional digit read best.
+std::string fmt_us(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string HopAttribution::arg(std::string_view key) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::string AssembledTrace::trace_id_hex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(trace_hi),
+                static_cast<unsigned long long>(trace_lo));
+  return buf;
+}
+
+std::int64_t AssembledTrace::res_id() const {
+  for (const HopAttribution& h : hops) {
+    const std::string v = h.arg("res_id");
+    if (!v.empty()) return std::strtoll(v.c_str(), nullptr, 10);
+  }
+  return -1;
+}
+
+std::int64_t AssembledTrace::total_ns() const {
+  return hops.empty() ? 0 : std::max<std::int64_t>(hops.front().total_ns, 0);
+}
+
+std::size_t AssembledTrace::bottleneck() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    if (hops[i].self_ns > hops[best].self_ns) best = i;
+  }
+  return best;
+}
+
+std::string AssembledTrace::waterfall() const {
+  std::string out = "trace " + trace_id_hex() +
+                    "  hops=" + std::to_string(hops.size()) +
+                    "  total=" + fmt_us(total_ns());
+  if (res_id() >= 0) out += "  res_id=" + std::to_string(res_id());
+  out += "\n";
+  if (hops.empty()) return out;
+
+  // Bar window: earliest start to latest end across the tree.
+  std::int64_t lo = hops.front().start_ns, hi = lo + 1;
+  for (const HopAttribution& h : hops) {
+    lo = std::min(lo, h.start_ns);
+    hi = std::max(hi, h.start_ns + std::max<std::int64_t>(h.total_ns, 0));
+  }
+  const double window = static_cast<double>(hi - lo);
+  static constexpr int kBarWidth = 40;
+  const std::size_t bn = bottleneck();
+
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const HopAttribution& h = hops[i];
+    const auto clamp = [](int v) { return std::clamp(v, 0, kBarWidth); };
+    const int begin = clamp(static_cast<int>(
+        static_cast<double>(h.start_ns - lo) / window * kBarWidth));
+    int end = clamp(static_cast<int>(
+        static_cast<double>(h.start_ns - lo + std::max<std::int64_t>(
+                                                  h.total_ns, 0)) /
+        window * kBarWidth));
+    if (end <= begin) end = clamp(begin + 1);
+
+    char head[64];
+    std::snprintf(head, sizeof(head), "%c [%zu] %-10s |",
+                  i == bn ? '*' : ' ', i, h.as.c_str());
+    out += head;
+    for (int c = 0; c < kBarWidth; ++c) {
+      out.push_back(c >= begin && c < end ? '#' : ' ');
+    }
+    out += "| total " + fmt_us(std::max<std::int64_t>(h.total_ns, 0)) +
+           "  self " + fmt_us(h.self_ns);
+    if (h.admission_ns >= 0) out += "  admission " + fmt_us(h.admission_ns);
+    const std::string verdict = h.arg("verdict");
+    if (!verdict.empty()) out += "  [" + verdict + "]";
+    if (h.truncated) out += "  (truncated)";
+    if (h.orphan) out += "  (orphan)";
+    if (i == bn) out += "  <-- bottleneck";
+    out += "\n";
+  }
+  return out;
+}
+
+void TraceAssembler::add_capture(const SpanTrace& capture) {
+  for (const Span& s : capture.spans) {
+    if ((s.trace_hi | s.trace_lo) == 0) {
+      untraced_spans_.inc();
+      continue;
+    }
+    pending_.push_back(s);
+  }
+}
+
+std::vector<AssembledTrace> TraceAssembler::assemble() {
+  // Group by trace id, preserving first-appearance order so SimClock
+  // scenarios produce deterministic output.
+  std::vector<AssembledTrace> traces;
+  std::unordered_map<std::uint64_t, std::size_t> trace_index;
+  std::vector<std::vector<std::size_t>> members(0);
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Span& s = pending_[i];
+    const std::uint64_t key = s.trace_hi ^ (s.trace_lo * 0x9E3779B97F4A7C15ULL);
+    auto [it, fresh] = trace_index.try_emplace(key, traces.size());
+    if (fresh) {
+      traces.emplace_back();
+      traces.back().trace_hi = s.trace_hi;
+      traces.back().trace_lo = s.trace_lo;
+      members.emplace_back();
+    }
+    members[it->second].push_back(i);
+  }
+
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    AssembledTrace& tr = traces[t];
+    const std::vector<std::size_t>& ms = members[t];
+
+    // span_id → member position; children linked through the wire ids,
+    // which is what makes stitching work across independent captures.
+    std::unordered_map<std::uint64_t, std::size_t> by_id;
+    for (std::size_t m = 0; m < ms.size(); ++m) {
+      by_id.try_emplace(pending_[ms[m]].ctx_span, m);
+    }
+    std::vector<std::vector<std::size_t>> children(ms.size());
+    std::vector<std::size_t> roots;
+    std::vector<bool> orphan(ms.size(), false);
+    for (std::size_t m = 0; m < ms.size(); ++m) {
+      const Span& s = pending_[ms[m]];
+      const auto pit = s.ctx_parent != 0 ? by_id.find(s.ctx_parent)
+                                         : by_id.end();
+      if (pit == by_id.end() || pit->second == m) {
+        orphan[m] = s.ctx_parent != 0;
+        if (orphan[m]) orphan_spans_.inc();
+        roots.push_back(m);
+      } else {
+        children[pit->second].push_back(m);
+      }
+    }
+    const auto by_start = [&](std::size_t a, std::size_t b) {
+      return pending_[ms[a]].start_ns < pending_[ms[b]].start_ns;
+    };
+    std::sort(roots.begin(), roots.end(), by_start);
+    for (auto& c : children) std::sort(c.begin(), c.end(), by_start);
+
+    // Depth-first emit: for a linear forward chain this is exactly the
+    // path traversal order of the request.
+    struct Frame {
+      std::size_t m;
+      int depth;
+    };
+    std::vector<Frame> stack;
+    for (auto r = roots.rbegin(); r != roots.rend(); ++r) {
+      stack.push_back({*r, 0});
+    }
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const Span& s = pending_[ms[f.m]];
+
+      HopAttribution hop;
+      hop.as = s.name;
+      hop.span_id = s.ctx_span;
+      hop.parent_span_id = s.ctx_parent;
+      hop.depth = f.depth;
+      hop.start_ns = s.start_ns;
+      hop.total_ns = s.duration_ns;
+      hop.truncated = s.truncated;
+      hop.orphan = orphan[f.m];
+      hop.args = s.args;
+      std::int64_t self = std::max<std::int64_t>(s.duration_ns, 0);
+      for (const std::size_t c : children[f.m]) {
+        self -= std::max<std::int64_t>(pending_[ms[c]].duration_ns, 0);
+      }
+      hop.self_ns = std::max<std::int64_t>(self, 0);
+      const std::string adm = hop.arg("admission_ns");
+      if (!adm.empty()) hop.admission_ns = std::strtoll(adm.c_str(), nullptr, 10);
+
+      if (hop.truncated) truncated_spans_.inc();
+      hop_total_ns_.record_shared(
+          static_cast<std::uint64_t>(std::max<std::int64_t>(hop.total_ns, 0)));
+      hop_self_ns_.record_shared(static_cast<std::uint64_t>(hop.self_ns));
+      if (hop.admission_ns >= 0) {
+        admission_ns_.record_shared(static_cast<std::uint64_t>(hop.admission_ns));
+      }
+      tr.hops.push_back(std::move(hop));
+
+      for (auto c = children[f.m].rbegin(); c != children[f.m].rend(); ++c) {
+        stack.push_back({*c, f.depth + 1});
+      }
+    }
+    assembled_.inc();
+  }
+
+  pending_.clear();
+  return traces;
+}
+
+const AssembledTrace* TraceAssembler::find_by_res_id(
+    const std::vector<AssembledTrace>& traces, std::int64_t res_id) {
+  for (const AssembledTrace& t : traces) {
+    if (t.res_id() == res_id) return &t;
+  }
+  return nullptr;
+}
+
+void TraceAssembler::collect_metrics(MetricSink& sink) const {
+  sink.counter("cserv.trace.assembled", assembled_.value());
+  sink.counter("cserv.trace.orphan_spans", orphan_spans_.value());
+  sink.counter("cserv.trace.truncated_spans", truncated_spans_.value());
+  sink.counter("cserv.trace.untraced_spans", untraced_spans_.value());
+  const auto total = hop_total_ns_.snapshot();
+  if (total.count != 0) sink.histogram("cserv.trace.hop_total_ns", total);
+  const auto self = hop_self_ns_.snapshot();
+  if (self.count != 0) sink.histogram("cserv.trace.hop_self_ns", self);
+  const auto adm = admission_ns_.snapshot();
+  if (adm.count != 0) sink.histogram("cserv.trace.admission_ns", adm);
+}
+
+}  // namespace colibri::telemetry

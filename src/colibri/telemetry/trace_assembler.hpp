@@ -1,0 +1,106 @@
+// Cross-AS trace assembly: stitches per-AS span captures into causal
+// trees and attributes per-hop latency.
+//
+// Every traced control-plane request carries a TraceContext (128-bit
+// trace id + per-hop span ids, see proto/packet.hpp); each AS records a
+// span stamped with those ids. This assembler groups spans by trace id,
+// links children to parents through ctx_parent → ctx_span (which works
+// across independent captures — the ids live on the wire, not in any
+// one collector), and derives the hop-by-hop attribution a single
+// capture cannot give: where a slow or failed multi-AS admission spent
+// its time.
+//
+// Irregularities are first-class: a span whose parent id never shows up
+// in any capture is kept as an orphan root (and counted), truncated
+// spans (cut off by a take()) are flagged, and spans with no trace ids
+// at all are counted as untraced and skipped. The counts surface as
+// cserv.trace.* metrics next to per-hop latency histograms when the
+// assembler is registered with a MetricsRegistry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/trace.hpp"
+
+namespace colibri::telemetry {
+
+// One hop of an assembled trace: a span plus its tree position and
+// derived latency attribution.
+struct HopAttribution {
+  std::string as;  // span name = destination AS of the hop call
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0 = root
+  int depth = 0;                     // hops from the root (0 = initiator)
+  std::int64_t start_ns = 0;         // relative to the capture origin
+  std::int64_t total_ns = 0;         // whole subtree (downstream included)
+  std::int64_t self_ns = 0;          // total minus direct children
+  std::int64_t admission_ns = -1;    // admission-algorithm share; -1 unknown
+  bool truncated = false;
+  bool orphan = false;  // parent id missing from every capture
+  // Annotations copied off the span (verdict, res_id, bw_kbps, ...).
+  std::vector<std::pair<std::string, std::string>> args;
+
+  // First value of `key` among the annotations; empty when absent.
+  std::string arg(std::string_view key) const;
+};
+
+// One causal tree: all hops of one traced request, in depth-first
+// (= path traversal) order starting at the root.
+struct AssembledTrace {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::vector<HopAttribution> hops;
+
+  std::string trace_id_hex() const;
+  // Reservation id annotated by the handlers, parsed from the first hop
+  // that carries one; -1 when the trace never touched a reservation.
+  std::int64_t res_id() const;
+  // End-to-end wall time: the root hop's subtree.
+  std::int64_t total_ns() const;
+  // Index of the hop with the largest self time — where the request
+  // actually spent its budget.
+  std::size_t bottleneck() const;
+  // Human-readable hop-by-hop waterfall with the bottleneck highlighted.
+  std::string waterfall() const;
+};
+
+class TraceAssembler : public MetricsSource {
+ public:
+  // Registers with `registry` (nullptr = none); metrics export under
+  // "cserv.trace.*".
+  explicit TraceAssembler(MetricsRegistry* registry = nullptr)
+      : registration_(registry, this) {}
+
+  // Feeds one capture (e.g. a SpanCollector::take() result). Captures
+  // may be added in any order; spans without trace ids are counted as
+  // untraced and dropped.
+  void add_capture(const SpanTrace& capture);
+
+  // Links everything added so far into causal trees (insertion order of
+  // first appearance) and updates the metrics. Pending spans are
+  // consumed.
+  std::vector<AssembledTrace> assemble();
+
+  // Finds the trace that carries `res_id` (annotated by the admission
+  // handlers); nullptr when no assembled trace touched it.
+  static const AssembledTrace* find_by_res_id(
+      const std::vector<AssembledTrace>& traces, std::int64_t res_id);
+
+  void collect_metrics(MetricSink& sink) const override;
+
+ private:
+  std::vector<Span> pending_;
+  Counter assembled_;
+  Counter orphan_spans_;
+  Counter truncated_spans_;
+  Counter untraced_spans_;
+  Histogram hop_total_ns_;
+  Histogram hop_self_ns_;
+  Histogram admission_ns_;
+  ScopedSource registration_;
+};
+
+}  // namespace colibri::telemetry

@@ -100,6 +100,31 @@ void PerfettoTraceBuilder::add_instant(Track t, std::string_view name,
   body_.push_back(std::move(e));
 }
 
+void PerfettoTraceBuilder::add_flow_start(Track t, std::uint64_t id,
+                                          std::int64_t ts_ns) {
+  std::string e;
+  append_common(e, t, "hop", "trace", ts_ns);
+  e += ",\"ph\":\"s\",\"id\":" + std::to_string(id) + "}";
+  body_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::add_flow_step(Track t, std::uint64_t id,
+                                         std::int64_t ts_ns) {
+  std::string e;
+  append_common(e, t, "hop", "trace", ts_ns);
+  e += ",\"ph\":\"t\",\"id\":" + std::to_string(id) + "}";
+  body_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::add_flow_finish(Track t, std::uint64_t id,
+                                           std::int64_t ts_ns) {
+  std::string e;
+  append_common(e, t, "hop", "trace", ts_ns);
+  // bp:"e" binds to the enclosing slice rather than the next one.
+  e += ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" + std::to_string(id) + "}";
+  body_.push_back(std::move(e));
+}
+
 std::int64_t PerfettoTraceBuilder::place(std::int64_t src_min_ns,
                                          std::int64_t src_max_ns) {
   const std::int64_t shift = cursor_ns_ - src_min_ns;
@@ -136,6 +161,29 @@ void PerfettoTraceBuilder::add_span_trace(const SpanTrace& trace,
       add_complete(t, name, s.category, s.start_ns + shift, s.duration_ns,
                    args);
     }
+  }
+
+  // Cross-track causality: spans stamped with distributed-tracing ids
+  // get a flow arrow from the upstream hop's slice to theirs. The child
+  // span opens while its parent is still on the wire-level call stack,
+  // so the child's start time lies inside both slices — anchor both
+  // flow endpoints there.
+  for (const Span& s : trace.spans) {
+    if ((s.trace_hi | s.trace_lo) == 0 || s.ctx_parent == 0 || s.truncated) {
+      continue;
+    }
+    const Span* parent = nullptr;
+    for (const Span& p : trace.spans) {
+      if (p.ctx_span == s.ctx_parent && p.trace_hi == s.trace_hi &&
+          p.trace_lo == s.trace_lo) {
+        parent = &p;
+        break;
+      }
+    }
+    if (parent == nullptr || parent->truncated) continue;
+    add_flow_start(track(process, parent->name), s.ctx_span,
+                   s.start_ns + shift);
+    add_flow_finish(track(process, s.name), s.ctx_span, s.start_ns + shift);
   }
 }
 

@@ -47,11 +47,20 @@ class PerfettoTraceBuilder {
                     const Args& args = {});
   void add_instant(Track t, std::string_view name, std::string_view category,
                    std::int64_t ts_ns, const Args& args = {});
+  // Flow arrow between tracks (ph:"s" start / ph:"t" step / ph:"f"
+  // finish). Events with the same id/name/cat bind into one arrow chain;
+  // a flow event associates with the enclosing complete event on its
+  // track, so emit these inside the span's [start, start+dur) window.
+  void add_flow_start(Track t, std::uint64_t id, std::int64_t ts_ns);
+  void add_flow_step(Track t, std::uint64_t id, std::int64_t ts_ns);
+  void add_flow_finish(Track t, std::uint64_t id, std::int64_t ts_ns);
 
   // --- source adapters (sequential timeline placement) -----------------
   // One track per AS under `process`; nested hop spans become stacked
   // complete events, truncated spans become instants. `label` prefixes
-  // every span name ("setup: 1-110").
+  // every span name ("setup: 1-110"). Spans carrying distributed-tracing
+  // ids additionally get parent→child flow arrows across the AS tracks
+  // (the causal chain of the multi-AS request).
   void add_span_trace(const SpanTrace& trace, std::string_view process,
                       std::string_view label);
   // One instant per event; the track is the event's "as" field when

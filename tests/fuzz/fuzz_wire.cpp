@@ -15,7 +15,12 @@
 //      forwarding reads;
 //   5. the scalar and batched router paths return the same verdict and
 //      cursor position for the decoded packet — parity must hold for
-//      arbitrary adversarial input, not just well-formed streams.
+//      arbitrary adversarial input, not just well-formed streams;
+//   6. the trace-context block is control-plane only: stripping it from
+//      an accepted frame yields another accepted frame that is exactly
+//      kTraceContextLen shorter, and both frames produce the identical
+//      data-plane (FastPacket) view. peek_trace_context agrees with the
+//      full decode on every accepted frame.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -55,6 +60,23 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const auto again = colibri::proto::decode_packet(re);
   check(again.has_value() && *again == *pkt, "decode(encode(p)) != p");
 
+  // Trace-context invariants on every accepted frame. The O(1) peek the
+  // bus uses must agree with the full decode, and the stripped twin
+  // (same frame, no trace block) must itself be canonical.
+  check(colibri::proto::peek_trace_context(frame) ==
+            (pkt->has_trace ? pkt->trace : colibri::proto::TraceContext{}),
+        "peek_trace_context disagrees with decode");
+  colibri::proto::Packet stripped = *pkt;
+  stripped.has_trace = false;
+  stripped.trace = {};
+  const colibri::Bytes swire = colibri::proto::encode_packet(stripped);
+  check(swire.size() ==
+            size - (pkt->has_trace ? colibri::proto::kTraceContextLen : 0),
+        "trace block does not cost exactly its wire bytes");
+  const auto spkt = colibri::proto::decode_packet(swire);
+  check(spkt.has_value() && *spkt == stripped,
+        "stripping the trace block broke the frame");
+
   const bool fits = pkt->path.size() <= colibri::dataplane::kMaxHops;
   check(ingested == fits, "ingest disagrees with decode + hop bound");
   if (!fits) return 0;
@@ -75,6 +97,13 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
               back.path[i].egress == pkt->path[i].egress,
           "FastPacket round trip lost interface pairs");
   }
+
+  // Zero-context fallback parity: the data plane never sees the trace
+  // block, so the traced frame and its stripped twin convert to the
+  // same FastPacket view.
+  check(colibri::dataplane::to_packet(colibri::dataplane::to_fast(*spkt)) ==
+            back,
+        "trace context leaked into the data-plane view");
 
   // Verdict parity on adversarial input: hookless twin routers with a
   // frozen clock (persistent across inputs; only their counters grow).

@@ -7,6 +7,8 @@
 #include "colibri/app/testbed.hpp"
 #include "colibri/sim/scenario.hpp"
 #include "colibri/telemetry/metrics.hpp"
+#include "colibri/telemetry/trace_assembler.hpp"
+#include "colibri/telemetry/trace_export.hpp"
 
 namespace colibri {
 namespace {
@@ -130,6 +132,84 @@ TEST_F(IntegrationTest, BusSpanTracingRecordsControlPlaneHops) {
       EXPECT_EQ(trace.spans[static_cast<size_t>(s.parent)].depth, s.depth - 1);
     }
   }
+}
+
+// Distributed tracing end to end: an EER setup crossing the core (4+
+// on-path ASes) carries one trace context hop by hop; the assembler
+// stitches the per-AS spans into a single causal tree whose hop order is
+// the topology path order, and both exposition surfaces (Perfetto flow
+// arrows, waterfall) render it.
+TEST_F(IntegrationTest, DistributedTraceFollowsTopologyPath) {
+  auto& tracer = bed_.bus().tracer();
+  tracer.enable();
+  const AsId src{1, 112}, dst{2, 221};
+  auto session = bed_.daemon(src).open_session(
+      dst, HostAddr::from_u64(0xA), HostAddr::from_u64(0xB), 1000, 100'000);
+  tracer.disable();
+  ASSERT_TRUE(session.ok()) << errc_name(session.error());
+  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
+  ASSERT_NE(rec, nullptr);
+  ASSERT_GE(rec->path.size(), 4u);  // crosses the core
+
+  const telemetry::SpanTrace capture = tracer.take();
+  telemetry::TraceAssembler assembler;
+  assembler.add_capture(capture);
+  const auto traces = assembler.assemble();
+  ASSERT_FALSE(traces.empty());
+
+  // Exactly one assembled trace carries this reservation.
+  const std::int64_t res_id =
+      static_cast<std::int64_t>(session.value().key().res_id);
+  std::size_t matches = 0;
+  for (const auto& t : traces) matches += t.res_id() == res_id;
+  ASSERT_EQ(matches, 1u);
+  const telemetry::AssembledTrace* t =
+      telemetry::TraceAssembler::find_by_res_id(traces, res_id);
+  ASSERT_NE(t, nullptr);
+
+  // The admission chain (the hops that reached a verdict for this EER)
+  // is the topology path, in order: source first, then each on-path AS.
+  std::vector<const telemetry::HopAttribution*> chain;
+  for (const auto& h : t->hops) {
+    if (h.arg("verdict").rfind("eer.", 0) == 0) chain.push_back(&h);
+  }
+  ASSERT_EQ(chain.size(), rec->path.size());
+  EXPECT_EQ(chain[0]->as, src.to_string());
+  EXPECT_EQ(chain[0]->parent_span_id, 0u);  // the initiator is the root
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i]->as, rec->path[i].as.to_string()) << "hop " << i;
+    EXPECT_FALSE(chain[i]->orphan);
+    EXPECT_FALSE(chain[i]->truncated);
+    if (i > 0) {
+      // Causality on the wire ids, not capture order.
+      EXPECT_EQ(chain[i]->parent_span_id, chain[i - 1]->span_id);
+      EXPECT_GT(chain[i]->depth, chain[i - 1]->depth);
+    }
+  }
+  // Latency attribution adds up: downstream time is inside the root.
+  EXPECT_GE(t->total_ns(), chain.back()->total_ns);
+  EXPECT_NE(t->waterfall().find("<-- bottleneck"), std::string::npos);
+
+  // Perfetto: the same capture renders cross-track flow arrows.
+  telemetry::PerfettoTraceBuilder ptb;
+  ptb.add_span_trace(capture, "control-plane", "setup");
+  const std::string json = ptb.to_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+// Tracing disabled is the default and must add nothing to the wire: the
+// same setup with the tracer off produces packets with no trace flag.
+TEST_F(IntegrationTest, NoTraceContextOnTheWireWhenDisabled) {
+  ASSERT_FALSE(bed_.bus().tracer().enabled());
+  ASSERT_FALSE(bed_.bus().tracing_active());
+  const AsId src{1, 111}, dst{2, 222};
+  auto session = bed_.daemon(src).open_session(
+      dst, HostAddr::from_u64(0x1), HostAddr::from_u64(0x2), 1000, 50'000);
+  ASSERT_TRUE(session.ok()) << errc_name(session.error());
+  // Nothing was recorded, and no context is live on the bus.
+  EXPECT_TRUE(bed_.bus().tracer().take().spans.empty());
+  EXPECT_FALSE(bed_.bus().current_context().present());
 }
 
 // Path choice (§2.1): when the first chain's SegR has no capacity left,

@@ -8,6 +8,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <initializer_list>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "colibri/app/obs.hpp"
+#include "colibri/app/obs_cli.hpp"
 #include "colibri/dataplane/gateway.hpp"
 #include "colibri/dataplane/ofd.hpp"
 #include "colibri/dataplane/router.hpp"
@@ -467,6 +469,39 @@ TEST(EventLogTest, JsonlRoundTripsEveryLine) {
   EXPECT_EQ(parsed[1].str("offender"), "2-999");
 }
 
+TEST(EventLogTest, SequenceNumbersAreMonotonicAndRoundTrip) {
+  SimClock clock(0);  // frozen clock: every event shares one timestamp
+  EventLog log(clock);
+  for (int i = 0; i < 5; ++i) {
+    log.emit(Severity::kInfo, "test", "tick").u64("n", i);
+  }
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+    EXPECT_EQ(events[i].time_ns, events[0].time_ns);  // seq breaks the tie
+  }
+  // seq survives the exact JSON round-trip.
+  const std::string json = events[3].to_json();
+  EXPECT_NE(json.find("\"seq\":"), std::string::npos);
+  const auto parsed = Event::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, events[3].seq);
+  EXPECT_EQ(parsed->to_json(), json);
+}
+
+TEST(EventLogTest, SequenceIsProcessGlobalAcrossLogs) {
+  SimClock clock(0);
+  EventLog a(clock);
+  EventLog b(clock);
+  a.emit(Severity::kInfo, "test", "first");
+  b.emit(Severity::kInfo, "test", "second");
+  a.emit(Severity::kInfo, "test", "third");
+  // Interleaved emissions across two logs still totally order.
+  EXPECT_LT(a.events()[0].seq, b.events()[0].seq);
+  EXPECT_LT(b.events()[0].seq, a.events()[1].seq);
+}
+
 // --- OpenMetrics exposition --------------------------------------------------
 
 // Strict line-oriented parse of the subset of the OpenMetrics text
@@ -911,6 +946,101 @@ TEST_F(ObsScenarioTest, OpenMetricsAgreesWithJsonSnapshot) {
   EXPECT_GT(exp.samples.at("colibri_router_forwarded_total"), 0.0);
   EXPECT_GT(exp.samples.at("colibri_gateway_forwarded_total"), 0.0);
   EXPECT_GT(exp.samples.at("colibri_router_drop_auth_failed_total"), 0.0);
+}
+
+TEST_F(ObsScenarioTest, AssemblesDistributedTracesWithMetrics) {
+  // The setup conversation produced at least one multi-hop causal tree
+  // with a reservation id and per-hop attribution.
+  ASSERT_FALSE(art_->traces.empty());
+  bool saw_multi_hop = false;
+  for (const auto& t : art_->traces) {
+    ASSERT_FALSE(t.hops.empty());
+    EXPECT_EQ(t.hops[0].depth, 0);
+    for (const auto& h : t.hops) {
+      EXPECT_GE(h.total_ns, h.self_ns);
+      EXPECT_GE(h.self_ns, 0);
+    }
+    saw_multi_hop |= t.hops.size() >= 2;
+  }
+  EXPECT_TRUE(saw_multi_hop);
+  // cserv.trace.* landed in the same snapshot as everything else.
+  EXPECT_GT(art_->metrics.counters.at("cserv.trace.assembled"), 0u);
+  EXPECT_EQ(art_->metrics.counters.at("cserv.trace.orphan_spans"), 0u);
+  ASSERT_TRUE(art_->metrics.histograms.count("cserv.trace.hop_total_ns"));
+  // The Perfetto export carries the cross-track flow arrows.
+  EXPECT_NE(art_->perfetto_json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(art_->perfetto_json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST_F(ObsScenarioTest, EventSequenceNumbersIncreaseWithinTheRun) {
+  const auto evs = parsed_events();
+  ASSERT_GE(evs.size(), 2u);
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_GT(evs[i].seq, evs[i - 1].seq) << "event " << i;
+  }
+}
+
+// --- colibri_obs CLI surface -------------------------------------------------
+
+int run_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"colibri_obs"};
+  argv.insert(argv.end(), args);
+  return app::run_obs_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ObsCliTest, UnknownSubcommandFailsWithUsage) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"frobnicate"}), 2);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unknown command 'frobnicate'"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(ObsCliTest, UnknownFlagFailsWithUsage) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"--bogus=1"}), 2);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("usage:"),
+            std::string::npos);
+}
+
+TEST(ObsCliTest, MissingPerfettoPathFailsWithUsage) {
+  // `--perfetto` as the last token has no value to consume.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"trace", "--perfetto"}), 2);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("usage:"),
+            std::string::npos);
+}
+
+TEST(ObsCliTest, NonexistentScenarioFailsWithUsage) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"--scenario=mars"}), 2);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unknown scenario 'mars'"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(ObsCliTest, ReservationRequiresTraceCommandAndNumericId) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"--reservation=5"}), 2);  // no trace command
+  EXPECT_EQ(run_cli({"trace", "--reservation=abc"}), 2);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("--reservation"),
+            std::string::npos);
+}
+
+TEST(ObsCliTest, TraceWaterfallForKnownAndUnknownReservation) {
+  // One cheap scenario run per invocation; keep the traffic leg small.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"trace", "--packets=40", "--reservation", "999999"}), 1);
+  EXPECT_NE(
+      testing::internal::GetCapturedStderr().find("no assembled trace"),
+      std::string::npos);
+
+  // The deterministic scenario always provisions reservation id 1 first.
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_cli({"trace", "--packets=40", "--reservation=1"}), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("res_id=1"), std::string::npos) << out;
+  EXPECT_NE(out.find("<-- bottleneck"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -90,6 +90,101 @@ TEST(PacketCodecTest, RejectsCurrentHopBeyondPath) {
   EXPECT_FALSE(decode_packet(wire).has_value());
 }
 
+TEST(TraceContextCodecTest, RoundTripsThroughWire) {
+  for (const bool eer : {false, true}) {
+    Packet p = sample_packet(eer);
+    p.has_trace = true;
+    p.trace = TraceContext{0x0123456789ABCDEF, 0xFEDCBA9876543210,
+                           0xDEADBEEF, 0xCAFED00D, TraceContext::kSampled};
+    const Bytes wire = encode_packet(p);
+    EXPECT_EQ(wire.size(), p.wire_size());
+    auto decoded = decode_packet(wire);
+    ASSERT_TRUE(decoded.has_value()) << "eer=" << eer;
+    EXPECT_TRUE(decoded->has_trace);
+    EXPECT_EQ(decoded->trace, p.trace);
+    EXPECT_TRUE(decoded->trace.sampled());
+    EXPECT_EQ(encode_packet(*decoded), wire);
+  }
+}
+
+TEST(TraceContextCodecTest, AbsentBlockDecodesToZeroedContext) {
+  // Frames encoded before the extension existed carry no flag 0x02 and
+  // no block; they must decode to an absent context, byte-identically
+  // on re-encode.
+  const Packet p = sample_packet(false);
+  const Bytes wire = encode_packet(p);
+  auto decoded = decode_packet(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->has_trace);
+  EXPECT_EQ(decoded->trace, TraceContext{});
+  EXPECT_FALSE(decoded->trace.present());
+  EXPECT_EQ(encode_packet(*decoded), wire);
+}
+
+TEST(TraceContextCodecTest, TraceBlockCostsExactlyItsWireBytes) {
+  Packet p = sample_packet(true);
+  const std::size_t plain = p.wire_size();
+  p.has_trace = true;
+  EXPECT_EQ(p.wire_size(), plain + kTraceContextLen);
+  EXPECT_EQ(encode_packet(p).size(), plain + kTraceContextLen);
+}
+
+TEST(TraceContextCodecTest, RejectsTruncatedTraceBlock) {
+  Packet p = sample_packet(false);
+  p.has_trace = true;
+  p.trace.trace_hi = 1;
+  const Bytes wire = encode_packet(p);
+  // Any cut inside or after the trace block must be rejected, not read
+  // out of bounds.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(decode_packet(BytesView(wire.data(), cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(TraceContextCodecTest, ZeroContextWithFlagReencodesCanonically) {
+  // has_trace with an all-zero context is a legal frame (flag set, block
+  // zeroed); the distinction from "no flag" must survive the round trip
+  // so decode∘encode stays the identity for the fuzz harness.
+  Packet p = sample_packet(false);
+  p.has_trace = true;  // trace left zeroed
+  const Bytes wire = encode_packet(p);
+  auto decoded = decode_packet(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->has_trace);
+  EXPECT_FALSE(decoded->trace.present());
+  EXPECT_EQ(encode_packet(*decoded), wire);
+}
+
+TEST(TraceContextCodecTest, PeekMatchesFullDecode) {
+  for (const bool eer : {false, true}) {
+    Packet p = sample_packet(eer);
+    EXPECT_EQ(peek_trace_context(encode_packet(p)), TraceContext{});
+    p.has_trace = true;
+    p.trace = TraceContext{11, 22, 33, 44, TraceContext::kSampled};
+    EXPECT_EQ(peek_trace_context(encode_packet(p)), p.trace);
+  }
+  // Too short to hold the block at its offset: absent, no crash.
+  EXPECT_EQ(peek_trace_context(BytesView{}), TraceContext{});
+  const Bytes wire = encode_packet([] {
+    Packet p = sample_packet(false);
+    p.has_trace = true;
+    p.trace.span_id = 7;
+    return p;
+  }());
+  EXPECT_EQ(peek_trace_context(BytesView(wire.data(), 30)), TraceContext{});
+}
+
+TEST(TraceContextCodecTest, RejectsUnknownFlagBits) {
+  Bytes wire = encode_packet(sample_packet(false));
+  for (std::uint8_t bit = 0x04; bit != 0; bit <<= 1) {
+    Bytes mutated = wire;
+    mutated[1] |= bit;
+    EXPECT_FALSE(decode_packet(mutated).has_value())
+        << "flag bit " << int(bit);
+  }
+}
+
 TEST(PacketCodecTest, FuzzDecodeNeverCrashes) {
   Rng rng(99);
   for (int i = 0; i < 2000; ++i) {

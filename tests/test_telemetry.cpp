@@ -23,6 +23,7 @@
 #include "colibri/telemetry/openmetrics.hpp"
 #include "colibri/telemetry/profiler.hpp"
 #include "colibri/telemetry/trace.hpp"
+#include "colibri/telemetry/trace_assembler.hpp"
 #include "colibri/telemetry/trace_export.hpp"
 
 namespace colibri {
@@ -526,6 +527,194 @@ TEST(PerfettoExportTest, StageSpansRenderOnOneTrack) {
   EXPECT_TRUE(json_is_balanced(json)) << json;
   EXPECT_NE(json.find("alpha"), std::string::npos);
   EXPECT_NE(json.find("beta"), std::string::npos);
+}
+
+// --- Cross-AS trace assembly -------------------------------------------------
+
+// A span as the bus would record it: wire ids stamped, duration known.
+telemetry::Span traced_span(std::string name, std::uint64_t span_id,
+                            std::uint64_t parent_id, std::int64_t start_ns,
+                            std::int64_t duration_ns) {
+  telemetry::Span s;
+  s.name = std::move(name);
+  s.category = "bus";
+  s.start_ns = start_ns;
+  s.duration_ns = duration_ns;
+  s.trace_hi = 0xABCD;
+  s.trace_lo = 0x1234;
+  s.ctx_span = span_id;
+  s.ctx_parent = parent_id;
+  return s;
+}
+
+TEST(TraceAssemblerTest, StitchesSpansAcrossIndependentCaptures) {
+  // The root hop in one capture, its two downstream hops in another —
+  // the wire ids alone must reconstruct the tree.
+  telemetry::SpanTrace cap_a;
+  cap_a.spans.push_back(traced_span("1-100", /*span=*/10, /*parent=*/0,
+                                    /*start=*/0, /*dur=*/1'000));
+  telemetry::SpanTrace cap_b;
+  cap_b.spans.push_back(traced_span("1-110", 11, 10, 100, 400));
+  cap_b.spans.push_back(traced_span("1-120", 12, 11, 150, 250));
+
+  telemetry::TraceAssembler assembler;
+  assembler.add_capture(cap_b);  // order of captures must not matter
+  assembler.add_capture(cap_a);
+  const auto traces = assembler.assemble();
+
+  ASSERT_EQ(traces.size(), 1u);
+  const auto& t = traces[0];
+  ASSERT_EQ(t.hops.size(), 3u);
+  // DFS order = path traversal order for a linear chain.
+  EXPECT_EQ(t.hops[0].as, "1-100");
+  EXPECT_EQ(t.hops[1].as, "1-110");
+  EXPECT_EQ(t.hops[2].as, "1-120");
+  EXPECT_EQ(t.hops[0].depth, 0);
+  EXPECT_EQ(t.hops[1].depth, 1);
+  EXPECT_EQ(t.hops[2].depth, 2);
+  EXPECT_EQ(t.hops[1].parent_span_id, t.hops[0].span_id);
+  EXPECT_EQ(t.hops[2].parent_span_id, t.hops[1].span_id);
+  // Latency attribution: self = subtree minus direct children.
+  EXPECT_EQ(t.total_ns(), 1'000);
+  EXPECT_EQ(t.hops[0].self_ns, 600);
+  EXPECT_EQ(t.hops[1].self_ns, 150);
+  EXPECT_EQ(t.hops[2].self_ns, 250);
+  EXPECT_EQ(t.bottleneck(), 0u);
+  EXPECT_FALSE(t.hops[0].orphan);
+  EXPECT_EQ(t.trace_id_hex(),
+            "000000000000abcd0000000000001234");
+}
+
+TEST(TraceAssemblerTest, SeparateTraceIdsYieldSeparateTrees) {
+  telemetry::SpanTrace cap;
+  cap.spans.push_back(traced_span("1-100", 1, 0, 0, 100));
+  telemetry::Span other = traced_span("2-200", 2, 0, 50, 80);
+  other.trace_lo = 0x9999;  // different trace id
+  cap.spans.push_back(other);
+
+  telemetry::TraceAssembler assembler;
+  assembler.add_capture(cap);
+  const auto traces = assembler.assemble();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].hops.size(), 1u);
+  EXPECT_EQ(traces[1].hops.size(), 1u);
+}
+
+TEST(TraceAssemblerTest, MissingParentBecomesCountedOrphanRoot) {
+  MetricsRegistry registry;
+  telemetry::TraceAssembler assembler(&registry);
+  telemetry::SpanTrace cap;
+  cap.spans.push_back(traced_span("1-100", 10, 0, 0, 500));
+  cap.spans.push_back(traced_span("1-999", 20, /*parent=*/77, 100, 50));
+  assembler.add_capture(cap);
+  const auto traces = assembler.assemble();
+
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].hops.size(), 2u);
+  // The orphan is kept as a second root at depth 0, flagged.
+  EXPECT_FALSE(traces[0].hops[0].orphan);
+  EXPECT_TRUE(traces[0].hops[1].orphan);
+  EXPECT_EQ(traces[0].hops[1].depth, 0);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cserv.trace.orphan_spans"), 1u);
+  EXPECT_EQ(snap.counters.at("cserv.trace.assembled"), 1u);
+}
+
+TEST(TraceAssemblerTest, UntracedAndTruncatedSpansAreCounted) {
+  MetricsRegistry registry;
+  telemetry::TraceAssembler assembler(&registry);
+  telemetry::SpanTrace cap;
+  telemetry::Span plain;  // no trace ids: pre-extension span
+  plain.name = "1-100";
+  plain.duration_ns = 10;
+  cap.spans.push_back(plain);
+  telemetry::Span cut = traced_span("1-110", 5, 0, 0, -1);
+  cut.truncated = true;
+  cap.spans.push_back(cut);
+  assembler.add_capture(cap);
+  const auto traces = assembler.assemble();
+
+  ASSERT_EQ(traces.size(), 1u);  // only the traced span forms a tree
+  EXPECT_TRUE(traces[0].hops[0].truncated);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cserv.trace.untraced_spans"), 1u);
+  EXPECT_EQ(snap.counters.at("cserv.trace.truncated_spans"), 1u);
+}
+
+TEST(TraceAssemblerTest, MetricsIncludePerHopLatencyHistograms) {
+  MetricsRegistry registry;
+  telemetry::TraceAssembler assembler(&registry);
+  telemetry::SpanTrace cap;
+  telemetry::Span root = traced_span("1-100", 1, 0, 0, 1'000);
+  root.args.emplace_back("admission_ns", "250");
+  cap.spans.push_back(root);
+  assembler.add_capture(cap);
+  (void)assembler.assemble();
+
+  const auto snap = registry.snapshot();
+  ASSERT_TRUE(snap.histograms.count("cserv.trace.hop_total_ns"));
+  ASSERT_TRUE(snap.histograms.count("cserv.trace.hop_self_ns"));
+  ASSERT_TRUE(snap.histograms.count("cserv.trace.admission_ns"));
+  EXPECT_EQ(snap.histograms.at("cserv.trace.hop_total_ns").count, 1u);
+  EXPECT_EQ(snap.histograms.at("cserv.trace.admission_ns").sum, 250u);
+}
+
+TEST(TraceAssemblerTest, FindByResIdAndWaterfall) {
+  telemetry::SpanTrace cap;
+  telemetry::Span root = traced_span("1-100", 1, 0, 0, 1'000);
+  root.args.emplace_back("res_id", "42");
+  root.args.emplace_back("verdict", "segr.admitted");
+  cap.spans.push_back(root);
+  cap.spans.push_back(traced_span("1-110", 2, 1, 100, 800));
+
+  telemetry::TraceAssembler assembler;
+  assembler.add_capture(cap);
+  const auto traces = assembler.assemble();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].res_id(), 42);
+  EXPECT_EQ(telemetry::TraceAssembler::find_by_res_id(traces, 42),
+            &traces[0]);
+  EXPECT_EQ(telemetry::TraceAssembler::find_by_res_id(traces, 7), nullptr);
+
+  const std::string w = traces[0].waterfall();
+  EXPECT_NE(w.find("res_id=42"), std::string::npos) << w;
+  EXPECT_NE(w.find("1-100"), std::string::npos);
+  EXPECT_NE(w.find("1-110"), std::string::npos);
+  EXPECT_NE(w.find("<-- bottleneck"), std::string::npos);
+  EXPECT_NE(w.find("[segr.admitted]"), std::string::npos);
+  // The downstream hop holds the larger self time, so it is the
+  // bottleneck row (marked with '*').
+  EXPECT_EQ(traces[0].bottleneck(), 1u);
+  EXPECT_NE(w.find("* [1] 1-110"), std::string::npos) << w;
+}
+
+TEST(PerfettoExportTest, FlowArrowsLinkParentAndChildTracks) {
+  telemetry::SpanTrace cap;
+  cap.spans.push_back(traced_span("1-100", 10, 0, 0, 1'000));
+  cap.spans.push_back(traced_span("1-110", 11, 10, 100, 400));
+
+  telemetry::PerfettoTraceBuilder builder;
+  builder.add_span_trace(cap, "control-plane", "setup");
+  const std::string json = builder.to_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  // One hop boundary: a flow start on the parent's track, the finish on
+  // the child's, bound by the child's wire span id.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":11"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"id\":10"), std::string::npos) << json;  // root: none
+}
+
+TEST(PerfettoExportTest, NoFlowArrowsWithoutWireIds) {
+  telemetry::SpanCollector col;
+  col.enable();
+  const auto a = col.open("1-100", 0, 10);
+  col.close(a, 500);
+  telemetry::PerfettoTraceBuilder builder;
+  builder.add_span_trace(col.take(), "control-plane", "setup");
+  const std::string json = builder.to_json();
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ph\":\"f\""), std::string::npos) << json;
 }
 
 // --- Concurrent stress (run under the tsan preset) ---------------------------
