@@ -25,8 +25,7 @@ const AsId kNewSource{1, 7777};
 
 // Builds an admission ledger preloaded with `existing` SegRs on interface
 // pair (1, 2); `ratio` percent of them share kNewSource.
-SegrAdmission preload(std::int64_t existing, std::int64_t ratio_pct) {
-  SegrAdmission adm;
+void preload(SegrAdmission& adm, std::int64_t existing, std::int64_t ratio_pct) {
   adm.set_interface_capacity(1, kCapacity);
   adm.set_interface_capacity(2, kCapacity);
   Rng rng(static_cast<std::uint64_t>(existing * 131 + ratio_pct));
@@ -42,13 +41,13 @@ SegrAdmission preload(std::int64_t existing, std::int64_t ratio_pct) {
     req.demand_kbps = static_cast<BwKbps>(100 + rng.below(10'000));
     (void)adm.admit(req);
   }
-  return adm;
 }
 
 void BM_SegrAdmission(benchmark::State& state) {
   const std::int64_t existing = state.range(0);
   const std::int64_t ratio_pct = state.range(1);
-  SegrAdmission adm = preload(existing, ratio_pct);
+  SegrAdmission adm;
+  preload(adm, existing, ratio_pct);
 
   SegrAdmissionRequest req;
   req.src_as = kNewSource;
@@ -76,7 +75,8 @@ BENCHMARK(BM_SegrAdmission)
 
 // Admit + release together (steady-state churn), timed without pauses.
 void BM_SegrAdmissionChurn(benchmark::State& state) {
-  SegrAdmission adm = preload(state.range(0), 50);
+  SegrAdmission adm;
+  preload(adm, state.range(0), 50);
   Rng rng(7);
   ResId next = 0x7000'0000;
   for (auto _ : state) {

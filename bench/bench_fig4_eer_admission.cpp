@@ -12,7 +12,7 @@
 
 #include "colibri/admission/eer_admission.hpp"
 #include "colibri/common/rand.hpp"
-#include "colibri/reservation/segr.hpp"
+#include "colibri/reservation/db.hpp"
 
 namespace {
 
@@ -32,25 +32,26 @@ reservation::SegrRecord make_segr(ResId id, BwKbps bw) {
 }
 
 struct Fixture {
-  reservation::SegrStore store;
-  reservation::SegrRecord* target = nullptr;
+  reservation::ReservationDb db{AsId{1, 99}};
+  ResKey target;
   admission::EerAdmission adm;
 
   Fixture(std::int64_t existing_eers, std::int64_t s) {
     // s SegRs from the same source AS (the Fig. 4 parameter).
     for (std::int64_t i = 0; i < s; ++i) {
-      store.upsert(make_segr(static_cast<ResId>(i + 2), 1'000'000));
+      db.upsert_segr(make_segr(static_cast<ResId>(i + 2), 1'000'000));
     }
     // The SegR carrying the new EER: capacity far above the load so the
     // preloaded EERs never exhaust it.
-    target = store.upsert(
-        make_segr(1, static_cast<BwKbps>(existing_eers * 100 + 1'000'000)));
+    auto tgt = make_segr(1, static_cast<BwKbps>(existing_eers * 100 + 1'000'000));
+    target = tgt.key;
+    db.upsert_segr(std::move(tgt));
     for (std::int64_t i = 0; i < existing_eers; ++i) {
       admission::EerAdmission::Request req;
       req.eer_key = ResKey{kSrc, static_cast<ResId>(1000 + i)};
       req.demand_kbps = 100;
       req.segr_in = target;
-      (void)adm.admit(req, 0);
+      (void)adm.admit(db, req, 0);
     }
   }
 };
@@ -63,10 +64,10 @@ void BM_EerAdmission(benchmark::State& state) {
   req.segr_in = fx.target;
 
   for (auto _ : state) {
-    auto r = fx.adm.admit(req, 0);
+    auto r = fx.adm.admit(fx.db, req, 0);
     benchmark::DoNotOptimize(r);
     state.PauseTiming();
-    fx.adm.release(req.eer_key);
+    fx.adm.release(fx.db, req.eer_key);
     state.ResumeTiming();
   }
   state.counters["existing_eers"] = static_cast<double>(state.range(0));
@@ -82,20 +83,22 @@ BENCHMARK(BM_EerAdmission)
 // (the most expensive EER admission case) is also O(1).
 void BM_EerAdmissionTransfer(benchmark::State& state) {
   Fixture fx(state.range(0), 1);
-  auto* core = fx.store.upsert(make_segr(900, 50'000'000));
-  core->seg_type = topology::SegType::kCore;
+  auto core = make_segr(900, 50'000'000);
+  core.seg_type = topology::SegType::kCore;
+  const ResKey core_key = core.key;
+  fx.db.upsert_segr(std::move(core));
 
   admission::EerAdmission::Request req;
   req.eer_key = ResKey{kSrc, 0x7FFF'0001};
   req.demand_kbps = 500;
   req.segr_in = fx.target;
-  req.segr_out = core;
+  req.segr_out = core_key;
 
   for (auto _ : state) {
-    auto r = fx.adm.admit(req, 0);
+    auto r = fx.adm.admit(fx.db, req, 0);
     benchmark::DoNotOptimize(r);
     state.PauseTiming();
-    fx.adm.release(req.eer_key);
+    fx.adm.release(fx.db, req.eer_key);
     state.ResumeTiming();
   }
   state.counters["existing_eers"] = static_cast<double>(state.range(0));

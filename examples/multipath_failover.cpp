@@ -46,10 +46,13 @@ int main() {
   for (const auto& advert : chains.front()) {
     if (shared.contains(advert.key)) continue;
     for (const auto& hop : advert.hops) {
-      if (auto* rec = bed.cserv(hop.as).db().segrs().find(advert.key)) {
-        rec->eer_allocated_kbps = rec->active.bw_kbps;
-        ++saturated;
-      }
+      const bool hit = bed.cserv(hop.as).db().with_segr(
+          advert.key, [](reservation::SegrRecord* rec) {
+            if (rec == nullptr) return false;
+            rec->eer_allocated_kbps = rec->active.bw_kbps;
+            return true;
+          });
+      if (hit) ++saturated;
     }
   }
   std::printf("\nsaturating %d SegR records unique to chain 0 "
@@ -61,7 +64,7 @@ int main() {
     std::printf("failover FAILED: %s\n", errc_name(session.error()));
     return 1;
   }
-  const auto* rec = bed.cserv(src).db().eers().find(session.value().key());
+  const auto rec = bed.cserv(src).db().eer_copy(session.value().key());
   std::printf("failover succeeded: EER of %u kbps established over SegRs:",
               session.value().bw_kbps());
   for (const auto& key : rec->segrs) {

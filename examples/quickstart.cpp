@@ -46,7 +46,7 @@ int main() {
   // 4. Send data. The gateway monitors the flow, stamps a high-precision
   //    timestamp, and computes one MAC per on-path AS; each border router
   //    re-derives the key from its own secret and validates statelessly.
-  const auto* rec = bed.cserv(src_as).db().eers().find(session.value().key());
+  const auto rec = bed.cserv(src_as).db().eer_copy(session.value().key());
   std::printf("path (%zu ASes):", rec->path.size());
   for (const auto& hop : rec->path) std::printf(" %s", hop.as.to_string().c_str());
   std::printf("\n");

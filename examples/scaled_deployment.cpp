@@ -76,9 +76,9 @@ int main() {
   size_t max_segrs = 0, max_eers = 0, total_segrs = 0;
   for (AsId id : bed.topology().as_ids()) {
     const auto& db = bed.cserv(id).db();
-    max_segrs = std::max(max_segrs, db.segrs().size());
-    max_eers = std::max(max_eers, db.eers().size());
-    total_segrs += db.segrs().size();
+    max_segrs = std::max(max_segrs, db.segr_count());
+    max_eers = std::max(max_eers, db.eer_count());
+    total_segrs += db.segr_count();
   }
   std::printf("state footprint: max %zu SegRs / %zu EERs at any single AS "
               "(avg %.1f SegRs per AS)\n",

@@ -30,7 +30,7 @@ int main() {
     std::printf("could not reserve: %s\n", errc_name(session.error()));
     return 1;
   }
-  const auto* rec = bed.cserv(cdn).db().eers().find(session.value().key());
+  const auto rec = bed.cserv(cdn).db().eer_copy(session.value().key());
   std::printf("streaming 8 Mbps over %zu-AS path, EER lifetime %us\n",
               rec->path.size(),
               session.value().exp_time() - clock.now_sec());

@@ -40,6 +40,9 @@ PRESETS=("$@")
 
 TSAN_SUITES='TelemetryStressTest|ShardedRuntimeTest|SpscRingTest'
 TSAN_SUITES+='|CounterTest.ConcurrentIncrementsFromManyThreads'
+TSAN_SUITES+='|ControlPlaneStressTest'
+TSAN_SUITES+='|RenewalStormTest.MultiThreadedDrainMatchesSingleThreaded'
+TSAN_SUITES+='|ReservationDbTest.NextResIdIsUniqueAcrossThreads'
 
 for preset in "${PRESETS[@]}"; do
   if [ "$preset" = bench-gate ]; then
@@ -63,7 +66,7 @@ for preset in "${PRESETS[@]}"; do
   echo "=== [$preset] build"
   cmake --build --preset "$preset" -j "$JOBS"
   if [ "$preset" = tsan ]; then
-    echo "=== [$preset] concurrency race gate (telemetry + sharded runtime)"
+    echo "=== [$preset] concurrency race gate (telemetry + sharded runtime + control plane)"
     ctest --preset "$preset" -R "$TSAN_SUITES"
     continue
   fi

@@ -1,0 +1,8 @@
+#include "colibri/admission/backend.hpp"
+
+namespace colibri::admission {
+
+// Out-of-line key function: anchors the vtable in this translation unit.
+AdmissionBackend::~AdmissionBackend() = default;
+
+}  // namespace colibri::admission

@@ -70,100 +70,172 @@ double TransferLedger::total_capped_demand(const ResKey& core) const {
   return it == cores_.end() ? 0 : it->second.total_capped;
 }
 
-Result<BwKbps> EerAdmission::admit(const Request& req, UnixSec now) {
-  (void)now;
-  if (req.segr_in == nullptr) return Errc::kNoSuchSegment;
-  reservation::SegrRecord* in = req.segr_in;
-  reservation::SegrRecord* out = req.segr_out;
+EerAdmission::EerAdmission(size_t stripes)
+    : stripes_(stripes == 0 ? 1 : stripes) {}
 
-  // Renewal semantics: temporarily give back the EER's current allocation
-  // so only the *increase* competes for free bandwidth (all versions share
-  // one monitored flow; the max version is what counts, §4.2/§4.8).
-  auto prev = allocations_.find(req.eer_key);
-  Allocation old{};
-  if (prev != allocations_.end()) {
-    old = prev->second;
-    if (old.in.segr != nullptr) {
-      old.in.segr->eer_allocated_kbps -= old.in.allocated;
-    }
-    if (old.out.segr != nullptr) {
-      old.out.segr->eer_allocated_kbps -= old.out.allocated;
-    }
-    if (old.transfer_recorded) {
-      transfer_.release(old.up_key, old.up_bw, old.core_key, old.demand,
-                        old.granted);
-    }
-  }
+namespace {
 
-  // Availability in each adjacent SegR.
-  BwKbps grant = std::min(req.demand_kbps, in->eer_available_kbps());
-  if (out != nullptr && out != in) {
-    grant = std::min(grant, out->eer_available_kbps());
-    // Transfer split between an up- and a core-SegR (§4.7 transfer AS).
-    const bool up_core = in->seg_type == topology::SegType::kUp &&
-                         out->seg_type == topology::SegType::kCore;
-    if (up_core) {
-      grant = std::min(grant, transfer_.evaluate(in->key, in->active.bw_kbps,
-                                                 out->key, out->active.bw_kbps,
-                                                 req.demand_kbps));
-    }
-  }
-
-  if (grant < req.min_bw_kbps || grant == 0) {
-    // Failed: reinstate the old allocation.
-    if (prev != allocations_.end()) {
-      if (old.in.segr != nullptr) {
-        old.in.segr->eer_allocated_kbps += old.in.allocated;
-      }
-      if (old.out.segr != nullptr) {
-        old.out.segr->eer_allocated_kbps += old.out.allocated;
-      }
-      if (old.transfer_recorded) {
-        transfer_.record(old.up_key, old.up_bw, old.core_key, old.demand,
-                         old.granted);
-      }
-    }
-    return Errc::kBandwidthUnavailable;
-  }
-
-  Allocation alloc{};
-  alloc.in = SegrSlice{in, grant};
-  in->eer_allocated_kbps += grant;
-  if (out != nullptr && out != in) {
-    alloc.out = SegrSlice{out, grant};
-    out->eer_allocated_kbps += grant;
-    if (in->seg_type == topology::SegType::kUp &&
-        out->seg_type == topology::SegType::kCore) {
-      transfer_.record(in->key, in->active.bw_kbps, out->key, req.demand_kbps,
-                       grant);
-      alloc.transfer_recorded = true;
-      alloc.up_key = in->key;
-      alloc.core_key = out->key;
-      alloc.up_bw = in->active.bw_kbps;
-      alloc.demand = req.demand_kbps;
-      alloc.granted = grant;
-    }
-  }
-  allocations_[req.eer_key] = alloc;
-  return grant;
+// Counter arithmetic shared by admit/unwind; min-guarded so a record
+// re-created after a sweep can never underflow its counter.
+void sub_allocated(reservation::SegrRecord* rec, BwKbps amount) {
+  if (rec == nullptr) return;
+  rec->eer_allocated_kbps -= std::min(amount, rec->eer_allocated_kbps);
 }
 
-void EerAdmission::release(const ResKey& eer_key) {
-  auto it = allocations_.find(eer_key);
-  if (it == allocations_.end()) return;
-  Allocation& a = it->second;
-  if (a.in.segr != nullptr) {
-    a.in.segr->eer_allocated_kbps -=
-        std::min(a.in.allocated, a.in.segr->eer_allocated_kbps);
-  }
-  if (a.out.segr != nullptr) {
-    a.out.segr->eer_allocated_kbps -=
-        std::min(a.out.allocated, a.out.segr->eer_allocated_kbps);
-  }
+}  // namespace
+
+void EerAdmission::unwind(reservation::ReservationDb& db,
+                          const Allocation& a) {
+  db.with_segr_pair(
+      a.in_key, a.has_out ? std::optional<ResKey>(a.out_key) : std::nullopt,
+      [&](reservation::SegrRecord* in, reservation::SegrRecord* out) {
+        sub_allocated(in, a.in_allocated);
+        sub_allocated(out, a.out_allocated);
+      });
   if (a.transfer_recorded) {
+    std::lock_guard tl(transfer_mu_);
     transfer_.release(a.up_key, a.up_bw, a.core_key, a.demand, a.granted);
   }
-  allocations_.erase(it);
+}
+
+Result<BwKbps> EerAdmission::admit(reservation::ReservationDb& db,
+                                   const Request& req, UnixSec now) {
+  (void)now;
+  if (!req.segr_in) return Errc::kNoSuchSegment;
+
+  Stripe& st = stripe(req.eer_key);
+  std::lock_guard slock(st.mu);
+
+  auto prev = st.allocations.find(req.eer_key);
+  // If the previous allocation rides SegRs outside the requested pair
+  // (an EER re-admitted over different segments), unwind it up front —
+  // the renewal path always re-requests over the record's own SegRs, so
+  // this branch is the exception, not the rule.
+  if (prev != st.allocations.end()) {
+    const Allocation& old = prev->second;
+    auto in_pair = [&](const ResKey& k) {
+      return k == *req.segr_in || (req.segr_out && k == *req.segr_out);
+    };
+    if (!in_pair(old.in_key) || (old.has_out && !in_pair(old.out_key))) {
+      unwind(db, old);
+      st.allocations.erase(prev);
+      prev = st.allocations.end();
+    }
+  }
+
+  return db.with_segr_pair(
+      *req.segr_in, req.segr_out,
+      [&](reservation::SegrRecord* in,
+          reservation::SegrRecord* out) -> Result<BwKbps> {
+        if (in == nullptr) return Errc::kNoSuchSegment;
+        auto rec_for = [&](const ResKey& k) -> reservation::SegrRecord* {
+          if (in->key == k) return in;
+          if (out != nullptr && out->key == k) return out;
+          return nullptr;
+        };
+
+        // Renewal semantics: temporarily give back the EER's current
+        // allocation so only the *increase* competes for free bandwidth
+        // (all versions share one monitored flow; the max version is what
+        // counts, §4.2/§4.8). Both records are locked, so the transient
+        // state is invisible to concurrent admissions.
+        Allocation old{};
+        const bool had_prev = prev != st.allocations.end();
+        if (had_prev) {
+          old = prev->second;
+          sub_allocated(rec_for(old.in_key), old.in_allocated);
+          if (old.has_out) {
+            sub_allocated(rec_for(old.out_key), old.out_allocated);
+          }
+          if (old.transfer_recorded) {
+            std::lock_guard tl(transfer_mu_);
+            transfer_.release(old.up_key, old.up_bw, old.core_key, old.demand,
+                              old.granted);
+          }
+        }
+        auto reinstate = [&] {
+          if (!had_prev) return;
+          if (auto* r = rec_for(old.in_key)) {
+            r->eer_allocated_kbps += old.in_allocated;
+          }
+          if (old.has_out) {
+            if (auto* r = rec_for(old.out_key)) {
+              r->eer_allocated_kbps += old.out_allocated;
+            }
+          }
+          if (old.transfer_recorded) {
+            std::lock_guard tl(transfer_mu_);
+            transfer_.record(old.up_key, old.up_bw, old.core_key, old.demand,
+                             old.granted);
+          }
+        };
+
+        // Availability in each adjacent SegR.
+        BwKbps grant = std::min(req.demand_kbps, in->eer_available_kbps());
+        const bool distinct = out != nullptr && out != in;
+        bool up_core = false;
+        if (distinct) {
+          grant = std::min(grant, out->eer_available_kbps());
+          // Transfer split between an up- and a core-SegR (§4.7).
+          up_core = in->seg_type == topology::SegType::kUp &&
+                    out->seg_type == topology::SegType::kCore;
+          if (up_core) {
+            std::lock_guard tl(transfer_mu_);
+            grant = std::min(
+                grant, transfer_.evaluate(in->key, in->active.bw_kbps,
+                                          out->key, out->active.bw_kbps,
+                                          req.demand_kbps));
+          }
+        }
+
+        if (grant < req.min_bw_kbps || grant == 0) {
+          reinstate();
+          return Errc::kBandwidthUnavailable;
+        }
+
+        Allocation alloc{};
+        alloc.in_key = in->key;
+        alloc.in_allocated = grant;
+        in->eer_allocated_kbps += grant;
+        if (distinct) {
+          alloc.out_key = out->key;
+          alloc.has_out = true;
+          alloc.out_allocated = grant;
+          out->eer_allocated_kbps += grant;
+          if (up_core) {
+            std::lock_guard tl(transfer_mu_);
+            transfer_.record(in->key, in->active.bw_kbps, out->key,
+                             req.demand_kbps, grant);
+            alloc.transfer_recorded = true;
+            alloc.up_key = in->key;
+            alloc.core_key = out->key;
+            alloc.up_bw = in->active.bw_kbps;
+            alloc.demand = req.demand_kbps;
+            alloc.granted = grant;
+          }
+        }
+        st.allocations[req.eer_key] = alloc;
+        return grant;
+      });
+}
+
+void EerAdmission::release(reservation::ReservationDb& db,
+                           const ResKey& eer_key) {
+  Stripe& st = stripe(eer_key);
+  std::lock_guard slock(st.mu);
+  auto it = st.allocations.find(eer_key);
+  if (it == st.allocations.end()) return;
+  unwind(db, it->second);
+  st.allocations.erase(it);
+}
+
+size_t EerAdmission::tracked() const {
+  size_t n = 0;
+  for (const Stripe& st : stripes_) {
+    std::lock_guard lock(st.mu);
+    n += st.allocations.size();
+  }
+  return n;
 }
 
 }  // namespace colibri::admission

@@ -6,13 +6,25 @@
 // among the up-SegRs competing for it, using per-core-SegR aggregates
 // (again O(1) per decision). Source/destination ASes apply a local policy
 // on top (per-host caps, §4.7 "intra-AS admission policy").
+//
+// Concurrency: requests name their adjacent SegRs by *key*, never by
+// pointer — the admission resolves and mutates the records under the
+// ReservationDb's shard locks, so a SegR swept mid-flight is simply seen
+// as absent instead of becoming a dangling pointer. Allocation
+// bookkeeping is striped by a splitmix64 hash of the EER's ResId (the
+// same routing as the db shards); the transfer ledger couples up- and
+// core-SegRs across stripes and stays behind a single mutex. Lock order:
+// stripe mutex -> db shard locks (ascending) -> transfer mutex.
 #pragma once
 
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "colibri/admission/tube.hpp"
 #include "colibri/common/errors.hpp"
-#include "colibri/reservation/types.hpp"
+#include "colibri/reservation/db.hpp"
 
 namespace colibri::admission {
 
@@ -57,40 +69,51 @@ class TransferLedger {
 };
 
 // Full per-AS EER admission: checks every adjacent SegR and maintains the
-// per-SegR allocation counters. The caller (CServ) passes pointers to the
+// per-SegR allocation counters. The caller (CServ) passes the keys of the
 // SegR records the request rides at this AS (one for transit, two for a
-// transfer AS).
+// transfer AS); the records themselves are resolved against the passed
+// ReservationDb under its shard locks.
 class EerAdmission {
  public:
+  // `stripes` partitions the allocation bookkeeping for concurrent
+  // admits; 1 stripe degenerates to the single-lock behavior.
+  explicit EerAdmission(size_t stripes = 1);
+
+  EerAdmission(const EerAdmission&) = delete;
+  EerAdmission& operator=(const EerAdmission&) = delete;
+
   struct Request {
     ResKey eer_key;
     BwKbps demand_kbps = 0;
     BwKbps min_bw_kbps = 0;
     // Adjacent SegRs at this AS in traversal order (1 or 2 entries).
-    reservation::SegrRecord* segr_in = nullptr;
-    reservation::SegrRecord* segr_out = nullptr;
+    std::optional<ResKey> segr_in;
+    std::optional<ResKey> segr_out;
   };
 
   // Grants min over the adjacent SegRs' available bandwidth (and the
   // transfer share when two SegRs meet), records the allocation on each
   // SegR counter. A second admit for the same EER key adjusts the
   // existing allocation (renewal; only the max over versions counts).
-  Result<BwKbps> admit(const Request& req, UnixSec now);
+  Result<BwKbps> admit(reservation::ReservationDb& db, const Request& req,
+                       UnixSec now);
 
-  // Releases an EER's allocation (expiry or teardown).
-  void release(const ResKey& eer_key);
+  // Releases an EER's allocation (expiry or teardown). A SegR already
+  // swept from the db is skipped — its counters died with it.
+  void release(reservation::ReservationDb& db, const ResKey& eer_key);
 
+  size_t stripes() const { return stripes_.size(); }
+  // Read-side introspection; callers must be quiesced (tests/diagnostics).
   const TransferLedger& transfer_ledger() const { return transfer_; }
-  size_t tracked() const { return allocations_.size(); }
+  size_t tracked() const;
 
  private:
-  struct SegrSlice {
-    reservation::SegrRecord* segr = nullptr;
-    BwKbps allocated = 0;
-  };
   struct Allocation {
-    SegrSlice in;
-    SegrSlice out;
+    ResKey in_key;
+    ResKey out_key;
+    bool has_out = false;
+    BwKbps in_allocated = 0;
+    BwKbps out_allocated = 0;
     // Transfer-ledger contribution (only when in & out are distinct).
     bool transfer_recorded = false;
     ResKey up_key, core_key;
@@ -98,9 +121,23 @@ class EerAdmission {
     BwKbps demand = 0;
     BwKbps granted = 0;
   };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<ResKey, Allocation> allocations;
+  };
+
+  Stripe& stripe(const ResKey& eer_key) {
+    return stripes_[reservation::ReservationDb::shard_of(eer_key.res_id,
+                                                         stripes_.size())];
+  }
+
+  // Unwinds `a` against the db + transfer ledger (no stripe-map change);
+  // caller holds the owning stripe's mutex.
+  void unwind(reservation::ReservationDb& db, const Allocation& a);
 
   TransferLedger transfer_;
-  std::unordered_map<ResKey, Allocation> allocations_;
+  mutable std::mutex transfer_mu_;
+  std::vector<Stripe> stripes_;
 };
 
 }  // namespace colibri::admission

@@ -3,11 +3,17 @@
 namespace colibri::admission {
 
 void SegrAdmission::set_interface_capacity(IfId ifid, BwKbps cap) {
+  std::lock_guard lock(mu_);
   ingress_caps_[ifid] = cap;
   ledger_.set_egress_capacity(ifid, cap);
 }
 
 BwKbps SegrAdmission::interface_capacity(IfId ifid) const {
+  std::lock_guard lock(mu_);
+  return interface_capacity_locked(ifid);
+}
+
+BwKbps SegrAdmission::interface_capacity_locked(IfId ifid) const {
   auto it = ingress_caps_.find(ifid);
   return it == ingress_caps_.end() ? 0 : it->second;
 }
@@ -25,6 +31,7 @@ void SegrAdmission::purge_pending(UnixSec now) {
 }
 
 Result<BwKbps> SegrAdmission::admit(const SegrAdmissionRequest& req) {
+  std::lock_guard lock(mu_);
   purge_pending(req.now);
 
   // A fresh request from this source supersedes its remembered
@@ -46,7 +53,7 @@ Result<BwKbps> SegrAdmission::admit(const SegrAdmissionRequest& req) {
   // bounded by the egress only.
   const BwKbps ingress_cap = req.ingress == kNoInterface
                                  ? req.demand_kbps
-                                 : interface_capacity(req.ingress);
+                                 : interface_capacity_locked(req.ingress);
   const TubeGrant grant =
       ledger_.evaluate(req.src_as, ingress_cap, req.egress, req.demand_kbps);
 
@@ -74,6 +81,7 @@ Result<BwKbps> SegrAdmission::admit(const SegrAdmissionRequest& req) {
 }
 
 void SegrAdmission::release(const ResKey& key) {
+  std::lock_guard lock(mu_);
   auto it = allocations_.find(key);
   if (it == allocations_.end()) return;
   ledger_.release(it->second.src, it->second.egress, it->second.grant);

@@ -4,8 +4,16 @@
 // record their contribution, renewals swap the old version's contribution
 // for the new one, expiries release it. The grant decision itself is O(1)
 // in the number of existing SegRs.
+//
+// Concurrency: SegR admission needs the complete per-egress view (the
+// tube shares couple every reservation on an egress), so it runs as a
+// single coordinator behind one mutex — the App. D decomposition keeps
+// exactly one sub-service for SegReqs for the same reason. The O(1)
+// decision keeps the critical section tiny; the sharded concurrency
+// lives in the EER path, which dominates request volume.
 #pragma once
 
+#include <mutex>
 #include <unordered_map>
 
 #include "colibri/admission/tube.hpp"
@@ -46,9 +54,16 @@ class SegrAdmission {
   // Releases the allocation of an expired / torn-down / rejected SegR.
   void release(const ResKey& key);
 
+  // Read-side introspection; callers must be quiesced (tests/diagnostics).
   const TubeLedger& ledger() const { return ledger_; }
-  size_t tracked() const { return allocations_.size(); }
-  size_t pending_demands() const { return pending_.size(); }
+  size_t tracked() const {
+    std::lock_guard lock(mu_);
+    return allocations_.size();
+  }
+  size_t pending_demands() const {
+    std::lock_guard lock(mu_);
+    return pending_.size();
+  }
 
   // How long an unsatisfied demand keeps shaping the shares.
   static constexpr std::uint32_t kDemandMemorySec = 300;
@@ -75,8 +90,11 @@ class SegrAdmission {
     UnixSec expires = 0;
   };
 
+  // Callers hold mu_.
   void purge_pending(UnixSec now);
+  BwKbps interface_capacity_locked(IfId ifid) const;
 
+  mutable std::mutex mu_;
   TubeLedger ledger_;
   std::unordered_map<IfId, BwKbps> ingress_caps_;
   std::unordered_map<ResKey, Allocation> allocations_;

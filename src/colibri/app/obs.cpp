@@ -46,8 +46,8 @@ ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
   assembler.add_capture(setup_trace);
   out.traces = assembler.assemble();
 
-  const auto* eer = bed.cserv(src_as).db().eers().find(session.value().key());
-  if (eer == nullptr) return out;
+  const auto eer = bed.cserv(src_as).db().eer_copy(session.value().key());
+  if (!eer) return out;
   // The record is swept once the EER expires below; keep our own copy.
   const std::vector<topology::Hop> path = eer->path;
 

@@ -1,0 +1,96 @@
+// Renewal-storm scenario (paper §3.2 + §9 management scalability).
+//
+// SegRs set up together expire together: an AS that established its
+// segment infrastructure in one batch sees hundreds of thousands of EER
+// renewals come due in the same 16-second window. This harness builds
+// that workload against the sharded ReservationDb and drains it two
+// ways:
+//
+//  - drain_legacy: one bus round-trip per EER over the reservation's
+//    full path (the discipline the pre-sharding RenewalManager used).
+//    Every on-path AS re-decodes the request, verifies the accumulated
+//    MAC chain, appends its own MAC and re-encodes for the next hop; on
+//    the way back each AS computes its hop authenticator (Eq. 4), seals
+//    it for the source (Eq. 5) and the response re-crosses the wire;
+//    the initiator finally opens every seal. This still *understates*
+//    the seed's measured per-renewal cost (BM_EerRenewal through the
+//    real bus: ~61 us/item) — it skips DRKey derivation, WAL appends,
+//    rate limiting and telemetry.
+//  - drain_batched: per-shard, ResId-ordered batches straight into the
+//    admission ledger — the RenewalManager drain shape, amortizing all
+//    per-item envelope work across the batch.
+//
+// bench_scale_controlplane sweeps both over shard count x reservation
+// count; the stress tests drive drain_batched from multiple threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "colibri/admission/eer_admission.hpp"
+#include "colibri/reservation/db.hpp"
+
+namespace colibri::app {
+
+struct RenewalStormConfig {
+  size_t num_eers = 100'000;
+  size_t num_segrs = 64;
+  size_t shards = 8;
+  // drain_batched parallelism: threads > 1 split the shards round-robin.
+  size_t threads = 1;
+  // On-path ASes per EER (hop 0 is the owner). The seed's BM_EerRenewal
+  // chain (up + core + down across two ISDs) crosses 4 ASes; the legacy
+  // drain pays the wire/crypto envelope at every one of them.
+  size_t path_hops = 4;
+  BwKbps segr_bw_kbps = 40'000'000;
+  BwKbps eer_bw_kbps = 100;
+  // Every EER version minted by populate() expires at exactly this
+  // instant — the correlated storm.
+  UnixSec setup_time = 1'000;
+  std::uint32_t renew_lifetime_sec = reservation::kEerLifetimeSec;
+};
+
+struct RenewalStormStats {
+  std::uint64_t renewed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+};
+
+class RenewalStorm {
+ public:
+  explicit RenewalStorm(RenewalStormConfig cfg = {});
+
+  RenewalStorm(const RenewalStorm&) = delete;
+  RenewalStorm& operator=(const RenewalStorm&) = delete;
+
+  reservation::ReservationDb& db() { return db_; }
+  admission::EerAdmission& admission() { return admission_; }
+  const RenewalStormConfig& config() const { return cfg_; }
+  UnixSec storm_expiry() const { return cfg_.setup_time + cfg_.renew_lifetime_sec; }
+
+  // Builds the SegRs and admits every EER, all with the same expiry.
+  void populate();
+
+  // Renews every live EER once; see the header comment for the two
+  // drain disciplines. Both leave identical db/admission state for the
+  // same `now` (the equivalence test asserts this).
+  RenewalStormStats drain_legacy(UnixSec now);
+  RenewalStormStats drain_batched(UnixSec now);
+
+ private:
+  // The synthetic multi-AS path every EER traverses (hop 0 = owner).
+  std::vector<topology::Hop> eer_path() const;
+  // Renews one EER directly against the admission ledger.
+  bool renew_direct(const ResKey& eer_key, UnixSec now);
+  RenewalStormStats drain_shard_range(UnixSec now, size_t thread_idx);
+
+  RenewalStormConfig cfg_;
+  AsId owner_;
+  reservation::ReservationDb db_;
+  admission::EerAdmission admission_;
+  std::vector<ResKey> segr_keys_;
+  std::vector<ResKey> eer_keys_;
+};
+
+}  // namespace colibri::app

@@ -38,24 +38,39 @@ CServ::CServ(const topology::Topology& topo, AsId local, MessageBus& bus,
       hop_key_(hop_key),
       clock_(&clock),
       cfg_(cfg),
-      db_(local),
+      db_(local, cfg.control_plane_shards),
       rate_limiter_(cfg.rate_limits),
       rng_(local.raw() ^ 0xC011B121C0DEULL),
       registration_(cfg.metrics, this) {
+  if (cfg_.admission_factory) {
+    admission_ = cfg_.admission_factory(local, cfg_.control_plane_shards);
+    bounded_ = dynamic_cast<admission::BoundedTubeBackend*>(admission_.get());
+  } else {
+    auto backend = std::make_unique<admission::BoundedTubeBackend>(
+        cfg_.control_plane_shards);
+    bounded_ = backend.get();
+    admission_ = std::move(backend);
+  }
   // Interface capacities from the local traffic matrix (§4.7): the Colibri
   // share of each inter-domain link, plus the internal pseudo-interface 0
   // for traffic terminating in this AS.
   const topology::AsNode& node = topo.node(local);
   for (const auto& intf : node.interfaces) {
-    segr_admission_.set_interface_capacity(intf.id,
-                                           node.colibri_capacity(intf.id));
+    admission_->set_interface_capacity(intf.id,
+                                       node.colibri_capacity(intf.id));
   }
-  segr_admission_.set_interface_capacity(kNoInterface,
-                                         cfg_.internal_capacity_kbps);
+  admission_->set_interface_capacity(kNoInterface,
+                                     cfg_.internal_capacity_kbps);
   bus_->attach(local, [this](BytesView wire) { return handle(wire); });
 }
 
 CServ::~CServ() { bus_->detach(local_); }
+
+admission::SegrAdmission& CServ::segr_admission() {
+  // Requires the bounded-tube backend (the default); a custom
+  // admission_factory has no tube ledger to introspect.
+  return bounded_->segr();
+}
 
 Bytes CServ::handle(BytesView wire) {
   if (wire.empty()) return {};
@@ -240,8 +255,8 @@ Result<ReservationResult> CServ::setup_segr(const topology::PathSegment& seg,
 
 Result<ReservationResult> CServ::renew_segr(const ResKey& key, BwKbps min_bw,
                                             BwKbps max_bw) {
-  auto* rec = db_.segrs().find(key);
-  if (rec == nullptr || key.src_as != local_) return Errc::kNoSuchReservation;
+  const auto rec = db_.segr_copy(key);
+  if (!rec || key.src_as != local_) return Errc::kNoSuchReservation;
 
   proto::SegRequest msg;
   msg.seg_type = rec->seg_type;
@@ -277,8 +292,8 @@ Result<ReservationResult> CServ::renew_segr(const ResKey& key, BwKbps min_bw,
 }
 
 Result<void> CServ::activate_segr(const ResKey& key, ResVer version) {
-  auto* rec = db_.segrs().find(key);
-  if (rec == nullptr || key.src_as != local_) return Errc::kNoSuchReservation;
+  const auto rec = db_.segr_copy(key);
+  if (!rec || key.src_as != local_) return Errc::kNoSuchReservation;
   if (!rec->pending || rec->pending->version != version) {
     return Errc::kBadVersion;
   }
@@ -310,8 +325,8 @@ Result<void> CServ::activate_segr(const ResKey& key, ResVer version) {
 }
 
 bool CServ::publish_segr(const ResKey& key, std::vector<AsId> whitelist) {
-  auto* rec = db_.segrs().find(key);
-  if (rec == nullptr) return false;
+  const auto rec = db_.segr_copy(key);
+  if (!rec) return false;
   SegrAdvert a;
   a.key = key;
   a.seg_type = rec->seg_type;
@@ -459,8 +474,8 @@ Result<ReservationResult> CServ::setup_eer(const std::vector<ResKey>& segrs,
 
 Result<ReservationResult> CServ::renew_eer(const ResKey& key, BwKbps min_bw,
                                            BwKbps max_bw) {
-  auto* rec = db_.eers().find(key);
-  if (rec == nullptr || key.src_as != local_) return Errc::kNoSuchReservation;
+  const auto rec = db_.eer_copy(key);
+  if (!rec || key.src_as != local_) return Errc::kNoSuchReservation;
 
   proto::EerRequest msg;
   msg.min_bw_kbps = min_bw;
@@ -612,9 +627,11 @@ void CServ::report_offense(const dataplane::OffenseReport& offense) {
 
 void CServ::tick() {
   const UnixSec now = clock_->now_sec();
-  // EERs first (their admission state references SegR records).
-  db_.eers().sweep(now, [this](const reservation::EerRecord& rec) {
-    eer_admission_.release(rec.key);
+  // EERs first (their admission state gives back bandwidth on the SegR
+  // records they ride). Sweeps are two-phase: callbacks run on copies
+  // outside the shard locks, so release_eer may re-lock the db freely.
+  db_.sweep_eers(now, [this](const reservation::EerRecord& rec) {
+    admission_->release_eer(db_, rec.key);
     if (wal_ != nullptr) wal_->log_eer_erase(rec.key);
     if (cfg_.events != nullptr) {
       cfg_.events->emit(telemetry::Severity::kInfo, "cserv", "eer.expired")
@@ -623,8 +640,8 @@ void CServ::tick() {
           .u64("res_id", rec.key.res_id);
     }
   });
-  db_.segrs().sweep(now, [this](const reservation::SegrRecord& rec) {
-    segr_admission_.release(rec.key);
+  db_.sweep_segrs(now, [this](const reservation::SegrRecord& rec) {
+    admission_->release_segr(rec.key);
     if (wal_ != nullptr) wal_->log_segr_erase(rec.key);
     if (cfg_.events != nullptr) {
       cfg_.events->emit(telemetry::Severity::kInfo, "cserv", "segr.expired")
@@ -645,44 +662,39 @@ size_t CServ::restore_from_wal() {
   // re-registers its active allocation; EER allocations are carried by
   // the recovered eer_allocated_kbps counters, which the recovery
   // re-derives below so EerAdmission's release bookkeeping stays exact.
-  std::vector<const reservation::SegrRecord*> segrs;
-  db_.segrs().for_each(
-      [&](const reservation::SegrRecord& rec) { segrs.push_back(&rec); });
-  for (const auto* rec : segrs) {
+  for (const auto& rec : db_.segr_snapshot()) {
     admission::SegrAdmissionRequest req;
     req.now = clock_->now_sec();
-    req.src_as = rec->key.src_as;
-    req.key = rec->key;
-    req.ingress = rec->ingress();
-    req.egress = rec->egress();
+    req.src_as = rec.key.src_as;
+    req.key = rec.key;
+    req.ingress = rec.ingress();
+    req.egress = rec.egress();
     req.min_bw_kbps = 0;
-    req.demand_kbps = rec->active.bw_kbps;
-    (void)segr_admission_.admit(req);
+    req.demand_kbps = rec.active.bw_kbps;
+    (void)admission_->admit_segr(req);
     // The per-SegR EER counter is rebuilt from the EER records next, so
     // reset whatever the snapshot carried.
-    db_.segrs().find(rec->key)->eer_allocated_kbps = 0;
+    db_.with_segr(rec.key, [](reservation::SegrRecord* stored) {
+      if (stored != nullptr) stored->eer_allocated_kbps = 0;
+    });
   }
 
   const UnixSec now = clock_->now_sec();
-  std::vector<const reservation::EerRecord*> eers;
-  db_.eers().for_each(
-      [&](const reservation::EerRecord& rec) { eers.push_back(&rec); });
-  for (const auto* rec : eers) {
+  for (const auto& rec : db_.eer_snapshot()) {
     admission::EerAdmission::Request req;
-    req.eer_key = rec->key;
-    req.demand_kbps = rec->effective_bw(now);
+    req.eer_key = rec.key;
+    req.demand_kbps = rec.effective_bw(now);
     req.min_bw_kbps = 0;
-    for (const ResKey& sk : rec->segrs) {
-      if (auto* srec = db_.segrs().find(sk)) {
-        if (req.segr_in == nullptr) {
-          req.segr_in = srec;
-        } else if (req.segr_out == nullptr) {
-          req.segr_out = srec;
-        }
+    for (const ResKey& sk : rec.segrs) {
+      if (!db_.contains_segr(sk)) continue;
+      if (!req.segr_in) {
+        req.segr_in = sk;
+      } else if (!req.segr_out) {
+        req.segr_out = sk;
       }
     }
-    if (req.segr_in != nullptr && req.demand_kbps > 0) {
-      (void)eer_admission_.admit(req, now);
+    if (req.segr_in && req.demand_kbps > 0) {
+      (void)admission_->admit_eer(db_, req, now);
     }
   }
   return applied;
@@ -723,6 +735,10 @@ void CServ::collect_metrics(telemetry::MetricSink& sink) const {
   if (latency.count != 0) {
     sink.histogram("cserv.request_latency_ns", latency);
   }
+  sink.gauge("cserv.db.shards", static_cast<std::int64_t>(db_.num_shards()));
+  sink.gauge("cserv.db.segr_count",
+             static_cast<std::int64_t>(db_.segr_count()));
+  sink.gauge("cserv.db.eer_count", static_cast<std::int64_t>(db_.eer_count()));
 }
 
 }  // namespace colibri::cserv

@@ -17,8 +17,7 @@
 #include <memory>
 #include <unordered_set>
 
-#include "colibri/admission/eer_admission.hpp"
-#include "colibri/admission/segr_admission.hpp"
+#include "colibri/admission/backend.hpp"
 #include "colibri/common/rand.hpp"
 #include "colibri/cserv/bus.hpp"
 #include "colibri/cserv/ratelimit.hpp"
@@ -44,6 +43,13 @@ struct CservConfig {
   BwKbps per_host_eer_cap_kbps = 10'000'000;
   std::uint32_t segr_lifetime_sec = reservation::kSegrLifetimeSec;
   std::uint32_t eer_lifetime_sec = reservation::kEerLifetimeSec;
+  // Shard count for the reservation db (and EER-admission stripes):
+  // concurrent setup/renewal/expiry paths lock per shard, never globally.
+  size_t control_plane_shards = 8;
+  // Admission strategy override (nullptr = the paper's bounded-tube
+  // fairness). Called once at construction with (local AS, shard count).
+  std::function<std::unique_ptr<admission::AdmissionBackend>(AsId, size_t)>
+      admission_factory;
   RateLimitConfig rate_limits;
   // Registry this CServ exports its metrics to (nullptr = none).
   telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::global();
@@ -92,9 +98,13 @@ class CServ : public telemetry::MetricsSource {
   void attach_gateway(dataplane::Gateway* gw) { gateway_ = gw; }
   SegrRegistry& registry() { return registry_; }
   reservation::ReservationDb& db() { return db_; }
+  const reservation::ReservationDb& db() const { return db_; }
   const drkey::Key128& hop_key() const { return hop_key_; }
   const drkey::Engine& drkey_engine() const { return drkey_engine_; }
-  admission::SegrAdmission& segr_admission() { return segr_admission_; }
+  admission::AdmissionBackend& admission_backend() { return *admission_; }
+  // Bounded-tube ledger introspection (tests/diagnostics); only valid
+  // with the default backend.
+  admission::SegrAdmission& segr_admission();
   AsId local_as() const { return local_; }
   // Legacy view, kept as a thin alias of snapshot().
   CservStats stats() const { return snapshot(); }
@@ -217,8 +227,8 @@ class CServ : public telemetry::MetricsSource {
   CservConfig cfg_;
 
   reservation::ReservationDb db_;
-  admission::SegrAdmission segr_admission_;
-  admission::EerAdmission eer_admission_;
+  std::unique_ptr<admission::AdmissionBackend> admission_;
+  admission::BoundedTubeBackend* bounded_ = nullptr;  // when default backend
   SegrRegistry registry_;
   ControlRateLimiter rate_limiter_;
   dataplane::Gateway* gateway_ = nullptr;

@@ -17,11 +17,13 @@
 
 #include "colibri/admission/eer_admission.hpp"
 #include "colibri/common/errors.hpp"
-#include "colibri/reservation/segr.hpp"
+#include "colibri/reservation/db.hpp"
 
 namespace colibri::cserv {
 
 // One ingress/egress sub-service: EER admission over the SegRs it owns.
+// The reservation db is shared (sharded internally); each sub-service
+// owns an independent EerAdmission ledger.
 class EerSubService {
  public:
   explicit EerSubService(int index) : index_(index) {}
@@ -29,12 +31,15 @@ class EerSubService {
   int index() const { return index_; }
   size_t handled() const { return handled_; }
 
-  Result<BwKbps> admit(const admission::EerAdmission::Request& req,
+  Result<BwKbps> admit(reservation::ReservationDb& db,
+                       const admission::EerAdmission::Request& req,
                        UnixSec now) {
     ++handled_;
-    return admission_.admit(req, now);
+    return admission_.admit(db, req, now);
   }
-  void release(const ResKey& eer_key) { admission_.release(eer_key); }
+  void release(reservation::ReservationDb& db, const ResKey& eer_key) {
+    admission_.release(db, eer_key);
+  }
 
  private:
   int index_;
@@ -52,13 +57,15 @@ class DistributedEerService {
   // Routes by the first underlying SegR of the request.
   EerSubService& route(const ResKey& first_segr);
 
-  Result<BwKbps> admit(const ResKey& first_segr,
+  Result<BwKbps> admit(reservation::ReservationDb& db,
+                       const ResKey& first_segr,
                        const admission::EerAdmission::Request& req,
                        UnixSec now) {
-    return route(first_segr).admit(req, now);
+    return route(first_segr).admit(db, req, now);
   }
-  void release(const ResKey& first_segr, const ResKey& eer_key) {
-    route(first_segr).release(eer_key);
+  void release(reservation::ReservationDb& db, const ResKey& first_segr,
+               const ResKey& eer_key) {
+    route(first_segr).release(db, eer_key);
   }
 
   int size() const { return static_cast<int>(subs_.size()); }

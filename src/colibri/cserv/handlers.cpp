@@ -192,7 +192,7 @@ Bytes Handlers::handle_seg(CServ& self, proto::Packet& pkt,
   }
   const bool renewal = pkt.type == proto::PacketType::kSegRenewal;
   if (renewal) {
-    if (self.db_.segrs().find(pkt.resinfo.key()) == nullptr) {
+    if (!self.db_.contains_segr(pkt.resinfo.key())) {
       return fail(self, pkt, Errc::kNoSuchReservation, hop);
     }
     if (!self.rate_limiter_.allow_renewal(pkt.resinfo.key(), now)) {
@@ -213,7 +213,7 @@ Bytes Handlers::handle_seg(CServ& self, proto::Packet& pkt,
   areq.demand_kbps = msg->max_bw_kbps;
   auto admitted = [&] {
     AdmissionTimer timer(self.bus_->tracer());
-    return self.segr_admission_.admit(areq);
+    return self.admission_->admit_segr(areq);
   }();
   if (!admitted) {
     // Clean up and tell the initiator where the bottleneck is (§3.3).
@@ -259,14 +259,14 @@ Bytes Handlers::forward_and_unwind_seg(CServ& self, proto::Packet& pkt,
   auto* resp = resp_ap ? std::get_if<proto::ControlResponse>(&resp_ap->message)
                        : nullptr;
   if (resp == nullptr) {
-    self.segr_admission_.release(pkt.resinfo.key());
+    self.admission_->release_segr(pkt.resinfo.key());
     return fail(self, pkt, Errc::kInternal, hop);
   }
   if (!resp->success) {
     // Unsuccessful request: clean up the temporary allocation (§3.3).
     if (renewal) {
       // Restore the active version's allocation.
-      if (auto* rec = self.db_.segrs().find(pkt.resinfo.key())) {
+      if (const auto rec = self.db_.segr_copy(pkt.resinfo.key())) {
         admission::SegrAdmissionRequest restore;
         restore.now = self.clock_->now_sec();
         restore.src_as = pkt.resinfo.src_as;
@@ -275,10 +275,10 @@ Bytes Handlers::forward_and_unwind_seg(CServ& self, proto::Packet& pkt,
         restore.egress = pkt.path[hop].egress;
         restore.min_bw_kbps = 0;
         restore.demand_kbps = rec->active.bw_kbps;
-        (void)self.segr_admission_.admit(restore);
+        (void)self.admission_->admit_segr(restore);
       }
     } else {
-      self.segr_admission_.release(pkt.resinfo.key());
+      self.admission_->release_segr(pkt.resinfo.key());
     }
     return resp_wire;
   }
@@ -294,7 +294,7 @@ Bytes Handlers::forward_and_unwind_seg(CServ& self, proto::Packet& pkt,
   finalize.egress = pkt.path[hop].egress;
   finalize.min_bw_kbps = 0;
   finalize.demand_kbps = final_bw;
-  (void)self.segr_admission_.admit(finalize);
+  (void)self.admission_->admit_segr(finalize);
 
   store_segr(self, pkt, msg, final_bw, renewal);
 
@@ -342,11 +342,14 @@ void Handlers::store_segr(CServ& self, const proto::Packet& pkt,
   ver.exp_time = pkt.resinfo.exp_time;
 
   if (renewal) {
-    if (auto* rec = self.db_.segrs().find(pkt.resinfo.key())) {
-      rec->pending = ver;  // explicit activation switches it live (§4.2)
-      if (self.wal_ != nullptr) self.wal_->log_segr_upsert(*rec);
-      return;
-    }
+    const bool updated = self.db_.with_segr(
+        pkt.resinfo.key(), [&](reservation::SegrRecord* stored) {
+          if (stored == nullptr) return false;
+          stored->pending = ver;  // explicit activation switches it live (§4.2)
+          if (self.wal_ != nullptr) self.wal_->log_segr_upsert(*stored);
+          return true;
+        });
+    if (updated) return;
   }
   reservation::SegrRecord rec;
   rec.key = pkt.resinfo.key();
@@ -358,8 +361,9 @@ void Handlers::store_segr(CServ& self, const proto::Packet& pkt,
   }
   rec.local_hop = pkt.current_hop;
   rec.active = ver;
-  reservation::SegrRecord* stored = self.db_.segrs().upsert(std::move(rec));
-  if (self.wal_ != nullptr) self.wal_->log_segr_upsert(*stored);
+  self.db_.upsert_segr(std::move(rec), [&](reservation::SegrRecord& stored) {
+    if (self.wal_ != nullptr) self.wal_->log_segr_upsert(stored);
+  });
 }
 
 Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
@@ -371,8 +375,8 @@ Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
     self.metrics_.auth_failures.inc();
     return fail(self, pkt, Errc::kAuthFailed, hop);
   }
-  auto* rec = self.db_.segrs().find(pkt.resinfo.key());
-  if (rec == nullptr) {
+  const auto rec = self.db_.segr_copy(pkt.resinfo.key());
+  if (!rec) {
     return fail(self, pkt, Errc::kNoSuchReservation, hop);
   }
   if (!rec->pending || rec->pending->version != msg->version) {
@@ -400,10 +404,23 @@ Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
                        : nullptr;
   if (resp == nullptr || !resp->success) return resp_wire;
 
-  // Switch: only one version of a SegR is ever live (§4.2).
-  rec->active = *rec->pending;
-  rec->pending.reset();
-  if (self.wal_ != nullptr) self.wal_->log_segr_upsert(*rec);
+  // Switch: only one version of a SegR is ever live (§4.2). Re-validate
+  // under the shard lock — the record may have been swept or renewed
+  // again while the activation crossed the bus.
+  reservation::SegrVersion activated;
+  const bool switched = self.db_.with_segr(
+      pkt.resinfo.key(), [&](reservation::SegrRecord* stored) {
+        if (stored == nullptr || !stored->pending ||
+            stored->pending->version != msg->version) {
+          return false;
+        }
+        stored->active = *stored->pending;
+        stored->pending.reset();
+        activated = stored->active;
+        if (self.wal_ != nullptr) self.wal_->log_segr_upsert(*stored);
+        return true;
+      });
+  if (!switched) return fail(self, pkt, Errc::kBadVersion, hop);
   if (self.cfg_.events != nullptr) {
     self.cfg_.events
         ->emit(telemetry::Severity::kInfo, "cserv", "segr.activated")
@@ -411,8 +428,8 @@ Bytes Handlers::handle_seg_activation(CServ& self, proto::Packet& pkt,
         .str("src_as", pkt.resinfo.src_as.to_string())
         .u64("res_id", pkt.resinfo.res_id)
         .u64("version", msg->version)
-        .u64("bw_kbps", rec->active.bw_kbps)
-        .u64("exp_time", rec->active.exp_time);
+        .u64("bw_kbps", activated.bw_kbps)
+        .u64("exp_time", activated.exp_time);
   }
   telemetry::SpanCollector& tracer = self.bus_->tracer();
   if (tracer.in_span()) {
@@ -455,35 +472,38 @@ Bytes Handlers::handle_eer(CServ& self, proto::Packet& pkt,
   }
 
   // Locate the SegR(s) this EER rides at this AS: one for source/transit/
-  // destination ASes, two at a transfer AS (§4.1).
-  reservation::SegrRecord* segr_in = nullptr;
-  reservation::SegrRecord* segr_out = nullptr;
+  // destination ASes, two at a transfer AS (§4.1). The checks below run
+  // on copies; admission re-reads the records under their shard locks.
+  std::optional<ResKey> segr_in;
+  std::optional<ResKey> segr_out;
+  std::vector<reservation::SegrRecord> rides;
   for (const ResKey& sk : msg->segrs) {
-    if (auto* rec = self.db_.segrs().find(sk)) {
-      if (segr_in == nullptr) {
-        segr_in = rec;
-      } else if (segr_out == nullptr) {
-        segr_out = rec;
-      }
+    auto rec = self.db_.segr_copy(sk);
+    if (!rec) continue;
+    if (!segr_in) {
+      segr_in = sk;
+    } else if (!segr_out) {
+      segr_out = sk;
+    } else {
+      continue;
     }
+    rides.push_back(std::move(*rec));
   }
-  if (segr_in == nullptr) {
+  if (!segr_in) {
     return fail(self, pkt, Errc::kNoSuchSegment, hop);
   }
-  for (reservation::SegrRecord* rec : {segr_in, segr_out}) {
-    if (rec != nullptr && rec->expired(now_sec)) {
+  for (const reservation::SegrRecord& rec : rides) {
+    if (rec.expired(now_sec)) {
       // App. C: signal expiry so the initiator can invalidate its cache
       // and retry with the new version.
       return fail(self, pkt, Errc::kExpired, hop);
     }
   }
   // Whitelist enforcement by the SegR's initiating AS (App. C).
-  for (reservation::SegrRecord* rec : {segr_in, segr_out}) {
-    if (rec == nullptr || rec->hops[rec->local_hop].as != rec->hops[0].as) {
-      continue;
-    }
-    if (rec->key.src_as != self.local_) continue;
-    if (auto advert = self.registry_.find(rec->key);
+  for (const reservation::SegrRecord& rec : rides) {
+    if (rec.hops[rec.local_hop].as != rec.hops[0].as) continue;
+    if (rec.key.src_as != self.local_) continue;
+    if (auto advert = self.registry_.find(rec.key);
         advert && !advert->usable_by(pkt.resinfo.src_as)) {
       return fail(self, pkt, Errc::kNotWhitelisted, hop);
     }
@@ -516,7 +536,7 @@ Bytes Handlers::handle_eer(CServ& self, proto::Packet& pkt,
   areq.segr_out = segr_out;
   auto admitted = [&] {
     AdmissionTimer timer(self.bus_->tracer());
-    return self.eer_admission_.admit(areq, now_sec);
+    return self.admission_->admit_eer(self.db_, areq, now_sec);
   }();
   if (!admitted) return fail(self, pkt, admitted.error(), hop);
 
@@ -560,11 +580,11 @@ Bytes Handlers::forward_and_unwind_eer(CServ& self, proto::Packet& pkt,
   auto* resp = resp_ap ? std::get_if<proto::ControlResponse>(&resp_ap->message)
                        : nullptr;
   if (resp == nullptr) {
-    self.eer_admission_.release(pkt.resinfo.key());
+    self.admission_->release_eer(self.db_, pkt.resinfo.key());
     return fail(self, pkt, Errc::kInternal, hop);
   }
   if (!resp->success) {
-    self.eer_admission_.release(pkt.resinfo.key());
+    self.admission_->release_eer(self.db_, pkt.resinfo.key());
     return resp_wire;
   }
 
@@ -625,12 +645,15 @@ void Handlers::store_eer(CServ& self, const proto::Packet& pkt,
   ver.bw_kbps = final_bw;
   ver.exp_time = pkt.resinfo.exp_time;
 
-  if (auto* rec = self.db_.eers().find(pkt.resinfo.key())) {
-    rec->prune(self.clock_->now_sec());
-    rec->versions.push_back(ver);
-    if (self.wal_ != nullptr) self.wal_->log_eer_upsert(*rec);
-    return;
-  }
+  const bool updated = self.db_.with_eer(
+      pkt.resinfo.key(), [&](reservation::EerRecord* stored) {
+        if (stored == nullptr) return false;
+        stored->prune(self.clock_->now_sec());
+        stored->versions.push_back(ver);
+        if (self.wal_ != nullptr) self.wal_->log_eer_upsert(*stored);
+        return true;
+      });
+  if (updated) return;
   reservation::EerRecord rec;
   rec.key = pkt.resinfo.key();
   rec.src_host = pkt.eerinfo.src_host;
@@ -639,8 +662,9 @@ void Handlers::store_eer(CServ& self, const proto::Packet& pkt,
   rec.local_hop = pkt.current_hop;
   rec.segrs = msg.segrs;
   rec.versions.push_back(ver);
-  reservation::EerRecord* stored = self.db_.eers().upsert(std::move(rec));
-  if (self.wal_ != nullptr) self.wal_->log_eer_upsert(*stored);
+  self.db_.upsert_eer(std::move(rec), [&](reservation::EerRecord& stored) {
+    if (self.wal_ != nullptr) self.wal_->log_eer_upsert(stored);
+  });
 }
 
 // Out-of-line bridge used by CServ (declared friend).

@@ -1,10 +1,12 @@
 #include "colibri/cserv/renewal_manager.hpp"
 
+#include <algorithm>
+
 namespace colibri::cserv {
 
 size_t RenewalManager::manage_all_local() {
   size_t added = 0;
-  cserv_->db().segrs().for_each([&](const reservation::SegrRecord& rec) {
+  cserv_->db().for_each_segr([&](const reservation::SegrRecord& rec) {
     if (rec.key.src_as == cserv_->local_as() &&
         !forecasters_.contains(rec.key)) {
       forecasters_.try_emplace(rec.key, cfg_.forecast);
@@ -14,75 +16,106 @@ size_t RenewalManager::manage_all_local() {
   return added;
 }
 
-void RenewalManager::tick(UnixSec now) {
+std::vector<RenewalBatch> RenewalManager::plan(UnixSec now) {
+  const reservation::ReservationDb& db = cserv_->db();
+  std::vector<std::vector<ResKey>> buckets(db.num_shards());
   std::vector<ResKey> gone;
   for (auto& [key, forecaster] : forecasters_) {
-    auto* rec = cserv_->db().segrs().find(key);
-    if (rec == nullptr) {
+    const auto rec = db.segr_copy(key);
+    if (!rec) {
       gone.push_back(key);
       continue;
     }
     // Observe utilization: the EER bandwidth currently riding this SegR.
     forecaster.observe(rec->eer_allocated_kbps);
-
     if (rec->active.exp_time > now + cfg_.lead_sec) continue;  // not due
-    if (rec->pending && rec->pending->exp_time > now + cfg_.lead_sec) {
-      // A pending version exists (e.g. from a manual renewal): activate it
-      // instead of stacking another renewal on top.
-      if (cserv_->activate_segr(key, rec->pending->version).ok()) {
-        metrics_.activated.inc();
-      }
-      continue;
-    }
+    buckets[db.shard_of(key.res_id)].push_back(key);
+  }
+  for (const auto& key : gone) forecasters_.erase(key);
 
-    // Renew at the forecast demand, never below the current utilization
-    // (shrinking under live EERs would strand them at version switch).
-    const BwKbps demand =
-        std::max(forecaster.recommend(), rec->eer_allocated_kbps);
-    auto renewed = cserv_->renew_segr(key, cfg_.min_bw_kbps, demand);
-    telemetry::EventLog* events = cserv_->event_log();
-    if (!renewed.ok()) {
-      metrics_.failed.inc();
-      if (events != nullptr) {
-        events->emit(telemetry::Severity::kWarn, "renewal", "segr.failed")
-            .str("as", cserv_->local_as().to_string())
-            .str("src_as", key.src_as.to_string())
-            .u64("res_id", key.res_id)
-            .str("reason", errc_name(renewed.error()))
-            .u64("demand_kbps", demand);
-      }
-      continue;
+  std::vector<RenewalBatch> batches;
+  for (size_t s = 0; s < buckets.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    std::sort(buckets[s].begin(), buckets[s].end(),
+              [](const ResKey& a, const ResKey& b) {
+                return a.res_id != b.res_id ? a.res_id < b.res_id
+                                            : a.src_as.raw() < b.src_as.raw();
+              });
+    batches.push_back(RenewalBatch{s, std::move(buckets[s])});
+  }
+  return batches;
+}
+
+void RenewalManager::renew_one(const ResKey& key, UnixSec now) {
+  const auto rec = cserv_->db().segr_copy(key);
+  if (!rec) return;  // swept between plan and drain
+  if (rec->pending && rec->pending->exp_time > now + cfg_.lead_sec) {
+    // A pending version exists (e.g. from a manual renewal): activate it
+    // instead of stacking another renewal on top.
+    if (cserv_->activate_segr(key, rec->pending->version).ok()) {
+      metrics_.activated.inc();
     }
-    metrics_.renewed.inc();
+    return;
+  }
+
+  // Renew at the forecast demand, never below the current utilization
+  // (shrinking under live EERs would strand them at version switch).
+  auto it = forecasters_.find(key);
+  const BwKbps forecast = it != forecasters_.end() ? it->second.recommend() : 0;
+  const BwKbps demand = std::max(forecast, rec->eer_allocated_kbps);
+  auto renewed = cserv_->renew_segr(key, cfg_.min_bw_kbps, demand);
+  telemetry::EventLog* events = cserv_->event_log();
+  if (!renewed.ok()) {
+    metrics_.failed.inc();
     if (events != nullptr) {
-      events->emit(telemetry::Severity::kInfo, "renewal", "segr.renewed")
+      events->emit(telemetry::Severity::kWarn, "renewal", "segr.failed")
           .str("as", cserv_->local_as().to_string())
           .str("src_as", key.src_as.to_string())
           .u64("res_id", key.res_id)
-          .u64("version", renewed.value().version)
-          .u64("bw_kbps", renewed.value().bw_kbps)
-          .u64("exp_time", renewed.value().exp_time);
+          .str("reason", errc_name(renewed.error()))
+          .u64("demand_kbps", demand);
     }
-    if (cserv_->activate_segr(key, renewed.value().version).ok()) {
-      metrics_.activated.inc();
-      if (events != nullptr) {
-        events->emit(telemetry::Severity::kInfo, "renewal", "segr.activated")
-            .str("as", cserv_->local_as().to_string())
-            .str("src_as", key.src_as.to_string())
-            .u64("res_id", key.res_id)
-            .u64("version", renewed.value().version);
+    return;
+  }
+  metrics_.renewed.inc();
+  if (events != nullptr) {
+    events->emit(telemetry::Severity::kInfo, "renewal", "segr.renewed")
+        .str("as", cserv_->local_as().to_string())
+        .str("src_as", key.src_as.to_string())
+        .u64("res_id", key.res_id)
+        .u64("version", renewed.value().version)
+        .u64("bw_kbps", renewed.value().bw_kbps)
+        .u64("exp_time", renewed.value().exp_time);
+  }
+  if (cserv_->activate_segr(key, renewed.value().version).ok()) {
+    metrics_.activated.inc();
+    if (events != nullptr) {
+      events->emit(telemetry::Severity::kInfo, "renewal", "segr.activated")
+          .str("as", cserv_->local_as().to_string())
+          .str("src_as", key.src_as.to_string())
+          .u64("res_id", key.res_id)
+          .u64("version", renewed.value().version);
+    }
+    if (cfg_.republish) {
+      // Preserve the advert (and its whitelist) across the version bump.
+      std::vector<AsId> whitelist;
+      if (auto advert = cserv_->registry().find(key)) {
+        whitelist = advert->whitelist;
       }
-      if (cfg_.republish) {
-        // Preserve the advert (and its whitelist) across the version bump.
-        std::vector<AsId> whitelist;
-        if (auto advert = cserv_->registry().find(key)) {
-          whitelist = advert->whitelist;
-        }
-        cserv_->publish_segr(key, std::move(whitelist));
-      }
+      cserv_->publish_segr(key, std::move(whitelist));
     }
   }
-  for (const auto& key : gone) forecasters_.erase(key);
+}
+
+void RenewalManager::tick(UnixSec now) {
+  const std::vector<RenewalBatch> batches = plan(now);
+  size_t max_batch = 0;
+  for (const RenewalBatch& batch : batches) {
+    metrics_.batches.inc();
+    max_batch = std::max(max_batch, batch.due.size());
+    for (const ResKey& key : batch.due) renew_one(key, now);
+  }
+  last_batch_max_ = max_batch;
 }
 
 }  // namespace colibri::cserv

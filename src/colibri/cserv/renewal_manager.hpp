@@ -7,9 +7,17 @@
 // utilization — and activates the new version, so the AS's segment
 // infrastructure stays alive indefinitely without operator involvement
 // (the management-scalability story of §9).
+//
+// Correlated-expiry storms (many SegRs set up together all coming due in
+// the same tick) are drained in per-shard batches: one planning scan
+// groups the due keys by their ReservationDb shard and sorts each batch
+// by ResId, so the drain touches one shard's keys at a time in a
+// deterministic order instead of hopping shards per the hash order of
+// the forecaster map.
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
 #include "colibri/cserv/cserv.hpp"
 #include "colibri/cserv/forecast.hpp"
@@ -30,6 +38,13 @@ struct RenewalStats {
   std::uint64_t renewed = 0;
   std::uint64_t activated = 0;
   std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+};
+
+// One shard's worth of due renewals, ResId-ordered.
+struct RenewalBatch {
+  size_t shard = 0;
+  std::vector<ResKey> due;
 };
 
 class RenewalManager : public telemetry::MetricsSource {
@@ -52,20 +67,26 @@ class RenewalManager : public telemetry::MetricsSource {
   // Convenience: manage every SegR currently initiated by this AS.
   size_t manage_all_local();
 
-  // One maintenance pass: feed forecasters from current utilization,
-  // renew + activate whatever is due, drop reservations that vanished.
-  // Call alongside CServ::tick().
+  // Planning scan: feeds the forecasters from current utilization, drops
+  // reservations that vanished, and buckets everything due at `now` into
+  // per-shard, ResId-ordered batches (ascending shard index).
+  std::vector<RenewalBatch> plan(UnixSec now);
+
+  // One maintenance pass: plan(), then drain every batch — renew +
+  // activate whatever is due. Call alongside CServ::tick().
   void tick(UnixSec now);
 
   // Uniform stats accessors: consistent point-in-time view + reset.
   RenewalStats snapshot() const {
     return {metrics_.renewed.value(), metrics_.activated.value(),
-            metrics_.failed.value()};
+            metrics_.failed.value(), metrics_.batches.value()};
   }
   void reset() {
     metrics_.renewed.reset();
     metrics_.activated.reset();
     metrics_.failed.reset();
+    metrics_.batches.reset();
+    last_batch_max_ = 0;
   }
   // Legacy view, kept as a thin alias of snapshot().
   RenewalStats stats() const { return snapshot(); }
@@ -74,11 +95,17 @@ class RenewalManager : public telemetry::MetricsSource {
     sink.counter("cserv.renewal.renewed", metrics_.renewed.value());
     sink.counter("cserv.renewal.activated", metrics_.activated.value());
     sink.counter("cserv.renewal.failed", metrics_.failed.value());
+    sink.counter("cserv.renewal.batches", metrics_.batches.value());
     sink.gauge("cserv.renewal.managed",
                static_cast<std::int64_t>(forecasters_.size()));
+    sink.gauge("cserv.renewal.last_batch_max",
+               static_cast<std::int64_t>(last_batch_max_));
   }
 
  private:
+  // Renews (or activates a live pending version of) one due SegR.
+  void renew_one(const ResKey& key, UnixSec now);
+
   CServ* cserv_;
   RenewalManagerConfig cfg_;
   std::unordered_map<ResKey, DemandForecaster> forecasters_;
@@ -86,8 +113,10 @@ class RenewalManager : public telemetry::MetricsSource {
     telemetry::Counter renewed;
     telemetry::Counter activated;
     telemetry::Counter failed;
+    telemetry::Counter batches;
   };
   Metrics metrics_;
+  size_t last_batch_max_ = 0;  // largest batch drained by the latest tick
   telemetry::ScopedSource registration_;
 };
 

@@ -200,6 +200,12 @@ std::optional<EerRecord> decode_eer_record(BytesView data) {
 }
 
 void ReservationWal::append_record(std::uint8_t kind, BytesView payload) {
+  std::lock_guard lock(mu_);
+  append_record_locked(kind, payload);
+}
+
+void ReservationWal::append_record_locked(std::uint8_t kind,
+                                          BytesView payload) {
   Bytes frame;
   frame.push_back(kind);
   put_le(frame, static_cast<std::uint32_t>(payload.size()));
@@ -225,15 +231,27 @@ void ReservationWal::log_eer_erase(const ResKey& key) {
 }
 
 void ReservationWal::checkpoint(const ReservationDb& db) {
+  std::lock_guard lock(mu_);
   storage_->truncate();
-  db.segrs().for_each([this](const SegrRecord& rec) { log_segr_upsert(rec); });
-  db.eers().for_each([this](const EerRecord& rec) { log_eer_upsert(rec); });
+  db.for_each_segr([this](const SegrRecord& rec) {
+    append_record_locked(kSegrUpsert, encode_segr_record(rec));
+  });
+  db.for_each_eer([this](const EerRecord& rec) {
+    append_record_locked(kEerUpsert, encode_eer_record(rec));
+  });
 }
 
 size_t ReservationWal::recover(ReservationDb& db) const {
+  std::lock_guard lock(mu_);
   const Bytes log = storage_->read_all();
   size_t applied = 0;
   size_t off = 0;
+  // Every id the owner ever minted (including later-erased reservations)
+  // bumps the allocator floor, so post-recovery next_res_id() stays
+  // globally unique (§4.3).
+  auto note_owner_id = [&](const ResKey& key) {
+    if (key.src_as == db.owner()) db.reserve_ids_through(key.res_id);
+  };
   while (off + 1 + 4 + 4 <= log.size()) {
     const std::uint8_t kind = log[off];
     const std::uint32_t len = get_le<std::uint32_t>(log.data() + off + 1);
@@ -247,25 +265,29 @@ size_t ReservationWal::recover(ReservationDb& db) const {
       case kSegrUpsert: {
         auto rec = decode_segr_record(payload);
         if (!rec) return applied;
-        db.segrs().upsert(std::move(*rec));
+        note_owner_id(rec->key);
+        db.upsert_segr(std::move(*rec));
         break;
       }
       case kSegrErase: {
         auto key = decode_key(payload);
         if (!key) return applied;
-        db.segrs().erase(*key);
+        note_owner_id(*key);
+        db.erase_segr(*key);
         break;
       }
       case kEerUpsert: {
         auto rec = decode_eer_record(payload);
         if (!rec) return applied;
-        db.eers().upsert(std::move(*rec));
+        note_owner_id(rec->key);
+        db.upsert_eer(std::move(*rec));
         break;
       }
       case kEerErase: {
         auto key = decode_key(payload);
         if (!key) return applied;
-        db.eers().erase(*key);
+        note_owner_id(*key);
+        db.erase_eer(*key);
         break;
       }
       default:

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "colibri/common/bytes.hpp"
@@ -59,7 +60,9 @@ Bytes encode_eer_record(const EerRecord& rec);
 std::optional<EerRecord> decode_eer_record(BytesView data);
 
 // The write-ahead log. Mutating operations on the DB are mirrored here by
-// the owner (log first, then apply — write-ahead).
+// the owner (log first, then apply — write-ahead). Appends are serialized
+// by an internal mutex so db shards logging concurrently cannot interleave
+// partial frames.
 class ReservationWal {
  public:
   explicit ReservationWal(LogStorage& storage) : storage_(&storage) {}
@@ -72,12 +75,16 @@ class ReservationWal {
   void checkpoint(const ReservationDb& db);
 
   // Replays the log into `db`. Returns the number of complete records
-  // applied; stops cleanly at the first torn or corrupt record.
+  // applied; stops cleanly at the first torn or corrupt record. Also
+  // restores the db's ResId allocator past every replayed id the owner
+  // minted, so a restarted CServ cannot reissue a live reservation's id.
   size_t recover(ReservationDb& db) const;
 
  private:
   void append_record(std::uint8_t kind, BytesView payload);
+  void append_record_locked(std::uint8_t kind, BytesView payload);
 
+  mutable std::mutex mu_;
   LogStorage* storage_;
 };
 

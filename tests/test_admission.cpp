@@ -274,72 +274,86 @@ reservation::SegrRecord make_segr(AsId src, ResId id, BwKbps bw,
   return r;
 }
 
+BwKbps eer_allocated(const reservation::ReservationDb& db, const ResKey& k) {
+  const auto rec = db.segr_copy(k);
+  return rec ? rec->eer_allocated_kbps : 0;
+}
+
 TEST(EerAdmissionTest, TransitGrantsWithinSegr) {
-  auto segr = make_segr(kSrcA, 1, 1000, topology::SegType::kUp);
+  reservation::ReservationDb db(kSrcA);
+  const auto segr_key = key(kSrcA, 1);
+  db.upsert_segr(make_segr(kSrcA, 1, 1000, topology::SegType::kUp));
   EerAdmission adm;
   EerAdmission::Request req;
   req.eer_key = key(kSrcA, 100);
   req.demand_kbps = 400;
-  req.segr_in = &segr;
-  EXPECT_EQ(adm.admit(req, 0).value(), 400u);
-  EXPECT_EQ(segr.eer_allocated_kbps, 400u);
+  req.segr_in = segr_key;
+  EXPECT_EQ(adm.admit(db, req, 0).value(), 400u);
+  EXPECT_EQ(eer_allocated(db, segr_key), 400u);
 
   // Second EER takes what remains.
   req.eer_key = key(kSrcA, 101);
   req.demand_kbps = 800;
-  EXPECT_EQ(adm.admit(req, 0).value(), 600u);
-  EXPECT_EQ(segr.eer_allocated_kbps, 1000u);
+  EXPECT_EQ(adm.admit(db, req, 0).value(), 600u);
+  EXPECT_EQ(eer_allocated(db, segr_key), 1000u);
 
   // Third gets nothing.
   req.eer_key = key(kSrcA, 102);
   req.min_bw_kbps = 1;
-  EXPECT_FALSE(adm.admit(req, 0).ok());
+  EXPECT_FALSE(adm.admit(db, req, 0).ok());
 }
 
 TEST(EerAdmissionTest, ReleaseReturnsBandwidth) {
-  auto segr = make_segr(kSrcA, 1, 1000, topology::SegType::kUp);
+  reservation::ReservationDb db(kSrcA);
+  const auto segr_key = key(kSrcA, 1);
+  db.upsert_segr(make_segr(kSrcA, 1, 1000, topology::SegType::kUp));
   EerAdmission adm;
   EerAdmission::Request req;
   req.eer_key = key(kSrcA, 100);
   req.demand_kbps = 700;
-  req.segr_in = &segr;
-  ASSERT_TRUE(adm.admit(req, 0).ok());
-  adm.release(req.eer_key);
-  EXPECT_EQ(segr.eer_allocated_kbps, 0u);
+  req.segr_in = segr_key;
+  ASSERT_TRUE(adm.admit(db, req, 0).ok());
+  adm.release(db, req.eer_key);
+  EXPECT_EQ(eer_allocated(db, segr_key), 0u);
   EXPECT_EQ(adm.tracked(), 0u);
 }
 
 TEST(EerAdmissionTest, RenewalAdjustsAllocation) {
-  auto segr = make_segr(kSrcA, 1, 1000, topology::SegType::kUp);
+  reservation::ReservationDb db(kSrcA);
+  const auto segr_key = key(kSrcA, 1);
+  db.upsert_segr(make_segr(kSrcA, 1, 1000, topology::SegType::kUp));
   EerAdmission adm;
   EerAdmission::Request req;
   req.eer_key = key(kSrcA, 100);
   req.demand_kbps = 700;
-  req.segr_in = &segr;
-  ASSERT_EQ(adm.admit(req, 0).value(), 700u);
+  req.segr_in = segr_key;
+  ASSERT_EQ(adm.admit(db, req, 0).value(), 700u);
   // Renewal down to 300 frees 400.
   req.demand_kbps = 300;
-  ASSERT_EQ(adm.admit(req, 0).value(), 300u);
-  EXPECT_EQ(segr.eer_allocated_kbps, 300u);
+  ASSERT_EQ(adm.admit(db, req, 0).value(), 300u);
+  EXPECT_EQ(eer_allocated(db, segr_key), 300u);
   // Renewal up to 900 succeeds because only the delta competes.
   req.demand_kbps = 900;
-  ASSERT_EQ(adm.admit(req, 0).value(), 900u);
-  EXPECT_EQ(segr.eer_allocated_kbps, 900u);
+  ASSERT_EQ(adm.admit(db, req, 0).value(), 900u);
+  EXPECT_EQ(eer_allocated(db, segr_key), 900u);
 }
 
 TEST(EerAdmissionTest, TransferChecksBothSegrs) {
-  auto up = make_segr(kSrcA, 1, 1000, topology::SegType::kUp);
-  auto core = make_segr(AsId{1, 99}, 2, 300, topology::SegType::kCore);
+  reservation::ReservationDb db(kSrcA);
+  const auto up_key = key(kSrcA, 1);
+  const auto core_key = key(AsId{1, 99}, 2);
+  db.upsert_segr(make_segr(kSrcA, 1, 1000, topology::SegType::kUp));
+  db.upsert_segr(make_segr(AsId{1, 99}, 2, 300, topology::SegType::kCore));
   EerAdmission adm;
   EerAdmission::Request req;
   req.eer_key = key(kSrcA, 100);
   req.demand_kbps = 800;
-  req.segr_in = &up;
-  req.segr_out = &core;
+  req.segr_in = up_key;
+  req.segr_out = core_key;
   // Grant limited by the core SegR's 300.
-  EXPECT_EQ(adm.admit(req, 0).value(), 300u);
-  EXPECT_EQ(up.eer_allocated_kbps, 300u);
-  EXPECT_EQ(core.eer_allocated_kbps, 300u);
+  EXPECT_EQ(adm.admit(db, req, 0).value(), 300u);
+  EXPECT_EQ(eer_allocated(db, up_key), 300u);
+  EXPECT_EQ(eer_allocated(db, core_key), 300u);
 }
 
 TEST(TransferLedgerTest, UncontendedPassesThrough) {
@@ -371,11 +385,12 @@ TEST(TransferLedgerTest, ReleaseUnwinds) {
 }
 
 TEST(EerAdmissionTest, NoSegrRejected) {
+  reservation::ReservationDb db(kSrcA);
   EerAdmission adm;
   EerAdmission::Request req;
   req.eer_key = key(kSrcA, 100);
   req.demand_kbps = 10;
-  auto r = adm.admit(req, 0);
+  auto r = adm.admit(db, req, 0);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.error(), Errc::kNoSuchSegment);
 }
@@ -384,25 +399,27 @@ TEST(EerAdmissionTest, NoSegrRejected) {
 // never exceeds its bandwidth and never goes negative.
 TEST(EerAdmissionTest, AllocationInvariantRandomized) {
   Rng rng(77);
-  auto segr = make_segr(kSrcA, 1, 10'000, topology::SegType::kUp);
-  EerAdmission adm;
+  reservation::ReservationDb db(kSrcA, 4);
+  const auto segr_key = key(kSrcA, 1);
+  db.upsert_segr(make_segr(kSrcA, 1, 10'000, topology::SegType::kUp));
+  EerAdmission adm(4);
   std::vector<ResKey> live;
   for (int i = 0; i < 2000; ++i) {
     if (live.empty() || rng.below(3) != 0) {
       EerAdmission::Request req;
       req.eer_key = key(kSrcA, static_cast<ResId>(1000 + i));
       req.demand_kbps = static_cast<BwKbps>(1 + rng.below(2000));
-      req.segr_in = &segr;
-      if (adm.admit(req, 0).ok()) live.push_back(req.eer_key);
+      req.segr_in = segr_key;
+      if (adm.admit(db, req, 0).ok()) live.push_back(req.eer_key);
     } else {
       const size_t idx = rng.below(live.size());
-      adm.release(live[idx]);
+      adm.release(db, live[idx]);
       live.erase(live.begin() + static_cast<long>(idx));
     }
-    ASSERT_LE(segr.eer_allocated_kbps, segr.active.bw_kbps);
+    ASSERT_LE(eer_allocated(db, segr_key), 10'000u);
   }
-  for (const auto& k : live) adm.release(k);
-  EXPECT_EQ(segr.eer_allocated_kbps, 0u);
+  for (const auto& k : live) adm.release(db, k);
+  EXPECT_EQ(eer_allocated(db, segr_key), 0u);
 }
 
 }  // namespace

@@ -111,7 +111,7 @@ TEST_F(AppTest, ProvisionAllSegmentsIdempotentKeys) {
   EXPECT_GT(more, 0u);
   for (AsId as : bed_.topology().as_ids()) {
     std::set<ResId> seen;
-    bed_.cserv(as).db().segrs().for_each(
+    bed_.cserv(as).db().for_each_segr(
         [&](const reservation::SegrRecord& rec) {
           if (rec.key.src_as == as) {
             EXPECT_TRUE(seen.insert(rec.key.res_id).second);

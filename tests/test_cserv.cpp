@@ -40,8 +40,8 @@ TEST_F(CservTest, SegrSetupGrantsAndStoresEverywhere) {
 
   // Every on-path AS stores the reservation with the final bandwidth.
   for (const auto& hop : seg.hops) {
-    const auto* rec = bed_.cserv(hop.as).db().segrs().find(r.value().key);
-    ASSERT_NE(rec, nullptr) << hop.as.to_string();
+    const auto rec = bed_.cserv(hop.as).db().segr_copy(r.value().key);
+    ASSERT_TRUE(rec.has_value()) << hop.as.to_string();
     EXPECT_EQ(rec->active.bw_kbps, 500'000u);
     EXPECT_EQ(rec->seg_type, topology::SegType::kUp);
   }
@@ -123,8 +123,8 @@ TEST_F(CservTest, SegrRenewalCreatesPendingThenActivates) {
 
   // Pending everywhere, active unchanged (§4.2: explicit activation).
   for (const auto& hop : seg.hops) {
-    const auto* rec = bed_.cserv(hop.as).db().segrs().find(key);
-    ASSERT_NE(rec, nullptr);
+    const auto rec = bed_.cserv(hop.as).db().segr_copy(key);
+    ASSERT_TRUE(rec.has_value());
     EXPECT_EQ(rec->active.version, 0);
     ASSERT_TRUE(rec->pending.has_value());
     EXPECT_EQ(rec->pending->version, 1);
@@ -133,8 +133,8 @@ TEST_F(CservTest, SegrRenewalCreatesPendingThenActivates) {
   auto act = bed_.cserv(src).activate_segr(key, 1);
   ASSERT_TRUE(act.ok()) << errc_name(act.error());
   for (const auto& hop : seg.hops) {
-    const auto* rec = bed_.cserv(hop.as).db().segrs().find(key);
-    ASSERT_NE(rec, nullptr);
+    const auto rec = bed_.cserv(hop.as).db().segr_copy(key);
+    ASSERT_TRUE(rec.has_value());
     EXPECT_EQ(rec->active.version, 1);
     EXPECT_EQ(rec->active.bw_kbps, renew.value().bw_kbps);
     EXPECT_FALSE(rec->pending.has_value());
@@ -182,9 +182,9 @@ TEST_F(EerTest, EndToEndReservationAcrossIsds) {
   // verify at every on-path router.
   dataplane::FastPacket pkt;
   ASSERT_EQ(session.value().send(800, pkt), dataplane::Gateway::Verdict::kOk);
-  const auto* rec =
-      bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec =
+      bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
   for (size_t i = 0; i < rec->path.size(); ++i) {
     const auto verdict = bed_.router(rec->path[i].as).process(pkt);
     if (i + 1 < rec->path.size()) {
@@ -196,8 +196,8 @@ TEST_F(EerTest, EndToEndReservationAcrossIsds) {
 
   // Every on-path AS stored the EER and accounted it on its SegR.
   for (const auto& hop : rec->path) {
-    const auto* eer = bed_.cserv(hop.as).db().eers().find(rec->key);
-    ASSERT_NE(eer, nullptr) << hop.as.to_string();
+    const auto eer = bed_.cserv(hop.as).db().eer_copy(rec->key);
+    ASSERT_TRUE(eer.has_value()) << hop.as.to_string();
     EXPECT_EQ(eer->effective_bw(clock_.now_sec()), 50'000u);
   }
 }
@@ -213,8 +213,8 @@ TEST_F(EerTest, EerRenewalAddsVersion) {
   EXPECT_TRUE(session.value().maybe_renew(4));
   EXPECT_EQ(session.value().version(), 1);
 
-  const auto* rec = bed_.cserv(src).db().eers().find(key);
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(key);
+  ASSERT_TRUE(rec.has_value());
   EXPECT_GE(rec->versions.size(), 1u);
   EXPECT_EQ(rec->versions.back().version, 1);
   // New expiry extends beyond the old one.
@@ -283,7 +283,7 @@ TEST_F(EerTest, WhitelistEnforced) {
   for (AsId core : bed_.topology().core_ases()) {
     auto& cs = bed_.cserv(core);
     std::vector<ResKey> keys;
-    cs.db().segrs().for_each([&](const reservation::SegrRecord& rec) {
+    cs.db().for_each_segr([&](const reservation::SegrRecord& rec) {
       if (rec.key.src_as == core) keys.push_back(rec.key);
     });
     for (const auto& k : keys) cs.publish_segr(k, {AsId{9, 999}});
@@ -312,8 +312,8 @@ TEST_F(EerTest, TickExpiresEverything) {
   // Jump past both EER (16 s) and SegR (300 s) lifetimes.
   clock_.advance(400 * kNsPerSec);
   bed_.tick_all();
-  EXPECT_EQ(bed_.cserv(src).db().eers().size(), 0u);
-  EXPECT_EQ(bed_.cserv(src).db().segrs().size(), 0u);
+  EXPECT_EQ(bed_.cserv(src).db().eer_count(), 0u);
+  EXPECT_EQ(bed_.cserv(src).db().segr_count(), 0u);
   EXPECT_TRUE(session.value().expired());
 }
 
@@ -398,6 +398,7 @@ TEST(DistributedCservTest, RoutesBySegrConsistently) {
 
 TEST(DistributedCservTest, AdmissionThroughSubServices) {
   DistributedEerService svc(4);
+  reservation::ReservationDb db(AsId{1, 2}, 4);
   reservation::SegrRecord segr;
   segr.key = ResKey{AsId{1, 1}, 1};
   segr.seg_type = topology::SegType::kUp;
@@ -405,16 +406,18 @@ TEST(DistributedCservTest, AdmissionThroughSubServices) {
                topology::Hop{AsId{1, 2}, 1, 0}};
   segr.local_hop = 1;
   segr.active = reservation::SegrVersion{0, 1000, 10'000};
+  const ResKey segr_key = segr.key;
+  db.upsert_segr(std::move(segr));
 
   admission::EerAdmission::Request req;
   req.eer_key = ResKey{AsId{1, 1}, 100};
   req.demand_kbps = 600;
-  req.segr_in = &segr;
-  ASSERT_EQ(svc.admit(segr.key, req, 0).value(), 600u);
+  req.segr_in = segr_key;
+  ASSERT_EQ(svc.admit(db, segr_key, req, 0).value(), 600u);
   req.eer_key = ResKey{AsId{1, 1}, 101};
-  EXPECT_EQ(svc.admit(segr.key, req, 0).value(), 400u);
-  svc.release(segr.key, ResKey{AsId{1, 1}, 100});
-  EXPECT_EQ(segr.eer_allocated_kbps, 400u);
+  EXPECT_EQ(svc.admit(db, segr_key, req, 0).value(), 400u);
+  svc.release(db, segr_key, ResKey{AsId{1, 1}, 100});
+  EXPECT_EQ(db.segr_copy(segr_key)->eer_allocated_kbps, 400u);
 }
 
 TEST(DistributedCservTest, LoadSpreadsAcrossSubServices) {

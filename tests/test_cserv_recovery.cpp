@@ -26,10 +26,10 @@ TEST(CservRecoveryTest, RestartRestoresReservationsAndAdmission) {
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 100, 5'000);
   ASSERT_TRUE(session.ok()) << errc_name(session.error());
   const ResKey eer_key = session.value().key();
-  ASSERT_NE(bed.cserv(transit).db().eers().find(eer_key), nullptr);
+  ASSERT_TRUE(bed.cserv(transit).db().contains_eer(eer_key));
 
-  const size_t segrs_before = bed.cserv(transit).db().segrs().size();
-  const size_t eers_before = bed.cserv(transit).db().eers().size();
+  const size_t segrs_before = bed.cserv(transit).db().segr_count();
+  const size_t eers_before = bed.cserv(transit).db().eer_count();
 
   // "Restart": a brand-new CServ instance for the same AS recovering
   // from the log (the Testbed stack keeps the old one; we build a
@@ -46,17 +46,17 @@ TEST(CservRecoveryTest, RestartRestoresReservationsAndAdmission) {
   const size_t applied = restarted.restore_from_wal();
   EXPECT_GT(applied, 0u);
 
-  EXPECT_EQ(restarted.db().segrs().size(), segrs_before);
-  EXPECT_EQ(restarted.db().eers().size(), eers_before);
+  EXPECT_EQ(restarted.db().segr_count(), segrs_before);
+  EXPECT_EQ(restarted.db().eer_count(), eers_before);
 
   // The recovered EER record carries the right bandwidth, and the SegR it
   // rides has it accounted again.
-  const auto* rec = restarted.db().eers().find(eer_key);
-  ASSERT_NE(rec, nullptr);
+  const auto rec = restarted.db().eer_copy(eer_key);
+  ASSERT_TRUE(rec.has_value());
   EXPECT_EQ(rec->effective_bw(clock.now_sec()), session.value().bw_kbps());
   bool accounted = false;
   for (const ResKey& sk : rec->segrs) {
-    if (const auto* srec = restarted.db().segrs().find(sk)) {
+    if (const auto srec = restarted.db().segr_copy(sk)) {
       accounted |= srec->eer_allocated_kbps >= session.value().bw_kbps();
     }
   }
@@ -64,11 +64,11 @@ TEST(CservRecoveryTest, RestartRestoresReservationsAndAdmission) {
 
   // Admission still enforces capacity after recovery: a request far
   // beyond the SegR's remaining bandwidth is refused.
-  reservation::SegrRecord* srec = nullptr;
+  std::optional<reservation::SegrRecord> srec;
   for (const ResKey& sk : rec->segrs) {
-    if (auto* s = restarted.db().segrs().find(sk)) srec = s;
+    if (auto s = restarted.db().segr_copy(sk)) srec = s;
   }
-  ASSERT_NE(srec, nullptr);
+  ASSERT_TRUE(srec.has_value());
   EXPECT_LE(srec->eer_allocated_kbps, srec->active.bw_kbps);
 }
 
@@ -81,12 +81,12 @@ TEST(CservRecoveryTest, ExpirySweepIsLoggedAndSurvivesRestart) {
   bed.cserv(src).attach_wal(&wal);
 
   bed.provision_all_segments(1000, 2'000'000);
-  ASSERT_GT(bed.cserv(src).db().segrs().size(), 0u);
+  ASSERT_GT(bed.cserv(src).db().segr_count(), 0u);
 
   // Everything expires; the sweep logs the erases.
   clock.advance(400 * kNsPerSec);
   bed.cserv(src).tick();
-  EXPECT_EQ(bed.cserv(src).db().segrs().size(), 0u);
+  EXPECT_EQ(bed.cserv(src).db().segr_count(), 0u);
 
   // A recovering service replays upserts *and* erases: empty DB.
   MessageBus fresh_bus;
@@ -95,7 +95,7 @@ TEST(CservRecoveryTest, ExpirySweepIsLoggedAndSurvivesRestart) {
   CServ restarted(bed.topology(), src, fresh_bus, bed.pki(), k, k, clock);
   restarted.attach_wal(&wal);
   restarted.restore_from_wal();
-  EXPECT_EQ(restarted.db().segrs().size(), 0u);
+  EXPECT_EQ(restarted.db().segr_count(), 0u);
 }
 
 }  // namespace

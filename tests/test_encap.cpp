@@ -159,15 +159,15 @@ TEST(TrafficMonitorTest, EndToEndPolicingLoop) {
   auto session = bed.daemon(src).open_session(
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 100, 1000);
   ASSERT_TRUE(session.ok());
-  const auto* rec = bed.cserv(src).db().eers().find(session.value().key());
+  const auto rec = bed.cserv(src).db().eer_copy(session.value().key());
 
   TrafficMonitor monitor;
   monitor.attach_to(bed.router(transit));
 
   // Overuse: craft valid packets at far above 1 Mbps, replayed into the
   // transit hop (a malicious gateway that skips monitoring).
-  const auto* transit_rec = bed.cserv(transit).db().eers().find(rec->key);
-  ASSERT_NE(transit_rec, nullptr);
+  const auto transit_rec = bed.cserv(transit).db().eer_copy(rec->key);
+  ASSERT_TRUE(transit_rec.has_value());
   const std::uint8_t hop = transit_rec->local_hop;
   proto::ResInfo ri;
   ri.src_as = src;

@@ -36,7 +36,7 @@ TEST_F(DownSegrTest, LastAsTriggersSetupAtCore) {
 
   // The core AS holds the reservation; every on-path AS stored it.
   for (const auto& hop : seg.hops) {
-    EXPECT_NE(bed_.cserv(hop.as).db().segrs().find(r.value().key), nullptr)
+    EXPECT_TRUE(bed_.cserv(hop.as).db().contains_segr(r.value().key))
         << hop.as.to_string();
   }
   // It is published at the core, whitelisted for the requester.

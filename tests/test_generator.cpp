@@ -129,8 +129,8 @@ TEST(GeneratorTest, FullControlPlaneRunsOnGeneratedTopology) {
   ASSERT_TRUE(session.ok()) << errc_name(session.error());
 
   // The packet verifies along the whole (generated) path.
-  const auto* rec = bed.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
   dataplane::FastPacket pkt;
   ASSERT_EQ(session.value().send(100, pkt), dataplane::Gateway::Verdict::kOk);
   for (size_t i = 0; i < rec->path.size(); ++i) {

@@ -140,9 +140,9 @@ TEST_F(HandlerEdgeTest, EerOverExpiredSegrSignalsExpiry) {
   // Force-expire one of the underlying SegRs everywhere.
   const ResKey victim = keys.back();
   for (AsId as : bed_.topology().as_ids()) {
-    if (auto* rec = bed_.cserv(as).db().segrs().find(victim)) {
-      rec->active.exp_time = clock_.now_sec();  // expired now
-    }
+    bed_.cserv(as).db().with_segr(victim, [&](reservation::SegrRecord* rec) {
+      if (rec != nullptr) rec->active.exp_time = clock_.now_sec();  // expired now
+    });
   }
   auto r = bed_.cserv(src).setup_eer(keys, HostAddr::from_u64(1),
                                      HostAddr::from_u64(2), 1, 10);
@@ -161,7 +161,7 @@ TEST_F(HandlerEdgeTest, FailedEerLeavesNoAllocation) {
   std::vector<BwKbps> before;
   for (const auto& k : keys) {
     for (AsId as : bed_.topology().as_ids()) {
-      if (auto* rec = bed_.cserv(as).db().segrs().find(k)) {
+      if (const auto rec = bed_.cserv(as).db().segr_copy(k)) {
         before.push_back(rec->eer_allocated_kbps);
       }
     }
@@ -176,7 +176,7 @@ TEST_F(HandlerEdgeTest, FailedEerLeavesNoAllocation) {
   std::vector<BwKbps> after;
   for (const auto& k : keys) {
     for (AsId as : bed_.topology().as_ids()) {
-      if (auto* rec = bed_.cserv(as).db().segrs().find(k)) {
+      if (const auto rec = bed_.cserv(as).db().segr_copy(k)) {
         after.push_back(rec->eer_allocated_kbps);
       }
     }

@@ -38,8 +38,8 @@ TEST_F(IntegrationTest, LifeOfAPacket) {
       dst, HostAddr::from_u64(0xA), HostAddr::from_u64(0xB), 1000, 100'000);
   ASSERT_TRUE(session.ok()) << errc_name(session.error());
 
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
   ASSERT_GE(rec->path.size(), 4u);  // crosses the core
 
   for (int n = 0; n < 50; ++n) {
@@ -71,8 +71,8 @@ TEST_F(IntegrationTest, TelemetrySnapshotCoversControlAndDataPlane) {
   auto session = bed_.daemon(src).open_session(
       dst, HostAddr::from_u64(0xA), HostAddr::from_u64(0xB), 1000, 100'000);
   ASSERT_TRUE(session.ok()) << errc_name(session.error());
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
 
   for (int n = 0; n < 20; ++n) {
     dataplane::FastPacket pkt;
@@ -147,8 +147,8 @@ TEST_F(IntegrationTest, DistributedTraceFollowsTopologyPath) {
       dst, HostAddr::from_u64(0xA), HostAddr::from_u64(0xB), 1000, 100'000);
   tracer.disable();
   ASSERT_TRUE(session.ok()) << errc_name(session.error());
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
   ASSERT_GE(rec->path.size(), 4u);  // crosses the core
 
   const telemetry::SpanTrace capture = tracer.take();
@@ -230,10 +230,13 @@ TEST_F(IntegrationTest, FailoverToAlternativePath) {
   for (const auto& advert : chains.front()) {
     if (shared.contains(advert.key)) continue;
     for (const auto& hop : advert.hops) {
-      if (auto* r = bed_.cserv(hop.as).db().segrs().find(advert.key)) {
-        r->eer_allocated_kbps = r->active.bw_kbps;
-        ++saturated;
-      }
+      const bool hit = bed_.cserv(hop.as).db().with_segr(
+          advert.key, [](reservation::SegrRecord* r) {
+            if (r == nullptr) return false;
+            r->eer_allocated_kbps = r->active.bw_kbps;
+            return true;
+          });
+      if (hit) ++saturated;
     }
   }
   ASSERT_GT(saturated, 0u);
@@ -242,8 +245,8 @@ TEST_F(IntegrationTest, FailoverToAlternativePath) {
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 1000, 10'000);
   ASSERT_TRUE(session.ok()) << errc_name(session.error());
   // The established path is not the saturated first chain.
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
   std::vector<ResKey> first_chain_keys;
   for (const auto& a : chains.front()) first_chain_keys.push_back(a.key);
   EXPECT_NE(rec->segrs, first_chain_keys);
@@ -256,8 +259,8 @@ TEST_F(IntegrationTest, SeamlessRenewalUnderTraffic) {
   auto session = bed_.daemon(src).open_session(
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 1000, 1'000'000);
   ASSERT_TRUE(session.ok());
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
 
   for (int second = 0; second < 40; ++second) {
     clock_.advance(kNsPerSec);
@@ -281,8 +284,8 @@ TEST_F(IntegrationTest, SegrActivationKeepsEersAlive) {
   auto session = bed_.daemon(src).open_session(
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 1000, 10'000);
   ASSERT_TRUE(session.ok());
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
   const ResKey segr_key = rec->segrs.front();
 
   clock_.advance(2 * kNsPerSec);
@@ -311,8 +314,8 @@ TEST_F(IntegrationTest, PolicingLoopBlocksOveruser) {
   auto session = bed_.daemon(src).open_session(
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 1000, 1'000);
   ASSERT_TRUE(session.ok());
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
 
   // Wire monitoring into the transit router.
   dataplane::OverUseFlowDetector ofd;
@@ -323,8 +326,8 @@ TEST_F(IntegrationTest, PolicingLoopBlocksOveruser) {
 
   // Malicious gateway: craft packets directly at 100x the reservation.
   // The transit AS's router must confirm overuse and block.
-  const auto* transit_rec = bed_.cserv(transit).db().eers().find(rec->key);
-  ASSERT_NE(transit_rec, nullptr);
+  const auto transit_rec = bed_.cserv(transit).db().eer_copy(rec->key);
+  ASSERT_TRUE(transit_rec.has_value());
   const std::uint8_t transit_hop = transit_rec->local_hop;
 
   proto::ResInfo ri;

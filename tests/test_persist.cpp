@@ -83,9 +83,26 @@ TEST(WalTest, ReplayRestoresDb) {
 
   ReservationDb db(AsId{1, 20});
   EXPECT_EQ(wal.recover(db), 4u);
-  EXPECT_NE(db.segrs().find(ResKey{AsId{1, 10}, 1}), nullptr);
-  EXPECT_EQ(db.segrs().find(ResKey{AsId{1, 10}, 2}), nullptr);  // erased
-  EXPECT_NE(db.eers().find(ResKey{AsId{1, 10}, 3}), nullptr);
+  EXPECT_TRUE(db.contains_segr(ResKey{AsId{1, 10}, 1}));
+  EXPECT_FALSE(db.contains_segr(ResKey{AsId{1, 10}, 2}));  // erased
+  EXPECT_TRUE(db.contains_eer(ResKey{AsId{1, 10}, 3}));
+}
+
+TEST(WalTest, ReplayRestoresResIdAllocatorFloor) {
+  MemoryStorage storage;
+  ReservationWal wal(storage);
+  wal.log_segr_upsert(sample_segr(17));
+  wal.log_eer_upsert(sample_eer(523));
+  // Foreign-AS record: its id must NOT advance this owner's allocator.
+  EerRecord foreign = sample_eer(9000);
+  foreign.key.src_as = AsId{2, 77};
+  wal.log_eer_upsert(foreign);
+
+  // The recovering db is owned by the AS that minted ids 17 and 523.
+  ReservationDb db(AsId{1, 10});
+  EXPECT_EQ(wal.recover(db), 3u);
+  EXPECT_EQ(db.last_res_id(), 523u);
+  EXPECT_EQ(db.next_res_id(), 524u);  // never re-mints a live id
 }
 
 TEST(WalTest, TornTailIsDiscarded) {
@@ -99,8 +116,8 @@ TEST(WalTest, TornTailIsDiscarded) {
 
   ReservationDb db(AsId{1, 20});
   EXPECT_EQ(wal.recover(db), 1u);
-  EXPECT_NE(db.segrs().find(ResKey{AsId{1, 10}, 1}), nullptr);
-  EXPECT_EQ(db.segrs().find(ResKey{AsId{1, 10}, 2}), nullptr);
+  EXPECT_TRUE(db.contains_segr(ResKey{AsId{1, 10}, 1}));
+  EXPECT_FALSE(db.contains_segr(ResKey{AsId{1, 10}, 2}));
 }
 
 TEST(WalTest, CorruptRecordStopsReplay) {
@@ -116,7 +133,7 @@ TEST(WalTest, CorruptRecordStopsReplay) {
 
   ReservationDb db(AsId{1, 20});
   EXPECT_EQ(wal.recover(db), 1u);
-  EXPECT_EQ(db.segrs().size(), 1u);
+  EXPECT_EQ(db.segr_count(), 1u);
 }
 
 TEST(WalTest, CheckpointCompacts) {
@@ -129,14 +146,14 @@ TEST(WalTest, CheckpointCompacts) {
 
   ReservationDb db(AsId{1, 20});
   wal.recover(db);
-  ASSERT_EQ(db.segrs().size(), 1u);
+  ASSERT_EQ(db.segr_count(), 1u);
 
   wal.checkpoint(db);
   EXPECT_LT(storage.raw().size(), churned / 10);
 
   ReservationDb fresh(AsId{1, 20});
   EXPECT_EQ(wal.recover(fresh), 1u);
-  EXPECT_NE(fresh.segrs().find(ResKey{AsId{1, 10}, 1}), nullptr);
+  EXPECT_TRUE(fresh.contains_segr(ResKey{AsId{1, 10}, 1}));
 }
 
 TEST(WalTest, FileStorageRoundTrip) {
@@ -154,8 +171,8 @@ TEST(WalTest, FileStorageRoundTrip) {
     ReservationWal wal(storage);
     ReservationDb db(AsId{1, 20});
     EXPECT_EQ(wal.recover(db), 2u);
-    EXPECT_EQ(db.segrs().size(), 1u);
-    EXPECT_EQ(db.eers().size(), 1u);
+    EXPECT_EQ(db.segr_count(), 1u);
+    EXPECT_EQ(db.eer_count(), 1u);
   }
   std::remove(path.c_str());
 }
@@ -165,7 +182,7 @@ TEST(WalTest, EmptyLogRecoversNothing) {
   ReservationWal wal(storage);
   ReservationDb db(AsId{1, 20});
   EXPECT_EQ(wal.recover(db), 0u);
-  EXPECT_EQ(db.segrs().size(), 0u);
+  EXPECT_EQ(db.segr_count(), 0u);
 }
 
 }  // namespace

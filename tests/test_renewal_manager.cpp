@@ -37,12 +37,12 @@ TEST_F(RenewalManagerTest, RenewsAheadOfExpiryAndActivates) {
   mgr.manage_all_local();
 
   ResKey any_key;
-  bed_.cserv(src).db().segrs().for_each(
+  bed_.cserv(src).db().for_each_segr(
       [&](const reservation::SegrRecord& rec) {
         if (rec.key.src_as == src) any_key = rec.key;
       });
-  const auto* rec = bed_.cserv(src).db().segrs().find(any_key);
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().segr_copy(any_key);
+  ASSERT_TRUE(rec.has_value());
   const UnixSec first_expiry = rec->active.exp_time;
 
   // Within the lead window nothing happens...
@@ -56,17 +56,54 @@ TEST_F(RenewalManagerTest, RenewsAheadOfExpiryAndActivates) {
   EXPECT_EQ(mgr.stats().renewed, mgr.managed());
   EXPECT_EQ(mgr.stats().activated, mgr.managed());
 
-  const auto* renewed = bed_.cserv(src).db().segrs().find(any_key);
-  ASSERT_NE(renewed, nullptr);
+  const auto renewed = bed_.cserv(src).db().segr_copy(any_key);
+  ASSERT_TRUE(renewed.has_value());
   EXPECT_GT(renewed->active.exp_time, first_expiry);
   EXPECT_GT(renewed->active.version, 0);
   EXPECT_FALSE(renewed->pending.has_value());
 }
 
+TEST_F(RenewalManagerTest, PlanBucketsDueKeysByShardInOrder) {
+  const AsId src{1, 110};
+  auto& db = bed_.cserv(src).db();
+  RenewalManager mgr(bed_.cserv(src));
+  const size_t managed = mgr.manage_all_local();
+  ASSERT_GT(managed, 0u);
+
+  // Nothing due outside the lead window.
+  EXPECT_TRUE(mgr.plan(clock_.now_sec()).empty());
+
+  // Everything was provisioned together, so the whole fleet comes due in
+  // the same window — the correlated storm, planned as per-shard batches.
+  clock_.advance(260 * kNsPerSec);
+  const auto batches = mgr.plan(clock_.now_sec());
+  size_t total = 0;
+  size_t last_shard = 0;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    const auto& batch = batches[i];
+    EXPECT_FALSE(batch.due.empty());
+    if (i > 0) EXPECT_GT(batch.shard, last_shard);  // ascending shards
+    last_shard = batch.shard;
+    ResId prev = 0;
+    for (const ResKey& key : batch.due) {
+      EXPECT_EQ(db.shard_of(key.res_id), batch.shard);
+      EXPECT_GE(key.res_id, prev);  // ResId-ordered inside the batch
+      prev = key.res_id;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, managed);
+
+  // The tick drains exactly those batches and reports them.
+  mgr.tick(clock_.now_sec());
+  EXPECT_EQ(mgr.stats().renewed, managed);
+  EXPECT_EQ(mgr.stats().batches, batches.size());
+}
+
 TEST_F(RenewalManagerTest, WhitelistSurvivesVersionBump) {
   const AsId src{1, 110};
   ResKey key;
-  bed_.cserv(src).db().segrs().for_each(
+  bed_.cserv(src).db().for_each_segr(
       [&](const reservation::SegrRecord& rec) {
         if (rec.key.src_as == src) key = rec.key;
       });
@@ -100,8 +137,8 @@ TEST_F(RenewalManagerTest, SessionsSurviveTwentyMinutes) {
   auto session = bed_.daemon(src).open_session(
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 100, 5'000);
   ASSERT_TRUE(session.ok());
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
-  ASSERT_NE(rec, nullptr);
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
+  ASSERT_TRUE(rec.has_value());
 
   for (int second = 0; second < 1200; ++second) {
     clock_.advance(kNsPerSec);
@@ -126,7 +163,7 @@ TEST_F(RenewalManagerTest, SessionsSurviveTwentyMinutes) {
   }
   // The SegRs rolled over several versions along the way.
   bool versioned = false;
-  bed_.cserv(src).db().segrs().for_each(
+  bed_.cserv(src).db().for_each_segr(
       [&](const reservation::SegrRecord& r) {
         versioned |= r.active.version >= 3;
       });
@@ -136,23 +173,24 @@ TEST_F(RenewalManagerTest, SessionsSurviveTwentyMinutes) {
 TEST_F(RenewalManagerTest, DemandTracksUtilization) {
   const AsId src{1, 110};
   ResKey key;
-  bed_.cserv(src).db().segrs().for_each(
+  bed_.cserv(src).db().for_each_segr(
       [&](const reservation::SegrRecord& rec) {
         if (rec.key.src_as == src) key = rec.key;
       });
-  auto* rec = bed_.cserv(src).db().segrs().find(key);
-  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(bed_.cserv(src).db().contains_segr(key));
 
   RenewalManager mgr(bed_.cserv(src));
   mgr.manage(key);
   // Simulate sustained 1.5 Gbps of EER usage being observed.
-  rec->eer_allocated_kbps = 1'500'000;
+  bed_.cserv(src).db().with_segr(key, [](reservation::SegrRecord* rec) {
+    if (rec != nullptr) rec->eer_allocated_kbps = 1'500'000;
+  });
   for (int i = 0; i < 50; ++i) mgr.tick(clock_.now_sec());
 
   clock_.advance(260 * kNsPerSec);
   mgr.tick(clock_.now_sec());
-  const auto* renewed = bed_.cserv(src).db().segrs().find(key);
-  ASSERT_NE(renewed, nullptr);
+  const auto renewed = bed_.cserv(src).db().segr_copy(key);
+  ASSERT_TRUE(renewed.has_value());
   // Renewed at >= utilization (with forecaster headroom), not at some
   // unrelated static size.
   EXPECT_GE(renewed->active.bw_kbps, 1'500'000u);

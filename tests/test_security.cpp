@@ -62,7 +62,7 @@ TEST_F(SecurityTest, SourceSpoofingFailsVerification) {
   ASSERT_EQ(session.value().send(100, pkt), dataplane::Gateway::Verdict::kOk);
   // The adversary rewrites the source AS to frame AS 1-111.
   pkt.resinfo.src_as = AsId{1, 111};
-  const auto* rec = bed_.cserv(victim).db().eers().find(session.value().key());
+  const auto rec = bed_.cserv(victim).db().eer_copy(session.value().key());
   EXPECT_EQ(bed_.router(rec->path[0].as).process(pkt),
             dataplane::BorderRouter::Verdict::kBadHvf);
 }
@@ -75,7 +75,7 @@ TEST_F(SecurityTest, ReplayFloodDiscarded) {
   auto session = bed_.daemon(src).open_session(
       dst, HostAddr::from_u64(1), HostAddr::from_u64(2), 100, 1000);
   ASSERT_TRUE(session.ok());
-  const auto* rec = bed_.cserv(src).db().eers().find(session.value().key());
+  const auto rec = bed_.cserv(src).db().eer_copy(session.value().key());
   const AsId transit = rec->path[1].as;
   dataplane::DuplicateSuppression dupsup;
   bed_.router(transit).attach_dupsup(&dupsup);
