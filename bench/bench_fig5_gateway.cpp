@@ -16,6 +16,8 @@
 
 #include "colibri/common/rand.hpp"
 #include "colibri/dataplane/gateway.hpp"
+#include "colibri/telemetry/alerts.hpp"
+#include "colibri/telemetry/timeseries.hpp"
 
 namespace {
 
@@ -220,6 +222,76 @@ BENCHMARK(BM_GatewayForwardBatchedProfiled)
 [[maybe_unused]] const bool kOverheadRow = benchjson::request_ratio(
     "gateway_profiler_overhead", "BM_GatewayForwardBatched",
     "BM_GatewayForwardBatchedProfiled");
+
+// The batched pipeline with the live monitoring plane attached: a
+// WindowedSampler over the global registry (which the cached gateways
+// export into) polled once per batch — 10 ms windows, so ~100
+// snapshots/s — and an alert rule evaluated at every cut window.
+// Between windows poll() is one clock read plus one relaxed atomic
+// load, so the derived gateway_sampler_overhead ratio over the
+// unmonitored run should sit at ~1.0x; the bench gate pins that — live
+// monitoring must stay off the fast path.
+void BM_GatewayForwardBatchedSampled(benchmark::State& state) {
+  const int num_ases = static_cast<int>(state.range(0));
+  const std::int64_t r = state.range(1);
+  Gateway& gw = gateway_for(num_ases, r);
+
+  Rng rng(42);
+  std::vector<ResId> ids(1 << 16);
+  for (auto& id : ids) {
+    id = static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+  }
+
+  constexpr size_t kBatch = 64;
+  std::uint32_t sizes[kBatch] = {};
+  std::vector<FastPacket> pkts(kBatch);
+  std::vector<Gateway::Verdict> verdicts(kBatch);
+
+  telemetry::WindowedSamplerConfig scfg;
+  scfg.period_ns = 10'000'000;
+  scfg.ring_capacity = 128;
+  telemetry::WindowedSampler sampler(telemetry::MetricsRegistry::global(),
+                                     g_clock, scfg);
+  sampler.track_rate("gateway.forwarded");
+  telemetry::AlertEngine engine(sampler, g_clock);
+  telemetry::AlertRule rule;
+  rule.name = "gateway.drop-spike";
+  rule.series = "gateway.drop.";
+  rule.signal = telemetry::AlertSignal::kRate;
+  rule.span_ns = kNsPerSec;
+  rule.cmp = telemetry::AlertCmp::kAbove;
+  rule.threshold = 1e6;
+  rule.for_ns = kNsPerSec;
+  engine.add_rule(rule);
+
+  size_t i = 0;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    gw.process_batch(ids.data() + i, sizes, kBatch, pkts.data(),
+                     verdicts.data());
+    benchmark::DoNotOptimize(pkts[0].hvfs[0]);
+    if (sampler.poll()) (void)engine.evaluate();
+    i += kBatch;
+    if (i + kBatch > ids.size()) i = 0;
+    processed += kBatch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["windows"] =
+      static_cast<double>(sampler.windows_sampled());
+  state.counters["alert_evals"] = static_cast<double>(engine.evaluations());
+}
+
+// Same representative grid point as the profiled run; the row exists
+// to price the monitoring loop, not to re-sweep the figure.
+BENCHMARK(BM_GatewayForwardBatchedSampled)
+    ->Args({4, 1 << 15})
+    ->Unit(benchmark::kNanosecond);
+
+[[maybe_unused]] const bool kSamplerRow = benchjson::request_ratio(
+    "gateway_sampler_overhead", "BM_GatewayForwardBatched",
+    "BM_GatewayForwardBatchedSampled");
 
 // Burst API variant (DPDK-style 32-packet bursts), path length 4.
 void BM_GatewayBurst(benchmark::State& state) {

@@ -13,10 +13,19 @@ seeded with --write-baselines.  A baseline whose BENCH file or result
 row disappeared from the current run *is* an error -- silently losing
 coverage is how gates rot.
 
+Every gated row is printed in a PASS/FAIL summary table, and --report
+writes the same verdicts as machine-readable JSON for tooling to
+consume.  --self-test runs the gate against synthetic fixtures in a
+temp directory and needs no benchmark run at all (CI runs it first, so
+a broken gate fails loudly instead of waving regressions through).
+
   scripts/check_bench.py --current build/bench             # gate
   scripts/check_bench.py --current build/bench \
       --write-baselines                                    # (re)seed
   scripts/check_bench.py --current build/bench --tolerance 0.5
+  scripts/check_bench.py --current build/bench \
+      --report build/bench_gate_report.json
+  scripts/check_bench.py --self-test
 
 Exit codes: 0 all gated results within tolerance, 1 regression or
 missing coverage, 2 usage / IO error.
@@ -27,6 +36,7 @@ import json
 import os
 import shutil
 import sys
+import tempfile
 
 DEFAULT_TOLERANCE = 0.35  # fraction; generous because CI machines vary
 
@@ -53,49 +63,75 @@ def bench_files(directory):
 
 
 def check_file(name, baseline, current, tolerance):
-    """Returns a list of violation strings for one benchmark file."""
-    violations = []
+    """Gates one benchmark file.
+
+    Returns a list of row verdicts: {file, result, status, reasons,
+    metrics: {metric: {baseline, current, limit}}}.  status is "pass",
+    "fail", or "missing" (baseline row absent from the current run).
+    """
+    rows = []
     for result, base in sorted(baseline.items()):
+        row = {"file": name, "result": result, "status": "pass",
+               "reasons": [], "metrics": {}}
         cur = current.get(result)
         if cur is None:
-            violations.append(
-                f"{name}: result '{result}' present in baseline but missing "
-                f"from the current run")
+            row["status"] = "missing"
+            row["reasons"].append(
+                "present in baseline but missing from the current run")
+            rows.append(row)
             continue
         # Throughput must not drop.
         if base["ops_per_sec"] > 0:
             floor = base["ops_per_sec"] * (1 - tolerance)
+            row["metrics"]["ops_per_sec"] = {
+                "baseline": base["ops_per_sec"],
+                "current": cur["ops_per_sec"],
+                "limit": floor,
+            }
             if cur["ops_per_sec"] < floor:
-                violations.append(
-                    f"{name}: {result}: ops_per_sec {cur['ops_per_sec']:.4g} "
-                    f"< {floor:.4g} (baseline {base['ops_per_sec']:.4g}, "
-                    f"tolerance {tolerance:.0%})")
+                row["status"] = "fail"
+                row["reasons"].append(
+                    f"ops_per_sec {cur['ops_per_sec']:.4g} < floor "
+                    f"{floor:.4g} (baseline {base['ops_per_sec']:.4g})")
         # Latency percentiles must not rise.
         for pct in ("p50_ns", "p99_ns"):
             if base[pct] <= 0:
                 continue
             ceiling = base[pct] * (1 + tolerance)
+            row["metrics"][pct] = {
+                "baseline": base[pct],
+                "current": cur[pct],
+                "limit": ceiling,
+            }
             if cur[pct] > ceiling:
-                violations.append(
-                    f"{name}: {result}: {pct} {cur[pct]:.4g} > "
-                    f"{ceiling:.4g} (baseline {base[pct]:.4g}, "
-                    f"tolerance {tolerance:.0%})")
-    return violations
+                row["status"] = "fail"
+                row["reasons"].append(
+                    f"{pct} {cur[pct]:.4g} > ceiling {ceiling:.4g} "
+                    f"(baseline {base[pct]:.4g})")
+        rows.append(row)
+    return rows
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baselines", default="bench/baselines",
-                    help="directory of committed baseline BENCH_*.json")
-    ap.add_argument("--current", required=True,
-                    help="directory the benchmark run wrote BENCH_*.json to")
-    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
-                    help="allowed fractional slack (default %(default)s)")
-    ap.add_argument("--write-baselines", action="store_true",
-                    help="copy the current BENCH_*.json over the baselines "
-                         "instead of gating")
-    args = ap.parse_args()
+def print_summary(rows, tolerance):
+    """Per-row PASS/FAIL table on stdout."""
+    if not rows:
+        return
+    width = max(len(f"{r['file']}:{r['result']}") for r in rows)
+    print(f"benchmark gate (tolerance {tolerance:.0%}):")
+    for r in rows:
+        label = f"{r['file']}:{r['result']}"
+        status = r["status"].upper()
+        if r["status"] == "pass":
+            ops = r["metrics"].get("ops_per_sec")
+            detail = (f"ops/s {ops['current']:.4g} "
+                      f"(floor {ops['limit']:.4g})" if ops else "")
+        else:
+            detail = "; ".join(r["reasons"])
+        print(f"  {status:7s} {label:<{width}}  {detail}")
 
+
+def run_gate(args):
+    """The gate proper; returns the process exit code."""
     if not os.path.isdir(args.current):
         print(f"check_bench: current dir not found: {args.current}",
               file=sys.stderr)
@@ -128,28 +164,154 @@ def main():
               file=sys.stderr)
         return 2
 
-    violations = []
-    checked = 0
+    rows = []
+    missing_files = []
     for f in gated:
         cur_path = os.path.join(args.current, f)
         if not os.path.isfile(cur_path):
-            violations.append(
-                f"{f}: baseline exists but the current run did not emit it")
+            missing_files.append(f)
+            rows.append({"file": f, "result": "*", "status": "missing",
+                         "reasons": ["baseline exists but the current run "
+                                     "did not emit it"], "metrics": {}})
             continue
         baseline = load_results(os.path.join(args.baselines, f))
         current = load_results(cur_path)
-        violations.extend(check_file(f, baseline, current, args.tolerance))
-        checked += len(baseline)
+        rows.extend(check_file(f, baseline, current, args.tolerance))
 
-    if violations:
-        print(f"check_bench: {len(violations)} violation(s):",
-              file=sys.stderr)
-        for v in violations:
-            print(f"  {v}", file=sys.stderr)
+    bad = [r for r in rows if r["status"] != "pass"]
+    print_summary(rows, args.tolerance)
+
+    if args.report:
+        report = {
+            "tolerance": args.tolerance,
+            "baselines": args.baselines,
+            "current": args.current,
+            "checked": len(rows),
+            "failed": len(bad),
+            "ok": not bad,
+            "rows": rows,
+        }
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+        print(f"wrote {args.report}")
+
+    if bad:
+        print(f"check_bench: {len(bad)} violation(s):", file=sys.stderr)
+        for r in bad:
+            for reason in r["reasons"]:
+                print(f"  {r['file']}: {r['result']}: {reason}",
+                      file=sys.stderr)
         return 1
-    print(f"check_bench: {checked} gated result(s) across {len(gated)} "
+    print(f"check_bench: {len(rows)} gated result(s) across {len(gated)} "
           f"benchmark(s) within {args.tolerance:.0%} of baseline")
     return 0
+
+
+def self_test():
+    """Gates synthetic fixtures; returns 0 when every case behaves."""
+
+    def bench_doc(rows):
+        return {"results": [
+            {"name": n, "ops_per_sec": ops, "p50_ns": p50, "p99_ns": p99}
+            for (n, ops, p50, p99) in rows]}
+
+    def write_doc(directory, name, rows):
+        with open(os.path.join(directory, name), "w", encoding="utf-8") as f:
+            json.dump(bench_doc(rows), f)
+
+    def gate(base_dir, cur_dir, report=None, write=False, tolerance=0.35):
+        args = argparse.Namespace(
+            baselines=base_dir, current=cur_dir, tolerance=tolerance,
+            write_baselines=write, report=report)
+        return run_gate(args)
+
+    failures = []
+
+    def expect(case, got, want):
+        if got != want:
+            failures.append(f"{case}: exit {got}, want {want}")
+
+    with tempfile.TemporaryDirectory(prefix="check_bench_selftest_") as tmp:
+        base = os.path.join(tmp, "baselines")
+        cur = os.path.join(tmp, "current")
+        os.makedirs(base)
+        os.makedirs(cur)
+        rows = [("BM_X/1", 1000.0, 100.0, 200.0),
+                ("ratio_row", 1.05, 0.0, 0.0)]
+
+        # Identical run passes and the report says so.
+        write_doc(base, "BENCH_x.json", rows)
+        write_doc(cur, "BENCH_x.json", rows)
+        report = os.path.join(tmp, "report.json")
+        expect("pass", gate(base, cur, report=report), 0)
+        with open(report, encoding="utf-8") as f:
+            doc = json.load(f)
+        if not doc["ok"] or doc["failed"] != 0 or doc["checked"] != 2:
+            failures.append(f"pass: bad report {doc}")
+
+        # Throughput collapse fails and the report carries the verdict.
+        write_doc(cur, "BENCH_x.json",
+                  [("BM_X/1", 100.0, 100.0, 200.0), rows[1]])
+        expect("regression", gate(base, cur, report=report), 1)
+        with open(report, encoding="utf-8") as f:
+            doc = json.load(f)
+        bad = [r for r in doc["rows"] if r["status"] == "fail"]
+        if doc["ok"] or len(bad) != 1 or bad[0]["result"] != "BM_X/1":
+            failures.append(f"regression: bad report {doc}")
+
+        # Latency blow-up alone also fails.
+        write_doc(cur, "BENCH_x.json",
+                  [("BM_X/1", 1000.0, 100.0, 2000.0), rows[1]])
+        expect("latency", gate(base, cur), 1)
+
+        # A vanished result row fails; a vanished BENCH file fails.
+        write_doc(cur, "BENCH_x.json", [rows[0]])
+        expect("missing-row", gate(base, cur), 1)
+        os.remove(os.path.join(cur, "BENCH_x.json"))
+        expect("missing-file", gate(base, cur), 1)
+
+        # Slack within tolerance passes.
+        write_doc(cur, "BENCH_x.json",
+                  [("BM_X/1", 800.0, 120.0, 250.0), rows[1]])
+        expect("within-tolerance", gate(base, cur), 0)
+
+        # --write-baselines seeds, after which the gate passes.
+        base2 = os.path.join(tmp, "baselines2")
+        expect("seed", gate(base2, cur, write=True), 0)
+        expect("seeded-pass", gate(base2, cur), 0)
+
+    if failures:
+        print("check_bench --self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_bench --self-test: all cases behave")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of committed baseline BENCH_*.json")
+    ap.add_argument("--current",
+                    help="directory the benchmark run wrote BENCH_*.json to")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="allowed fractional slack (default %(default)s)")
+    ap.add_argument("--write-baselines", action="store_true",
+                    help="copy the current BENCH_*.json over the baselines "
+                         "instead of gating")
+    ap.add_argument("--report", metavar="PATH",
+                    help="also write the row verdicts as JSON to PATH")
+    ap.add_argument("--self-test", action="store_true",
+                    help="gate synthetic fixtures in a temp dir and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.current:
+        ap.error("--current is required (or use --self-test)")
+    return run_gate(args)
 
 
 if __name__ == "__main__":

@@ -38,11 +38,17 @@ JOBS="${JOBS:-$(nproc)}"
 PRESETS=("$@")
 [ ${#PRESETS[@]} -gt 0 ] || PRESETS=(default asan tsan)
 
+# The gate's own self-test runs before anything it might gate: a broken
+# gate must fail the run, not wave regressions through.
+echo "=== check_bench self-test"
+python3 scripts/check_bench.py --self-test
+
 TSAN_SUITES='TelemetryStressTest|ShardedRuntimeTest|SpscRingTest'
 TSAN_SUITES+='|CounterTest.ConcurrentIncrementsFromManyThreads'
 TSAN_SUITES+='|ControlPlaneStressTest'
 TSAN_SUITES+='|RenewalStormTest.MultiThreadedDrainMatchesSingleThreaded'
 TSAN_SUITES+='|ReservationDbTest.NextResIdIsUniqueAcrossThreads'
+TSAN_SUITES+='|SamplerAlertStressTest'
 
 for preset in "${PRESETS[@]}"; do
   if [ "$preset" = bench-gate ]; then
@@ -58,6 +64,7 @@ for preset in "${PRESETS[@]}"; do
     done
     echo "=== [bench-gate] compare against bench/baselines"
     python3 scripts/check_bench.py --current "$BENCH_DIR" \
+      --report build/bench_gate_report.json \
       ${BENCH_TOLERANCE:+--tolerance "$BENCH_TOLERANCE"}
     continue
   fi
@@ -91,6 +98,7 @@ for preset in "${PRESETS[@]}"; do
     grep -q '"traceEvents"' "$trace_out"
     rm -f "$trace_out"
     "$OBS" health | grep -q 'stall detector'
+    "$OBS" watch --once | grep -q 'alerts:'
   fi
 done
 

@@ -7,20 +7,145 @@
 #include "colibri/app/testbed.hpp"
 #include "colibri/cserv/renewal_manager.hpp"
 #include "colibri/dataplane/shard.hpp"
+#include "colibri/telemetry/alerts.hpp"
 #include "colibri/telemetry/openmetrics.hpp"
+#include "colibri/telemetry/timeseries.hpp"
 #include "colibri/telemetry/trace_export.hpp"
 
 namespace colibri::app {
+namespace {
+
+// One dashboard frame: current + peak windowed rates for the headline
+// series, the windowed admission p99, shard health as the sampler sees
+// it, SLO budgets, and the alert-engine tallies with any firing rules.
+std::string render_watch_frame(const telemetry::WindowedSampler& sampler,
+                               const telemetry::AlertEngine& engine,
+                               TimeNs now_ns) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "== colibri watch @ t=%.3fs  windows=%llu (period %lld ms) ==\n",
+                static_cast<double>(now_ns) / 1e9,
+                static_cast<unsigned long long>(sampler.windows_sampled()),
+                static_cast<long long>(sampler.period_ns() / 1'000'000));
+  out += line;
+  const auto rate_row = [&](const char* label, const char* series,
+                            bool prefix) {
+    std::snprintf(line, sizeof(line), "%-24s %12.0f/s  peak %12.0f/s\n", label,
+                  sampler.rate(series, kNsPerSec, prefix),
+                  sampler.peak_rate(series, prefix));
+    out += line;
+  };
+  rate_row("gateway.forwarded", "gateway.forwarded", false);
+  rate_row("router.forwarded", "router.forwarded", false);
+  rate_row("router.drop.*", "router.drop.", true);
+  rate_row("gateway_shard.*.fwd", "gateway_shard.", true);
+  const auto p99 = sampler.windowed_percentile("cserv.request_latency_ns",
+                                               0.99, 10 * kNsPerSec);
+  std::snprintf(line, sizeof(line), "admission p99 (10s): %s\n",
+                p99 ? (std::to_string(static_cast<long long>(*p99)) + " ns")
+                          .c_str()
+                    : "no data");
+  out += line;
+  const auto shards = sampler.gauge_level("gateway_runtime.shard.count");
+  const auto depth =
+      sampler.gauge_level("gateway_runtime.shard.", /*prefix=*/true);
+  if (shards) {
+    std::snprintf(line, sizeof(line),
+                  "shards: %lld  max shard gauge: %lld\n",
+                  static_cast<long long>(*shards),
+                  static_cast<long long>(depth.value_or(0)));
+    out += line;
+  }
+  for (const auto& s : engine.slo_status()) {
+    std::snprintf(line, sizeof(line),
+                  "slo %-20s burn %6.2f  budget %5.1f%%  [%s]\n",
+                  s.name.c_str(), s.burn_rate, s.budget_remaining * 100.0,
+                  telemetry::alert_state_name(s.state));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "alerts: rules=%zu evaluations=%llu firing=%zu fired=%llu "
+                "resolved=%llu\n",
+                engine.rule_count(),
+                static_cast<unsigned long long>(engine.evaluations()),
+                engine.firing_count(),
+                static_cast<unsigned long long>(engine.fired_total()),
+                static_cast<unsigned long long>(engine.resolved_total()));
+  out += line;
+  for (const auto& st : engine.status()) {
+    if (st.state == telemetry::AlertState::kInactive) continue;
+    std::snprintf(line, sizeof(line), "  [%s] %s value=%.2f\n",
+                  telemetry::alert_state_name(st.state), st.name.c_str(),
+                  st.last_value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
 
 ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
   SimClock clock(1'000 * kNsPerSec);
   telemetry::MetricsRegistry registry;
   telemetry::EventLog events(clock);
+  ObsArtifacts out;
 
   cserv::CservConfig cfg;
   cfg.metrics = &registry;
   cfg.events = &events;
   Testbed bed(topology::builders::two_isd_topology(), clock, cfg);
+
+  // Live-monitoring plane: 10 ms windows keep the SimClock-paced packet
+  // loop (~160 us/packet) cutting several windows; the engine carries
+  // every component's default rule pack plus two SLOs. Both re-export
+  // into the same registry, so the derived gauges and alert counters
+  // ride the snapshot below.
+  telemetry::WindowedSamplerConfig scfg;
+  scfg.period_ns = 10'000'000;
+  scfg.ring_capacity = 256;
+  telemetry::WindowedSampler sampler(registry, clock, scfg, &registry);
+  sampler.track_rate("gateway.forwarded");
+  sampler.track_rate("router.forwarded");
+  sampler.track_rate("router.drop.");
+  sampler.track_percentiles("cserv.request_latency_ns");
+  for (int s = 0; s < 4; ++s) {
+    sampler.track_watermark("gateway_runtime.shard." + std::to_string(s) +
+                            ".ring_depth");
+  }
+  telemetry::AlertEngine engine(sampler, clock, &events, &registry);
+  engine.add_rules(cserv::default_cserv_alert_rules());
+  engine.add_rules(dataplane::default_router_alert_rules());
+  engine.add_rules(dataplane::ShardedGatewayRuntime::default_alert_rules(
+      /*shard_count=*/4, /*ring_depth_threshold=*/48));
+  {
+    telemetry::Slo lat;
+    lat.name = "admission-latency";
+    lat.kind = telemetry::Slo::Kind::kLatency;
+    lat.objective = 0.001;
+    lat.series = "cserv.request_latency_ns";
+    lat.latency_threshold_ns = 50'000'000;
+    engine.add_slo(lat);
+    telemetry::Slo del;
+    del.name = "router-delivery";
+    del.kind = telemetry::Slo::Kind::kFraction;
+    del.objective = 0.05;  // <=5% of router verdicts may be drops
+    del.series = "router.drop.";
+    del.total_series = "router.";
+    engine.add_slo(del);
+  }
+  const auto monitor = [&] {
+    if (sampler.poll()) {
+      (void)engine.evaluate();
+      out.watch_frames.push_back(
+          render_watch_frame(sampler, engine, clock.now_ns()));
+    }
+  };
+  // Baseline window before the lifecycle starts: the first sample only
+  // records the snapshot to delta against, so the provisioning burst
+  // lands whole in window 1.
+  clock.advance(scfg.period_ns);
+  (void)sampler.poll();
 
   // Lifecycle tracing: every bus hop call of the setup conversation —
   // segment provisioning and the end-to-end EER admission — is
@@ -35,7 +160,6 @@ ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
       /*min_bw=*/1'000, /*max_bw=*/50'000);
   const telemetry::SpanTrace setup_trace = bed.bus().tracer().take();
   bed.bus().tracer().disable();
-  ObsArtifacts out;
   if (!session.ok()) return out;
 
   // Stitch the captured spans into causal trees (one per originated
@@ -93,6 +217,7 @@ ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
     last_good = fresh;
     have_good = true;
     clock.advance(session.value().pace_interval_ns(1'000));
+    monitor();
   }
 
   if (have_good) {
@@ -113,6 +238,10 @@ ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
                                          50'000};
   blocklist.report(offense);
   bed.cserv(path[0].as).report_offense(offense);
+  // Cut a window over the attack burst so its drop counters show up as
+  // a rate spike instead of dissolving into the next long window.
+  clock.advance(scfg.period_ns);
+  monitor();
 
   // Batched data-plane leg with the per-stage profiler on and capturing
   // spans: the same reservation pushed through the gateway's staged
@@ -172,6 +301,12 @@ ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
   (void)runtime.check_stalls();  // baseline
   const std::vector<size_t> stalled = runtime.check_stalls();
   runtime.stop();
+  // Window over the runtime leg, cut only after stop(): the SimClock
+  // must never move while the workers run (they read it concurrently
+  // and SimClock::advance is not thread-safe), so the whole burst
+  // lands in one window.
+  clock.advance(scfg.period_ns);
+  monitor();
 
   // Automatic SegR renewal: jump to within the renewal lead of expiry.
   std::vector<std::unique_ptr<cserv::RenewalManager>> managers;
@@ -181,10 +316,20 @@ ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
   }
   clock.set((1'000 + reservation::kSegrLifetimeSec - 30) * kNsPerSec);
   for (auto& m : managers) m->tick(clock.now_sec());
+  monitor();  // one giant window across the jump; renewals land here
 
   // Let the EER run out; the sweep emits the expiry audit events.
   clock.advance(60 * kNsPerSec);
   bed.tick_all();
+  monitor();
+
+  out.watch_text = render_watch_frame(sampler, engine, clock.now_ns());
+  out.sampler_windows = sampler.windows_sampled();
+  out.alert_rules = engine.rule_count();
+  out.alert_evaluations = engine.evaluations();
+  out.alerts_fired = engine.fired_total();
+  out.alerts_resolved = engine.resolved_total();
+  out.alerts_firing = engine.firing_count();
 
   out.metrics = registry.snapshot();
   out.metrics_json = out.metrics.to_json();

@@ -64,6 +64,22 @@ struct ObsArtifacts {
   std::size_t health_shards = 0;
   std::uint64_t health_rejected = 0;
   std::size_t stalled_shards = 0;
+
+  // Live-monitoring surface: the scenario runs a WindowedSampler (10 ms
+  // windows under SimClock) and an AlertEngine loaded with every
+  // component's default rule pack plus two SLOs; each cut window
+  // renders one dashboard frame. `colibri_obs watch` replays the
+  // frames; `watch --once` prints the final one (watch_text). The
+  // derived gauges and telemetry.alerts.* series land in the metrics
+  // snapshot like any other source.
+  std::vector<std::string> watch_frames;
+  std::string watch_text;  // final frame, rendered at scenario end
+  std::uint64_t sampler_windows = 0;
+  std::size_t alert_rules = 0;
+  std::uint64_t alert_evaluations = 0;
+  std::uint64_t alerts_fired = 0;
+  std::uint64_t alerts_resolved = 0;
+  std::size_t alerts_firing = 0;  // still firing at scenario end
 };
 
 // Runs the scenario against a fresh metrics registry, event log, and

@@ -1,9 +1,11 @@
 #include "colibri/app/obs_cli.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "colibri/app/obs.hpp"
 
@@ -18,11 +20,12 @@ const char* arg_value(const char* arg, const char* name) {
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [trace|health]"
+               "usage: %s [trace|health|watch]"
                " [--dump=all|metrics|openmetrics|events|records]"
                " [--query=NAME] [--packets=N] [--sample-every=N]"
                " [--scenario=default]"
-               " [--perfetto[=]PATH] [--reservation[=]RES_ID]\n",
+               " [--perfetto[=]PATH] [--reservation[=]RES_ID]"
+               " [--once] [--refresh-ms=N]\n",
                prog);
   return 2;
 }
@@ -54,15 +57,18 @@ int query(const colibri::telemetry::MetricsSnapshot& m, const char* name) {
 
 int run_obs_cli(int argc, const char* const* argv) {
   ObsOptions opts;
-  std::string command;  // "" = dump/query, "trace", "health"
+  std::string command;  // "" = dump/query, "trace", "health", "watch"
   std::string dump = "all";
   std::string query_name;
   std::string perfetto_path;
   std::string reservation;  // trace --reservation: waterfall for one res
+  bool once = false;        // watch --once: print the final frame only
+  int refresh_ms = 200;     // watch replay cadence
   int argi = 1;
   if (argi < argc && argv[argi][0] != '-') {
     if (std::strcmp(argv[argi], "trace") == 0 ||
-        std::strcmp(argv[argi], "health") == 0) {
+        std::strcmp(argv[argi], "health") == 0 ||
+        std::strcmp(argv[argi], "watch") == 0) {
       command = argv[argi++];
     } else {
       std::fprintf(stderr, "unknown command '%s'\n", argv[argi]);
@@ -74,6 +80,10 @@ int run_obs_cli(int argc, const char* const* argv) {
       dump = v;
     } else if (const char* v = arg_value(argv[i], "--query")) {
       query_name = v;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (const char* v = arg_value(argv[i], "--refresh-ms")) {
+      refresh_ms = std::atoi(v);
     } else if (const char* v = arg_value(argv[i], "--packets")) {
       opts.packets = std::atoi(v);
     } else if (const char* v = arg_value(argv[i], "--sample-every")) {
@@ -102,6 +112,10 @@ int run_obs_cli(int argc, const char* const* argv) {
        reservation.find_first_not_of("0123456789") != std::string::npos)) {
     std::fprintf(stderr, "--reservation requires the trace command and a "
                          "numeric reservation id\n");
+    return usage(argv[0]);
+  }
+  if (once && command != "watch") {
+    std::fprintf(stderr, "--once requires the watch command\n");
     return usage(argv[0]);
   }
 
@@ -149,6 +163,26 @@ int run_obs_cli(int argc, const char* const* argv) {
                 "(load in ui.perfetto.dev)\n",
                 perfetto_path.c_str(), art.trace_events, art.trace_tracks);
     return 0;
+  }
+  if (command == "watch") {
+    // The scenario already ran to completion under SimClock; watch
+    // replays the dashboard frame rendered at each sampled window.
+    // --once (tests, CI) skips the replay and prints the final frame.
+    if (!once) {
+      for (const std::string& frame : art.watch_frames) {
+        std::fputs("\033[2J\033[H", stdout);
+        std::fputs(frame.c_str(), stdout);
+        std::fflush(stdout);
+        if (refresh_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+        }
+      }
+      std::fputs("\033[2J\033[H", stdout);
+    }
+    std::fputs(art.watch_text.c_str(), stdout);
+    // A monitoring surface that never sampled or evaluated anything is
+    // a failure even when the scenario itself passed.
+    return art.sampler_windows > 0 && art.alert_evaluations > 0 ? 0 : 1;
   }
   if (command == "health") {
     std::printf("# sharded gateway runtime: %zu shards, %llu rejected "

@@ -741,4 +741,33 @@ void CServ::collect_metrics(telemetry::MetricSink& sink) const {
   sink.gauge("cserv.db.eer_count", static_cast<std::int64_t>(db_.eer_count()));
 }
 
+std::vector<telemetry::AlertRule> default_cserv_alert_rules(
+    std::uint64_t admission_p99_ns, std::uint64_t renewal_backlog) {
+  std::vector<telemetry::AlertRule> rules;
+  {
+    telemetry::AlertRule r;
+    r.name = "cserv.admission-p99";
+    r.series = "cserv.request_latency_ns";
+    r.signal = telemetry::AlertSignal::kPercentile;
+    r.quantile = 0.99;
+    r.span_ns = 10 * kNsPerSec;
+    r.cmp = telemetry::AlertCmp::kAbove;
+    r.threshold = static_cast<double>(admission_p99_ns);
+    r.for_ns = kNsPerSec;
+    r.severity = telemetry::Severity::kWarn;
+    rules.push_back(std::move(r));
+  }
+  {
+    telemetry::AlertRule r;
+    r.name = "cserv.renewal-backlog";
+    r.series = "cserv.renewal.last_batch_max";
+    r.signal = telemetry::AlertSignal::kGauge;
+    r.cmp = telemetry::AlertCmp::kAbove;
+    r.threshold = static_cast<double>(renewal_backlog);
+    r.severity = telemetry::Severity::kWarn;
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
 }  // namespace colibri::cserv

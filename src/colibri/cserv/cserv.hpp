@@ -29,6 +29,7 @@
 #include "colibri/proto/messages.hpp"
 #include "colibri/reservation/db.hpp"
 #include "colibri/reservation/persist.hpp"
+#include "colibri/telemetry/alerts.hpp"
 #include "colibri/telemetry/events.hpp"
 #include "colibri/topology/pathdb.hpp"
 
@@ -254,5 +255,15 @@ class CServ : public telemetry::MetricsSource {
   Metrics metrics_;
   telemetry::ScopedSource registration_;
 };
+
+// Default monitoring rule pack for the control plane (see
+// telemetry/alerts.hpp): fires when the windowed admission p99
+// (cserv.request_latency_ns over the last 10 s) exceeds
+// `admission_p99_ns`, and when a renewal batch grows beyond
+// `renewal_backlog` items (cserv.renewal.last_batch_max) — the two
+// leading indicators of a renewal storm outpacing the admission path.
+std::vector<telemetry::AlertRule> default_cserv_alert_rules(
+    std::uint64_t admission_p99_ns = 50'000'000,
+    std::uint64_t renewal_backlog = 4'096);
 
 }  // namespace colibri::cserv

@@ -397,4 +397,20 @@ Errc errc_from_verdict(BorderRouter::Verdict v) {
   return Errc::kInternal;
 }
 
+std::vector<telemetry::AlertRule> default_router_alert_rules(
+    double drops_per_sec, TimeNs for_ns) {
+  telemetry::AlertRule r;
+  r.name = "router.drop-spike";
+  r.series = "router.drop.";  // prefix: sums every drop reason
+  r.signal = telemetry::AlertSignal::kRate;
+  r.span_ns = kNsPerSec;
+  r.cmp = telemetry::AlertCmp::kAbove;
+  r.threshold = drops_per_sec;
+  r.for_ns = for_ns;
+  r.severity = telemetry::Severity::kError;
+  std::vector<telemetry::AlertRule> rules;
+  rules.push_back(std::move(r));
+  return rules;
+}
+
 }  // namespace colibri::dataplane

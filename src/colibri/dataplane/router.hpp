@@ -28,6 +28,7 @@
 #include "colibri/dataplane/fastpacket.hpp"
 #include "colibri/dataplane/ofd.hpp"
 #include "colibri/drkey/drkey.hpp"
+#include "colibri/telemetry/alerts.hpp"
 #include "colibri/telemetry/flight_recorder.hpp"
 #include "colibri/telemetry/metrics.hpp"
 #include "colibri/telemetry/profiler.hpp"
@@ -184,5 +185,16 @@ class BorderRouter : public telemetry::MetricsSource {
 // codes; telemetry counter names and Result errors derive from it, so
 // "router.drop.auth-failed" and Errc::kAuthFailed always agree.
 Errc errc_from_verdict(BorderRouter::Verdict v);
+
+// Default monitoring rule pack for a border router (see
+// telemetry/alerts.hpp): a drop-spike rule over the summed
+// "router.drop.*" counters — windowed drop rate above
+// `drops_per_sec`, held for `for_ns`, fires at error severity. A
+// sudden drop spike is the first externally visible symptom of an
+// attack burst (replay, tampered HVFs, overuse) or an expiry storm
+// racing renewals; the per-reason counters stay available for
+// diagnosis once the alert points at the router.
+std::vector<telemetry::AlertRule> default_router_alert_rules(
+    double drops_per_sec = 1'000.0, TimeNs for_ns = kNsPerSec);
 
 }  // namespace colibri::dataplane

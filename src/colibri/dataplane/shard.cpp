@@ -262,6 +262,43 @@ void ShardedGatewayRuntime::collect_metrics(
   }
 }
 
+std::vector<telemetry::AlertRule> ShardedGatewayRuntime::default_alert_rules(
+    size_t shard_count, std::uint64_t ring_depth_threshold,
+    TimeNs stall_for_ns) {
+  std::vector<telemetry::AlertRule> rules;
+  rules.reserve(shard_count * 2);
+  for (size_t i = 0; i < shard_count; ++i) {
+    const std::string prefix = "gateway_runtime.shard." + std::to_string(i);
+    {
+      telemetry::AlertRule r;
+      r.name = "runtime.shard" + std::to_string(i) + ".stall";
+      r.series = prefix + ".heartbeats";
+      r.signal = telemetry::AlertSignal::kRate;
+      r.span_ns = kNsPerSec;
+      r.cmp = telemetry::AlertCmp::kBelow;
+      r.threshold = 1.0;  // beats/s; a live worker spins far faster
+      r.for_ns = stall_for_ns;
+      r.severity = telemetry::Severity::kError;
+      r.guard_series = prefix + ".ring_depth";
+      r.guard_cmp = telemetry::AlertCmp::kAbove;
+      r.guard_threshold = 0;
+      rules.push_back(std::move(r));
+    }
+    {
+      telemetry::AlertRule r;
+      r.name = "runtime.shard" + std::to_string(i) + ".ring-depth";
+      r.series = prefix + ".ring_depth";
+      r.signal = telemetry::AlertSignal::kGauge;
+      r.cmp = telemetry::AlertCmp::kAbove;
+      r.threshold = static_cast<double>(ring_depth_threshold);
+      r.for_ns = kNsPerSec;
+      r.severity = telemetry::Severity::kWarn;
+      rules.push_back(std::move(r));
+    }
+  }
+  return rules;
+}
+
 void ShardedGatewayRuntime::worker_loop(size_t shard_index) {
   PerShard& ps = *shards_[shard_index];
   Gateway& shard = gateway_->shard(shard_index);

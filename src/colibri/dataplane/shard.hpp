@@ -19,6 +19,7 @@
 
 #include "colibri/dataplane/gateway.hpp"
 #include "colibri/dataplane/spscring.hpp"
+#include "colibri/telemetry/alerts.hpp"
 
 namespace colibri::dataplane {
 
@@ -179,7 +180,29 @@ class ShardedGatewayRuntime : public telemetry::MetricsSource {
   // thread at whatever cadence defines "stalled" (two calls bracket the
   // observation window); the first call only baselines and returns
   // nothing for shards it has not observed before.
+  //
+  // The declarative monitoring plane subsumes this: the
+  // default_alert_rules() pack expresses the same verdict as a
+  // windowed heartbeat-rate rule guarded by ring depth, with debounce
+  // and a firing/resolved audit trail. check_stalls() remains for
+  // callers without a sampler loop.
   std::vector<size_t> check_stalls();
+
+  // Default monitoring rule pack (see telemetry/alerts.hpp), two rules
+  // per shard over the "gateway_runtime.shard.<i>.*" series this
+  // runtime exports:
+  //  * "runtime.shard<i>.stall" (error): the worker heartbeat rate
+  //    drops below one beat per second while the shard's ring still
+  //    holds work — the declarative form of check_stalls(), debounced
+  //    by `stall_for_ns` so one slow scheduling quantum does not page.
+  //  * "runtime.shard<i>.ring-depth" (warn): the ring depth stays
+  //    above `ring_depth_threshold`, i.e. the producer is outrunning
+  //    the worker and backpressure rejections are close.
+  // The pack needs the registry the runtime registered with to be the
+  // one the WindowedSampler samples.
+  static std::vector<telemetry::AlertRule> default_alert_rules(
+      size_t shard_count, std::uint64_t ring_depth_threshold,
+      TimeNs stall_for_ns = kNsPerSec);
 
   // Health gauges/counters, "gateway_runtime.shard.<i>.*" plus the
   // "gateway_runtime.shard.count" gauge. Safe concurrently with the

@@ -42,6 +42,9 @@ constexpr HelpEntry kHelp[] = {
     {"bus.", "Control-plane message bus"},
     {"events.", "Structured audit event log"},
     {"flight_recorder.", "Packet flight recorder"},
+    {"telemetry.sampler.", "Windowed time-series sampler: windows cut and retained"},
+    {"telemetry.alerts.", "Alert engine: rule states, evaluations, firing/resolved totals"},
+    {"telemetry.slo.", "SLO error budgets: burn rate and remaining budget, milli-units"},
 };
 
 void append_help_line(std::string& out, const std::string& name,

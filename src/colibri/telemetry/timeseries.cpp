@@ -1,0 +1,282 @@
+#include "colibri/telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colibri::telemetry {
+
+namespace {
+
+// Derived-gauge name: "<series>.rate_1s", except a trailing '.' (a
+// prefix-sum series like "router.drop.") attaches the suffix directly.
+std::string derived_name(std::string_view series, std::string_view suffix) {
+  std::string out(series);
+  if (out.empty() || out.back() != '.') out.push_back('.');
+  out.append(suffix);
+  return out;
+}
+
+// Subtracts `prev` from `cur` bucket-wise. A shrinking count means the
+// owning component reset; the delta then restarts from `cur` so one
+// reset never produces a huge negative-wrapped window.
+HistogramSnapshot histogram_minus(const HistogramSnapshot& cur,
+                                  const HistogramSnapshot& prev) {
+  if (cur.count < prev.count) return cur;
+  HistogramSnapshot d;
+  d.count = cur.count - prev.count;
+  d.sum = cur.sum >= prev.sum ? cur.sum - prev.sum : 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] =
+        cur.buckets[i] >= prev.buckets[i] ? cur.buckets[i] - prev.buckets[i]
+                                          : cur.buckets[i];
+  }
+  return d;
+}
+
+bool matches(std::string_view name, std::string_view series, bool prefix) {
+  return prefix ? name.substr(0, series.size()) == series : name == series;
+}
+
+}  // namespace
+
+WindowedSampler::WindowedSampler(const MetricsRegistry& source,
+                                 const Clock& clock,
+                                 WindowedSamplerConfig cfg,
+                                 MetricsRegistry* export_registry)
+    : source_(&source),
+      clock_(&clock),
+      cfg_(cfg),
+      last_end_ns_(clock.now_ns()),
+      registration_(export_registry, this) {
+  if (cfg_.ring_capacity < 1) cfg_.ring_capacity = 1;
+  if (cfg_.watermark_decay < 0) cfg_.watermark_decay = 0;
+  if (cfg_.watermark_decay > 1) cfg_.watermark_decay = 1;
+}
+
+bool WindowedSampler::poll() {
+  const TimeNs now = clock_->now_ns();
+  if (now - last_end_ns_.load(std::memory_order_relaxed) < cfg_.period_ns) {
+    return false;
+  }
+  return sample(now);
+}
+
+bool WindowedSampler::sample(TimeNs now) {
+  // Snapshot before taking the sampler lock: snapshot() walks every
+  // attached source under the registry lock (possibly including this
+  // sampler and an alert engine), so the sampler lock stays a leaf.
+  MetricsSnapshot cur = source_->snapshot();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimeNs start = last_end_ns_.load(std::memory_order_relaxed);
+  if (now - start < cfg_.period_ns) return false;  // lost a poll() race
+
+  if (!have_prev_) {
+    // First sample baselines only: deltas need two snapshots.
+    prev_ = std::move(cur);
+    have_prev_ = true;
+    last_end_ns_.store(now, std::memory_order_relaxed);
+    return false;
+  }
+
+  SampleWindow w;
+  w.start_ns = start;
+  w.end_ns = now;
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev_.counters.find(name);
+    const std::uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+    w.counter_deltas[name] = value >= before ? value - before : value;
+  }
+  w.gauges = cur.gauges;
+  for (const auto& [name, h] : cur.histograms) {
+    const auto it = prev_.histograms.find(name);
+    w.histogram_deltas[name] =
+        it == prev_.histograms.end() ? h : histogram_minus(h, it->second);
+  }
+
+  for (auto& [name, hw] : watermarks_) {
+    const auto it = w.gauges.find(name);
+    const double level =
+        it == w.gauges.end() ? 0.0 : static_cast<double>(it->second);
+    hw = std::max(level, hw * cfg_.watermark_decay);
+  }
+
+  ring_.push_back(std::move(w));
+  while (ring_.size() > cfg_.ring_capacity) ring_.pop_front();
+  prev_ = std::move(cur);
+  ++windows_sampled_;
+  last_end_ns_.store(now, std::memory_order_relaxed);
+  return true;
+}
+
+double WindowedSampler::rate_locked(std::string_view series, TimeNs span_ns,
+                                    bool prefix) const {
+  std::uint64_t delta = 0;
+  TimeNs elapsed = 0;
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    for (const auto& [name, d] : it->counter_deltas) {
+      if (matches(name, series, prefix)) delta += d;
+    }
+    elapsed += it->elapsed_ns();
+    if (elapsed >= span_ns) break;
+  }
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(delta) * static_cast<double>(kNsPerSec) /
+         static_cast<double>(elapsed);
+}
+
+double WindowedSampler::rate(std::string_view series, TimeNs span_ns,
+                             bool prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_locked(series, span_ns, prefix);
+}
+
+double WindowedSampler::peak_rate(std::string_view series, bool prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double peak = 0.0;
+  for (const SampleWindow& w : ring_) {
+    if (w.elapsed_ns() <= 0) continue;
+    std::uint64_t delta = 0;
+    for (const auto& [name, d] : w.counter_deltas) {
+      if (matches(name, series, prefix)) delta += d;
+    }
+    peak = std::max(peak, static_cast<double>(delta) *
+                              static_cast<double>(kNsPerSec) /
+                              static_cast<double>(w.elapsed_ns()));
+  }
+  return peak;
+}
+
+std::uint64_t WindowedSampler::counter_delta_locked(std::string_view series,
+                                                    TimeNs span_ns,
+                                                    bool prefix) const {
+  std::uint64_t delta = 0;
+  TimeNs elapsed = 0;
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    for (const auto& [name, d] : it->counter_deltas) {
+      if (matches(name, series, prefix)) delta += d;
+    }
+    elapsed += it->elapsed_ns();
+    if (elapsed >= span_ns) break;
+  }
+  return delta;
+}
+
+std::uint64_t WindowedSampler::counter_delta(std::string_view series,
+                                             TimeNs span_ns,
+                                             bool prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_delta_locked(series, span_ns, prefix);
+}
+
+HistogramSnapshot WindowedSampler::histogram_delta_locked(
+    std::string_view series, TimeNs span_ns) const {
+  HistogramSnapshot merged;
+  TimeNs elapsed = 0;
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (const auto h = it->histogram_deltas.find(std::string(series));
+        h != it->histogram_deltas.end()) {
+      merged.merge(h->second);
+    }
+    elapsed += it->elapsed_ns();
+    if (elapsed >= span_ns) break;
+  }
+  return merged;
+}
+
+HistogramSnapshot WindowedSampler::histogram_delta(std::string_view series,
+                                                   TimeNs span_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_delta_locked(series, span_ns);
+}
+
+std::optional<double> WindowedSampler::windowed_percentile(
+    std::string_view series, double q, TimeNs span_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const HistogramSnapshot h = histogram_delta_locked(series, span_ns);
+  if (h.count == 0) return std::nullopt;
+  return h.percentile(q);
+}
+
+std::optional<std::int64_t> WindowedSampler::gauge_level(
+    std::string_view series, bool prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return std::nullopt;
+  const SampleWindow& w = ring_.back();
+  if (!prefix) {
+    const auto it = w.gauges.find(std::string(series));
+    if (it == w.gauges.end()) return std::nullopt;
+    return it->second;
+  }
+  std::optional<std::int64_t> best;
+  for (const auto& [name, v] : w.gauges) {
+    if (!matches(name, series, true)) continue;
+    if (!best || v > *best) best = v;
+  }
+  return best;
+}
+
+double WindowedSampler::watermark(std::string_view series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = watermarks_.find(series);
+  return it == watermarks_.end() ? 0.0 : it->second;
+}
+
+std::size_t WindowedSampler::window_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t WindowedSampler::windows_sampled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_sampled_;
+}
+
+std::optional<SampleWindow> WindowedSampler::latest_window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return std::nullopt;
+  return ring_.back();
+}
+
+void WindowedSampler::track_rate(std::string series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rate_tracked_.insert(std::move(series));
+}
+
+void WindowedSampler::track_percentiles(std::string series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pct_tracked_.insert(std::move(series));
+}
+
+void WindowedSampler::track_watermark(std::string series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watermarks_.try_emplace(std::move(series), 0.0);
+}
+
+void WindowedSampler::collect_metrics(MetricSink& sink) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink.counter("telemetry.sampler.windows", windows_sampled_);
+  sink.gauge("telemetry.sampler.ring_windows",
+             static_cast<std::int64_t>(ring_.size()));
+  for (const std::string& series : rate_tracked_) {
+    const bool prefix = !series.empty() && series.back() == '.';
+    sink.gauge(derived_name(series, "rate_1s"),
+               std::llround(rate_locked(series, kNsPerSec, prefix)));
+    sink.gauge(derived_name(series, "rate_10s"),
+               std::llround(rate_locked(series, 10 * kNsPerSec, prefix)));
+  }
+  for (const std::string& series : pct_tracked_) {
+    const HistogramSnapshot h =
+        histogram_delta_locked(series, 10 * kNsPerSec);
+    if (h.count == 0) continue;
+    sink.gauge(derived_name(series, "windowed_p50"),
+               std::llround(h.percentile(0.50)));
+    sink.gauge(derived_name(series, "windowed_p99"),
+               std::llround(h.percentile(0.99)));
+  }
+  for (const auto& [series, hw] : watermarks_) {
+    sink.gauge(derived_name(series, "high_watermark"), std::llround(hw));
+  }
+}
+
+}  // namespace colibri::telemetry

@@ -972,6 +972,30 @@ TEST_F(ObsScenarioTest, AssemblesDistributedTracesWithMetrics) {
   EXPECT_NE(art_->perfetto_json.find("\"ph\":\"f\""), std::string::npos);
 }
 
+TEST_F(ObsScenarioTest, WindowedTelemetryAndAlertPlaneRan) {
+  // The monitoring plane sampled windows and evaluated rules while the
+  // scenario ran — the acceptance bar for `watch --once`.
+  EXPECT_GT(art_->sampler_windows, 0u);
+  EXPECT_GE(art_->alert_rules, 1u);
+  EXPECT_GT(art_->alert_evaluations, 0u);
+  EXPECT_FALSE(art_->watch_frames.empty());
+  // Every intermediate frame and the final render carry the dashboard
+  // sections an operator greps for.
+  for (const std::string* text :
+       {&art_->watch_frames.front(), &art_->watch_text}) {
+    EXPECT_NE(text->find("colibri watch"), std::string::npos);
+    EXPECT_NE(text->find("alerts:"), std::string::npos);
+    EXPECT_NE(text->find("slo "), std::string::npos);
+  }
+  // The healthy demo run ends with no alert still firing, and the
+  // derived gauges rode the ordinary metrics snapshot out.
+  EXPECT_EQ(art_->alerts_firing, 0u);
+  EXPECT_TRUE(art_->metrics.counters.contains("telemetry.sampler.windows"));
+  EXPECT_TRUE(art_->metrics.counters.contains("telemetry.alerts.evaluations"));
+  EXPECT_TRUE(art_->metrics.gauges.contains("telemetry.alerts.rules"));
+  EXPECT_TRUE(art_->metrics.gauges.contains("gateway.forwarded.rate_1s"));
+}
+
 TEST_F(ObsScenarioTest, EventSequenceNumbersIncreaseWithinTheRun) {
   const auto evs = parsed_events();
   ASSERT_GE(evs.size(), 2u);
@@ -1025,6 +1049,26 @@ TEST(ObsCliTest, ReservationRequiresTraceCommandAndNumericId) {
   EXPECT_EQ(run_cli({"trace", "--reservation=abc"}), 2);
   EXPECT_NE(testing::internal::GetCapturedStderr().find("--reservation"),
             std::string::npos);
+}
+
+TEST(ObsCliTest, OnceFlagRequiresTheWatchCommand) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"--once"}), 2);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--once"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(ObsCliTest, WatchOnceRendersTheFinalFrame) {
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_cli({"watch", "--once", "--packets=40"}), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  // Single-shot mode: exactly one frame, no ANSI clear-screen escapes.
+  EXPECT_EQ(out.find('\033'), std::string::npos);
+  EXPECT_NE(out.find("colibri watch"), std::string::npos) << out;
+  EXPECT_NE(out.find("alerts: rules="), std::string::npos) << out;
+  EXPECT_NE(out.find("slo "), std::string::npos) << out;
+  EXPECT_NE(out.find("peak"), std::string::npos) << out;
 }
 
 TEST(ObsCliTest, TraceWaterfallForKnownAndUnknownReservation) {

@@ -688,6 +688,102 @@ TEST(TraceAssemblerTest, FindByResIdAndWaterfall) {
   EXPECT_NE(w.find("* [1] 1-110"), std::string::npos) << w;
 }
 
+TEST(TraceAssemblerTest, ChildBeforeParentInOneCaptureStillLinks) {
+  // Causal order violated inside a single capture: both children appear
+  // before the root span. Linking goes through the wire ids over the
+  // whole member set, so arrival order must not create orphans.
+  MetricsRegistry registry;
+  telemetry::TraceAssembler assembler(&registry);
+  telemetry::SpanTrace cap;
+  cap.spans.push_back(traced_span("1-120", 12, 11, 150, 250));
+  cap.spans.push_back(traced_span("1-110", 11, 10, 100, 400));
+  cap.spans.push_back(traced_span("1-100", 10, 0, 0, 1'000));
+  assembler.add_capture(cap);
+  const auto traces = assembler.assemble();
+
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].hops.size(), 3u);
+  EXPECT_EQ(traces[0].hops[0].as, "1-100");
+  EXPECT_EQ(traces[0].hops[1].as, "1-110");
+  EXPECT_EQ(traces[0].hops[2].as, "1-120");
+  for (const auto& h : traces[0].hops) EXPECT_FALSE(h.orphan);
+  EXPECT_EQ(registry.snapshot().counters.at("cserv.trace.orphan_spans"), 0u);
+}
+
+TEST(TraceAssemblerTest, DuplicateSpanIdsLinkToTheFirstOccurrence) {
+  // Two spans claim wire id 11 (a buggy or adversarial reporter). The
+  // first occurrence wins the id table: the child links to it, and the
+  // impostor survives as a plain sibling — never a crash, never a cycle.
+  telemetry::SpanTrace cap;
+  cap.spans.push_back(traced_span("1-100", 10, 0, 0, 1'000));
+  cap.spans.push_back(traced_span("1-110", 11, 10, 100, 400));
+  telemetry::Span impostor = traced_span("9-999", 11, 10, 600, 50);
+  cap.spans.push_back(impostor);
+  cap.spans.push_back(traced_span("1-120", 12, 11, 150, 250));
+
+  telemetry::TraceAssembler assembler;
+  assembler.add_capture(cap);
+  const auto traces = assembler.assemble();
+
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].hops.size(), 4u);
+  // DFS: root -> first 11 -> its child 12, then the impostor sibling.
+  EXPECT_EQ(traces[0].hops[0].as, "1-100");
+  EXPECT_EQ(traces[0].hops[1].as, "1-110");
+  EXPECT_EQ(traces[0].hops[2].as, "1-120");
+  EXPECT_EQ(traces[0].hops[2].depth, 2);
+  EXPECT_EQ(traces[0].hops[3].as, "9-999");
+  EXPECT_EQ(traces[0].hops[3].depth, 1);
+  EXPECT_FALSE(traces[0].hops[3].orphan);  // its parent id resolves fine
+}
+
+TEST(TraceAssemblerTest, SelfParentedSpanBecomesCountedOrphanRoot) {
+  // ctx_parent == ctx_span would be a cycle; the assembler must break
+  // it into an orphan root rather than recurse.
+  MetricsRegistry registry;
+  telemetry::TraceAssembler assembler(&registry);
+  telemetry::SpanTrace cap;
+  cap.spans.push_back(traced_span("1-100", 7, 7, 0, 100));
+  assembler.add_capture(cap);
+  const auto traces = assembler.assemble();
+
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].hops.size(), 1u);
+  EXPECT_TRUE(traces[0].hops[0].orphan);
+  EXPECT_EQ(traces[0].hops[0].depth, 0);
+  EXPECT_EQ(registry.snapshot().counters.at("cserv.trace.orphan_spans"), 1u);
+}
+
+TEST(TraceAssemblerTest, IrregularityCountersAccumulateAcrossRounds) {
+  // assemble() consumes pending spans but the cserv.trace.* counters
+  // are cumulative — a monitoring plane reads them as rates.
+  MetricsRegistry registry;
+  telemetry::TraceAssembler assembler(&registry);
+  for (int round = 0; round < 3; ++round) {
+    telemetry::SpanTrace cap;
+    // Orphan: parent 99 exists in no capture of this round.
+    telemetry::Span lost = traced_span("1-110", 20 + round, 99, 0, 50);
+    // Truncated child of it would stay orphaned too; keep one truncated
+    // root alongside.
+    telemetry::Span cut = traced_span("1-100", 40 + round, 0, 0, -1);
+    cut.truncated = true;
+    cap.spans.push_back(lost);
+    cap.spans.push_back(cut);
+    telemetry::Span plain;  // untraced
+    plain.name = "1-120";
+    cap.spans.push_back(plain);
+    assembler.add_capture(cap);
+    const auto traces = assembler.assemble();
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_TRUE(assembler.assemble().empty());  // pending was consumed
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cserv.trace.assembled"), 3u);
+  EXPECT_EQ(snap.counters.at("cserv.trace.orphan_spans"), 3u);
+  EXPECT_EQ(snap.counters.at("cserv.trace.truncated_spans"), 3u);
+  EXPECT_EQ(snap.counters.at("cserv.trace.untraced_spans"), 3u);
+}
+
 TEST(PerfettoExportTest, FlowArrowsLinkParentAndChildTracks) {
   telemetry::SpanTrace cap;
   cap.spans.push_back(traced_span("1-100", 10, 0, 0, 1'000));
