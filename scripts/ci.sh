@@ -16,9 +16,15 @@
 # runtime drain/health tests, the SPSC ring, concurrent counters) under
 # ThreadSanitizer instead of repeating the whole functional suite.
 #
+# Every functional preset (and the tsan race lane) then re-runs the
+# chaos lane by label: the fault-injection, link-failover, and WAL
+# crash-recovery suites carry the `chaos` ctest label (tests/CMakeLists)
+# so the deterministic-adversity proof is a visible CI step of its own.
+#
 # The default preset additionally smoke-tests the colibri_obs tool end
 # to end: run the demo scenario, dump every artifact, export a Perfetto
-# trace, and query the sharded-runtime health surface.
+# trace, query the sharded-runtime health surface, and drive the
+# failover scenario through the watch dashboard.
 #
 # The opt-in bench-gate lane (not part of the default preset list —
 # benchmark numbers are machine-sensitive, so it only runs when asked
@@ -75,6 +81,8 @@ for preset in "${PRESETS[@]}"; do
   if [ "$preset" = tsan ]; then
     echo "=== [$preset] concurrency race gate (telemetry + sharded runtime + control plane)"
     ctest --preset "$preset" -R "$TSAN_SUITES"
+    echo "=== [$preset] chaos lane (fault injection, failover, WAL recovery)"
+    ctest --preset "$preset" -L chaos
     continue
   fi
   echo "=== [$preset] test"
@@ -82,6 +90,8 @@ for preset in "${PRESETS[@]}"; do
   echo "=== [$preset] data-plane parity gate (fuzz corpus + differential)"
   ctest --preset "$preset" \
     -R 'fuzz_corpus_replay|RouterDifferential|GatewayDifferential|ShardedGatewayTest|CmacMultiTest|BatchedFlightRecorderTest'
+  echo "=== [$preset] chaos lane (fault injection, failover, WAL recovery)"
+  ctest --preset "$preset" -L chaos
 done
 
 for preset in "${PRESETS[@]}"; do
@@ -99,6 +109,8 @@ for preset in "${PRESETS[@]}"; do
     rm -f "$trace_out"
     "$OBS" health | grep -q 'stall detector'
     "$OBS" watch --once | grep -q 'alerts:'
+    echo "=== [default] colibri_obs failover-scenario smoke"
+    "$OBS" watch --once --scenario=failover | grep -q 'failover:'
   fi
 done
 

@@ -4,7 +4,9 @@
 #include <thread>
 #include <vector>
 
+#include "colibri/app/chaos.hpp"
 #include "colibri/app/testbed.hpp"
+#include "colibri/cserv/failover.hpp"
 #include "colibri/cserv/renewal_manager.hpp"
 #include "colibri/dataplane/shard.hpp"
 #include "colibri/telemetry/alerts.hpp"
@@ -57,6 +59,17 @@ std::string render_watch_frame(const telemetry::WindowedSampler& sampler,
                   static_cast<long long>(depth.value_or(0)));
     out += line;
   }
+  // Protection-pair state, present only when a FailoverManager exports
+  // into this registry (the failover scenario).
+  if (const auto prot = sampler.gauge_level("cserv.failover.protected")) {
+    std::snprintf(line, sizeof(line),
+                  "failover: protected=%lld active=%lld cutovers %9.0f/s\n",
+                  static_cast<long long>(*prot),
+                  static_cast<long long>(
+                      sampler.gauge_level("cserv.failover.active").value_or(0)),
+                  sampler.rate("cserv.failover.cutovers", kNsPerSec));
+    out += line;
+  }
   for (const auto& s : engine.slo_status()) {
     std::snprintf(line, sizeof(line),
                   "slo %-20s burn %6.2f  budget %5.1f%%  [%s]\n",
@@ -83,9 +96,147 @@ std::string render_watch_frame(const telemetry::WindowedSampler& sampler,
   return out;
 }
 
+// The failover timeline: steady reserved traffic over the primary core
+// SegR, a FaultInjector-scheduled outage of the protected link, backup
+// cutover (the failover rule pack fires), heal, fail-back (it
+// resolves), then traffic re-established over the primary. Every leg
+// cuts monitored windows, so `watch` replays the incident end to end.
+// The timeline is fixed (options only select the scenario).
+ObsArtifacts run_failover_scenario(const ObsOptions& /*opts*/) {
+  SimClock clock(1'000 * kNsPerSec);
+  telemetry::MetricsRegistry registry;
+  telemetry::EventLog events(clock);
+  ObsArtifacts out;
+
+  cserv::CservConfig cfg;
+  cfg.metrics = &registry;
+  cfg.events = &events;
+  Testbed bed(topology::builders::two_isd_topology(), clock, cfg);
+  FaultInjector inj(clock, /*seed=*/0xFA110, &events);
+  bed.bus().attach_fault_injector(&inj);
+
+  // 1 s windows: the incident runs on a seconds timeline, one frame per
+  // simulated second.
+  telemetry::WindowedSamplerConfig scfg;
+  scfg.period_ns = kNsPerSec;
+  scfg.ring_capacity = 256;
+  telemetry::WindowedSampler sampler(registry, clock, scfg, &registry);
+  sampler.track_rate("gateway.forwarded");
+  sampler.track_rate("router.forwarded");
+  sampler.track_rate("cserv.failover.cutovers");
+  telemetry::AlertEngine engine(sampler, clock, &events, &registry);
+  engine.add_rules(cserv::default_cserv_alert_rules());
+  engine.add_rules(cserv::default_failover_alert_rules());
+  const auto monitor = [&] {
+    if (sampler.poll()) {
+      (void)engine.evaluate();
+      out.watch_frames.push_back(
+          render_watch_frame(sampler, engine, clock.now_ns()));
+    }
+  };
+  clock.advance(scfg.period_ns);
+  (void)sampler.poll();  // baseline window
+
+  bed.provision_all_segments(/*min_bw=*/1'000, /*max_bw=*/2'000'000);
+  const std::optional<ResKey> primary = find_primary_core_segr(bed);
+  cserv::FailoverManager fm(bed.cserv(kProtectedLinkA));
+  std::optional<ResKey> backup;
+  if (primary) {
+    auto b = fm.provision_backup(*primary,
+                                 protection_backup_segment(bed.topology()),
+                                 /*min_bw=*/1'000, /*max_bw=*/30'000);
+    if (b) backup = b.value();
+  }
+
+  // Outage window: down 5 s into the timeline, healed 10 s later.
+  inj.schedule_link_failure(kProtectedLinkId, clock.now_ns() + 5 * kNsPerSec,
+                            clock.now_ns() + 15 * kNsPerSec);
+
+  const AsId src_as{1, 112}, dst_as{2, 212};
+  const HostAddr src_host = HostAddr::from_u64(0xA11CE);
+  const HostAddr dst_host = HostAddr::from_u64(0xB0B);
+  std::optional<ReservationSession> session;
+  std::vector<topology::Hop> path;
+  const auto reopen = [&] {
+    if (primary) bed.cserv(src_as).registry().invalidate(*primary);
+    if (backup) bed.cserv(src_as).registry().invalidate(*backup);
+    auto r = bed.daemon(src_as).open_session(dst_as, src_host, dst_host,
+                                             1'000, 5'000);
+    if (!r) return;
+    session.emplace(std::move(r.value()));
+    if (auto eer = bed.cserv(src_as).db().eer_copy(session->key())) {
+      path = eer->path;
+    }
+  };
+  reopen();
+
+  // Fixed 30 s timeline (5 s steady / 10 s outage / 15 s healed);
+  // opts.packets paces the default scenario only.
+  for (int i = 0; i < 30; ++i) {
+    clock.advance(kNsPerSec);
+    bed.bus().deliver_delayed();
+    for (const auto& t : inj.poll_link_transitions()) {
+      if (t.link_id != kProtectedLinkId) continue;
+      if (!t.up) {
+        fm.on_link_down(kProtectedLinkA, kProtectedLinkB, t.at_ns);
+        session.reset();  // the EER rode the dead link; migrate
+        reopen();         // ...onto the freshly-published backup
+      } else {
+        fm.on_link_up(kProtectedLinkA, kProtectedLinkB);
+        session.reset();  // drift back to the primary
+        reopen();
+      }
+    }
+    if (!session) reopen();
+    if (session) {
+      bool crosses_down = !inj.link_up(kProtectedLinkId);
+      if (crosses_down) {
+        crosses_down = false;
+        for (size_t h = 0; h + 1 < path.size(); ++h) {
+          const auto a = path[h].as, b = path[h + 1].as;
+          crosses_down |= (a == kProtectedLinkA && b == kProtectedLinkB) ||
+                          (a == kProtectedLinkB && b == kProtectedLinkA);
+        }
+      }
+      dataplane::FastPacket pkt;
+      if (!crosses_down &&
+          session->send(1'000, pkt) == dataplane::Gateway::Verdict::kOk) {
+        bool dropped = false;
+        for (const auto& hop : path) {
+          const auto v = bed.router(hop.as).process(pkt);
+          if (v != dataplane::BorderRouter::Verdict::kForward &&
+              v != dataplane::BorderRouter::Verdict::kDeliver) {
+            dropped = true;
+            break;
+          }
+        }
+        out.delivered += !dropped;
+      }
+      if (!session->maybe_renew()) session.reset();
+    }
+    bed.tick_all();
+    monitor();
+  }
+
+  out.watch_text = render_watch_frame(sampler, engine, clock.now_ns());
+  out.sampler_windows = sampler.windows_sampled();
+  out.alert_rules = engine.rule_count();
+  out.alert_evaluations = engine.evaluations();
+  out.alerts_fired = engine.fired_total();
+  out.alerts_resolved = engine.resolved_total();
+  out.alerts_firing = engine.firing_count();
+  out.metrics = registry.snapshot();
+  out.metrics_json = out.metrics.to_json();
+  out.openmetrics = telemetry::to_openmetrics(out.metrics);
+  out.events_count = events.size();
+  out.events_jsonl = events.to_jsonl();
+  return out;
+}
+
 }  // namespace
 
 ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
+  if (opts.scenario == "failover") return run_failover_scenario(opts);
   SimClock clock(1'000 * kNsPerSec);
   telemetry::MetricsRegistry registry;
   telemetry::EventLog events(clock);

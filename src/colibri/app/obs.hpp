@@ -24,6 +24,14 @@
 namespace colibri::app {
 
 struct ObsOptions {
+  // "default" runs the full observability lifecycle below; "failover"
+  // runs the link-failure / backup-cutover timeline instead: a seeded
+  // FaultInjector takes the protected core link down mid-traffic, the
+  // FailoverManager cuts the paired backup over (cserv.failover.* moves,
+  // the failover rule pack fires), the link heals, fail-back resolves
+  // the alert. Its artifacts populate the same watch/metrics/events
+  // surfaces; the trace/health legs stay empty.
+  std::string scenario = "default";
   // Clean data packets pushed end to end.
   int packets = 200;
   // Flight-recorder sampling period (1 = every packet; 0 = drops only).

@@ -23,7 +23,7 @@ int usage(const char* prog) {
                "usage: %s [trace|health|watch]"
                " [--dump=all|metrics|openmetrics|events|records]"
                " [--query=NAME] [--packets=N] [--sample-every=N]"
-               " [--scenario=default]"
+               " [--scenario=default|failover]"
                " [--perfetto[=]PATH] [--reservation[=]RES_ID]"
                " [--once] [--refresh-ms=N]\n",
                prog);
@@ -89,12 +89,13 @@ int run_obs_cli(int argc, const char* const* argv) {
     } else if (const char* v = arg_value(argv[i], "--sample-every")) {
       opts.sample_every = static_cast<std::uint32_t>(std::atoi(v));
     } else if (const char* v = arg_value(argv[i], "--scenario")) {
-      // One scenario today; the option exists so a bad name fails the
-      // invocation instead of silently running the default.
-      if (std::strcmp(v, "default") != 0) {
+      // A bad name fails the invocation instead of silently running
+      // the default.
+      if (std::strcmp(v, "default") != 0 && std::strcmp(v, "failover") != 0) {
         std::fprintf(stderr, "unknown scenario '%s'\n", v);
         return usage(argv[0]);
       }
+      opts.scenario = v;
     } else if (const char* v = arg_value(argv[i], "--perfetto")) {
       perfetto_path = v;
     } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {

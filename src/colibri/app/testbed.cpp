@@ -20,7 +20,10 @@ drkey::Key128 key_for(AsId as, std::uint8_t domain) {
 
 Testbed::Testbed(topology::Topology topo, const Clock& clock,
                  cserv::CservConfig cserv_cfg)
-    : topo_(std::move(topo)), clock_(&clock), pathdb_(topo_) {
+    : topo_(std::move(topo)),
+      clock_(&clock),
+      cserv_cfg_(std::move(cserv_cfg)),
+      pathdb_(topo_) {
   segments_ = topology::discover_segments(topo_);
   pathdb_.insert_all(segments_);
 
@@ -30,17 +33,32 @@ Testbed::Testbed(topology::Topology topo, const Clock& clock,
     const drkey::Key128 hop_key = key_for(as, 2);
     s.cserv = std::make_unique<cserv::CServ>(topo_, as, bus_, pki_,
                                              drkey_master, hop_key, clock,
-                                             cserv_cfg);
+                                             cserv_cfg_);
     // Gateways and routers report into the same registry as the CServs,
     // so a testbed built against a private registry is fully isolated.
     s.gateway = std::make_unique<dataplane::Gateway>(
-        as, clock, dataplane::GatewayConfig{}, cserv_cfg.metrics);
+        as, clock, dataplane::GatewayConfig{}, cserv_cfg_.metrics);
     s.router = std::make_unique<dataplane::BorderRouter>(as, hop_key, clock,
-                                                         cserv_cfg.metrics);
+                                                         cserv_cfg_.metrics);
     s.cserv->attach_gateway(s.gateway.get());
     s.daemon = std::make_unique<ColibriDaemon>(*s.cserv, *s.gateway, clock);
     stacks_.emplace(as, std::move(s));
   }
+}
+
+cserv::CServ& Testbed::restart_as(AsId as) {
+  AsStack& s = stack(as);
+  // Destruction order matters: the dying CServ detaches from the bus in
+  // its destructor before the replacement attaches under the same AsId.
+  s.daemon.reset();
+  s.cserv.reset();
+  const drkey::Key128 drkey_master = key_for(as, 1);
+  const drkey::Key128 hop_key = key_for(as, 2);
+  s.cserv = std::make_unique<cserv::CServ>(topo_, as, bus_, pki_, drkey_master,
+                                           hop_key, *clock_, cserv_cfg_);
+  s.cserv->attach_gateway(s.gateway.get());
+  s.daemon = std::make_unique<ColibriDaemon>(*s.cserv, *s.gateway, *clock_);
+  return *s.cserv;
 }
 
 AsStack& Testbed::stack(AsId as) {

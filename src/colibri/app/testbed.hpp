@@ -49,9 +49,20 @@ class Testbed {
   // Runs the housekeeping tick on every CServ.
   void tick_all();
 
+  // Crash-and-restart of one AS's control plane: tears down the CServ
+  // (which detaches from the bus, dropping all in-memory reservation
+  // state, tokens, and cached adverts) and its daemon, then rebuilds
+  // both with the same keys and config. The gateway and border router
+  // survive — the data plane keeps forwarding on installed state while
+  // the control plane is gone, the "kill-and-restore under live
+  // traffic" scenario. The caller re-attaches a WAL and calls
+  // restore_from_wal() to recover state.
+  cserv::CServ& restart_as(AsId as);
+
  private:
   topology::Topology topo_;
   const Clock* clock_;
+  cserv::CservConfig cserv_cfg_;
   cserv::MessageBus bus_;
   drkey::SimulatedPki pki_;
   topology::PathDb pathdb_;

@@ -1,0 +1,123 @@
+#include "colibri/common/faults.hpp"
+
+#include <algorithm>
+
+namespace colibri {
+
+const char* message_fault_name(MessageFault f) {
+  switch (f) {
+    case MessageFault::kDeliver: return "deliver";
+    case MessageFault::kDrop: return "drop";
+    case MessageFault::kDuplicate: return "duplicate";
+    case MessageFault::kDelay: return "delay";
+  }
+  return "?";
+}
+
+MessageFault FaultInjector::message_verdict(std::uint64_t dst_raw) {
+  const TimeNs now = clock_->now_ns();
+  const double roll = rng_.uniform();
+  for (const auto& p : plans_) {
+    if (now < p.start_ns || now >= p.end_ns) continue;
+    if (p.dst_raw != 0 && p.dst_raw != dst_raw) continue;
+    MessageFault verdict = MessageFault::kDeliver;
+    if (roll < p.drop_p) {
+      verdict = MessageFault::kDrop;
+      ++stats_.msg_dropped;
+    } else if (roll < p.drop_p + p.dup_p) {
+      verdict = MessageFault::kDuplicate;
+      ++stats_.msg_duplicated;
+    } else if (roll < p.drop_p + p.dup_p + p.delay_p) {
+      verdict = MessageFault::kDelay;
+      ++stats_.msg_delayed;
+    }
+    if (verdict != MessageFault::kDeliver) {
+      if (events_ != nullptr) {
+        events_->emit(telemetry::Severity::kDebug, "fault", "fault.msg")
+            .str("verdict", message_fault_name(verdict))
+            .u64("dst", dst_raw);
+      }
+      return verdict;
+    }
+    break;  // first matching plan decides
+  }
+  ++stats_.msg_delivered;
+  return MessageFault::kDeliver;
+}
+
+void FaultInjector::schedule_link_failure(std::uint64_t link_id,
+                                          TimeNs fail_ns, TimeNs heal_ns) {
+  links_[link_id].push_back(LinkSchedule{fail_ns, heal_ns, false, false});
+}
+
+bool FaultInjector::link_up(std::uint64_t link_id) const {
+  const auto it = links_.find(link_id);
+  if (it == links_.end()) return true;
+  const TimeNs now = clock_->now_ns();
+  for (const LinkSchedule& s : it->second) {
+    if (now >= s.fail_ns && now < s.heal_ns) return false;
+  }
+  return true;
+}
+
+std::vector<LinkTransition> FaultInjector::poll_link_transitions() {
+  const TimeNs now = clock_->now_ns();
+  std::vector<LinkTransition> out;
+  for (auto& [link_id, schedules] : links_) {
+    for (LinkSchedule& s : schedules) {
+      if (!s.down_reported && now >= s.fail_ns) {
+        s.down_reported = true;
+        out.push_back(LinkTransition{link_id, false, s.fail_ns});
+      }
+      if (!s.up_reported && now >= s.heal_ns) {
+        s.up_reported = true;
+        out.push_back(LinkTransition{link_id, true, s.heal_ns});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkTransition& a, const LinkTransition& b) {
+              if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+              if (a.link_id != b.link_id) return a.link_id < b.link_id;
+              return !a.up && b.up;  // a fail precedes a heal at the same tick
+            });
+  if (events_ != nullptr) {
+    for (const LinkTransition& t : out) {
+      events_
+          ->emit(telemetry::Severity::kWarn, "fault",
+                 t.up ? "fault.link.up" : "fault.link.down")
+          .u64("link", t.link_id)
+          .u64("at_ns", static_cast<std::uint64_t>(t.at_ns));
+    }
+  }
+  return out;
+}
+
+void FaultInjector::note_link_drop(std::uint64_t link_id) {
+  (void)link_id;
+  ++stats_.link_drops;
+}
+
+WalFault FaultInjector::next_wal_fault() {
+  const std::uint64_t index = wal_appends_++;
+  WalFault f;
+  if (armed_wal_.kind != WalFaultKind::kNone) {
+    f = armed_wal_;
+    armed_wal_ = WalFault{};
+  } else if (auto it = wal_plan_.find(index); it != wal_plan_.end()) {
+    f = it->second;
+    wal_plan_.erase(it);
+  }
+  if (f.kind != WalFaultKind::kNone) {
+    ++stats_.wal_faults;
+    if (events_ != nullptr) {
+      events_->emit(telemetry::Severity::kWarn, "fault", "fault.wal")
+          .u64("append", index)
+          .u64("kind", static_cast<std::uint64_t>(f.kind))
+          .u64("param", f.param);
+    }
+  }
+  return f;
+}
+
+}  // namespace colibri

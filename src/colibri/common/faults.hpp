@@ -1,0 +1,154 @@
+// Deterministic fault injection for chaos testing.
+//
+// One seeded FaultInjector is the single source of adversity in a
+// simulated deployment: the MessageBus consults it before delivering a
+// control message (drop / duplicate / delay-and-reorder), SimLink
+// consults it before moving a packet across a link that may be down, and
+// a FaultyStorage WAL decorator (sim/faults.hpp) consults it before an
+// append that may be torn or bit-flipped. Everything is driven by the
+// shared Clock and one Rng stream, so a whole chaos scenario — faults,
+// failovers, recoveries — replays bit-identically from a single seed.
+//
+// Fault *plans* are declarative: message plans are probability windows in
+// Clock time, link failures are (fail, heal) schedules, WAL faults are
+// keyed by append index. The injector never acts on its own — components
+// ask for verdicts at the moment they would act, which keeps the Rng
+// draw order identical between runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "colibri/common/clock.hpp"
+#include "colibri/common/rand.hpp"
+#include "colibri/telemetry/events.hpp"
+
+namespace colibri {
+
+// Verdict for one control-plane message delivery.
+enum class MessageFault : std::uint8_t {
+  kDeliver = 0,  // no fault
+  kDrop,         // silently lost; the caller sees an empty response
+  kDuplicate,    // delivered twice (handler side effects reapply)
+  kDelay,        // deferred to the next MessageBus::deliver_delayed() pump
+};
+
+const char* message_fault_name(MessageFault f);
+
+// A probability window over control-plane deliveries. Probabilities are
+// cumulative per message: drop wins over duplicate wins over delay.
+struct MessageFaultPlan {
+  TimeNs start_ns = 0;
+  TimeNs end_ns = std::numeric_limits<TimeNs>::max();
+  std::uint64_t dst_raw = 0;  // raw AsId the plan targets; 0 = any
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double delay_p = 0.0;
+};
+
+enum class WalFaultKind : std::uint8_t {
+  kNone = 0,
+  kTear,        // append only a prefix (crash mid-write)
+  kBitFlip,     // flip one bit of the frame (media corruption)
+  kDropAppend,  // lose the append entirely (crash before write)
+};
+
+struct WalFault {
+  WalFaultKind kind = WalFaultKind::kNone;
+  // kTear: bytes of the frame to keep; kBitFlip: bit index to flip
+  // (both taken modulo the frame size by the storage decorator).
+  std::uint64_t param = 0;
+};
+
+// A link going down or coming back up, reported by
+// poll_link_transitions() in deterministic (at_ns, link_id) order.
+struct LinkTransition {
+  std::uint64_t link_id = 0;
+  bool up = false;
+  TimeNs at_ns = 0;
+};
+
+// Point-in-time view of the injector's counters.
+struct FaultStats {
+  std::uint64_t msg_delivered = 0;
+  std::uint64_t msg_dropped = 0;
+  std::uint64_t msg_duplicated = 0;
+  std::uint64_t msg_delayed = 0;
+  std::uint64_t link_drops = 0;
+  std::uint64_t wal_faults = 0;
+};
+
+class FaultInjector {
+ public:
+  // `events` (nullable) receives one "fault.*" record per injected fault
+  // (component "fault"), so the audit trail narrates the adversity
+  // alongside the failovers and recoveries it causes.
+  FaultInjector(const Clock& clock, std::uint64_t seed,
+                telemetry::EventLog* events = nullptr)
+      : clock_(&clock), seed_(seed), rng_(seed), events_(events) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+
+  // --- control-plane messages --------------------------------------------
+  void add_message_plan(MessageFaultPlan plan) {
+    plans_.push_back(plan);
+  }
+  // Verdict for a delivery to `dst_raw` at the current Clock time. Every
+  // call consumes exactly one Rng draw (plan match or not), so editing a
+  // plan's window never shifts the random stream of the rest of the run.
+  MessageFault message_verdict(std::uint64_t dst_raw);
+
+  // --- links --------------------------------------------------------------
+  void schedule_link_failure(std::uint64_t link_id, TimeNs fail_ns,
+                             TimeNs heal_ns);
+  bool link_up(std::uint64_t link_id) const;
+  // Transitions whose scheduled time has passed and that were not yet
+  // reported; ordered by (at_ns, link_id, down-before-up).
+  std::vector<LinkTransition> poll_link_transitions();
+  // A packet hit a down link; counted (and attributed) here.
+  void note_link_drop(std::uint64_t link_id);
+
+  // --- WAL appends --------------------------------------------------------
+  void schedule_wal_fault(std::uint64_t append_index, WalFaultKind kind,
+                          std::uint64_t param = 0) {
+    wal_plan_[append_index] = WalFault{kind, param};
+  }
+  // Arms a one-shot fault for whichever append comes next (harnesses that
+  // cannot predict the append index, e.g. "tear the write the crash
+  // interrupts").
+  void arm_wal_fault(WalFaultKind kind, std::uint64_t param = 0) {
+    armed_wal_ = WalFault{kind, param};
+  }
+  // Consumed by the storage decorator once per append.
+  WalFault next_wal_fault();
+  std::uint64_t wal_appends() const { return wal_appends_; }
+
+  FaultStats snapshot() const { return stats_; }
+
+ private:
+  struct LinkSchedule {
+    TimeNs fail_ns = 0;
+    TimeNs heal_ns = 0;
+    bool down_reported = false;
+    bool up_reported = false;
+  };
+
+  const Clock* clock_;
+  std::uint64_t seed_;
+  Rng rng_;
+  telemetry::EventLog* events_;
+  std::vector<MessageFaultPlan> plans_;
+  // Ordered by link id so polls report ties deterministically.
+  std::map<std::uint64_t, std::vector<LinkSchedule>> links_;
+  std::map<std::uint64_t, WalFault> wal_plan_;  // append index -> fault
+  WalFault armed_wal_;
+  std::uint64_t wal_appends_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace colibri

@@ -51,6 +51,37 @@ proto::TraceContext MessageBus::child_context() {
 }
 
 Bytes MessageBus::call(AsId dst, BytesView request) {
+  if (faults_ != nullptr) {
+    switch (faults_->message_verdict(dst.raw())) {
+      case MessageFault::kDrop:
+        faults_dropped_.inc();
+        return {};
+      case MessageFault::kDelay:
+        faults_delayed_.inc();
+        delayed_.emplace_back(dst, Bytes(request.begin(), request.end()));
+        return {};
+      case MessageFault::kDuplicate:
+        faults_duplicated_.inc();
+        (void)deliver(dst, request);  // first copy; its response is lost
+        break;
+      case MessageFault::kDeliver:
+        break;
+    }
+  }
+  return deliver(dst, request);
+}
+
+std::size_t MessageBus::deliver_delayed() {
+  std::vector<std::pair<AsId, Bytes>> batch;
+  batch.swap(delayed_);
+  for (const auto& [dst, req] : batch) {
+    faults_replayed_.inc();
+    (void)deliver(dst, BytesView(req));
+  }
+  return batch.size();
+}
+
+Bytes MessageBus::deliver(AsId dst, BytesView request) {
   auto it = handlers_.find(dst);
   if (it == handlers_.end()) return {};
   messages_.inc();

@@ -26,8 +26,11 @@
 #include <chrono>
 #include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "colibri/common/bytes.hpp"
+#include "colibri/common/faults.hpp"
 #include "colibri/common/ids.hpp"
 #include "colibri/proto/packet.hpp"
 #include "colibri/telemetry/metrics.hpp"
@@ -70,6 +73,23 @@ class MessageBus : public telemetry::MetricsSource {
   // duration of the handler, so nested forwards chain causally.
   Bytes call(AsId dst, BytesView request);
 
+  // --- fault injection (chaos tests) -----------------------------------
+  // With an injector attached, every call() asks for a verdict first:
+  // dropped requests return an empty response (indistinguishable from an
+  // unreachable peer), duplicated requests invoke the handler twice, and
+  // delayed requests are queued until deliver_delayed(). The injector
+  // must outlive the bus (or be detached with nullptr).
+  void attach_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  // Pumps the delayed queue: each queued request is delivered late as a
+  // one-way message (its response is discarded — the original caller
+  // already saw a timeout), in send order, after every message sent
+  // since the delay — which is exactly a reorder. Requests delayed again
+  // during the pump stay queued for the next call. Returns the number
+  // replayed.
+  std::size_t deliver_delayed();
+  std::size_t delayed_pending() const { return delayed_.size(); }
+
   // Span tracing (see telemetry/trace.hpp): enable, run a request, take.
   telemetry::SpanCollector& tracer() { return tracer_; }
   bool tracing_active() const { return tracer_.enabled(); }
@@ -108,6 +128,12 @@ class MessageBus : public telemetry::MetricsSource {
     sink.counter("bus.bytes", bytes_.value());
     const auto latency = hop_latency_ns_.snapshot();
     if (latency.count != 0) sink.histogram("bus.hop_latency_ns", latency);
+    if (faults_ != nullptr) {
+      sink.counter("bus.fault.dropped", faults_dropped_.value());
+      sink.counter("bus.fault.duplicated", faults_duplicated_.value());
+      sink.counter("bus.fault.delayed", faults_delayed_.value());
+      sink.counter("bus.fault.replayed", faults_replayed_.value());
+    }
   }
 
   // Legacy accessors, kept as thin views of the counters.
@@ -123,7 +149,16 @@ class MessageBus : public telemetry::MetricsSource {
 
   std::uint64_t next_span_id();
 
+  // The fault-free delivery path shared by call() and deliver_delayed().
+  Bytes deliver(AsId dst, BytesView request);
+
   std::unordered_map<AsId, Handler> handlers_;
+  FaultInjector* faults_ = nullptr;
+  std::vector<std::pair<AsId, Bytes>> delayed_;
+  telemetry::Counter faults_dropped_;
+  telemetry::Counter faults_duplicated_;
+  telemetry::Counter faults_delayed_;
+  telemetry::Counter faults_replayed_;
   telemetry::Counter messages_;
   telemetry::Counter bytes_;
   telemetry::Histogram hop_latency_ns_;

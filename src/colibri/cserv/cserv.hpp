@@ -35,6 +35,8 @@
 
 namespace colibri::cserv {
 
+class FailoverManager;
+
 struct CservConfig {
   // Capacity assumed for traffic terminating inside the AS (the pseudo
   // egress interface 0 of the last AS on a segment).
@@ -107,8 +109,15 @@ class CServ : public telemetry::MetricsSource {
   // with the default backend.
   admission::SegrAdmission& segr_admission();
   AsId local_as() const { return local_; }
+  const Clock& clock() const { return *clock_; }
   // Legacy view, kept as a thin alias of snapshot().
   CservStats stats() const { return snapshot(); }
+
+  // Backup-reservation failover (see failover.hpp). The manager registers
+  // itself here; the renewal manager consults it to skip failed-over
+  // primaries.
+  void attach_failover(FailoverManager* fm) { failover_ = fm; }
+  FailoverManager* failover() const { return failover_; }
 
   // Destination-side hook: the destination host "has to explicitly accept
   // the EER request" (§4.4). Default accepts everything.
@@ -234,6 +243,7 @@ class CServ : public telemetry::MetricsSource {
   ControlRateLimiter rate_limiter_;
   dataplane::Gateway* gateway_ = nullptr;
   reservation::ReservationWal* wal_ = nullptr;
+  FailoverManager* failover_ = nullptr;
   HostAcceptor host_acceptor_;
   std::unordered_set<AsId> denied_sources_;
   std::vector<dataplane::OffenseReport> offense_log_;

@@ -1,0 +1,219 @@
+#include "colibri/cserv/failover.hpp"
+
+#include <algorithm>
+
+#include "colibri/cserv/cserv.hpp"
+
+namespace colibri::cserv {
+namespace {
+
+// Normalized (a, b) raw pair so link identity is direction-free.
+std::pair<std::uint64_t, std::uint64_t> link_key(AsId a, AsId b) {
+  return std::minmax(a.raw(), b.raw());
+}
+
+}  // namespace
+
+FailoverManager::FailoverManager(CServ& cserv)
+    : cserv_(&cserv), registration_(cserv.metrics_registry(), this) {
+  cserv_->attach_failover(this);
+}
+
+FailoverManager::~FailoverManager() {
+  if (cserv_->failover() == this) cserv_->attach_failover(nullptr);
+}
+
+bool FailoverManager::path_uses_link(const std::vector<topology::Hop>& hops,
+                                     AsId a, AsId b) {
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (link_key(hops[i].as, hops[i + 1].as) == link_key(a, b)) return true;
+  }
+  return false;
+}
+
+Result<ResKey> FailoverManager::provision_backup(
+    const ResKey& primary, const topology::PathSegment& backup_seg,
+    BwKbps min_bw, BwKbps max_bw) {
+  auto r = cserv_->setup_segr(backup_seg, min_bw, max_bw);
+  if (!r) return r.error();
+  pair(primary, r.value().key);
+  if (telemetry::EventLog* events = cserv_->event_log()) {
+    events->emit(telemetry::Severity::kInfo, "failover", "failover.protected")
+        .str("as", cserv_->local_as().to_string())
+        .u64("primary_id", primary.res_id)
+        .u64("backup_id", r.value().key.res_id)
+        .u64("backup_bw_kbps", r.value().bw_kbps);
+  }
+  return r.value().key;
+}
+
+void FailoverManager::pair(const ResKey& primary, const ResKey& backup) {
+  for (PairState& p : pairs_) {
+    if (p.primary == primary) {
+      p.backup = backup;
+      return;
+    }
+  }
+  PairState p;
+  p.primary = primary;
+  p.backup = backup;
+  pairs_.push_back(std::move(p));
+}
+
+std::size_t FailoverManager::on_link_down(AsId a, AsId b, TimeNs detected_ns) {
+  const auto [la, lb] = link_key(a, b);
+  const TimeNs now_ns = cserv_->clock().now_ns();
+  const UnixSec now = cserv_->clock().now_sec();
+  telemetry::EventLog* events = cserv_->event_log();
+  std::size_t cutovers = 0;
+  for (PairState& p : pairs_) {
+    if (p.active) continue;
+    const auto prec = cserv_->db().segr_copy(p.primary);
+    if (!prec || !path_uses_link(prec->hops, a, b)) continue;
+    const auto brec = cserv_->db().segr_copy(p.backup);
+    if (!brec || path_uses_link(brec->hops, a, b) ||
+        brec->active.exp_time <= now) {
+      // The primary is dead and the standby is unusable (gone, expired,
+      // or sharing the failed link — not disjoint after all).
+      unprotected_.inc();
+      if (events != nullptr) {
+        events
+            ->emit(telemetry::Severity::kError, "failover",
+                   "failover.unprotected")
+            .str("as", cserv_->local_as().to_string())
+            .u64("primary_id", p.primary.res_id)
+            .u64("link_a", la)
+            .u64("link_b", lb);
+      }
+      continue;
+    }
+    // Cutover: withdraw the primary's advert (remembering its whitelist
+    // for fail-back) and advertise the backup in its place.
+    if (auto advert = cserv_->registry().find(p.primary)) {
+      p.primary_whitelist = advert->whitelist;
+      cserv_->registry().unregister(p.primary);
+    }
+    cserv_->publish_segr(p.backup, {});
+    p.active = true;
+    p.link_a = la;
+    p.link_b = lb;
+    cutovers_.inc();
+    const TimeNs latency = now_ns - detected_ns;
+    latency_ns_.record_shared(
+        static_cast<std::uint64_t>(latency < 0 ? 0 : latency));
+    ++cutovers;
+    if (events != nullptr) {
+      events->emit(telemetry::Severity::kWarn, "failover", "failover.cutover")
+          .str("as", cserv_->local_as().to_string())
+          .str("primary_src", p.primary.src_as.to_string())
+          .u64("primary_id", p.primary.res_id)
+          .u64("backup_id", p.backup.res_id)
+          .u64("link_a", la)
+          .u64("link_b", lb)
+          .u64("latency_ns", static_cast<std::uint64_t>(latency < 0 ? 0
+                                                                    : latency));
+    }
+  }
+  return cutovers;
+}
+
+std::size_t FailoverManager::on_link_up(AsId a, AsId b) {
+  const auto [la, lb] = link_key(a, b);
+  telemetry::EventLog* events = cserv_->event_log();
+  std::size_t failbacks = 0;
+  for (PairState& p : pairs_) {
+    if (!p.active || p.link_a != la || p.link_b != lb) continue;
+    // Fail-back: the primary resumes service (and renewals), the backup
+    // returns to unadvertised standby.
+    const bool republished =
+        cserv_->publish_segr(p.primary, std::move(p.primary_whitelist));
+    cserv_->registry().unregister(p.backup);
+    p.primary_whitelist.clear();
+    p.active = false;
+    p.link_a = p.link_b = 0;
+    failbacks_.inc();
+    ++failbacks;
+    if (events != nullptr) {
+      events->emit(telemetry::Severity::kInfo, "failover", "failover.restored")
+          .str("as", cserv_->local_as().to_string())
+          .str("primary_src", p.primary.src_as.to_string())
+          .u64("primary_id", p.primary.res_id)
+          .u64("backup_id", p.backup.res_id)
+          .u64("republished", republished ? 1 : 0);
+    }
+  }
+  return failbacks;
+}
+
+bool FailoverManager::renewal_suppressed(const ResKey& key) const {
+  for (const PairState& p : pairs_) {
+    if (p.active && p.primary == key) return true;
+  }
+  return false;
+}
+
+bool FailoverManager::failed_over(const ResKey& primary) const {
+  return renewal_suppressed(primary);
+}
+
+std::optional<ResKey> FailoverManager::backup_of(const ResKey& primary) const {
+  for (const PairState& p : pairs_) {
+    if (p.primary == primary) return p.backup;
+  }
+  return std::nullopt;
+}
+
+FailoverStats FailoverManager::snapshot() const {
+  FailoverStats s;
+  s.cutovers = cutovers_.value();
+  s.failbacks = failbacks_.value();
+  s.unprotected = unprotected_.value();
+  s.protected_pairs = pairs_.size();
+  for (const PairState& p : pairs_) {
+    if (p.active) ++s.active;
+  }
+  return s;
+}
+
+void FailoverManager::collect_metrics(telemetry::MetricSink& sink) const {
+  const FailoverStats s = snapshot();
+  sink.counter("cserv.failover.cutovers", s.cutovers);
+  sink.counter("cserv.failover.failbacks", s.failbacks);
+  sink.counter("cserv.failover.unprotected", s.unprotected);
+  sink.gauge("cserv.failover.active", static_cast<std::int64_t>(s.active));
+  sink.gauge("cserv.failover.protected",
+             static_cast<std::int64_t>(s.protected_pairs));
+  const auto latency = latency_ns_.snapshot();
+  if (latency.count != 0) {
+    sink.histogram("cserv.failover.latency_ns", latency);
+  }
+}
+
+std::vector<telemetry::AlertRule> default_failover_alert_rules() {
+  std::vector<telemetry::AlertRule> rules;
+  {
+    telemetry::AlertRule r;
+    r.name = "cserv.failover-active";
+    r.series = "cserv.failover.active";
+    r.signal = telemetry::AlertSignal::kGauge;
+    r.cmp = telemetry::AlertCmp::kAbove;
+    r.threshold = 0;
+    r.for_ns = 0;  // a cutover is an incident from its first sample
+    r.severity = telemetry::Severity::kError;
+    rules.push_back(std::move(r));
+  }
+  {
+    telemetry::AlertRule r;
+    r.name = "cserv.failover-unprotected";
+    r.series = "cserv.failover.unprotected";
+    r.signal = telemetry::AlertSignal::kRate;
+    r.span_ns = 10 * kNsPerSec;
+    r.cmp = telemetry::AlertCmp::kAbove;
+    r.threshold = 0;
+    r.severity = telemetry::Severity::kError;
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+}  // namespace colibri::cserv

@@ -1,0 +1,121 @@
+// Pre-provisioned backup reservations with fast failover (ROADMAP item 5).
+//
+// Coded Path Protection (PAPERS.md) is the reference point for proactive
+// protection, and Flyover's minimal critical-traffic reservations
+// motivate keeping the standby cheap: an AS pairs a SegR it initiated
+// (the primary) with a link-disjoint backup SegR provisioned ahead of
+// time at minimal bandwidth — admitted on-path and kept alive by the
+// renewal manager, but not advertised, so it carries no EERs and costs
+// only its floor allocation.
+//
+// On link-failure detection (on_link_down — fed from the FaultInjector's
+// transition feed in simulation, a routing/BFD feed in deployment), every
+// pair whose primary crosses the dead link and whose backup avoids it
+// cuts over: the primary's advert is withdrawn, the backup is published
+// in its place (new EER setups immediately ride the detour), and the
+// primary's renewals are suppressed so control traffic stops chasing the
+// dead link. When the link heals (on_link_up), fail-back restores the
+// original advertising and the backup returns to cheap standby.
+//
+// Every transition moves the cserv.failover.* counters and emits a
+// structured event (component "failover"), and
+// default_failover_alert_rules() turns the active-pairs gauge into an
+// alert that fires for the duration of a cutover — the signal
+// `colibri_obs watch --scenario=failover` renders live.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "colibri/common/clock.hpp"
+#include "colibri/common/errors.hpp"
+#include "colibri/common/ids.hpp"
+#include "colibri/telemetry/alerts.hpp"
+#include "colibri/telemetry/metrics.hpp"
+#include "colibri/topology/segment.hpp"
+
+namespace colibri::cserv {
+
+class CServ;
+struct ReservationResult;
+
+// Point-in-time view of the failover counters (see snapshot()).
+struct FailoverStats {
+  std::uint64_t cutovers = 0;
+  std::uint64_t failbacks = 0;
+  std::uint64_t unprotected = 0;   // cutover wanted, no usable backup
+  std::uint64_t active = 0;        // pairs currently failed over
+  std::uint64_t protected_pairs = 0;
+};
+
+class FailoverManager : public telemetry::MetricsSource {
+ public:
+  // Exports "cserv.failover.*" to the owning CServ's metrics registry
+  // and registers itself with the CServ (renewal suppression hook). The
+  // CServ must outlive the manager.
+  explicit FailoverManager(CServ& cserv);
+  ~FailoverManager() override;
+
+  FailoverManager(const FailoverManager&) = delete;
+  FailoverManager& operator=(const FailoverManager&) = delete;
+
+  // Provisions a cheap standby SegR along `backup_seg` and pairs it with
+  // `primary`. The backup is fully set up (every on-path AS admitted it)
+  // but not published — it waits unadvertised until a cutover. Returns
+  // the backup's key.
+  Result<ResKey> provision_backup(const ResKey& primary,
+                                  const topology::PathSegment& backup_seg,
+                                  BwKbps min_bw, BwKbps max_bw);
+  // Pairs an already-established backup SegR with a primary.
+  void pair(const ResKey& primary, const ResKey& backup);
+
+  // Link-state hooks. `detected_ns` is when the failure was detected
+  // (Clock time); cutover latency = handling time - detected_ns. Returns
+  // the number of pairs cut over / failed back.
+  std::size_t on_link_down(AsId a, AsId b, TimeNs detected_ns);
+  std::size_t on_link_up(AsId a, AsId b);
+
+  // True while `key` is a failed-over primary: its path crosses a dead
+  // link, so the renewal manager skips it (the backup renews under its
+  // own key).
+  bool renewal_suppressed(const ResKey& key) const;
+  bool failed_over(const ResKey& primary) const;
+  std::optional<ResKey> backup_of(const ResKey& primary) const;
+
+  FailoverStats snapshot() const;
+  void collect_metrics(telemetry::MetricSink& sink) const override;
+
+ private:
+  struct PairState {
+    ResKey primary;
+    ResKey backup;
+    bool active = false;  // failed over right now
+    // The dead link (raw AsIds, normalized a < b) while active.
+    std::uint64_t link_a = 0;
+    std::uint64_t link_b = 0;
+    // The primary's advert whitelist at cutover, restored on fail-back.
+    std::vector<AsId> primary_whitelist;
+  };
+
+  static bool path_uses_link(const std::vector<topology::Hop>& hops, AsId a,
+                             AsId b);
+
+  CServ* cserv_;
+  // Insertion-ordered so cutovers and fail-backs process pairs in a
+  // deterministic order.
+  std::vector<PairState> pairs_;
+  telemetry::Counter cutovers_;
+  telemetry::Counter failbacks_;
+  telemetry::Counter unprotected_;
+  telemetry::Histogram latency_ns_;
+  telemetry::ScopedSource registration_;
+};
+
+// Monitoring rule pack for failover (see telemetry/alerts.hpp): the
+// active-pairs gauge above zero fires immediately (severity error) and
+// resolves on fail-back; a nonzero unprotected-failure rate over the
+// last 10 s fires too — a pair lost its primary with no usable detour.
+std::vector<telemetry::AlertRule> default_failover_alert_rules();
+
+}  // namespace colibri::cserv

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "colibri/cserv/failover.hpp"
+
 namespace colibri::cserv {
 
 size_t RenewalManager::manage_all_local() {
@@ -49,6 +51,13 @@ std::vector<RenewalBatch> RenewalManager::plan(UnixSec now) {
 void RenewalManager::renew_one(const ResKey& key, UnixSec now) {
   const auto rec = cserv_->db().segr_copy(key);
   if (!rec) return;  // swept between plan and drain
+  if (cserv_->failover() != nullptr &&
+      cserv_->failover()->renewal_suppressed(key)) {
+    // Failed-over primary: its path crosses a dead link, so renewing it
+    // would chase that link with control traffic. The backup keeps
+    // renewing under its own key; the primary resumes after fail-back.
+    return;
+  }
   if (rec->pending && rec->pending->exp_time > now + cfg_.lead_sec) {
     // A pending version exists (e.g. from a manual renewal): activate it
     // instead of stacking another renewal on top.

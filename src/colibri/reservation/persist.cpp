@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdio>
+#include <vector>
 
 namespace colibri::reservation {
 namespace {
@@ -210,7 +211,11 @@ void ReservationWal::append_record_locked(std::uint8_t kind,
   frame.push_back(kind);
   put_le(frame, static_cast<std::uint32_t>(payload.size()));
   append_bytes(frame, payload);
-  put_le(frame, crc32(payload));
+  // The CRC covers the whole frame head (kind + length + payload), not
+  // just the payload: a bit flip in the kind or length bytes is then
+  // rejected by the checksum instead of being misparsed as a different
+  // record type or a shifted frame boundary.
+  put_le(frame, crc32(BytesView(frame.data(), frame.size())));
   storage_->append(frame);
 }
 
@@ -231,19 +236,31 @@ void ReservationWal::log_eer_erase(const ResKey& key) {
 }
 
 void ReservationWal::checkpoint(const ReservationDb& db) {
+  // Snapshot the DB before taking the WAL mutex: loggers run inside DB
+  // shard callbacks (shard lock -> WAL lock), so holding the WAL mutex
+  // across shard iteration would invert the repo-wide lock order (the
+  // WAL is innermost). The checkpoint is point-in-time; callers that
+  // need it atomic with respect to writers quiesce them first.
+  const std::vector<SegrRecord> segrs = db.segr_snapshot();
+  const std::vector<EerRecord> eers = db.eer_snapshot();
   std::lock_guard lock(mu_);
   storage_->truncate();
-  db.for_each_segr([this](const SegrRecord& rec) {
+  for (const SegrRecord& rec : segrs) {
     append_record_locked(kSegrUpsert, encode_segr_record(rec));
-  });
-  db.for_each_eer([this](const EerRecord& rec) {
+  }
+  for (const EerRecord& rec : eers) {
     append_record_locked(kEerUpsert, encode_eer_record(rec));
-  });
+  }
 }
 
 size_t ReservationWal::recover(ReservationDb& db) const {
-  std::lock_guard lock(mu_);
-  const Bytes log = storage_->read_all();
+  // Copy the log under the WAL mutex, then replay without it: replay
+  // takes DB shard locks, and the WAL lock must stay innermost.
+  Bytes log;
+  {
+    std::lock_guard lock(mu_);
+    log = storage_->read_all();
+  }
   size_t applied = 0;
   size_t off = 0;
   // Every id the owner ever minted (including later-erased reservations)
@@ -259,7 +276,9 @@ size_t ReservationWal::recover(ReservationDb& db) const {
     const BytesView payload(log.data() + off + 5, len);
     const std::uint32_t stored_crc =
         get_le<std::uint32_t>(log.data() + off + 5 + len);
-    if (crc32(payload) != stored_crc) break;  // corrupt record: stop
+    if (crc32(BytesView(log.data() + off, 5 + len)) != stored_crc) {
+      break;  // corrupt record: stop
+    }
 
     switch (kind) {
       case kSegrUpsert: {

@@ -2,10 +2,14 @@
 // transactional database").
 //
 // A write-ahead log of reservation mutations plus snapshot checkpoints:
-// every record is length-prefixed and CRC-protected, so recovery after a
-// crash replays complete records and discards a torn tail — a CServ
-// restart restores all SegR/EER state without re-running setups. The log
-// can target a file or an in-memory sink (tests, failure injection).
+// every record is length-prefixed and CRC-protected (the checksum spans
+// the full frame — kind byte, length, payload — so a single bit flip
+// anywhere in a record is rejected), and recovery after a crash replays
+// the longest complete-record prefix, discarding a torn tail and
+// everything after the first corrupt record — a CServ restart restores
+// all SegR/EER state without re-running setups. The log can target a
+// file or an in-memory sink (tests, failure injection via
+// sim::FaultyStorage).
 #pragma once
 
 #include <cstdio>

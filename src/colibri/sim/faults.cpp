@@ -1,0 +1,38 @@
+#include "colibri/sim/faults.hpp"
+
+namespace colibri::sim {
+
+void FaultyStorage::append(BytesView data) {
+  ++appends_;
+  const WalFault f = faults_->next_wal_fault();
+  switch (f.kind) {
+    case WalFaultKind::kNone:
+      inner_->append(data);
+      return;
+    case WalFaultKind::kTear: {
+      ++faulted_;
+      if (data.empty()) return;
+      // Keep param bytes, but always lose at least the last one — a tear
+      // that keeps the whole frame would not be a tear.
+      const std::size_t keep =
+          static_cast<std::size_t>(f.param % data.size());
+      inner_->append(data.subspan(0, keep));
+      return;
+    }
+    case WalFaultKind::kBitFlip: {
+      ++faulted_;
+      if (data.empty()) return;
+      Bytes corrupted(data.begin(), data.end());
+      const std::uint64_t bit = f.param % (corrupted.size() * 8);
+      corrupted[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+      inner_->append(corrupted);
+      return;
+    }
+    case WalFaultKind::kDropAppend:
+      ++faulted_;
+      return;
+  }
+}
+
+}  // namespace colibri::sim

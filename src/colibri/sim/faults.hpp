@@ -1,0 +1,38 @@
+// Fault-injecting WAL storage for crash simulation.
+//
+// Decorates any reservation::LogStorage: every append first consults the
+// FaultInjector's WAL plan and may be torn (only a prefix reaches the
+// inner storage — a crash mid-write), bit-flipped (media corruption), or
+// dropped entirely (crash before the write). Reads and truncation pass
+// through untouched, so recovery sees exactly what "the disk" holds.
+//
+// Lives in sim/ (not reservation/) because it is test infrastructure
+// gluing the common FaultInjector onto the persistence layer; production
+// storage never links it.
+#pragma once
+
+#include "colibri/common/faults.hpp"
+#include "colibri/reservation/persist.hpp"
+
+namespace colibri::sim {
+
+class FaultyStorage final : public reservation::LogStorage {
+ public:
+  FaultyStorage(reservation::LogStorage& inner, FaultInjector& faults)
+      : inner_(&inner), faults_(&faults) {}
+
+  void append(BytesView data) override;
+  Bytes read_all() const override { return inner_->read_all(); }
+  void truncate() override { inner_->truncate(); }
+
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t faulted() const { return faulted_; }
+
+ private:
+  reservation::LogStorage* inner_;
+  FaultInjector* faults_;
+  std::uint64_t appends_ = 0;
+  std::uint64_t faulted_ = 0;
+};
+
+}  // namespace colibri::sim

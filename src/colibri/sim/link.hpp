@@ -1,8 +1,14 @@
 // Simulated link: a priority port followed by a propagation delay.
+//
+// With a FaultInjector attached, the link consults its scheduled
+// fail/heal windows: packets entering or in flight across a down link
+// are dropped (both ends of the outage — a packet already serialized
+// into the pipe when the link dies is lost too).
 #pragma once
 
 #include <memory>
 
+#include "colibri/common/faults.hpp"
 #include "colibri/sim/queue.hpp"
 
 namespace colibri::sim {
@@ -17,21 +23,49 @@ class SimLink {
     port_.set_sink([this](SimPacket&& pkt) {
       if (!sink_) return;
       sim_->after(propagation_ns_,
-                  [this, pkt = std::move(pkt)]() mutable { sink_(std::move(pkt)); });
+                  [this, pkt = std::move(pkt)]() mutable {
+                    if (down()) {
+                      ++fault_dropped_;
+                      faults_->note_link_drop(link_id_);
+                      return;
+                    }
+                    sink_(std::move(pkt));
+                  });
     });
   }
 
   void set_sink(PriorityPort::Sink sink) { sink_ = std::move(sink); }
-  void send(SimPacket pkt) { port_.enqueue(std::move(pkt)); }
+  void send(SimPacket pkt) {
+    if (down()) {
+      ++fault_dropped_;
+      faults_->note_link_drop(link_id_);
+      return;
+    }
+    port_.enqueue(std::move(pkt));
+  }
+
+  // Chaos seam: scheduled fail/heal windows for `link_id` in `faults`
+  // make this link lossy while down. nullptr detaches.
+  void set_fault_injector(FaultInjector* faults, std::uint64_t link_id) {
+    faults_ = faults;
+    link_id_ = link_id;
+  }
+  std::uint64_t link_id() const { return link_id_; }
+  std::uint64_t fault_dropped() const { return fault_dropped_; }
 
   PriorityPort& port() { return port_; }
   const PriorityPort& port() const { return port_; }
 
  private:
+  bool down() const { return faults_ != nullptr && !faults_->link_up(link_id_); }
+
   Simulator* sim_;
   PriorityPort port_;
   TimeNs propagation_ns_;
   PriorityPort::Sink sink_;
+  FaultInjector* faults_ = nullptr;
+  std::uint64_t link_id_ = 0;
+  std::uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace colibri::sim

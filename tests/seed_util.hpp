@@ -1,0 +1,31 @@
+// Seed hygiene for randomized tests (see docs/TESTING.md).
+//
+// Every randomized test derives its seed through test_seed(): the
+// checked-in fallback keeps CI deterministic, while the
+// COLIBRI_TEST_SEED environment variable overrides it to replay (or
+// explore) a specific run. Always announce the seed with
+// COLIBRI_SEED_TRACE right after deriving it — a failing randomized
+// test must print the exact seed needed to reproduce it.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace colibri::testing {
+
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("COLIBRI_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return fallback;
+}
+
+}  // namespace colibri::testing
+
+// Attaches "COLIBRI_TEST_SEED=<seed>" to every assertion failure in the
+// enclosing scope, so the log of a red randomized test is self-replaying.
+#define COLIBRI_SEED_TRACE(seed) \
+  SCOPED_TRACE("COLIBRI_TEST_SEED=" + std::to_string(seed))

@@ -1,0 +1,460 @@
+// Tests: deterministic fault injection and link-failure failover — the
+// FaultInjector seams (MessageBus, SimLink, FaultyStorage), the
+// FailoverManager cutover/fail-back state machine with its alert pack,
+// and the twin-universe chaos harness: a faulted run must converge to
+// the clean twin's reservation end-state, and the same seed must replay
+// the identical transition history.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "colibri/app/chaos.hpp"
+#include "colibri/app/obs.hpp"
+#include "colibri/app/testbed.hpp"
+#include "colibri/cserv/failover.hpp"
+#include "colibri/cserv/renewal_manager.hpp"
+#include "colibri/sim/faults.hpp"
+#include "colibri/sim/link.hpp"
+#include "colibri/telemetry/timeseries.hpp"
+#include "seed_util.hpp"
+
+namespace colibri {
+namespace {
+
+using app::kProtectedLinkA;
+using app::kProtectedLinkB;
+using app::kProtectedLinkId;
+
+// --- FaultInjector -----------------------------------------------------
+
+TEST(FaultInjectorTest, MessagePlanWindowIsRespected) {
+  SimClock clock;
+  FaultInjector inj(clock, 1);
+  inj.add_message_plan({10 * kNsPerSec, 20 * kNsPerSec, 0, /*drop_p=*/1.0,
+                        0.0, 0.0});
+  clock.set(5 * kNsPerSec);
+  EXPECT_EQ(inj.message_verdict(42), MessageFault::kDeliver);
+  clock.set(15 * kNsPerSec);
+  EXPECT_EQ(inj.message_verdict(42), MessageFault::kDrop);
+  clock.set(25 * kNsPerSec);
+  EXPECT_EQ(inj.message_verdict(42), MessageFault::kDeliver);
+  const FaultStats s = inj.snapshot();
+  EXPECT_EQ(s.msg_dropped, 1u);
+  EXPECT_EQ(s.msg_delivered, 2u);
+}
+
+TEST(FaultInjectorTest, MessagePlanTargetsOneDestination) {
+  SimClock clock;
+  clock.set(kNsPerSec);
+  FaultInjector inj(clock, 1);
+  MessageFaultPlan plan;
+  plan.dst_raw = 7;
+  plan.drop_p = 1.0;
+  inj.add_message_plan(plan);
+  EXPECT_EQ(inj.message_verdict(7), MessageFault::kDrop);
+  EXPECT_EQ(inj.message_verdict(8), MessageFault::kDeliver);
+}
+
+TEST(FaultInjectorTest, SameSeedSameVerdictStream) {
+  SimClock clock;
+  clock.set(kNsPerSec);
+  FaultInjector a(clock, 0xABC);
+  FaultInjector b(clock, 0xABC);
+  MessageFaultPlan plan;
+  plan.drop_p = 0.3;
+  plan.dup_p = 0.3;
+  plan.delay_p = 0.3;
+  a.add_message_plan(plan);
+  b.add_message_plan(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.message_verdict(1), b.message_verdict(1)) << i;
+  }
+}
+
+TEST(FaultInjectorTest, LinkScheduleDrivesStateAndTransitions) {
+  SimClock clock;
+  FaultInjector inj(clock, 1);
+  inj.schedule_link_failure(3, 5 * kNsPerSec, 8 * kNsPerSec);
+  EXPECT_TRUE(inj.link_up(3));
+  EXPECT_TRUE(inj.poll_link_transitions().empty());
+
+  clock.set(6 * kNsPerSec);
+  EXPECT_FALSE(inj.link_up(3));
+  auto t = inj.poll_link_transitions();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].link_id, 3u);
+  EXPECT_FALSE(t[0].up);
+  EXPECT_EQ(t[0].at_ns, 5 * kNsPerSec);
+  EXPECT_TRUE(inj.poll_link_transitions().empty());  // reported once
+
+  clock.set(9 * kNsPerSec);
+  EXPECT_TRUE(inj.link_up(3));
+  t = inj.poll_link_transitions();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t[0].up);
+  EXPECT_EQ(t[0].at_ns, 8 * kNsPerSec);
+}
+
+TEST(FaultInjectorTest, WalPlanByIndexAndArmedOneShot) {
+  SimClock clock;
+  FaultInjector inj(clock, 1);
+  inj.schedule_wal_fault(2, WalFaultKind::kBitFlip, 13);
+  EXPECT_EQ(inj.next_wal_fault().kind, WalFaultKind::kNone);  // append 0
+  EXPECT_EQ(inj.next_wal_fault().kind, WalFaultKind::kNone);  // append 1
+  const WalFault f = inj.next_wal_fault();                    // append 2
+  EXPECT_EQ(f.kind, WalFaultKind::kBitFlip);
+  EXPECT_EQ(f.param, 13u);
+  inj.arm_wal_fault(WalFaultKind::kTear, 5);
+  EXPECT_EQ(inj.next_wal_fault().kind, WalFaultKind::kTear);
+  EXPECT_EQ(inj.next_wal_fault().kind, WalFaultKind::kNone);
+  EXPECT_EQ(inj.wal_appends(), 5u);
+  EXPECT_EQ(inj.snapshot().wal_faults, 2u);
+}
+
+// --- MessageBus seam ---------------------------------------------------
+
+TEST(BusFaultTest, DropDuplicateAndDelayVerdicts) {
+  SimClock clock;
+  clock.set(kNsPerSec);
+  telemetry::MetricsRegistry registry;
+  cserv::MessageBus bus(&registry);
+  const AsId dst{1, 5};
+  int handled = 0;
+  bus.attach(dst, [&](BytesView req) {
+    ++handled;
+    return Bytes(req.begin(), req.end());
+  });
+  const Bytes req = {1, 2, 3};
+
+  FaultInjector drop(clock, 1);
+  drop.add_message_plan({0, std::numeric_limits<TimeNs>::max(), 0, 1.0, 0, 0});
+  bus.attach_fault_injector(&drop);
+  EXPECT_TRUE(bus.call(dst, req).empty());
+  EXPECT_EQ(handled, 0);
+
+  FaultInjector dup(clock, 1);
+  dup.add_message_plan({0, std::numeric_limits<TimeNs>::max(), 0, 0, 1.0, 0});
+  bus.attach_fault_injector(&dup);
+  EXPECT_EQ(bus.call(dst, req), req);  // caller still gets its response
+  EXPECT_EQ(handled, 2);              // ...but the handler ran twice
+
+  handled = 0;
+  FaultInjector delay(clock, 1);
+  delay.add_message_plan({0, std::numeric_limits<TimeNs>::max(), 0, 0, 0,
+                          1.0});
+  bus.attach_fault_injector(&delay);
+  EXPECT_TRUE(bus.call(dst, req).empty());
+  EXPECT_EQ(handled, 0);
+  EXPECT_EQ(bus.delayed_pending(), 1u);
+  bus.attach_fault_injector(nullptr);  // let the pump deliver
+  EXPECT_EQ(bus.deliver_delayed(), 1u);
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(bus.delayed_pending(), 0u);
+}
+
+// --- SimLink seam ------------------------------------------------------
+
+TEST(SimLinkFaultTest, DownLinkDropsAtEntryAndInFlight) {
+  sim::Simulator sim;
+  FaultInjector inj(sim.clock(), 1);
+  sim::SimLink link(sim, /*rate_bps=*/8e9, /*propagation_ns=*/1'000'000);
+  link.set_fault_injector(&inj, 9);
+  int arrived = 0;
+  link.set_sink([&](sim::SimPacket&&) { ++arrived; });
+  const auto pkt = [](std::uint64_t flow) {
+    sim::SimPacket p;
+    p.cls = sim::TrafficClass::kColibriData;
+    p.bytes = 1'000;
+    p.flow = flow;
+    return p;
+  };
+
+  // Fails 0.5 ms in: the first packet is in flight when the link dies
+  // (dropped at the sink), the second is sent while it is down (dropped
+  // at entry), the third goes through after the heal.
+  inj.schedule_link_failure(9, 500'000, 2'000'000);
+  link.send(pkt(1));
+  sim.after(1'000'000, [&] { link.send(pkt(2)); });
+  sim.after(2'500'000, [&] { link.send(pkt(3)); });
+  sim.run();
+  EXPECT_EQ(arrived, 1);
+  EXPECT_EQ(link.fault_dropped(), 2u);
+  EXPECT_EQ(inj.snapshot().link_drops, 2u);
+}
+
+// --- FaultyStorage seam ------------------------------------------------
+
+TEST(FaultyStorageTest, TearBitFlipAndDropMutateAppends) {
+  SimClock clock;
+  FaultInjector inj(clock, 1);
+  reservation::MemoryStorage inner;
+  sim::FaultyStorage storage(inner, inj);
+  const Bytes frame = {10, 20, 30, 40, 50, 60, 70, 80};
+
+  storage.append(frame);  // clean passthrough
+  EXPECT_EQ(inner.raw().size(), frame.size());
+
+  inj.arm_wal_fault(WalFaultKind::kTear, 3);
+  storage.append(frame);  // only a prefix lands
+  EXPECT_EQ(inner.raw().size(), frame.size() + 3);
+
+  inj.arm_wal_fault(WalFaultKind::kBitFlip, 1);
+  storage.append(frame);
+  ASSERT_EQ(inner.raw().size(), frame.size() + 3 + frame.size());
+  Bytes last(inner.raw().end() - static_cast<long>(frame.size()),
+             inner.raw().end());
+  EXPECT_NE(last, frame);
+  int flipped_bits = 0;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    flipped_bits += __builtin_popcount(last[i] ^ frame[i]);
+  }
+  EXPECT_EQ(flipped_bits, 1);
+
+  const size_t before = inner.raw().size();
+  inj.arm_wal_fault(WalFaultKind::kDropAppend, 0);
+  storage.append(frame);  // lost entirely
+  EXPECT_EQ(inner.raw().size(), before);
+  EXPECT_EQ(storage.appends(), 4u);
+  EXPECT_EQ(storage.faulted(), 3u);
+}
+
+// --- FailoverManager ---------------------------------------------------
+
+struct FailoverFixture {
+  SimClock clock;
+  telemetry::MetricsRegistry registry;
+  telemetry::EventLog events;
+  cserv::CservConfig cfg;
+  app::Testbed bed;
+  cserv::FailoverManager fm;
+  ResKey primary;
+  ResKey backup;
+
+  FailoverFixture()
+      : events(clock),
+        cfg([this] {
+          cserv::CservConfig c;
+          c.metrics = &registry;
+          c.events = &events;
+          return c;
+        }()),
+        bed(topology::builders::two_isd_topology(),
+            (clock.set(1'000 * kNsPerSec), clock), cfg),
+        fm(bed.cserv(kProtectedLinkA)) {
+    bed.provision_all_segments(1'000, 2'000'000);
+    auto p = app::find_primary_core_segr(bed);
+    EXPECT_TRUE(p.has_value());
+    primary = *p;
+    auto b = fm.provision_backup(
+        primary, app::protection_backup_segment(bed.topology()), 1'000,
+        30'000);
+    EXPECT_TRUE(b.ok());
+    backup = b.value();
+  }
+};
+
+TEST(FailoverManagerTest, CutoverSwapsAdvertsAndSuppressesRenewal) {
+  FailoverFixture fx;
+  cserv::SegrRegistry& reg = fx.bed.cserv(kProtectedLinkA).registry();
+  EXPECT_TRUE(reg.find(fx.primary).has_value());
+  EXPECT_FALSE(reg.find(fx.backup).has_value());  // standby: unadvertised
+  EXPECT_EQ(fx.fm.snapshot().protected_pairs, 1u);
+
+  EXPECT_EQ(fx.fm.on_link_down(kProtectedLinkA, kProtectedLinkB,
+                               fx.clock.now_ns()),
+            1u);
+  EXPECT_FALSE(reg.find(fx.primary).has_value());
+  EXPECT_TRUE(reg.find(fx.backup).has_value());
+  EXPECT_TRUE(fx.fm.failed_over(fx.primary));
+  EXPECT_TRUE(fx.fm.renewal_suppressed(fx.primary));
+  EXPECT_FALSE(fx.fm.renewal_suppressed(fx.backup));
+  ASSERT_TRUE(fx.fm.backup_of(fx.primary).has_value());
+  EXPECT_EQ(*fx.fm.backup_of(fx.primary), fx.backup);
+  const cserv::FailoverStats s = fx.fm.snapshot();
+  EXPECT_EQ(s.cutovers, 1u);
+  EXPECT_EQ(s.active, 1u);
+  // Repeated detection of the same outage is idempotent.
+  EXPECT_EQ(fx.fm.on_link_down(kProtectedLinkA, kProtectedLinkB,
+                               fx.clock.now_ns()),
+            0u);
+}
+
+TEST(FailoverManagerTest, FailbackRestoresWhitelistedAdvert) {
+  FailoverFixture fx;
+  // Advertise the primary to a whitelist; the cutover must stash it and
+  // fail-back must restore it verbatim.
+  const std::vector<AsId> wl = {AsId{1, 110}};
+  ASSERT_TRUE(fx.bed.cserv(kProtectedLinkA).publish_segr(fx.primary, wl));
+  fx.fm.on_link_down(kProtectedLinkA, kProtectedLinkB, fx.clock.now_ns());
+  EXPECT_EQ(fx.fm.on_link_up(kProtectedLinkA, kProtectedLinkB), 1u);
+
+  cserv::SegrRegistry& reg = fx.bed.cserv(kProtectedLinkA).registry();
+  const auto advert = reg.find(fx.primary);
+  ASSERT_TRUE(advert.has_value());
+  EXPECT_EQ(advert->whitelist, wl);
+  EXPECT_FALSE(reg.find(fx.backup).has_value());  // back to cheap standby
+  EXPECT_FALSE(fx.fm.failed_over(fx.primary));
+  EXPECT_FALSE(fx.fm.renewal_suppressed(fx.primary));
+  const cserv::FailoverStats s = fx.fm.snapshot();
+  EXPECT_EQ(s.failbacks, 1u);
+  EXPECT_EQ(s.active, 0u);
+}
+
+TEST(FailoverManagerTest, MissingBackupCountsUnprotected) {
+  FailoverFixture fx;
+  cserv::FailoverManager lone(fx.bed.cserv(kProtectedLinkA));
+  lone.pair(fx.primary, ResKey{kProtectedLinkA, 99'999});  // no such SegR
+  EXPECT_EQ(lone.on_link_down(kProtectedLinkA, kProtectedLinkB,
+                              fx.clock.now_ns()),
+            0u);
+  const cserv::FailoverStats s = lone.snapshot();
+  EXPECT_EQ(s.cutovers, 0u);
+  EXPECT_EQ(s.unprotected, 1u);
+}
+
+TEST(FailoverManagerTest, CutoverEventRoundTripsThroughJson) {
+  FailoverFixture fx;
+  fx.clock.advance(750'000'000);
+  fx.fm.on_link_down(kProtectedLinkA, kProtectedLinkB,
+                     fx.clock.now_ns() - 250'000'000);
+  const telemetry::Event* cutover = nullptr;
+  const auto all = fx.events.events();
+  for (const auto& ev : all) {
+    if (ev.component == "failover" && ev.name == "failover.cutover") {
+      cutover = &ev;
+    }
+  }
+  ASSERT_NE(cutover, nullptr);
+  EXPECT_EQ(cutover->u64("latency_ns").value_or(0), 250'000'000u);
+
+  const auto parsed = telemetry::Event::from_json(cutover->to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->component, "failover");
+  EXPECT_EQ(parsed->name, "failover.cutover");
+  EXPECT_EQ(parsed->time_ns, cutover->time_ns);
+  EXPECT_EQ(parsed->u64("latency_ns"), cutover->u64("latency_ns"));
+  EXPECT_EQ(parsed->str("as"), cutover->str("as"));
+}
+
+TEST(FailoverAlertTest, RulePackFiresOnCutoverAndResolvesOnFailback) {
+  FailoverFixture fx;
+  telemetry::WindowedSamplerConfig scfg;
+  scfg.period_ns = kNsPerSec;
+  telemetry::WindowedSampler sampler(fx.registry, fx.clock, scfg);
+  telemetry::AlertEngine engine(sampler, fx.clock, &fx.events);
+  engine.add_rules(cserv::default_failover_alert_rules());
+  ASSERT_EQ(engine.rule_count(), 2u);
+
+  // The sampler's first sample only records a baseline (deltas need two
+  // snapshots), so burn one window before the assertions start.
+  fx.clock.advance(scfg.period_ns);
+  ASSERT_FALSE(sampler.poll());
+  const auto pump = [&] {
+    fx.clock.advance(scfg.period_ns);
+    ASSERT_TRUE(sampler.poll());
+    (void)engine.evaluate();
+  };
+  pump();
+  EXPECT_EQ(engine.firing_count(), 0u);
+
+  fx.fm.on_link_down(kProtectedLinkA, kProtectedLinkB, fx.clock.now_ns());
+  pump();
+  EXPECT_EQ(engine.firing_count(), 1u);
+  EXPECT_EQ(engine.fired_total(), 1u);
+  bool active_firing = false;
+  for (const auto& st : engine.status()) {
+    if (st.name == "cserv.failover-active") {
+      active_firing = st.state == telemetry::AlertState::kFiring;
+    }
+  }
+  EXPECT_TRUE(active_firing);
+
+  fx.fm.on_link_up(kProtectedLinkA, kProtectedLinkB);
+  pump();
+  EXPECT_EQ(engine.firing_count(), 0u);
+  EXPECT_EQ(engine.resolved_total(), 1u);
+}
+
+// --- chaos harness -----------------------------------------------------
+
+TEST(ChaosTest, TwinUniversesConvergeUnderFullChaos) {
+  app::ChaosOptions opts;
+  opts.seed = colibri::testing::test_seed(0xC0A05EEDULL);
+  COLIBRI_SEED_TRACE(opts.seed);
+  const app::ChaosTwinReport twins = app::run_chaos_twins(opts);
+  const app::ChaosReport& f = twins.faulted;
+
+  // The adversity actually happened...
+  EXPECT_GT(f.faults.msg_dropped + f.faults.msg_duplicated +
+                f.faults.msg_delayed,
+            0u);
+  EXPECT_EQ(f.cutovers, 1u);
+  EXPECT_EQ(f.failbacks, 1u);
+  EXPECT_EQ(f.unprotected, 0u);
+  EXPECT_TRUE(f.crash_restored);
+  EXPECT_GT(f.wal_records_recovered, 0u);
+  EXPECT_EQ(f.faults.wal_faults, 1u);  // the torn crash append
+
+  // ...failover was fast (detected within one 1 s monitor tick)...
+  EXPECT_GT(f.failover_latency_ns, 0u);
+  EXPECT_LT(f.failover_latency_ns, kNsPerSec);
+
+  // ...traffic survived and re-established...
+  EXPECT_GT(f.data_delivered, 0u);
+  EXPECT_EQ(f.sessions_up, 4);
+  EXPECT_EQ(twins.clean.sessions_up, 4);
+  EXPECT_EQ(twins.clean.data_lost, 0u);
+
+  // ...and the chaos left no scar: both universes hold an equivalent
+  // reservation end-state.
+  EXPECT_TRUE(twins.converged)
+      << "faulted digest:\n"
+      << f.digest << "\nclean digest:\n"
+      << twins.clean.digest;
+}
+
+TEST(ChaosTest, SameSeedReplaysIdenticalHistory) {
+  app::ChaosOptions opts;
+  opts.seed = colibri::testing::test_seed(0xD15EA5EULL);
+  COLIBRI_SEED_TRACE(opts.seed);
+  const app::ChaosReport a = app::run_chaos_universe(opts);
+  const app::ChaosReport b = app::run_chaos_universe(opts);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.history, b.history);  // full transition history, seq-free
+  EXPECT_EQ(a.faults.msg_dropped, b.faults.msg_dropped);
+  EXPECT_EQ(a.faults.msg_duplicated, b.faults.msg_duplicated);
+  EXPECT_EQ(a.faults.msg_delayed, b.faults.msg_delayed);
+  EXPECT_EQ(a.data_delivered, b.data_delivered);
+  EXPECT_EQ(a.session_reopens, b.session_reopens);
+
+  app::ChaosOptions other = opts;
+  other.seed = opts.seed + 1;
+  const app::ChaosReport c = app::run_chaos_universe(other);
+  EXPECT_NE(a.history, c.history);  // the seed is the universe
+}
+
+TEST(ChaosTest, ObsFailoverScenarioDrivesAlertsAndDashboard) {
+  app::ObsOptions opts;
+  opts.scenario = "failover";
+  const app::ObsArtifacts art = app::run_obs_scenario(opts);
+  EXPECT_GT(art.delivered, 0);
+  EXPECT_GT(art.sampler_windows, 0u);
+  EXPECT_GT(art.alert_evaluations, 0u);
+  EXPECT_GE(art.alerts_fired, 1u);     // cutover fired the pack
+  EXPECT_GE(art.alerts_resolved, 1u);  // fail-back resolved it
+  EXPECT_EQ(art.alerts_firing, 0u);    // incident over by scenario end
+  EXPECT_NE(art.watch_text.find("failover:"), std::string::npos);
+  const bool some_frame_fired = std::any_of(
+      art.watch_frames.begin(), art.watch_frames.end(),
+      [](const std::string& frame) {
+        return frame.find("cserv.failover-active") != std::string::npos;
+      });
+  EXPECT_TRUE(some_frame_fired);
+  EXPECT_NE(art.events_jsonl.find("failover.cutover"), std::string::npos);
+  EXPECT_NE(art.events_jsonl.find("failover.restored"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace colibri

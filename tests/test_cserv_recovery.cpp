@@ -2,7 +2,9 @@
 // rebuilt; reservations, admission ledgers, and forwarding all survive.
 #include <gtest/gtest.h>
 
+#include "colibri/app/chaos.hpp"
 #include "colibri/app/testbed.hpp"
+#include "seed_util.hpp"
 
 namespace colibri::cserv {
 namespace {
@@ -96,6 +98,32 @@ TEST(CservRecoveryTest, ExpirySweepIsLoggedAndSurvivesRestart) {
   restarted.attach_wal(&wal);
   restarted.restore_from_wal();
   EXPECT_EQ(restarted.db().segr_count(), 0u);
+}
+
+// Kill-and-restore under live traffic: the chaos harness crashes a
+// transit CServ in the middle of a renewal storm (with a torn final WAL
+// append) and rebuilds it from snapshot + log replay while sessions keep
+// sending. The recovered universe must end bit-identical — same digest —
+// to a twin that never crashed. Message/link faults are disabled so the
+// crash is the only divergence between the twins.
+TEST(CservRecoveryTest, KillAndRestoreMidStormMatchesUninterruptedTwin) {
+  app::ChaosOptions opts;
+  opts.seed = colibri::testing::test_seed(0x2E57A27ULL);
+  COLIBRI_SEED_TRACE(opts.seed);
+  opts.drop_p = 0.0;
+  opts.dup_p = 0.0;
+  opts.delay_p = 0.0;
+  opts.fail_link = false;
+  opts.crash_cserv = true;
+
+  const app::ChaosTwinReport twins = app::run_chaos_twins(opts);
+  EXPECT_TRUE(twins.faulted.crash_restored);
+  EXPECT_GT(twins.faulted.wal_records_recovered, 0u);
+  EXPECT_EQ(twins.faulted.faults.wal_faults, 1u);  // the armed torn tail
+  EXPECT_EQ(twins.faulted.sessions_up, 4);
+  EXPECT_TRUE(twins.converged)
+      << "faulted digest:\n" << twins.faulted.digest
+      << "\nclean digest:\n" << twins.clean.digest;
 }
 
 }  // namespace

@@ -2,9 +2,13 @@
 // corruption handling, checkpoint compaction, file storage.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
+#include "colibri/common/rand.hpp"
 #include "colibri/reservation/persist.hpp"
+#include "seed_util.hpp"
 
 namespace colibri::reservation {
 namespace {
@@ -183,6 +187,111 @@ TEST(WalTest, EmptyLogRecoversNothing) {
   ReservationDb db(AsId{1, 20});
   EXPECT_EQ(wal.recover(db), 0u);
   EXPECT_EQ(db.segr_count(), 0u);
+}
+
+// --- randomized recovery properties (see docs/TESTING.md) ---------------
+//
+// Build a log of n records, remember where each complete frame ends,
+// then corrupt the raw bytes at a seeded-random spot. Whatever the
+// damage, recovery must (a) never crash and (b) replay exactly the
+// longest prefix of records untouched by it — the CRC (which spans the
+// whole frame, length byte included) rejects the first damaged record
+// and replay stops there.
+namespace {
+
+struct BuiltLog {
+  std::vector<size_t> record_ends;  // raw offset after each append
+  size_t appended = 0;
+};
+
+BuiltLog build_log(ReservationWal& wal, MemoryStorage& storage, Rng& rng) {
+  BuiltLog built;
+  const size_t n = 3 + rng.below(12);
+  for (size_t i = 0; i < n; ++i) {
+    const ResId id = static_cast<ResId>(i + 1);
+    if (rng.below(3) == 0) {
+      wal.log_eer_upsert(sample_eer(id));
+    } else {
+      wal.log_segr_upsert(sample_segr(id));
+    }
+    built.record_ends.push_back(storage.raw().size());
+  }
+  built.appended = n;
+  return built;
+}
+
+size_t records_before(const BuiltLog& built, size_t damage_offset) {
+  size_t intact = 0;
+  for (const size_t end : built.record_ends) {
+    if (end <= damage_offset) ++intact;
+  }
+  return intact;
+}
+
+}  // namespace
+
+TEST(WalPropertyTest, RandomTruncationsReplayLongestCompletePrefix) {
+  const std::uint64_t seed = colibri::testing::test_seed(0x7EA27A11ULL);
+  COLIBRI_SEED_TRACE(seed);
+  Rng rng(seed);
+  for (int iter = 0; iter < 60; ++iter) {
+    MemoryStorage storage;
+    ReservationWal wal(storage);
+    const BuiltLog built = build_log(wal, storage, rng);
+    // Tear anywhere, from "everything lost" to "nothing lost".
+    const size_t cut = rng.below(storage.raw().size() + 1);
+    storage.raw().resize(cut);
+
+    ReservationDb db(AsId{1, 20});
+    const size_t applied = wal.recover(db);
+    EXPECT_EQ(applied, records_before(built, cut))
+        << "iter " << iter << " cut at " << cut;
+    EXPECT_EQ(db.segr_count() + db.eer_count(), applied);
+  }
+}
+
+TEST(WalPropertyTest, RandomBitFlipsStopReplayAtTheDamagedRecord) {
+  const std::uint64_t seed = colibri::testing::test_seed(0xB17F11BULL);
+  COLIBRI_SEED_TRACE(seed);
+  Rng rng(seed);
+  for (int iter = 0; iter < 60; ++iter) {
+    MemoryStorage storage;
+    ReservationWal wal(storage);
+    const BuiltLog built = build_log(wal, storage, rng);
+    const size_t bit = rng.below(storage.raw().size() * 8);
+    storage.raw()[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+
+    ReservationDb db(AsId{1, 20});
+    const size_t applied = wal.recover(db);
+    // Every record strictly before the flipped byte replays; the CRC
+    // rejects the damaged one and recovery stops there.
+    EXPECT_EQ(applied, records_before(built, bit / 8))
+        << "iter " << iter << " flipped bit " << bit;
+  }
+}
+
+TEST(WalPropertyTest, RandomTearPlusTrailingGarbageNeverCrashes) {
+  const std::uint64_t seed = colibri::testing::test_seed(0x6A2BA6EULL);
+  COLIBRI_SEED_TRACE(seed);
+  Rng rng(seed);
+  for (int iter = 0; iter < 40; ++iter) {
+    MemoryStorage storage;
+    ReservationWal wal(storage);
+    const BuiltLog built = build_log(wal, storage, rng);
+    const size_t cut = rng.below(storage.raw().size() + 1);
+    storage.raw().resize(cut);
+    // A crashed writer can leave arbitrary junk after the tear.
+    const size_t junk = rng.below(32);
+    for (size_t i = 0; i < junk; ++i) {
+      storage.raw().push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+
+    ReservationDb db(AsId{1, 20});
+    const size_t applied = wal.recover(db);
+    // The junk can only ever hide records, never invent them.
+    EXPECT_GE(applied, records_before(built, cut)) << "iter " << iter;
+    EXPECT_LE(applied, built.appended) << "iter " << iter;
+  }
 }
 
 }  // namespace
