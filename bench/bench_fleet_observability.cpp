@@ -1,0 +1,251 @@
+// Fleet-observability cost model: what federation and auditing add.
+//
+// Three questions, one per family:
+//  - BM_FleetCollectorPoll: how long one fleet window costs as the
+//    fleet grows (members x per-member reservation counters), including
+//    the bounded-memory regime where the series budget forces drops.
+//  - BM_ConservationAuditorPass: one full cross-AS conservation audit
+//    over the 16-AS two-ISD bed with live reservations.
+//  - BM_DataPlaneBare vs BM_DataPlaneWithCollector: the headline gate.
+//    The collector rides the per-packet path only as a period check
+//    (poll() early-returns inside the window; collection itself is
+//    amortized once per period), so the with-collector throughput must
+//    be ~1.0x of the bare data plane. The ratio row below is what
+//    bench/baselines gates.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colibri/app/session.hpp"
+#include "colibri/app/testbed.hpp"
+#include "colibri/telemetry/audit.hpp"
+#include "colibri/telemetry/federation.hpp"
+
+namespace {
+
+using namespace colibri;
+
+// --- fleet-window cost vs fleet size ------------------------------------
+
+void BM_FleetCollectorPoll(benchmark::State& state) {
+  const auto members = static_cast<std::size_t>(state.range(0));
+  const auto res_per_member = static_cast<std::size_t>(state.range(1));
+
+  SimClock clock(1'000 * kNsPerSec);
+  std::vector<std::unique_ptr<telemetry::MetricsRegistry>> registries;
+  registries.reserve(members);
+  telemetry::FleetCollector collector(clock);
+  for (std::size_t m = 0; m < members; ++m) {
+    registries.push_back(std::make_unique<telemetry::MetricsRegistry>());
+    collector.add_member("as-" + std::to_string(m), *registries.back());
+  }
+  collector.add_rollup("cserv.eer_granted");
+  collector.add_rollup("res.");
+  // Pre-populate the per-reservation counters so every poll scans the
+  // full fleet; the default 65536-series budget makes the largest
+  // config exercise the drop-and-count path.
+  for (std::size_t m = 0; m < members; ++m) {
+    for (std::size_t r = 0; r < res_per_member; ++r) {
+      registries[m]->counter("res." + std::to_string(r) + ".bytes").inc(1);
+    }
+  }
+  clock.advance(kNsPerSec);
+  (void)collector.poll();  // baseline snapshot
+
+  std::uint64_t rotor = 0;
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < members; ++m) {
+      registries[m]->counter("cserv.eer_granted").inc(1);
+      registries[m]
+          ->counter("res." + std::to_string(rotor % res_per_member) + ".bytes")
+          .inc(1'000);
+    }
+    ++rotor;
+    clock.advance(kNsPerSec);
+    benchmark::DoNotOptimize(collector.poll());
+  }
+  state.counters["series_tracked"] =
+      static_cast<double>(collector.tracked_series());
+  state.counters["series_dropped"] =
+      static_cast<double>(collector.dropped_series());
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(members)));
+}
+
+BENCHMARK(BM_FleetCollectorPoll)
+    ->ArgsProduct({{16, 128, 1024}, {16, 128}})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+
+// --- one conservation-audit pass over the two-ISD bed -------------------
+
+void BM_ConservationAuditorPass(benchmark::State& state) {
+  SimClock clock(1'000 * kNsPerSec);
+  app::Testbed bed(topology::builders::two_isd_topology(), clock);
+  bed.provision_all_segments(1'000, 2'000'000);
+  std::vector<app::ReservationSession> sessions;
+  const std::vector<AsId> srcs = {{1, 110}, {1, 111}, {1, 120}, {1, 121}};
+  const std::vector<AsId> dsts = {{2, 210}, {2, 211}, {2, 220}, {2, 221}};
+  for (std::size_t i = 0; i < srcs.size(); ++i) {
+    auto r = bed.daemon(srcs[i]).open_session(
+        dsts[i], HostAddr::from_u64(0xA0 + i), HostAddr::from_u64(0xB0 + i),
+        1'000, 10'000);
+    if (r) sessions.push_back(std::move(r.value()));
+  }
+
+  telemetry::ConservationAuditor auditor(clock);
+  for (const AsId as : bed.topology().as_ids()) {
+    auditor.add_target({as.to_string(), as, &bed.cserv(as).db(),
+                        bed.cserv(as).eer_admission(),
+                        &bed.topology().node(as)});
+  }
+
+  std::uint64_t checks = 0;
+  for (auto _ : state) {
+    const telemetry::AuditReport rep = auditor.run(clock.now_sec());
+    checks += rep.checks;
+    if (!rep.clean()) state.SkipWithError("clean bed reported violations");
+  }
+  state.counters["targets"] = static_cast<double>(auditor.target_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(checks));
+}
+
+BENCHMARK(BM_ConservationAuditorPass)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(500);
+
+// --- data-plane overhead of carrying the collector ----------------------
+//
+// Both variants forward one packet per iteration over the session's
+// real path with per-hop reservation accounting, advancing the sim
+// clock 8 us per packet. The with-collector variant additionally calls
+// poll() every packet against a 10 ms period: 1249 of every 1250 calls
+// are the hot-path early return, the 1250th cuts and rolls up a real
+// fleet window, so the measured gap is the honest amortized cost (a
+// production 1 s period amortizes thousands of times wider still).
+
+struct DataPlaneBed {
+  SimClock clock{1'000 * kNsPerSec};
+  app::Testbed bed;
+  std::vector<app::ReservationSession> sessions;
+  std::vector<std::vector<topology::Hop>> paths;
+  std::vector<std::string> series;
+
+  DataPlaneBed()
+      : bed(topology::builders::two_isd_topology(), clock,
+            cserv::CservConfig{}, [] {
+              app::TestbedOptions o;
+              o.per_as_metrics = true;
+              return o;
+            }()) {
+    bed.provision_all_segments(1'000, 2'000'000);
+    const std::vector<AsId> srcs = {{1, 110}, {1, 120}};
+    const std::vector<AsId> dsts = {{2, 210}, {2, 220}};
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+      auto r = bed.daemon(srcs[i]).open_session(
+          dsts[i], HostAddr::from_u64(0xA0 + i), HostAddr::from_u64(0xB0 + i),
+          1'000, 2'000'000);
+      if (!r) continue;
+      const auto eer = bed.cserv(srcs[i]).db().eer_copy(r.value().key());
+      if (!eer) continue;
+      const ResId res_id = r.value().key().res_id;
+      sessions.push_back(std::move(r.value()));
+      paths.push_back(eer->path);
+      series.push_back("res." + std::to_string(res_id) + ".bytes");
+    }
+  }
+
+  // One packet on session `i`: gateway admit, per-hop forward plus
+  // reservation accounting. Returns whether it survived every hop.
+  bool forward(std::size_t i) {
+    dataplane::FastPacket pkt;
+    if (sessions[i].send(1'000, pkt) != dataplane::Gateway::Verdict::kOk) {
+      return false;
+    }
+    for (const auto& hop : paths[i]) {
+      const auto v = bed.router(hop.as).process(pkt);
+      if (v != dataplane::BorderRouter::Verdict::kForward &&
+          v != dataplane::BorderRouter::Verdict::kDeliver) {
+        return false;
+      }
+      bed.as_metrics(hop.as)->counter(series[i]).inc(1'000);
+    }
+    return true;
+  }
+};
+
+constexpr TimeNs kPacketGapNs = 8'000;  // 1000 B / 8 us = 1 Gbps offered
+
+void BM_DataPlaneBare(benchmark::State& state) {
+  DataPlaneBed d;
+  if (d.sessions.empty()) {
+    state.SkipWithError("no session opened");
+    return;
+  }
+  std::uint64_t delivered = 0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    d.clock.advance(kPacketGapNs);
+    delivered += d.forward(n++ % d.sessions.size());
+  }
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (delivered == 0) state.SkipWithError("nothing delivered");
+}
+
+BENCHMARK(BM_DataPlaneBare)
+    ->Unit(benchmark::kNanosecond)
+    ->Iterations(100'000);
+
+void BM_DataPlaneWithCollector(benchmark::State& state) {
+  DataPlaneBed d;
+  if (d.sessions.empty()) {
+    state.SkipWithError("no session opened");
+    return;
+  }
+  telemetry::FleetCollectorConfig fcfg;
+  fcfg.period_ns = 10'000'000;  // one fleet window per 10 ms of sim time
+  telemetry::FleetCollector collector(d.clock, fcfg);
+  std::vector<AsId> ases = d.bed.topology().as_ids();
+  for (const AsId as : ases) {
+    collector.add_member(as.to_string(), *d.bed.as_metrics(as));
+  }
+  collector.add_rollup("router.forwarded");
+  collector.add_rollup("res.");
+  d.clock.advance(fcfg.period_ns);
+  (void)collector.poll();  // baseline snapshot
+
+  std::uint64_t delivered = 0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    d.clock.advance(kPacketGapNs);
+    delivered += d.forward(n++ % d.sessions.size());
+    benchmark::DoNotOptimize(collector.poll());
+  }
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.counters["fleet_windows"] =
+      static_cast<double>(collector.windows_sampled());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (delivered == 0) state.SkipWithError("nothing delivered");
+  if (collector.windows_sampled() == 0) {
+    state.SkipWithError("collector never cut a window");
+  }
+}
+
+BENCHMARK(BM_DataPlaneWithCollector)
+    ->Unit(benchmark::kNanosecond)
+    ->Iterations(100'000);
+
+// The gated row: per-packet throughput with the collector over without.
+// The acceptance band is ~1.0x — federation must not tax the data path.
+const bool kRatioRegistered = colibri::benchjson::request_ratio(
+    "fleet_collector_overhead", "BM_DataPlaneWithCollector",
+    "BM_DataPlaneBare");
+
+}  // namespace
+
+COLIBRI_BENCH_MAIN(bench_fleet_observability);

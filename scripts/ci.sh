@@ -23,8 +23,9 @@
 #
 # The default preset additionally smoke-tests the colibri_obs tool end
 # to end: run the demo scenario, dump every artifact, export a Perfetto
-# trace, query the sharded-runtime health surface, and drive the
-# failover scenario through the watch dashboard.
+# trace, query the sharded-runtime health surface, drive the failover
+# scenario through the watch dashboard, and run the fleet-federation
+# scenario through both the fleet table and the watch fleet line.
 #
 # The opt-in bench-gate lane (not part of the default preset list —
 # benchmark numbers are machine-sensitive, so it only runs when asked
@@ -55,6 +56,7 @@ TSAN_SUITES+='|ControlPlaneStressTest'
 TSAN_SUITES+='|RenewalStormTest.MultiThreadedDrainMatchesSingleThreaded'
 TSAN_SUITES+='|ReservationDbTest.NextResIdIsUniqueAcrossThreads'
 TSAN_SUITES+='|SamplerAlertStressTest'
+TSAN_SUITES+='|FleetAuditStressTest'
 
 for preset in "${PRESETS[@]}"; do
   if [ "$preset" = bench-gate ]; then
@@ -111,6 +113,9 @@ for preset in "${PRESETS[@]}"; do
     "$OBS" watch --once | grep -q 'alerts:'
     echo "=== [default] colibri_obs failover-scenario smoke"
     "$OBS" watch --once --scenario=failover | grep -q 'failover:'
+    echo "=== [default] colibri_obs fleet-federation smoke"
+    "$OBS" fleet --once | grep -q 'audit: PASS'
+    "$OBS" watch --once --scenario=fleet | grep -q 'fleet:'
   fi
 done
 

@@ -238,4 +238,15 @@ size_t EerAdmission::tracked() const {
   return n;
 }
 
+void EerAdmission::for_each_allocation(
+    const std::function<void(const AllocationView&)>& fn) const {
+  for (const Stripe& st : stripes_) {
+    std::lock_guard lock(st.mu);
+    for (const auto& [key, a] : st.allocations) {
+      fn(AllocationView{key, a.in_key, a.out_key, a.has_out, a.in_allocated,
+                        a.out_allocated});
+    }
+  }
+}
+
 }  // namespace colibri::admission

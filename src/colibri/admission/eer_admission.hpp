@@ -17,6 +17,7 @@
 // stripe mutex -> db shard locks (ascending) -> transfer mutex.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -106,6 +107,21 @@ class EerAdmission {
   // Read-side introspection; callers must be quiesced (tests/diagnostics).
   const TransferLedger& transfer_ledger() const { return transfer_; }
   size_t tracked() const;
+
+  // Copy-out view of one tracked allocation, for cross-checking the
+  // stripe bookkeeping against the ReservationDb (audit.hpp).
+  struct AllocationView {
+    ResKey eer_key;
+    ResKey in_key;
+    ResKey out_key;
+    bool has_out = false;
+    BwKbps in_allocated = 0;
+    BwKbps out_allocated = 0;
+  };
+  // Visits every allocation stripe by stripe under that stripe's mutex;
+  // `fn` must not re-enter the admission or touch the db.
+  void for_each_allocation(
+      const std::function<void(const AllocationView&)>& fn) const;
 
  private:
   struct Allocation {

@@ -1,0 +1,272 @@
+#include "colibri/app/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "colibri/app/session.hpp"
+#include "colibri/app/testbed.hpp"
+#include "colibri/telemetry/alerts.hpp"
+#include "colibri/telemetry/openmetrics.hpp"
+#include "colibri/telemetry/timeseries.hpp"
+
+namespace colibri::app {
+
+namespace {
+
+// One open reservation plus everything the traffic loop needs to drive
+// it: the frozen path (the db record is swept on expiry) and the
+// per-reservation counter name bumped into every on-path registry.
+struct FleetSession {
+  ReservationSession session;
+  std::vector<topology::Hop> path;
+  std::string res_series;  // "res.<id>.bytes"
+  int packets_per_sec = 0;
+};
+
+std::string render_fleet_table(const Testbed& bed,
+                               const std::vector<AsId>& ases,
+                               const telemetry::FleetCollector& collector,
+                               const telemetry::ConservationAuditor& auditor,
+                               const telemetry::AlertEngine& engine,
+                               TimeNs now_ns) {
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof(line), "== colibri fleet @ t=%.1fs ==\n",
+                static_cast<double>(now_ns) / 1e9);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "fleet: %zu ASes %zu links windows=%llu tracked=%zu "
+                "dropped=%llu\n",
+                collector.member_count(), collector.link_count(),
+                static_cast<unsigned long long>(collector.windows_sampled()),
+                collector.tracked_series(),
+                static_cast<unsigned long long>(collector.dropped_series()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "rates: eer %7.0f/s  fwd %7.0f/s  res %9.0f B/s\n",
+                collector.fleet_rate("cserv.eer_granted"),
+                collector.fleet_rate("router.forwarded"),
+                collector.fleet_rate("res."));
+  out += line;
+  out += "as           fwd/s      res B/s\n";
+  for (const AsId as : ases) {
+    const std::string name = as.to_string();
+    std::snprintf(line, sizeof(line), "%-10s %7.0f %12.0f\n", name.c_str(),
+                  collector.as_rate(name, "router.forwarded"),
+                  collector.as_rate(name, "res."));
+    out += line;
+  }
+  (void)bed;
+  const auto top = collector.top_hitters();
+  out += "top reservations (space-saving sketch):\n";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  #%zu res %s: est %llu B (+/-%llu)\n",
+                  i + 1, top[i].key.c_str(),
+                  static_cast<unsigned long long>(top[i].estimate),
+                  static_cast<unsigned long long>(top[i].error));
+    out += line;
+  }
+  const telemetry::AuditReport rep = auditor.last_report();
+  std::snprintf(line, sizeof(line),
+                "audit: %s checks=%llu violations=%zu passes=%llu\n",
+                rep.clean() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(rep.checks),
+                rep.violations.size(),
+                static_cast<unsigned long long>(auditor.passes()));
+  out += line;
+  for (std::size_t i = 0; i < rep.violations.size() && i < 4; ++i) {
+    const telemetry::AuditViolation& v = rep.violations[i];
+    std::snprintf(line, sizeof(line), "  !! %s at %s: %s\n", v.check.c_str(),
+                  v.as.to_string().c_str(), v.detail.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "alerts: rules=%zu evaluations=%llu firing=%zu\n",
+                engine.rule_count(),
+                static_cast<unsigned long long>(engine.evaluations()),
+                engine.firing_count());
+  out += line;
+  return out;
+}
+
+}  // namespace
+
+FleetArtifacts run_fleet_scenario(const FleetOptions& opts) {
+  SimClock clock(1'000 * kNsPerSec);
+  telemetry::MetricsRegistry fleet_registry;  // the federation surface
+  telemetry::EventLog events(clock);
+  FleetArtifacts out;
+
+  // Per-AS registries: the whole point of the scenario is that no
+  // single registry sees the fleet — only the collector does.
+  cserv::CservConfig cfg;
+  cfg.events = &events;
+  TestbedOptions topts;
+  topts.per_as_metrics = true;
+  Testbed bed(topology::builders::two_isd_topology(), clock, cfg, topts);
+
+  // as_ids() iterates a hash map; sort so member order — and with it
+  // every rollup, table row, and export — is deterministic.
+  std::vector<AsId> ases = bed.topology().as_ids();
+  std::sort(ases.begin(), ases.end(),
+            [](AsId a, AsId b) { return a.raw() < b.raw(); });
+
+  telemetry::FleetCollectorConfig fcfg;
+  fcfg.period_ns = kNsPerSec;
+  fcfg.ring_capacity = 64;
+  telemetry::FleetCollector collector(clock, fcfg, &fleet_registry);
+  for (const AsId as : ases) {
+    collector.add_member(as.to_string(), *bed.as_metrics(as));
+  }
+  for (const AsId as : ases) {
+    for (const auto& itf : bed.topology().node(as).interfaces) {
+      // Each core link once, from its lower-numbered endpoint.
+      if (itf.type != topology::LinkType::kCore) continue;
+      if (itf.neighbor.raw() <= as.raw()) continue;
+      collector.add_link(as.to_string() + "~" + itf.neighbor.to_string(),
+                         as.to_string(), itf.neighbor.to_string());
+    }
+  }
+  collector.add_rollup("cserv.eer_granted");
+  collector.add_rollup("cserv.seg_granted");
+  collector.add_rollup("gateway.forwarded");
+  collector.add_rollup("router.forwarded");
+  collector.add_rollup("res.");  // fleet-wide reservation bytes
+
+  telemetry::ConservationAuditor auditor(clock, &events, &fleet_registry);
+  for (const AsId as : ases) {
+    auditor.add_target({as.to_string(), as, &bed.cserv(as).db(),
+                        bed.cserv(as).eer_admission(),
+                        &bed.topology().node(as)});
+  }
+
+  // The audit/fleet surfaces ride the ordinary monitoring pipeline: a
+  // sampler over the export registry feeds the audit alert pack.
+  telemetry::WindowedSamplerConfig scfg;
+  scfg.period_ns = kNsPerSec;
+  scfg.ring_capacity = 64;
+  telemetry::WindowedSampler sampler(fleet_registry, clock, scfg,
+                                     &fleet_registry);
+  sampler.track_rate("fleet.windows");
+  telemetry::AlertEngine engine(sampler, clock, &events, &fleet_registry);
+  engine.add_rules(telemetry::default_audit_alert_rules());
+
+  // Baseline windows: the first collector/sampler poll only records the
+  // snapshot to delta against.
+  clock.advance(kNsPerSec);
+  (void)collector.poll();
+  (void)sampler.poll();
+
+  bed.provision_all_segments(/*min_bw=*/1'000, /*max_bw=*/2'000'000);
+
+  // Cross-ISD sessions between leaf ASes, one per slot, each with its
+  // own deterministic traffic level so the heavy-hitter ranking is a
+  // fixed permutation (slot i sends i+1 packets per second).
+  const std::vector<AsId> srcs = {{1, 110}, {1, 111}, {1, 112},
+                                  {1, 120}, {1, 121}, {1, 122}};
+  const std::vector<AsId> dsts = {{2, 210}, {2, 211}, {2, 212},
+                                  {2, 220}, {2, 221}, {2, 222}};
+  std::vector<FleetSession> sessions;
+  for (int i = 0; i < opts.sessions; ++i) {
+    const AsId src = srcs[static_cast<std::size_t>(i) % srcs.size()];
+    const AsId dst = dsts[static_cast<std::size_t>(i) % dsts.size()];
+    auto r = bed.daemon(src).open_session(
+        dst, HostAddr::from_u64(0xA000 + static_cast<std::uint64_t>(i)),
+        HostAddr::from_u64(0xB000 + static_cast<std::uint64_t>(i)),
+        /*min_bw=*/1'000, /*max_bw=*/5'000 + 1'000 * i);
+    if (!r) continue;
+    const auto eer = bed.cserv(src).db().eer_copy(r.value().key());
+    if (!eer) continue;
+    // ResIds are minted per source AS, so qualify the series with the
+    // src — otherwise two sessions from different ASes merge into one
+    // sketch key.
+    const ResKey key = r.value().key();
+    FleetSession s{std::move(r.value()), eer->path,
+                   "res." + key.src_as.to_string() + ":" +
+                       std::to_string(key.res_id) + ".bytes",
+                   i + 1};
+    sessions.push_back(std::move(s));
+    ++out.sessions_opened;
+  }
+
+  for (int sec = 0; sec < opts.seconds; ++sec) {
+    clock.advance(kNsPerSec);
+    for (FleetSession& s : sessions) {
+      for (int p = 0; p < s.packets_per_sec; ++p) {
+        dataplane::FastPacket pkt;
+        if (s.session.send(1'000, pkt) != dataplane::Gateway::Verdict::kOk) {
+          continue;
+        }
+        bool dropped = false;
+        for (const auto& hop : s.path) {
+          const auto v = bed.router(hop.as).process(pkt);
+          if (v != dataplane::BorderRouter::Verdict::kForward &&
+              v != dataplane::BorderRouter::Verdict::kDeliver) {
+            dropped = true;
+            break;
+          }
+          // Per-reservation accounting at every on-path AS; the
+          // collector sums these across members, so one reservation is
+          // one sketch key with path-length-weighted bytes.
+          bed.as_metrics(hop.as)->counter(s.res_series).inc(1'000);
+        }
+        out.delivered += !dropped;
+      }
+      (void)s.session.maybe_renew();
+    }
+    bed.tick_all();
+
+    if (opts.inject_corruption && sec == opts.seconds / 2) {
+      // Bit-flip-grade corruption on the first core AS's first SegR:
+      // its EER allocation counter now exceeds the tube. Only the
+      // auditor can see this — no admission path ever re-reads it.
+      const AsId victim{1, 100};
+      const auto segrs = bed.cserv(victim).db().segr_snapshot();
+      if (!segrs.empty()) {
+        bed.cserv(victim).db().with_segr(
+            segrs.front().key, [](reservation::SegrRecord* r) {
+              if (r != nullptr) {
+                r->eer_allocated_kbps = r->active.bw_kbps * 2 + 1;
+              }
+            });
+      }
+    }
+
+    (void)collector.poll();
+    (void)auditor.run(clock.now_sec());
+    if (sampler.poll()) (void)engine.evaluate();
+    out.frames.push_back(render_fleet_table(bed, ases, collector, auditor,
+                                            engine, clock.now_ns()));
+  }
+
+  out.table = render_fleet_table(bed, ases, collector, auditor, engine,
+                                 clock.now_ns());
+  out.as_count = collector.member_count();
+  out.link_count = collector.link_count();
+  out.fleet_windows = collector.windows_sampled();
+  out.hitters = collector.top_hitters();
+
+  const telemetry::AuditReport last = auditor.last_report();
+  out.audit_passes = auditor.passes();
+  out.audit_checks = last.checks;
+  out.audit_violations = last.violations.size();
+  out.audit_violations_total = auditor.violations_total();
+
+  out.sampler_windows = sampler.windows_sampled();
+  out.alert_rules = engine.rule_count();
+  out.alert_evaluations = engine.evaluations();
+  out.alerts_fired = engine.fired_total();
+  out.alerts_firing = engine.firing_count();
+
+  out.metrics = fleet_registry.snapshot();
+  out.metrics_json = out.metrics.to_json();
+  out.openmetrics = telemetry::to_openmetrics(out.metrics);
+  out.events_count = events.size();
+  out.events_jsonl = events.to_jsonl();
+  return out;
+}
+
+}  // namespace colibri::app

@@ -1,0 +1,70 @@
+// Fleet observability scenario (colibri_obs fleet; tests, CI smoke).
+//
+// Brings up a two-ISD testbed with one private MetricsRegistry per AS,
+// wires the cross-AS federation layer on top — a FleetCollector
+// pulling snapshot deltas from every AS, a ConservationAuditor
+// cross-checking the bandwidth-conservation invariants, and an
+// AlertEngine watching the audit surface — then drives reserved
+// traffic from several EER sessions across the core so the per-AS,
+// per-link, and fleet rollups (and the heavy-hitter sketch) have real
+// deltas to chew on. Everything runs under SimClock, so the rendered
+// topology table, the hitter ranking, and the audit verdict are
+// deterministic run to run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "colibri/telemetry/audit.hpp"
+#include "colibri/telemetry/federation.hpp"
+
+namespace colibri::app {
+
+struct FleetOptions {
+  // EER sessions opened across the topology (each gets its own
+  // deterministic per-reservation traffic level).
+  int sessions = 6;
+  // Simulated timeline; one fleet window + audit pass per second.
+  int seconds = 12;
+  // Corrupts one AS's reservation state mid-run (tests: the audit
+  // surface and its alert pack must catch it).
+  bool inject_corruption = false;
+};
+
+struct FleetArtifacts {
+  // Topology-wide table rendered at scenario end (`fleet --once`) and
+  // after every fleet window (`fleet` replays them).
+  std::string table;
+  std::vector<std::string> frames;
+
+  std::size_t as_count = 0;
+  std::size_t link_count = 0;
+  std::uint64_t fleet_windows = 0;
+  std::vector<telemetry::FleetTopEntry> hitters;
+
+  std::uint64_t audit_passes = 0;
+  std::uint64_t audit_checks = 0;        // last pass
+  std::size_t audit_violations = 0;      // last pass
+  std::uint64_t audit_violations_total = 0;
+
+  int sessions_opened = 0;
+  int delivered = 0;  // data packets that crossed their whole path
+
+  // The fleet export registry's surfaces: fleet.*, telemetry.audit.*,
+  // sampler gauges, and alert counters ride the ordinary pipeline.
+  telemetry::MetricsSnapshot metrics;
+  std::string metrics_json;
+  std::string openmetrics;
+  std::string events_jsonl;
+  std::size_t events_count = 0;
+
+  std::uint64_t sampler_windows = 0;
+  std::size_t alert_rules = 0;
+  std::uint64_t alert_evaluations = 0;
+  std::uint64_t alerts_fired = 0;
+  std::size_t alerts_firing = 0;
+};
+
+FleetArtifacts run_fleet_scenario(const FleetOptions& opts = {});
+
+}  // namespace colibri::app

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "colibri/app/chaos.hpp"
+#include "colibri/app/fleet.hpp"
 #include "colibri/app/testbed.hpp"
 #include "colibri/cserv/failover.hpp"
 #include "colibri/cserv/renewal_manager.hpp"
@@ -57,6 +58,22 @@ std::string render_watch_frame(const telemetry::WindowedSampler& sampler,
                   "shards: %lld  max shard gauge: %lld\n",
                   static_cast<long long>(*shards),
                   static_cast<long long>(depth.value_or(0)));
+    out += line;
+  }
+  // Fleet-federation state, present only when a FleetCollector exports
+  // into this registry (the fleet scenario).
+  if (const auto fleet = sampler.gauge_level("fleet.as_count")) {
+    std::snprintf(
+        line, sizeof(line),
+        "fleet: ases=%lld links=%lld tracked=%lld audit violations=%lld\n",
+        static_cast<long long>(*fleet),
+        static_cast<long long>(
+            sampler.gauge_level("fleet.link_count").value_or(0)),
+        static_cast<long long>(
+            sampler.gauge_level("fleet.series_tracked").value_or(0)),
+        static_cast<long long>(
+            sampler.gauge_level("telemetry.audit.last_violations")
+                .value_or(0)));
     out += line;
   }
   // Protection-pair state, present only when a FailoverManager exports
@@ -233,10 +250,44 @@ ObsArtifacts run_failover_scenario(const ObsOptions& /*opts*/) {
   return out;
 }
 
+// The fleet-federation timeline, mapped onto the common artifact
+// shape: the rendered fleet tables are the watch frames (each carries
+// a "fleet:" headline), the export registry's snapshot is the metrics
+// surface, and the audit verdict rides the fleet_* / audit_* fields.
+ObsArtifacts run_fleet_obs_scenario(const ObsOptions& /*opts*/) {
+  FleetArtifacts fa = run_fleet_scenario();
+  ObsArtifacts out;
+  out.fleet_as_count = fa.as_count;
+  out.fleet_link_count = fa.link_count;
+  out.fleet_windows = fa.fleet_windows;
+  out.audit_passes = fa.audit_passes;
+  out.audit_checks = fa.audit_checks;
+  out.audit_violations = fa.audit_violations;
+  out.delivered = fa.delivered;
+  out.sampler_windows = fa.sampler_windows;
+  out.alert_rules = fa.alert_rules;
+  out.alert_evaluations = fa.alert_evaluations;
+  out.alerts_fired = fa.alerts_fired;
+  out.alerts_firing = fa.alerts_firing;
+  out.watch_frames = std::move(fa.frames);
+  out.watch_text = std::move(fa.table);
+  out.metrics = std::move(fa.metrics);
+  out.metrics_json = std::move(fa.metrics_json);
+  out.openmetrics = std::move(fa.openmetrics);
+  out.events_jsonl = std::move(fa.events_jsonl);
+  out.events_count = fa.events_count;
+  return out;
+}
+
 }  // namespace
+
+std::vector<std::string> obs_scenario_names() {
+  return {"default", "failover", "fleet"};
+}
 
 ObsArtifacts run_obs_scenario(const ObsOptions& opts) {
   if (opts.scenario == "failover") return run_failover_scenario(opts);
+  if (opts.scenario == "fleet") return run_fleet_obs_scenario(opts);
   SimClock clock(1'000 * kNsPerSec);
   telemetry::MetricsRegistry registry;
   telemetry::EventLog events(clock);

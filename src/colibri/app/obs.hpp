@@ -30,7 +30,10 @@ struct ObsOptions {
   // FailoverManager cuts the paired backup over (cserv.failover.* moves,
   // the failover rule pack fires), the link heals, fail-back resolves
   // the alert. Its artifacts populate the same watch/metrics/events
-  // surfaces; the trace/health legs stay empty.
+  // surfaces; the trace/health legs stay empty. "fleet" runs the
+  // cross-AS federation timeline (fleet.hpp): per-AS registries, the
+  // FleetCollector rollup, and the ConservationAuditor; its rendered
+  // fleet tables land in watch_frames/watch_text.
   std::string scenario = "default";
   // Clean data packets pushed end to end.
   int packets = 200;
@@ -88,7 +91,21 @@ struct ObsArtifacts {
   std::uint64_t alerts_fired = 0;
   std::uint64_t alerts_resolved = 0;
   std::size_t alerts_firing = 0;  // still firing at scenario end
+
+  // Fleet-federation surface (scenario "fleet" only): topology size as
+  // the collector saw it and the conservation-audit verdict. The
+  // rendered fleet tables double as the watch frames.
+  std::size_t fleet_as_count = 0;
+  std::size_t fleet_link_count = 0;
+  std::uint64_t fleet_windows = 0;
+  std::uint64_t audit_passes = 0;
+  std::uint64_t audit_checks = 0;       // last audit pass
+  std::size_t audit_violations = 0;     // last audit pass
 };
+
+// The scenario names run_obs_scenario accepts, in documentation order;
+// the CLI prints this list when handed an unknown --scenario.
+std::vector<std::string> obs_scenario_names();
 
 // Runs the scenario against a fresh metrics registry, event log, and
 // recorders; everything is torn down before returning, so repeated

@@ -1,11 +1,13 @@
 #include "colibri/app/obs_cli.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "colibri/app/obs.hpp"
 
@@ -18,15 +20,24 @@ const char* arg_value(const char* arg, const char* name) {
   return arg + n + 1;
 }
 
+std::string scenario_list() {
+  std::string out;
+  for (const std::string& name : obs_scenario_names()) {
+    if (!out.empty()) out += "|";
+    out += name;
+  }
+  return out;
+}
+
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [trace|health|watch]"
+               "usage: %s [trace|health|watch|fleet]"
                " [--dump=all|metrics|openmetrics|events|records]"
                " [--query=NAME] [--packets=N] [--sample-every=N]"
-               " [--scenario=default|failover]"
+               " [--scenario=%s]"
                " [--perfetto[=]PATH] [--reservation[=]RES_ID]"
                " [--once] [--refresh-ms=N]\n",
-               prog);
+               prog, scenario_list().c_str());
   return 2;
 }
 
@@ -68,13 +79,17 @@ int run_obs_cli(int argc, const char* const* argv) {
   if (argi < argc && argv[argi][0] != '-') {
     if (std::strcmp(argv[argi], "trace") == 0 ||
         std::strcmp(argv[argi], "health") == 0 ||
-        std::strcmp(argv[argi], "watch") == 0) {
+        std::strcmp(argv[argi], "watch") == 0 ||
+        std::strcmp(argv[argi], "fleet") == 0) {
       command = argv[argi++];
     } else {
       std::fprintf(stderr, "unknown command '%s'\n", argv[argi]);
       return usage(argv[0]);
     }
   }
+  // The fleet command *is* the fleet scenario; an explicit conflicting
+  // --scenario below still fails validation like any other bad name.
+  if (command == "fleet") opts.scenario = "fleet";
   for (int i = argi; i < argc; ++i) {
     if (const char* v = arg_value(argv[i], "--dump")) {
       dump = v;
@@ -90,9 +105,11 @@ int run_obs_cli(int argc, const char* const* argv) {
       opts.sample_every = static_cast<std::uint32_t>(std::atoi(v));
     } else if (const char* v = arg_value(argv[i], "--scenario")) {
       // A bad name fails the invocation instead of silently running
-      // the default.
-      if (std::strcmp(v, "default") != 0 && std::strcmp(v, "failover") != 0) {
-        std::fprintf(stderr, "unknown scenario '%s'\n", v);
+      // the default; the error names every valid scenario.
+      const std::vector<std::string> names = obs_scenario_names();
+      if (std::find(names.begin(), names.end(), v) == names.end()) {
+        std::fprintf(stderr, "unknown scenario '%s' (valid: %s)\n", v,
+                     scenario_list().c_str());
         return usage(argv[0]);
       }
       opts.scenario = v;
@@ -115,8 +132,8 @@ int run_obs_cli(int argc, const char* const* argv) {
                          "numeric reservation id\n");
     return usage(argv[0]);
   }
-  if (once && command != "watch") {
-    std::fprintf(stderr, "--once requires the watch command\n");
+  if (once && command != "watch" && command != "fleet") {
+    std::fprintf(stderr, "--once requires the watch or fleet command\n");
     return usage(argv[0]);
   }
 
@@ -184,6 +201,29 @@ int run_obs_cli(int argc, const char* const* argv) {
     // A monitoring surface that never sampled or evaluated anything is
     // a failure even when the scenario itself passed.
     return art.sampler_windows > 0 && art.alert_evaluations > 0 ? 0 : 1;
+  }
+  if (command == "fleet") {
+    // Topology-wide federation table. --once (tests, CI) prints the
+    // final table; the default replays the per-window tables like
+    // watch does.
+    if (!once) {
+      for (const std::string& frame : art.watch_frames) {
+        std::fputs("\033[2J\033[H", stdout);
+        std::fputs(frame.c_str(), stdout);
+        std::fflush(stdout);
+        if (refresh_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+        }
+      }
+      std::fputs("\033[2J\033[H", stdout);
+    }
+    std::fputs(art.watch_text.c_str(), stdout);
+    // A federation surface that never collected, or an audit that
+    // found violations on this clean run, fails the invocation.
+    return art.fleet_as_count > 0 && art.fleet_windows > 0 &&
+                   art.audit_passes > 0 && art.audit_violations == 0
+               ? 0
+               : 1;
   }
   if (command == "health") {
     std::printf("# sharded gateway runtime: %zu shards, %llu rejected "

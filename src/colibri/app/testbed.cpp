@@ -19,31 +19,48 @@ drkey::Key128 key_for(AsId as, std::uint8_t domain) {
 }  // namespace
 
 Testbed::Testbed(topology::Topology topo, const Clock& clock,
-                 cserv::CservConfig cserv_cfg)
+                 cserv::CservConfig cserv_cfg, TestbedOptions opts)
     : topo_(std::move(topo)),
       clock_(&clock),
       cserv_cfg_(std::move(cserv_cfg)),
+      opts_(opts),
       pathdb_(topo_) {
   segments_ = topology::discover_segments(topo_);
   pathdb_.insert_all(segments_);
 
   for (AsId as : topo_.as_ids()) {
+    if (opts_.per_as_metrics) {
+      as_registries_.emplace(as,
+                             std::make_unique<telemetry::MetricsRegistry>());
+    }
     AsStack s;
+    const cserv::CservConfig cfg = config_for(as);
     const drkey::Key128 drkey_master = key_for(as, 1);
     const drkey::Key128 hop_key = key_for(as, 2);
     s.cserv = std::make_unique<cserv::CServ>(topo_, as, bus_, pki_,
                                              drkey_master, hop_key, clock,
-                                             cserv_cfg_);
+                                             cfg);
     // Gateways and routers report into the same registry as the CServs,
     // so a testbed built against a private registry is fully isolated.
     s.gateway = std::make_unique<dataplane::Gateway>(
-        as, clock, dataplane::GatewayConfig{}, cserv_cfg_.metrics);
+        as, clock, dataplane::GatewayConfig{}, cfg.metrics);
     s.router = std::make_unique<dataplane::BorderRouter>(as, hop_key, clock,
-                                                         cserv_cfg_.metrics);
+                                                         cfg.metrics);
     s.cserv->attach_gateway(s.gateway.get());
     s.daemon = std::make_unique<ColibriDaemon>(*s.cserv, *s.gateway, clock);
     stacks_.emplace(as, std::move(s));
   }
+}
+
+cserv::CservConfig Testbed::config_for(AsId as) {
+  cserv::CservConfig cfg = cserv_cfg_;
+  if (opts_.per_as_metrics) cfg.metrics = as_registries_.at(as).get();
+  return cfg;
+}
+
+telemetry::MetricsRegistry* Testbed::as_metrics(AsId as) {
+  const auto it = as_registries_.find(as);
+  return it == as_registries_.end() ? nullptr : it->second.get();
 }
 
 cserv::CServ& Testbed::restart_as(AsId as) {
@@ -55,7 +72,7 @@ cserv::CServ& Testbed::restart_as(AsId as) {
   const drkey::Key128 drkey_master = key_for(as, 1);
   const drkey::Key128 hop_key = key_for(as, 2);
   s.cserv = std::make_unique<cserv::CServ>(topo_, as, bus_, pki_, drkey_master,
-                                           hop_key, *clock_, cserv_cfg_);
+                                           hop_key, *clock_, config_for(as));
   s.cserv->attach_gateway(s.gateway.get());
   s.daemon = std::make_unique<ColibriDaemon>(*s.cserv, *s.gateway, *clock_);
   return *s.cserv;

@@ -25,10 +25,18 @@ struct AsStack {
   std::unique_ptr<ColibriDaemon> daemon;
 };
 
+struct TestbedOptions {
+  // Give every AS its own private MetricsRegistry instead of sharing
+  // cserv_cfg.metrics across the bed — the wiring the fleet federation
+  // layer (telemetry/federation.hpp) collects from. The registries are
+  // owned by the testbed and survive restart_as().
+  bool per_as_metrics = false;
+};
+
 class Testbed {
  public:
   Testbed(topology::Topology topo, const Clock& clock,
-          cserv::CservConfig cserv_cfg = {});
+          cserv::CservConfig cserv_cfg = {}, TestbedOptions opts = {});
 
   AsStack& stack(AsId as);
   cserv::CServ& cserv(AsId as) { return *stack(as).cserv; }
@@ -40,6 +48,9 @@ class Testbed {
   topology::PathDb& pathdb() { return pathdb_; }
   cserv::MessageBus& bus() { return bus_; }
   drkey::SimulatedPki& pki() { return pki_; }
+
+  // The AS's private registry (nullptr unless per_as_metrics).
+  telemetry::MetricsRegistry* as_metrics(AsId as);
 
   // Sets up and publishes SegRs (public, no whitelist) along every
   // beacon-discovered segment at `bw` demand; returns how many succeeded.
@@ -60,13 +71,20 @@ class Testbed {
   cserv::CServ& restart_as(AsId as);
 
  private:
+  // Config for one AS's CServ: the shared config with the metrics
+  // registry swapped for the AS's private one when per_as_metrics.
+  cserv::CservConfig config_for(AsId as);
+
   topology::Topology topo_;
   const Clock* clock_;
   cserv::CservConfig cserv_cfg_;
+  TestbedOptions opts_;
   cserv::MessageBus bus_;
   drkey::SimulatedPki pki_;
   topology::PathDb pathdb_;
   std::vector<topology::PathSegment> segments_;
+  std::unordered_map<AsId, std::unique_ptr<telemetry::MetricsRegistry>>
+      as_registries_;
   std::unordered_map<AsId, AsStack> stacks_;
 };
 

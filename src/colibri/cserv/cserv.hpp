@@ -108,6 +108,11 @@ class CServ : public telemetry::MetricsSource {
   // Bounded-tube ledger introspection (tests/diagnostics); only valid
   // with the default backend.
   admission::SegrAdmission& segr_admission();
+  // EER stripe introspection for the conservation auditor; nullptr when
+  // a custom admission backend is installed.
+  const admission::EerAdmission* eer_admission() const {
+    return bounded_ != nullptr ? &bounded_->eer() : nullptr;
+  }
   AsId local_as() const { return local_; }
   const Clock& clock() const { return *clock_; }
   // Legacy view, kept as a thin alias of snapshot().

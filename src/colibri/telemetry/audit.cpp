@@ -1,0 +1,281 @@
+#include "colibri/telemetry/audit.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace colibri::telemetry {
+
+ConservationAuditor::ConservationAuditor(const Clock& clock, EventLog* events,
+                                         MetricsRegistry* registry)
+    : clock_(&clock), events_(events) {
+  if (registry != nullptr) registration_.rebind(registry, this);
+}
+
+void ConservationAuditor::add_target(AuditTarget target) {
+  targets_.push_back(std::move(target));
+}
+
+void ConservationAuditor::record(AuditReport& report, std::string check,
+                                 AsId as, ResId res_id, std::string detail) {
+  if (events_ != nullptr) {
+    events_->emit(Severity::kError, "audit", "audit.violation")
+        .str("check", check)
+        .str("as", as.to_string())
+        .u64("res_id", res_id)
+        .str("detail", detail);
+  }
+  report.violations.push_back(
+      {std::move(check), std::move(detail), as, res_id});
+}
+
+AuditReport ConservationAuditor::run(UnixSec now) {
+  AuditReport rep;
+
+  // Per-target snapshots, kept for the cross-AS pass below.
+  std::vector<std::vector<reservation::SegrRecord>> segrs(targets_.size());
+  std::vector<std::vector<reservation::EerRecord>> eers(targets_.size());
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    segrs[t] = targets_[t].db->segr_snapshot();
+    eers[t] = targets_[t].db->eer_snapshot();
+  }
+
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    const AuditTarget& target = targets_[t];
+    std::unordered_map<ResKey, const reservation::SegrRecord*> by_key;
+    for (const auto& s : segrs[t]) by_key.emplace(s.key, &s);
+
+    // Tube invariants (§4.7): the admitted-EER counter must fit the
+    // SegR, and so must the recomputed sum of effective EER bandwidth.
+    std::unordered_map<ResKey, std::uint64_t> eff_sum;
+    for (const auto& e : eers[t]) {
+      const BwKbps bw = e.effective_bw(now);
+      for (const ResKey& sk : e.segrs) {
+        if (by_key.count(sk) != 0) eff_sum[sk] += bw;
+      }
+    }
+    for (const auto& s : segrs[t]) {
+      ++rep.checks;
+      if (s.eer_allocated_kbps > s.active.bw_kbps) {
+        record(rep, "tube.over_allocation", target.as, s.key.res_id,
+               "allocated=" + std::to_string(s.eer_allocated_kbps) +
+                   " active=" + std::to_string(s.active.bw_kbps));
+      }
+      ++rep.checks;
+      const std::uint64_t eff =
+          eff_sum.count(s.key) != 0 ? eff_sum[s.key] : 0;
+      if (eff > s.active.bw_kbps) {
+        record(rep, "tube.oversubscribed", target.as, s.key.res_id,
+               "eer_sum=" + std::to_string(eff) +
+                   " active=" + std::to_string(s.active.bw_kbps));
+      }
+    }
+
+    // Stripe ledger vs db: every allocation must name a live EER, and
+    // the per-SegR allocation sums must equal the db counters they
+    // mirror.
+    if (target.eer != nullptr) {
+      std::vector<admission::EerAdmission::AllocationView> allocs;
+      target.eer->for_each_allocation(
+          [&allocs](const admission::EerAdmission::AllocationView& a) {
+            allocs.push_back(a);
+          });
+      std::unordered_map<ResKey, std::uint64_t> ledger_sum;
+      for (const auto& a : allocs) {
+        ++rep.checks;
+        if (!target.db->contains_eer(a.eer_key)) {
+          record(rep, "ledger.orphan", target.as, a.eer_key.res_id,
+                 "allocation without a db record");
+        }
+        ledger_sum[a.in_key] += a.in_allocated;
+        if (a.has_out) ledger_sum[a.out_key] += a.out_allocated;
+      }
+      for (const auto& s : segrs[t]) {
+        ++rep.checks;
+        const std::uint64_t expect =
+            ledger_sum.count(s.key) != 0 ? ledger_sum[s.key] : 0;
+        if (expect != s.eer_allocated_kbps) {
+          record(rep, "ledger.mismatch", target.as, s.key.res_id,
+                 "ledger=" + std::to_string(expect) +
+                     " db=" + std::to_string(s.eer_allocated_kbps));
+        }
+      }
+    }
+
+    // Link conservation: active SegR bandwidth leaving an interface
+    // must fit the link's Colibri share. Egress 0 (traffic terminating
+    // inside the AS) has no topology interface and is skipped.
+    if (target.node != nullptr) {
+      std::map<IfId, std::uint64_t> egress_sum;
+      for (const auto& s : segrs[t]) {
+        if (s.expired(now)) continue;
+        egress_sum[s.egress()] += s.active.bw_kbps;
+      }
+      for (const auto& [ifid, sum] : egress_sum) {
+        if (target.node->find_interface(ifid) == nullptr) continue;
+        ++rep.checks;
+        const BwKbps cap = target.node->colibri_capacity(ifid);
+        if (sum > cap) {
+          record(rep, "link.overcommit", target.as, 0,
+                 "ifid=" + std::to_string(ifid) +
+                     " active_sum=" + std::to_string(sum) +
+                     " capacity=" + std::to_string(cap));
+        }
+      }
+    }
+  }
+
+  // Cross-AS consistency: every on-path AS must hold the same live view
+  // of a reservation. A record corrupted or lost through a WAL fault at
+  // one AS surfaces here as a divergence or a missing member.
+  std::unordered_map<AsId, std::size_t> target_of;
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    target_of.emplace(targets_[t].as, t);
+  }
+  std::unordered_map<ResKey,
+                     std::vector<std::pair<std::size_t,
+                                           const reservation::SegrRecord*>>>
+      segr_groups;
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    for (const auto& s : segrs[t]) {
+      if (s.expired(now)) continue;
+      segr_groups[s.key].emplace_back(t, &s);
+    }
+  }
+  for (const auto& [key, group] : segr_groups) {
+    ++rep.checks;
+    const BwKbps ref_bw = group.front().second->active.bw_kbps;
+    for (const auto& [t, s] : group) {
+      if (s->active.bw_kbps != ref_bw) {
+        record(rep, "fleet.segr_divergence", targets_[t].as, key.res_id,
+               "active=" + std::to_string(s->active.bw_kbps) +
+                   " others=" + std::to_string(ref_bw));
+        break;
+      }
+    }
+    // Membership: every on-path AS that is under audit must hold a live
+    // record too.
+    std::vector<std::size_t> holders;
+    for (const auto& [t, _] : group) holders.push_back(t);
+    for (const topology::Hop& hop : group.front().second->hops) {
+      const auto it = target_of.find(hop.as);
+      if (it == target_of.end()) continue;
+      ++rep.checks;
+      if (std::find(holders.begin(), holders.end(), it->second) ==
+          holders.end()) {
+        record(rep, "fleet.segr_missing", hop.as, key.res_id,
+               "on-path AS holds no live record");
+      }
+    }
+  }
+  std::unordered_map<ResKey,
+                     std::vector<std::pair<std::size_t,
+                                           const reservation::EerRecord*>>>
+      eer_groups;
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    for (const auto& e : eers[t]) {
+      if (e.expired(now)) continue;
+      eer_groups[e.key].emplace_back(t, &e);
+    }
+  }
+  for (const auto& [key, group] : eer_groups) {
+    ++rep.checks;
+    const BwKbps ref_bw = group.front().second->effective_bw(now);
+    for (const auto& [t, e] : group) {
+      if (e->effective_bw(now) != ref_bw) {
+        record(rep, "fleet.eer_divergence", targets_[t].as, key.res_id,
+               "effective=" + std::to_string(e->effective_bw(now)) +
+                   " others=" + std::to_string(ref_bw));
+        break;
+      }
+    }
+    // Membership, the WAL-fault signature: an EER cleanly *lost* at one
+    // on-path AS (replay stopped at a corrupt record) diverges in
+    // existence, not bandwidth.
+    std::vector<std::size_t> holders;
+    for (const auto& [t, _] : group) holders.push_back(t);
+    for (const topology::Hop& hop : group.front().second->path) {
+      const auto it = target_of.find(hop.as);
+      if (it == target_of.end()) continue;
+      ++rep.checks;
+      if (std::find(holders.begin(), holders.end(), it->second) ==
+          holders.end()) {
+        record(rep, "fleet.eer_missing", hop.as, key.res_id,
+               "on-path AS holds no live record");
+      }
+    }
+  }
+
+  if (events_ != nullptr) {
+    events_->emit(Severity::kDebug, "audit", "audit.pass")
+        .u64("checks", rep.checks)
+        .u64("violations", rep.violations.size());
+  }
+  std::lock_guard lock(mu_);
+  ++passes_;
+  checks_total_ += rep.checks;
+  violations_total_ += rep.violations.size();
+  for (const AuditViolation& v : rep.violations) ++by_check_[v.check];
+  last_ = rep;
+  return rep;
+}
+
+void ConservationAuditor::collect_metrics(MetricSink& sink) const {
+  std::lock_guard lock(mu_);
+  sink.counter("telemetry.audit.passes", passes_);
+  sink.counter("telemetry.audit.checks", checks_total_);
+  sink.counter("telemetry.audit.violations", violations_total_);
+  sink.gauge("telemetry.audit.targets",
+             static_cast<std::int64_t>(targets_.size()));
+  sink.gauge("telemetry.audit.last_violations",
+             static_cast<std::int64_t>(last_.violations.size()));
+  sink.gauge("telemetry.audit.last_checks",
+             static_cast<std::int64_t>(last_.checks));
+  for (const auto& [check, n] : by_check_) {
+    sink.counter("telemetry.audit.violation." + check, n);
+  }
+}
+
+std::vector<AlertRule> default_audit_alert_rules() {
+  std::vector<AlertRule> rules;
+  {
+    AlertRule r;
+    r.name = "audit.violation";
+    r.series = "telemetry.audit.last_violations";
+    r.signal = AlertSignal::kGauge;
+    r.cmp = AlertCmp::kAbove;
+    r.threshold = 0;
+    r.severity = Severity::kError;
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "audit.violation-burst";
+    r.series = "telemetry.audit.violations";
+    r.signal = AlertSignal::kRate;
+    r.span_ns = 10 * kNsPerSec;
+    r.cmp = AlertCmp::kAbove;
+    r.threshold = 0;
+    r.severity = Severity::kError;
+    rules.push_back(std::move(r));
+  }
+  {
+    // Watchdog: an auditor that stopped running while it has targets
+    // is itself an incident — silence must not read as health.
+    AlertRule r;
+    r.name = "audit.stalled";
+    r.series = "telemetry.audit.passes";
+    r.signal = AlertSignal::kRate;
+    r.span_ns = 10 * kNsPerSec;
+    r.cmp = AlertCmp::kBelow;
+    r.threshold = 1e-6;
+    r.for_ns = 5 * kNsPerSec;
+    r.severity = Severity::kWarn;
+    r.guard_series = "telemetry.audit.targets";
+    r.guard_cmp = AlertCmp::kAbove;
+    r.guard_threshold = 0;
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+}  // namespace colibri::telemetry

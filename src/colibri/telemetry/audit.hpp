@@ -1,0 +1,126 @@
+// Continuous bandwidth-conservation auditing across the fleet.
+//
+// Every per-AS invariant Colibri relies on has a cross-AS counterpart
+// no single AS can check alone: the EER bandwidth an AS admitted onto
+// a SegR must fit inside that SegR's bandwidth (the bounded-tube
+// promise, §4.7), the EerAdmission stripe ledgers must agree with the
+// ReservationDb's per-SegR counters they claim to mirror, the active
+// SegRs leaving an interface must fit the link's Colibri share, and
+// every on-path AS must hold the *same* view of a reservation — equal
+// bandwidth, no silently missing members. Corruption that survives a
+// WAL recovery (a bit-flipped record, a torn append) shows up exactly
+// as a divergence between ASes or between a ledger and its db, which
+// is why the auditor is the proof surface for the fault-injection
+// suite: every injected ledger/WAL fault must surface as a violation,
+// and a clean run must report zero.
+//
+// The auditor is read-only and quiescence-assuming: run() scans
+// db snapshots and stripe ledgers of the registered targets, so call
+// it from a housekeeping point (after tick_all()), not mid-admission.
+// Violations emit "audit.violation" events, move telemetry.audit.*
+// counters, and feed the default_audit_alert_rules() pack, so one
+// corrupted record travels the whole alerting pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "colibri/admission/eer_admission.hpp"
+#include "colibri/common/clock.hpp"
+#include "colibri/reservation/db.hpp"
+#include "colibri/telemetry/alerts.hpp"
+#include "colibri/telemetry/events.hpp"
+#include "colibri/telemetry/metrics.hpp"
+#include "colibri/topology/topology.hpp"
+
+namespace colibri::telemetry {
+
+// One AS under audit. `eer` and `node` are optional: without the
+// stripe ledger the ledger checks are skipped, without the topology
+// node the link-capacity checks are skipped.
+struct AuditTarget {
+  std::string name;  // display name, e.g. the AS id
+  AsId as;
+  const reservation::ReservationDb* db = nullptr;
+  const admission::EerAdmission* eer = nullptr;
+  const topology::AsNode* node = nullptr;
+};
+
+struct AuditViolation {
+  // "tube.over_allocation", "tube.oversubscribed", "ledger.orphan",
+  // "ledger.mismatch", "link.overcommit", "fleet.segr_divergence",
+  // "fleet.segr_missing", "fleet.eer_divergence", "fleet.eer_missing".
+  std::string check;
+  std::string detail;
+  AsId as;
+  ResId res_id = 0;
+};
+
+struct AuditReport {
+  std::uint64_t checks = 0;  // individual comparisons performed
+  std::vector<AuditViolation> violations;
+  bool clean() const { return violations.empty(); }
+};
+
+class ConservationAuditor : public MetricsSource {
+ public:
+  // Violations log to `events` (nullptr = no audit trail); metrics
+  // export through `registry` (nullptr = query-only).
+  ConservationAuditor(const Clock& clock, EventLog* events = nullptr,
+                      MetricsRegistry* registry = nullptr);
+  ~ConservationAuditor() override = default;
+
+  ConservationAuditor(const ConservationAuditor&) = delete;
+  ConservationAuditor& operator=(const ConservationAuditor&) = delete;
+
+  void add_target(AuditTarget target);
+  std::size_t target_count() const { return targets_.size(); }
+
+  // One full audit pass at reservation time `now`; returns the report
+  // and updates the metric/event surfaces.
+  AuditReport run(UnixSec now);
+
+  std::uint64_t passes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return passes_;
+  }
+  std::uint64_t violations_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_total_;
+  }
+  // Copy, not reference: run() replaces the report under mu_.
+  AuditReport last_report() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_;
+  }
+
+  // telemetry.audit.* series.
+  void collect_metrics(MetricSink& sink) const override;
+
+ private:
+  void record(AuditReport& report, std::string check, AsId as, ResId res_id,
+              std::string detail);
+
+  const Clock* clock_;
+  EventLog* events_;
+  std::vector<AuditTarget> targets_;
+
+  mutable std::mutex mu_;  // guards the pass/violation state below
+  std::uint64_t passes_ = 0;
+  std::uint64_t checks_total_ = 0;
+  std::uint64_t violations_total_ = 0;
+  std::map<std::string, std::uint64_t> by_check_;
+  AuditReport last_;
+
+  ScopedSource registration_;
+};
+
+// Alert pack for the audit surface: any violation fires an error-level
+// alert; a silent auditor (no passes while targets are registered)
+// fires a watchdog.
+std::vector<AlertRule> default_audit_alert_rules();
+
+}  // namespace colibri::telemetry

@@ -1,0 +1,327 @@
+#include "colibri/telemetry/federation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace colibri::telemetry {
+
+FleetCollector::FleetCollector(const Clock& clock, FleetCollectorConfig cfg,
+                               MetricsRegistry* export_registry)
+    : clock_(&clock), cfg_(cfg), last_end_ns_(clock.now_ns()) {
+  if (cfg_.period_ns < 1) cfg_.period_ns = 1;
+  if (cfg_.ring_capacity < 1) cfg_.ring_capacity = 1;
+  if (cfg_.top_k < 1) cfg_.top_k = 1;
+  if (export_registry != nullptr) {
+    registration_.rebind(export_registry, this);
+  }
+}
+
+void FleetCollector::add_member(std::string name,
+                                const MetricsRegistry& registry) {
+  std::lock_guard lock(mu_);
+  members_.push_back(Member{name, &registry, {}, {}});
+  names_.push_back(std::move(name));
+}
+
+void FleetCollector::add_link(std::string name, std::string_view member_a,
+                              std::string_view member_b) {
+  std::lock_guard lock(mu_);
+  const auto index_of = [this](std::string_view m) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i].name == m) return i;
+    }
+    throw std::invalid_argument("FleetCollector: unknown member '" +
+                                std::string(m) + "'");
+  };
+  Link l;
+  l.a = index_of(member_a);
+  l.b = index_of(member_b);
+  l.name = std::move(name);
+  links_.push_back(std::move(l));
+}
+
+void FleetCollector::add_rollup(std::string series) {
+  std::lock_guard lock(mu_);
+  if (std::find(rollups_.begin(), rollups_.end(), series) == rollups_.end()) {
+    rollups_.push_back(std::move(series));
+  }
+}
+
+const std::string* FleetCollector::match_rollup(std::string_view name) const {
+  for (const std::string& r : rollups_) {
+    if (r.empty()) continue;
+    if (r.back() == '.') {
+      if (name.size() > r.size() && name.compare(0, r.size(), r) == 0) {
+        return &r;
+      }
+    } else if (name == r) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void FleetCollector::sketch_add(const std::string& key, std::uint64_t delta) {
+  if (delta == 0) return;
+  if (auto it = sketch_.find(key); it != sketch_.end()) {
+    it->second.count += delta;
+    return;
+  }
+  if (sketch_.size() < cfg_.top_k) {
+    sketch_.emplace(key, SketchEntry{delta, 0});
+    return;
+  }
+  // Space-saving replacement: evict the minimum-count entry (smallest
+  // key on ties — map order makes the choice deterministic) and charge
+  // its count as the newcomer's over-estimate error.
+  auto min_it = sketch_.begin();
+  for (auto it = std::next(sketch_.begin()); it != sketch_.end(); ++it) {
+    if (it->second.count < min_it->second.count) min_it = it;
+  }
+  const std::uint64_t floor = min_it->second.count;
+  sketch_.erase(min_it);
+  sketch_.emplace(key, SketchEntry{floor + delta, floor});
+}
+
+bool FleetCollector::poll() {
+  const TimeNs now = clock_->now_ns();
+  {
+    const TimeNs last = last_end_ns_.load(std::memory_order_relaxed);
+    std::lock_guard lock(mu_);
+    if (have_baseline_ && now - last < cfg_.period_ns) return false;
+  }
+
+  // Snapshot every member registry *outside* mu_: a member may double
+  // as the export registry, and its snapshot() re-enters
+  // collect_metrics() below, which takes mu_.
+  std::vector<std::pair<std::size_t, const MetricsRegistry*>> regs;
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      regs.emplace_back(i, members_[i].registry);
+    }
+  }
+  std::vector<MetricsSnapshot> snaps;
+  snaps.reserve(regs.size());
+  for (const auto& [_, reg] : regs) snaps.push_back(reg->snapshot());
+
+  std::lock_guard lock(mu_);
+  const TimeNs start = last_end_ns_.load(std::memory_order_relaxed);
+  if (have_baseline_ && now - start < cfg_.period_ns) return false;
+
+  SampleWindow w;
+  w.start_ns = start;
+  w.end_ns = now;
+  // Per-window heavy-hitter deltas, summed across members before the
+  // sketch sees them (a reservation crossing 5 ASes is one hitter).
+  std::map<std::string, std::uint64_t> res_deltas;
+
+  for (std::size_t s = 0; s < snaps.size(); ++s) {
+    Member& m = members_[regs[s].first];
+    m.last_deltas.clear();
+    for (const auto& [name, cur] : snaps[s].counters) {
+      const std::string* family = match_rollup(name);
+      const bool is_res =
+          !cfg_.reservation_prefix.empty() &&
+          name.size() > cfg_.reservation_prefix.size() &&
+          name.compare(0, cfg_.reservation_prefix.size(),
+                       cfg_.reservation_prefix) == 0;
+      if (family == nullptr && !is_res) continue;
+
+      std::uint64_t delta = cur;
+      if (auto it = m.prev.find(name); it != m.prev.end()) {
+        // A counter that shrank (component reset) restarts the delta
+        // from its new value, matching WindowedSampler.
+        delta = cur >= it->second ? cur - it->second : cur;
+        it->second = cur;
+      } else if (tracked_ < cfg_.max_tracked_series) {
+        m.prev.emplace(name, cur);
+        ++tracked_;
+      } else {
+        // Over budget: the series is not silently folded into the
+        // rollup with bogus deltas — it is dropped and counted.
+        ++dropped_;
+        continue;
+      }
+      if (!have_baseline_) continue;  // first poll: baseline only
+
+      if (family != nullptr) {
+        w.counter_deltas[*family] += delta;
+        m.last_deltas[*family] += delta;
+      }
+      if (is_res) {
+        const std::size_t key_start = cfg_.reservation_prefix.size();
+        const std::size_t dot = name.find('.', key_start);
+        res_deltas[name.substr(key_start, dot == std::string::npos
+                                              ? std::string::npos
+                                              : dot - key_start)] += delta;
+      }
+    }
+  }
+
+  last_end_ns_.store(now, std::memory_order_relaxed);
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    return false;
+  }
+  for (const auto& [key, delta] : res_deltas) sketch_add(key, delta);
+  ring_.push_back(std::move(w));
+  while (ring_.size() > cfg_.ring_capacity) ring_.pop_front();
+  ++windows_sampled_;
+  return true;
+}
+
+namespace {
+
+// A rollup family registered as "router.drop." answers queries for
+// both "router.drop." and "router.drop".
+bool family_matches(std::string_view family, std::string_view query) {
+  if (family == query) return true;
+  return !family.empty() && family.back() == '.' &&
+         family.substr(0, family.size() - 1) == query;
+}
+
+double rate_of(std::uint64_t delta, TimeNs elapsed_ns) {
+  if (elapsed_ns <= 0) return 0.0;
+  return static_cast<double>(delta) * static_cast<double>(kNsPerSec) /
+         static_cast<double>(elapsed_ns);
+}
+
+}  // namespace
+
+double FleetCollector::fleet_rate(std::string_view series,
+                                  TimeNs span_ns) const {
+  std::lock_guard lock(mu_);
+  std::uint64_t delta = 0;
+  TimeNs elapsed = 0;
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (elapsed >= span_ns) break;
+    elapsed += it->elapsed_ns();
+    for (const auto& [family, d] : it->counter_deltas) {
+      if (family_matches(family, series)) delta += d;
+    }
+  }
+  return rate_of(delta, elapsed);
+}
+
+double FleetCollector::as_rate(std::string_view member,
+                               std::string_view series) const {
+  std::lock_guard lock(mu_);
+  if (ring_.empty()) return 0.0;
+  for (const Member& m : members_) {
+    if (m.name != member) continue;
+    std::uint64_t delta = 0;
+    for (const auto& [family, d] : m.last_deltas) {
+      if (family_matches(family, series)) delta += d;
+    }
+    return rate_of(delta, ring_.back().elapsed_ns());
+  }
+  return 0.0;
+}
+
+double FleetCollector::link_rate(std::string_view link,
+                                 std::string_view series) const {
+  std::lock_guard lock(mu_);
+  if (ring_.empty()) return 0.0;
+  for (const Link& l : links_) {
+    if (l.name != link) continue;
+    std::uint64_t delta = 0;
+    for (const std::size_t idx : {l.a, l.b}) {
+      for (const auto& [family, d] : members_[idx].last_deltas) {
+        if (family_matches(family, series)) delta += d;
+      }
+    }
+    return rate_of(delta, ring_.back().elapsed_ns());
+  }
+  return 0.0;
+}
+
+std::vector<FleetTopEntry> FleetCollector::top_hitters() const {
+  std::lock_guard lock(mu_);
+  std::vector<FleetTopEntry> out;
+  out.reserve(sketch_.size());
+  for (const auto& [key, e] : sketch_) {
+    out.push_back({key, e.count, e.error});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FleetTopEntry& x, const FleetTopEntry& y) {
+              if (x.estimate != y.estimate) return x.estimate > y.estimate;
+              return x.key < y.key;
+            });
+  return out;
+}
+
+std::size_t FleetCollector::member_count() const {
+  std::lock_guard lock(mu_);
+  return members_.size();
+}
+
+std::size_t FleetCollector::link_count() const {
+  std::lock_guard lock(mu_);
+  return links_.size();
+}
+
+std::size_t FleetCollector::window_count() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t FleetCollector::windows_sampled() const {
+  std::lock_guard lock(mu_);
+  return windows_sampled_;
+}
+
+std::size_t FleetCollector::tracked_series() const {
+  std::lock_guard lock(mu_);
+  return tracked_;
+}
+
+std::uint64_t FleetCollector::dropped_series() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+void FleetCollector::collect_metrics(MetricSink& sink) const {
+  std::lock_guard lock(mu_);
+  sink.gauge("fleet.as_count", static_cast<std::int64_t>(members_.size()));
+  sink.gauge("fleet.link_count", static_cast<std::int64_t>(links_.size()));
+  sink.counter("fleet.windows", windows_sampled_);
+  sink.gauge("fleet.series_tracked", static_cast<std::int64_t>(tracked_));
+  sink.counter("fleet.series_dropped", dropped_);
+  sink.gauge("fleet.top.count", static_cast<std::int64_t>(sketch_.size()));
+
+  // Whole-ring rate per rollup family, rounded: fleet.rate.<family>.
+  for (const std::string& family : rollups_) {
+    std::uint64_t delta = 0;
+    TimeNs elapsed = 0;
+    for (const SampleWindow& w : ring_) {
+      elapsed += w.elapsed_ns();
+      if (auto it = w.counter_deltas.find(family);
+          it != w.counter_deltas.end()) {
+        delta += it->second;
+      }
+    }
+    std::string name = "fleet.rate.";
+    name.append(family.back() == '.' ? family.substr(0, family.size() - 1)
+                                     : family);
+    sink.gauge(name,
+               static_cast<std::int64_t>(rate_of(delta, elapsed) + 0.5));
+  }
+
+  // Ranked heavy-hitter magnitudes (keys stay on the query API — rank
+  // names keep exposition cardinality at top_k).
+  std::vector<FleetTopEntry> top;
+  top.reserve(sketch_.size());
+  for (const auto& [key, e] : sketch_) top.push_back({key, e.count, e.error});
+  std::sort(top.begin(), top.end(),
+            [](const FleetTopEntry& x, const FleetTopEntry& y) {
+              if (x.estimate != y.estimate) return x.estimate > y.estimate;
+              return x.key < y.key;
+            });
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    sink.gauge("fleet.top." + std::to_string(i + 1) + ".estimate",
+               static_cast<std::int64_t>(top[i].estimate));
+  }
+}
+
+}  // namespace colibri::telemetry

@@ -18,9 +18,18 @@
 //  * well-known series families additionally get a "# HELP" line
 //    (before TYPE, as the spec orders them), with the help text
 //    escaped per the spec; label values go through the same escaping
-//  * the exposition ends with "# EOF"
+//  * the exposition ends with the spec-required "# EOF" terminator
+//
+// parse_openmetrics() is the strict inverse: it validates the
+// structural rules (metadata ordering, name/label syntax, duplicate
+// series) and *requires and consumes* the "# EOF" terminator — an
+// exposition without it, or with content after it, is rejected. Tests
+// round-trip every export through it, and scrape-side tooling can use
+// it to detect truncated responses (the reason the spec added EOF).
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -44,5 +53,24 @@ std::string openmetrics_escape_help(std::string_view text);
 const char* openmetrics_help(std::string_view internal_name);
 
 std::string to_openmetrics(const MetricsSnapshot& snapshot);
+
+// Result of a strict parse: per-family metadata plus every sample line
+// (name including any label block) with its value.
+struct OpenMetricsExposition {
+  std::map<std::string, std::string> types;  // family -> counter|gauge|...
+  std::map<std::string, std::string> helps;  // family -> help text (escaped)
+  std::map<std::string, double> samples;     // sample name -> value
+  std::size_t sample_count() const { return samples.size(); }
+};
+
+// Strict parser for the text format this module emits. Enforces
+// newline-terminated lines, valid metric names, HELP-before-TYPE
+// ordering (each at most once per family), known TYPE values, sample
+// syntax with balanced quoted labels, no duplicate series — and the
+// "# EOF" terminator, which must be present, final, and is consumed
+// (it never appears as content). Returns nullopt on the first
+// malformed line; `error` (when non-null) receives a description.
+std::optional<OpenMetricsExposition> parse_openmetrics(
+    std::string_view text, std::string* error = nullptr);
 
 }  // namespace colibri::telemetry

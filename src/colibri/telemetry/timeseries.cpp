@@ -48,6 +48,10 @@ WindowedSampler::WindowedSampler(const MetricsRegistry& source,
       cfg_(cfg),
       last_end_ns_(clock.now_ns()),
       registration_(export_registry, this) {
+  // A non-positive period would cut zero-elapsed windows on every
+  // poll() under a stalled clock; clamp so a window always spans Clock
+  // time and rate queries never divide by zero.
+  if (cfg_.period_ns < 1) cfg_.period_ns = 1;
   if (cfg_.ring_capacity < 1) cfg_.ring_capacity = 1;
   if (cfg_.watermark_decay < 0) cfg_.watermark_decay = 0;
   if (cfg_.watermark_decay > 1) cfg_.watermark_decay = 1;

@@ -1,0 +1,713 @@
+// Fleet federation + conservation audit: the FleetCollector's rollup /
+// sketch / budget machinery, the ConservationAuditor's per-AS and
+// cross-AS invariant checks (every injected corruption must surface,
+// clean runs must be silent), the fleet scenario end to end, and the
+// colibri_obs fleet CLI surface.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "colibri/app/fleet.hpp"
+#include "colibri/app/obs.hpp"
+#include "colibri/app/obs_cli.hpp"
+#include "colibri/app/session.hpp"
+#include "colibri/app/testbed.hpp"
+#include "colibri/reservation/persist.hpp"
+#include "colibri/sim/faults.hpp"
+#include "colibri/telemetry/audit.hpp"
+#include "colibri/telemetry/federation.hpp"
+#include "colibri/telemetry/openmetrics.hpp"
+
+namespace colibri {
+namespace {
+
+using telemetry::ConservationAuditor;
+using telemetry::FleetCollector;
+using telemetry::FleetCollectorConfig;
+using telemetry::MetricsRegistry;
+
+// --- FleetCollector ----------------------------------------------------------
+
+TEST(FleetCollectorTest, RollsUpAcrossMembersAndLinks) {
+  SimClock clock(0);
+  MetricsRegistry a, b, exp;
+  FleetCollectorConfig cfg;
+  cfg.period_ns = kNsPerSec;
+  FleetCollector fc(clock, cfg, &exp);
+  fc.add_member("as-a", a);
+  fc.add_member("as-b", b);
+  fc.add_link("a~b", "as-a", "as-b");
+  fc.add_rollup("router.forwarded");
+  fc.add_rollup("router.drop.");  // prefix family
+
+  a.counter("router.forwarded").inc(10);
+  clock.advance(kNsPerSec);
+  EXPECT_FALSE(fc.poll());  // baseline only
+  EXPECT_EQ(fc.window_count(), 0u);
+
+  a.counter("router.forwarded").inc(30);
+  b.counter("router.forwarded").inc(70);
+  a.counter("router.drop.auth").inc(5);
+  b.counter("router.drop.replay").inc(7);
+  a.counter("unrelated.series").inc(999);  // not a rollup: ignored
+  clock.advance(kNsPerSec);
+  ASSERT_TRUE(fc.poll());
+  EXPECT_EQ(fc.window_count(), 1u);
+  EXPECT_EQ(fc.windows_sampled(), 1u);
+
+  // Fleet = sum over members; baseline increments must not leak in.
+  EXPECT_DOUBLE_EQ(fc.fleet_rate("router.forwarded"), 100.0);
+  EXPECT_DOUBLE_EQ(fc.fleet_rate("router.drop."), 12.0);
+  EXPECT_DOUBLE_EQ(fc.fleet_rate("router.drop"), 12.0);  // no-dot alias
+  EXPECT_DOUBLE_EQ(fc.as_rate("as-a", "router.forwarded"), 30.0);
+  EXPECT_DOUBLE_EQ(fc.as_rate("as-b", "router.forwarded"), 70.0);
+  EXPECT_DOUBLE_EQ(fc.link_rate("a~b", "router.forwarded"), 100.0);
+  EXPECT_DOUBLE_EQ(fc.as_rate("no-such", "router.forwarded"), 0.0);
+
+  // The export surface carries the same rollup.
+  const auto snap = exp.snapshot();
+  EXPECT_EQ(snap.gauges.at("fleet.as_count"), 2);
+  EXPECT_EQ(snap.gauges.at("fleet.link_count"), 1);
+  EXPECT_EQ(snap.counters.at("fleet.windows"), 1u);
+  EXPECT_EQ(snap.gauges.at("fleet.rate.router.forwarded"), 100);
+  EXPECT_EQ(snap.gauges.at("fleet.rate.router.drop"), 12);
+}
+
+TEST(FleetCollectorTest, PollInsideOnePeriodIsANoOp) {
+  SimClock clock(0);
+  MetricsRegistry a;
+  FleetCollector fc(clock, {});
+  fc.add_member("a", a);
+  fc.add_rollup("x");
+  clock.advance(kNsPerSec);
+  EXPECT_FALSE(fc.poll());  // baseline
+  a.counter("x").inc(5);
+  clock.advance(kNsPerSec / 2);
+  EXPECT_FALSE(fc.poll());  // only half a period elapsed
+  clock.advance(kNsPerSec / 2);
+  EXPECT_TRUE(fc.poll());
+  EXPECT_DOUBLE_EQ(fc.fleet_rate("x"), 5.0);
+}
+
+TEST(FleetCollectorTest, UnknownLinkMemberThrows) {
+  SimClock clock(0);
+  MetricsRegistry a;
+  FleetCollector fc(clock, {});
+  fc.add_member("a", a);
+  EXPECT_THROW(fc.add_link("bad", "a", "ghost"), std::invalid_argument);
+}
+
+TEST(FleetCollectorTest, CounterResetRestartsTheDelta) {
+  SimClock clock(0);
+  MetricsRegistry exp;  // doubles as the (only) member: self-federation
+  FleetCollectorConfig cfg;
+  FleetCollector fc(clock, cfg, &exp);
+  fc.add_member("self", exp);
+  fc.add_rollup("work");
+  exp.counter("work").inc(100);
+  clock.advance(kNsPerSec);
+  EXPECT_FALSE(fc.poll());
+  // Shrink below the baseline (component restart): the delta restarts
+  // from the new absolute value instead of wrapping negative.
+  exp.reset();
+  exp.counter("work").inc(3);
+  clock.advance(kNsPerSec);
+  ASSERT_TRUE(fc.poll());
+  EXPECT_DOUBLE_EQ(fc.fleet_rate("work"), 3.0);
+}
+
+TEST(FleetCollectorTest, SpaceSavingSketchRanksHeavyHitters) {
+  SimClock clock(0);
+  MetricsRegistry a, b;
+  FleetCollectorConfig cfg;
+  cfg.top_k = 3;
+  FleetCollector fc(clock, cfg);
+  fc.add_member("a", a);
+  fc.add_member("b", b);
+  clock.advance(kNsPerSec);
+  EXPECT_FALSE(fc.poll());
+
+  // One reservation split across two ASes must be ONE hitter with the
+  // summed weight; ten light reservations churn the sketch.
+  a.counter("res.7.bytes").inc(500);
+  b.counter("res.7.bytes").inc(600);
+  a.counter("res.8.bytes").inc(400);
+  for (int i = 10; i < 20; ++i) {
+    a.counter("res." + std::to_string(i) + ".bytes").inc(10);
+  }
+  clock.advance(kNsPerSec);
+  ASSERT_TRUE(fc.poll());
+
+  const auto top = fc.top_hitters();
+  ASSERT_EQ(top.size(), 3u);  // bounded at top_k
+  // The heavies rank first even though the light churn ran the sketch
+  // full; their estimates carry whatever floor the eviction added, and
+  // the space-saving guarantee pins the true count inside
+  // [estimate - error, estimate].
+  EXPECT_EQ(top[0].key, "7");
+  EXPECT_GE(top[0].estimate, 1100u);
+  EXPECT_LE(top[0].estimate - top[0].error, 1100u);
+  EXPECT_EQ(top[1].key, "8");
+  EXPECT_GE(top[1].estimate, 400u);
+  EXPECT_LE(top[1].estimate - top[1].error, 400u);
+  for (const auto& e : top) {
+    EXPECT_GE(e.estimate, e.error) << e.key;
+  }
+}
+
+TEST(FleetCollectorTest, SketchErrorBoundsSurviveEviction) {
+  SimClock clock(0);
+  MetricsRegistry a;
+  FleetCollectorConfig cfg;
+  cfg.top_k = 2;
+  FleetCollector fc(clock, cfg);
+  fc.add_member("a", a);
+  clock.advance(kNsPerSec);
+  EXPECT_FALSE(fc.poll());
+  a.counter("res.1.bytes").inc(100);
+  a.counter("res.2.bytes").inc(10);
+  clock.advance(kNsPerSec);
+  ASSERT_TRUE(fc.poll());
+  // A newcomer evicts the minimum entry and inherits its count as
+  // error: estimate = floor + delta, error = floor.
+  a.counter("res.3.bytes").inc(50);
+  clock.advance(kNsPerSec);
+  ASSERT_TRUE(fc.poll());
+  const auto top = fc.top_hitters();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "1");
+  EXPECT_EQ(top[1].key, "3");
+  EXPECT_EQ(top[1].estimate, 60u);  // 10 (floor) + 50
+  EXPECT_EQ(top[1].error, 10u);
+  EXPECT_GE(top[1].estimate - top[1].error, 50u - 10u);
+}
+
+TEST(FleetCollectorTest, SeriesBudgetDropsAndCountsBeyondTheCap) {
+  SimClock clock(0);
+  MetricsRegistry a;
+  FleetCollectorConfig cfg;
+  cfg.max_tracked_series = 4;
+  FleetCollector fc(clock, cfg);
+  fc.add_member("a", a);
+  fc.add_rollup("work.");
+  for (int i = 0; i < 10; ++i) {
+    a.counter("work." + std::to_string(i)).inc(1);
+  }
+  clock.advance(kNsPerSec);
+  EXPECT_FALSE(fc.poll());
+  EXPECT_EQ(fc.tracked_series(), 4u);
+  EXPECT_EQ(fc.dropped_series(), 6u);
+  for (int i = 0; i < 10; ++i) {
+    a.counter("work." + std::to_string(i)).inc(1);
+  }
+  clock.advance(kNsPerSec);
+  ASSERT_TRUE(fc.poll());
+  // Only the 4 tracked series contribute deltas; the budget never grows.
+  EXPECT_DOUBLE_EQ(fc.fleet_rate("work."), 4.0);
+  EXPECT_EQ(fc.tracked_series(), 4u);
+  EXPECT_GE(fc.dropped_series(), 12u);
+}
+
+// The acceptance bar: a four-digit-AS fleet federates under a bounded
+// budget, deterministically. Two identical runs must render the same
+// exposition byte for byte.
+TEST(FleetCollectorTest, ThousandMemberFleetIsBoundedAndDeterministic) {
+  constexpr int kAses = 1000;
+  const auto run_once = [&](std::string& exposition,
+                            std::vector<telemetry::FleetTopEntry>& top) {
+    SimClock clock(0);
+    std::vector<std::unique_ptr<MetricsRegistry>> regs;
+    regs.reserve(kAses);
+    for (int i = 0; i < kAses; ++i) {
+      regs.push_back(std::make_unique<MetricsRegistry>());
+    }
+    MetricsRegistry exp;
+    FleetCollectorConfig cfg;
+    cfg.top_k = 8;
+    cfg.max_tracked_series = 1500;  // < 2000 matched series: budget binds
+    FleetCollector fc(clock, cfg, &exp);
+    for (int i = 0; i < kAses; ++i) {
+      fc.add_member("as-" + std::to_string(i), *regs[i]);
+      regs[i]->counter("work.done").inc(static_cast<std::uint64_t>(i));
+      regs[i]->counter("res." + std::to_string(i % 50) + ".bytes")
+          .inc(static_cast<std::uint64_t>(i));
+      regs[i]->counter("noise.ignored").inc(1);  // never tracked
+    }
+    clock.advance(kNsPerSec);
+    EXPECT_FALSE(fc.poll());
+    for (int i = 0; i < kAses; ++i) {
+      regs[i]->counter("work.done").inc(2);
+      regs[i]->counter("res." + std::to_string(i % 50) + ".bytes").inc(7);
+    }
+    fc.add_rollup("work.done");
+    clock.advance(kNsPerSec);
+    ASSERT_TRUE(fc.poll());
+    EXPECT_LE(fc.tracked_series(), 1500u);
+    EXPECT_GT(fc.dropped_series(), 0u);
+    EXPECT_EQ(fc.member_count(), static_cast<std::size_t>(kAses));
+    exposition = telemetry::to_openmetrics(exp.snapshot());
+    top = fc.top_hitters();
+  };
+  std::string exp1, exp2;
+  std::vector<telemetry::FleetTopEntry> top1, top2;
+  run_once(exp1, top1);
+  run_once(exp2, top2);
+  EXPECT_EQ(exp1, exp2);
+  ASSERT_EQ(top1.size(), top2.size());
+  for (std::size_t i = 0; i < top1.size(); ++i) {
+    EXPECT_EQ(top1[i].key, top2[i].key) << i;
+    EXPECT_EQ(top1[i].estimate, top2[i].estimate) << i;
+    EXPECT_EQ(top1[i].error, top2[i].error) << i;
+  }
+}
+
+// --- ConservationAuditor -----------------------------------------------------
+
+class AuditFixture : public ::testing::Test {
+ protected:
+  AuditFixture()
+      : clock_(1'000 * kNsPerSec),
+        bed_(topology::builders::two_isd_topology(), clock_, {},
+             app::TestbedOptions{}),
+        auditor_(clock_) {
+    bed_.provision_all_segments(1'000, 2'000'000);
+    auto s = bed_.daemon(AsId{1, 110})
+                 .open_session(AsId{2, 210}, HostAddr::from_u64(1),
+                               HostAddr::from_u64(2), 1'000, 5'000);
+    if (s.ok()) session_.emplace(std::move(s.value()));
+    for (AsId as : bed_.topology().as_ids()) {
+      auditor_.add_target({as.to_string(), as, &bed_.cserv(as).db(),
+                           bed_.cserv(as).eer_admission(),
+                           &bed_.topology().node(as)});
+    }
+  }
+
+  // First transit AS holding at least one SegR.
+  AsId segr_holder() {
+    for (AsId as : bed_.topology().as_ids()) {
+      if (!bed_.cserv(as).db().segr_snapshot().empty()) return as;
+    }
+    throw std::logic_error("no SegRs provisioned");
+  }
+
+  SimClock clock_;
+  app::Testbed bed_;
+  std::optional<app::ReservationSession> session_;
+  ConservationAuditor auditor_;
+};
+
+TEST_F(AuditFixture, CleanFleetAuditsWithZeroViolations) {
+  ASSERT_TRUE(session_.has_value());
+  const auto rep = auditor_.run(clock_.now_sec());
+  EXPECT_GT(rep.checks, 0u);
+  EXPECT_TRUE(rep.clean())
+      << rep.violations.front().check << ": "
+      << rep.violations.front().detail;
+  EXPECT_EQ(auditor_.passes(), 1u);
+  EXPECT_EQ(auditor_.violations_total(), 0u);
+}
+
+TEST_F(AuditFixture, FlagsTubeOverAllocation) {
+  const AsId victim = segr_holder();
+  const auto segrs = bed_.cserv(victim).db().segr_snapshot();
+  bed_.cserv(victim).db().with_segr(
+      segrs.front().key, [](reservation::SegrRecord* r) {
+        r->eer_allocated_kbps = r->active.bw_kbps * 2 + 1;
+      });
+  const auto rep = auditor_.run(clock_.now_sec());
+  ASSERT_FALSE(rep.clean());
+  bool found = false;
+  for (const auto& v : rep.violations) {
+    found |= v.check == "tube.over_allocation" && v.as == victim;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AuditFixture, FlagsLedgerMismatch) {
+  const AsId victim = segr_holder();
+  const auto segrs = bed_.cserv(victim).db().segr_snapshot();
+  // +1 kbps stays inside the tube (no over-allocation) but the stripe
+  // ledger no longer matches the db counter it mirrors.
+  bed_.cserv(victim).db().with_segr(segrs.front().key,
+                                    [](reservation::SegrRecord* r) {
+                                      r->eer_allocated_kbps += 1;
+                                    });
+  const auto rep = auditor_.run(clock_.now_sec());
+  ASSERT_FALSE(rep.clean());
+  bool found = false;
+  for (const auto& v : rep.violations) {
+    found |= v.check == "ledger.mismatch" && v.as == victim;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AuditFixture, FlagsTubeOversubscriptionFromACorruptEer) {
+  ASSERT_TRUE(session_.has_value());
+  // Inflate the EER's recorded bandwidth far beyond its SegR tube at
+  // one on-path AS: the recomputed effective sum bursts the tube (and
+  // the fleet view diverges, since the other hops kept the real value).
+  const ResKey key = session_->key();
+  bool corrupted = false;
+  AsId victim{};
+  for (AsId as : bed_.topology().as_ids()) {
+    if (!bed_.cserv(as).db().contains_eer(key)) continue;
+    bed_.cserv(as).db().with_eer(key, [&](reservation::EerRecord* r) {
+      for (auto& v : r->versions) v.bw_kbps = 3'000'000'000;
+    });
+    victim = as;
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted);
+  const auto rep = auditor_.run(clock_.now_sec());
+  ASSERT_FALSE(rep.clean());
+  bool oversub = false, diverged = false;
+  for (const auto& v : rep.violations) {
+    oversub |= v.check == "tube.oversubscribed" && v.as == victim;
+    diverged |= v.check == "fleet.eer_divergence";
+  }
+  EXPECT_TRUE(oversub);
+  EXPECT_TRUE(diverged);
+}
+
+TEST_F(AuditFixture, FlagsLinkOvercommit) {
+  const AsId victim = segr_holder();
+  const auto segrs = bed_.cserv(victim).db().segr_snapshot();
+  // An active bandwidth above the egress link's Colibri share breaks
+  // link conservation (and diverges from the other on-path ASes).
+  bed_.cserv(victim).db().with_segr(
+      segrs.front().key, [](reservation::SegrRecord* r) {
+        r->active.bw_kbps = 3'000'000'000;
+        r->eer_allocated_kbps = 0;
+      });
+  const auto rep = auditor_.run(clock_.now_sec());
+  ASSERT_FALSE(rep.clean());
+  bool overcommit = false;
+  for (const auto& v : rep.violations) {
+    overcommit |= v.check == "link.overcommit" && v.as == victim;
+  }
+  EXPECT_TRUE(overcommit);
+}
+
+TEST_F(AuditFixture, FlagsSegrDivergenceAcrossAses) {
+  // Shrink the active bandwidth at exactly one AS of a multi-AS SegR.
+  const auto segrs = bed_.cserv(AsId{1, 100}).db().segr_snapshot();
+  ASSERT_FALSE(segrs.empty());
+  ResKey key{};
+  bool found = false;
+  for (const auto& s : segrs) {
+    if (s.hops.size() >= 2) {
+      key = s.key;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  bed_.cserv(AsId{1, 100})
+      .db()
+      .with_segr(key, [](reservation::SegrRecord* r) {
+        r->active.bw_kbps = r->active.bw_kbps / 2 + 1;
+      });
+  const auto rep = auditor_.run(clock_.now_sec());
+  bool diverged = false;
+  for (const auto& v : rep.violations) {
+    diverged |= v.check == "fleet.segr_divergence";
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST_F(AuditFixture, FlagsMissingOnPathRecord) {
+  const auto segrs = bed_.cserv(AsId{1, 100}).db().segr_snapshot();
+  ResKey key{};
+  bool found = false;
+  for (const auto& s : segrs) {
+    if (s.hops.size() >= 2) {
+      key = s.key;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  ASSERT_TRUE(bed_.cserv(AsId{1, 100}).db().erase_segr(key));
+  const auto rep = auditor_.run(clock_.now_sec());
+  ASSERT_FALSE(rep.clean());
+  bool missing = false;
+  for (const auto& v : rep.violations) {
+    missing |= v.check == "fleet.segr_missing" && v.as == AsId{1, 100};
+  }
+  EXPECT_TRUE(missing);
+}
+
+TEST_F(AuditFixture, ViolationsTravelTheMetricAndEventSurfaces) {
+  SimClock clock(0);
+  telemetry::EventLog events(clock);
+  MetricsRegistry reg;
+  ConservationAuditor auditor(clock, &events, &reg);
+  for (AsId as : bed_.topology().as_ids()) {
+    auditor.add_target({as.to_string(), as, &bed_.cserv(as).db(), nullptr,
+                        nullptr});
+  }
+  const AsId victim = segr_holder();
+  const auto segrs = bed_.cserv(victim).db().segr_snapshot();
+  bed_.cserv(victim).db().with_segr(
+      segrs.front().key, [](reservation::SegrRecord* r) {
+        r->eer_allocated_kbps = r->active.bw_kbps + 5;
+      });
+  (void)auditor.run(clock.now_sec());
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("telemetry.audit.passes"), 1u);
+  EXPECT_GE(snap.counters.at("telemetry.audit.violations"), 1u);
+  EXPECT_GE(snap.gauges.at("telemetry.audit.last_violations"), 1);
+  EXPECT_GE(
+      snap.counters.at("telemetry.audit.violation.tube.over_allocation"), 1u);
+  EXPECT_NE(events.to_jsonl().find("audit.violation"), std::string::npos);
+}
+
+// A WAL fault injected by the chaos layer must surface through the
+// auditor after recovery: the corrupt append stops replay, so the
+// restarted AS misses the records every other AS still holds.
+TEST_F(AuditFixture, FlagsWalFaultSurvivingRecovery) {
+  ASSERT_TRUE(session_.has_value());
+  const AsId victim{2, 200};  // transit core on the session path
+  ASSERT_TRUE(bed_.cserv(victim).db().contains_eer(session_->key()));
+
+  reservation::MemoryStorage storage;
+  FaultInjector faults(clock_, /*seed=*/0xC0FFEE);
+  sim::FaultyStorage faulty(storage, faults);
+  reservation::ReservationWal wal(faulty);
+  bed_.cserv(victim).attach_wal(&wal);
+  // Checkpoint the pre-fault state, then corrupt the very next append —
+  // the EER admitted through the WAL below is lost to recovery.
+  wal.checkpoint(bed_.cserv(victim).db());
+  faults.arm_wal_fault(WalFaultKind::kBitFlip, /*bit=*/13);
+  auto second = bed_.daemon(AsId{1, 111})
+                    .open_session(AsId{2, 211}, HostAddr::from_u64(3),
+                                  HostAddr::from_u64(4), 1'000, 4'000);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(bed_.cserv(victim).db().contains_eer(second.value().key()));
+  EXPECT_GT(faulty.faulted(), 0u);
+
+  cserv::CServ& restarted = bed_.restart_as(victim);
+  restarted.attach_wal(&wal);
+  (void)restarted.restore_from_wal();
+  // The first session survived (it predates the checkpoint's fault);
+  // the second one is gone at the victim only.
+  EXPECT_FALSE(restarted.db().contains_eer(second.value().key()));
+
+  // Rebind the victim's audit target to the restarted service.
+  ConservationAuditor auditor(clock_);
+  for (AsId as : bed_.topology().as_ids()) {
+    auditor.add_target({as.to_string(), as, &bed_.cserv(as).db(),
+                        bed_.cserv(as).eer_admission(), nullptr});
+  }
+  const auto rep = auditor.run(clock_.now_sec());
+  ASSERT_FALSE(rep.clean());
+  bool flagged = false;
+  for (const auto& v : rep.violations) {
+    flagged |= v.check == "fleet.eer_missing" && v.as == victim;
+  }
+  EXPECT_TRUE(flagged) << "corruption at the recovered AS went unflagged";
+}
+
+// --- fleet scenario ----------------------------------------------------------
+
+TEST(FleetScenarioTest, CleanRunFederatesAuditsAndStaysSilent) {
+  const app::FleetArtifacts art = app::run_fleet_scenario();
+  EXPECT_EQ(art.as_count, 16u);  // two_isd_topology
+  EXPECT_GT(art.link_count, 0u);
+  EXPECT_GT(art.fleet_windows, 0u);
+  EXPECT_GT(art.sessions_opened, 0);
+  EXPECT_GT(art.delivered, 0);
+  EXPECT_GT(art.audit_passes, 0u);
+  EXPECT_GT(art.audit_checks, 0u);
+  EXPECT_EQ(art.audit_violations, 0u);
+  EXPECT_EQ(art.audit_violations_total, 0u);
+  EXPECT_FALSE(art.hitters.empty());
+  EXPECT_NE(art.table.find("fleet:"), std::string::npos);
+  EXPECT_NE(art.table.find("audit: PASS"), std::string::npos);
+  EXPECT_GT(art.sampler_windows, 0u);
+  EXPECT_GT(art.alert_evaluations, 0u);
+  EXPECT_EQ(art.alerts_firing, 0u);
+  // The export registry carries every surface of the federation.
+  EXPECT_TRUE(art.metrics.gauges.contains("fleet.as_count"));
+  EXPECT_TRUE(art.metrics.counters.contains("telemetry.audit.passes"));
+  EXPECT_TRUE(art.metrics.gauges.contains("telemetry.alerts.rules"));
+  // ...and the exposition round-trips through the strict parser.
+  std::string err;
+  ASSERT_TRUE(telemetry::parse_openmetrics(art.openmetrics, &err)) << err;
+}
+
+TEST(FleetScenarioTest, RunsAreDeterministic) {
+  const app::FleetArtifacts a = app::run_fleet_scenario();
+  const app::FleetArtifacts b = app::run_fleet_scenario();
+  EXPECT_EQ(a.table, b.table);
+  EXPECT_EQ(a.openmetrics, b.openmetrics);
+  EXPECT_EQ(a.delivered, b.delivered);
+  ASSERT_EQ(a.hitters.size(), b.hitters.size());
+  for (std::size_t i = 0; i < a.hitters.size(); ++i) {
+    EXPECT_EQ(a.hitters[i].key, b.hitters[i].key) << i;
+    EXPECT_EQ(a.hitters[i].estimate, b.hitters[i].estimate) << i;
+  }
+}
+
+TEST(FleetScenarioTest, InjectedCorruptionFiresTheAuditPipeline) {
+  app::FleetOptions opts;
+  opts.inject_corruption = true;
+  const app::FleetArtifacts art = app::run_fleet_scenario(opts);
+  EXPECT_GT(art.audit_violations_total, 0u);
+  EXPECT_GT(art.audit_violations, 0u);  // still broken at scenario end
+  EXPECT_NE(art.table.find("audit: FAIL"), std::string::npos);
+  EXPECT_NE(art.table.find("tube.over_allocation"), std::string::npos);
+  // The alert pack caught it.
+  EXPECT_GT(art.alerts_fired, 0u);
+  EXPECT_GT(art.alerts_firing, 0u);
+  EXPECT_NE(art.events_jsonl.find("audit.violation"), std::string::npos);
+}
+
+TEST(FleetScenarioTest, DispatchesThroughTheObsScenarioSurface) {
+  app::ObsOptions opts;
+  opts.scenario = "fleet";
+  const app::ObsArtifacts art = app::run_obs_scenario(opts);
+  EXPECT_EQ(art.fleet_as_count, 16u);
+  EXPECT_GT(art.fleet_windows, 0u);
+  EXPECT_GT(art.audit_passes, 0u);
+  EXPECT_EQ(art.audit_violations, 0u);
+  EXPECT_GT(art.delivered, 0);
+  ASSERT_FALSE(art.watch_frames.empty());
+  EXPECT_NE(art.watch_text.find("fleet:"), std::string::npos);
+  const auto names = app::obs_scenario_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "fleet"), names.end());
+}
+
+// --- colibri_obs CLI ---------------------------------------------------------
+
+int run_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"colibri_obs"};
+  argv.insert(argv.end(), args);
+  return app::run_obs_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FleetCliTest, FleetOnceRendersTheTableAndExitsZero) {
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_cli({"fleet", "--once"}), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(out.find('\033'), std::string::npos);  // no replay escapes
+  EXPECT_NE(out.find("colibri fleet"), std::string::npos) << out;
+  EXPECT_NE(out.find("fleet:"), std::string::npos);
+  EXPECT_NE(out.find("audit: PASS"), std::string::npos);
+  EXPECT_NE(out.find("top reservations"), std::string::npos);
+}
+
+TEST(FleetCliTest, WatchOnceOnTheFleetScenarioCarriesTheFleetLine) {
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_cli({"watch", "--once", "--scenario=fleet"}), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("fleet:"), std::string::npos) << out;
+}
+
+TEST(FleetCliTest, UnknownScenarioListsTheValidOnesAndExitsNonzero) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"--scenario=galaxy"}), 2);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unknown scenario 'galaxy'"), std::string::npos);
+  // The error must enumerate every valid scenario.
+  for (const std::string& name : app::obs_scenario_names()) {
+    EXPECT_NE(err.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(FleetCliTest, OnceStillRejectsNonWatchNonFleetCommands) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_cli({"health", "--once"}), 2);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("usage:"),
+            std::string::npos);
+}
+
+// --- concurrency (TSan lane) -------------------------------------------------
+
+// Collector polls, audit passes, traffic, db churn, and export
+// snapshots all race; the suite runs under TSan in CI (ci.sh).
+TEST(FleetAuditStressTest, ConcurrentCollectAuditTrafficAndExport) {
+  SystemClock& clock = SystemClock::instance();
+  constexpr int kMembers = 4;
+  std::vector<std::unique_ptr<MetricsRegistry>> regs;
+  for (int i = 0; i < kMembers; ++i) {
+    regs.push_back(std::make_unique<MetricsRegistry>());
+  }
+  MetricsRegistry exp;
+  FleetCollectorConfig cfg;
+  cfg.period_ns = 1;  // every poll cuts a window
+  cfg.top_k = 4;
+  FleetCollector fc(clock, cfg, &exp);
+  for (int i = 0; i < kMembers; ++i) {
+    fc.add_member("m" + std::to_string(i), *regs[i]);
+  }
+  fc.add_rollup("work.done");
+
+  reservation::ReservationDb db_a(AsId{1, 1}), db_b(AsId{1, 2});
+  ConservationAuditor auditor(clock, nullptr, &exp);
+  auditor.add_target({"a", AsId{1, 1}, &db_a, nullptr, nullptr});
+  auditor.add_target({"b", AsId{1, 2}, &db_b, nullptr, nullptr});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // collection loop
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)fc.poll();
+      (void)fc.top_hitters();
+      (void)fc.fleet_rate("work.done");
+    }
+  });
+  threads.emplace_back([&] {  // audit loop
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)auditor.run(clock.now_sec());
+      (void)auditor.last_report();
+      (void)auditor.passes();
+    }
+  });
+  threads.emplace_back([&] {  // traffic
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      regs[i % kMembers]->counter("work.done").inc(1);
+      regs[i % kMembers]
+          ->counter("res." + std::to_string(i % 8) + ".bytes")
+          .inc(64);
+      ++i;
+    }
+  });
+  threads.emplace_back([&] {  // db churn under the running auditor
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      reservation::SegrRecord r;
+      r.key = ResKey{AsId{1, 1}, static_cast<ResId>(i % 16)};
+      r.hops.push_back({AsId{1, 1}, 0, 0});
+      r.active.bw_kbps = 1'000;
+      r.active.exp_time = clock.now_sec() + 300;
+      db_a.upsert_segr(r);
+      db_b.upsert_segr(r);
+      ++i;
+    }
+  });
+  threads.emplace_back([&] {  // exposition reader
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)telemetry::to_openmetrics(exp.snapshot());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(fc.windows_sampled(), 0u);
+  EXPECT_GT(auditor.passes(), 0u);
+}
+
+}  // namespace
+}  // namespace colibri

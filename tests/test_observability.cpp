@@ -663,6 +663,75 @@ TEST(OpenMetricsTest, StrictParseAndAgreementWithSnapshot) {
   EXPECT_EQ(exp.samples.at("colibri_cserv_admission_latency_ns_count"), 5.0);
 }
 
+// --- library parser (telemetry::parse_openmetrics) ---------------------------
+
+TEST(OpenMetricsParserTest, RoundTripsTheEmitterOutput) {
+  MetricsRegistry registry;
+  registry.counter("cserv.requests").inc(17);
+  registry.gauge("bus.inflight").set(-2);
+  registry.histogram("cserv.admission_latency_ns").record(700);
+  std::string err;
+  const auto exp =
+      telemetry::parse_openmetrics(to_openmetrics(registry.snapshot()), &err);
+  ASSERT_TRUE(exp.has_value()) << err;
+  EXPECT_EQ(exp->samples.at("colibri_cserv_requests_total"), 17.0);
+  EXPECT_EQ(exp->samples.at("colibri_bus_inflight"), -2.0);
+  EXPECT_EQ(exp->types.at("colibri_cserv_requests"), "counter");
+  EXPECT_EQ(exp->types.at("colibri_bus_inflight"), "gauge");
+  EXPECT_EQ(exp->types.at("colibri_cserv_admission_latency_ns"), "histogram");
+  EXPECT_GT(exp->sample_count(), 0u);
+}
+
+TEST(OpenMetricsParserTest, RequiresTheEofTerminator) {
+  std::string err;
+  // Well-formed except for the terminator: must be rejected, so a
+  // truncated scrape can never pass for a complete one.
+  EXPECT_FALSE(telemetry::parse_openmetrics("colibri_x 1\n", &err));
+  EXPECT_NE(err.find("# EOF"), std::string::npos);
+  // ...and consumed: nothing may follow it.
+  EXPECT_FALSE(
+      telemetry::parse_openmetrics("# EOF\ncolibri_x 1\n", &err));
+  EXPECT_NE(err.find("after # EOF"), std::string::npos);
+  // The minimal valid exposition is the bare terminator.
+  const auto empty = telemetry::parse_openmetrics("# EOF\n");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->sample_count(), 0u);
+}
+
+TEST(OpenMetricsParserTest, RejectsMalformedLines) {
+  const auto bad = [](std::string_view text) {
+    return !telemetry::parse_openmetrics(text).has_value();
+  };
+  EXPECT_TRUE(bad(""));                         // no trailing newline
+  EXPECT_TRUE(bad("colibri_x 1\n# EOF"));       // unterminated last line
+  EXPECT_TRUE(bad("\n# EOF\n"));                // empty line
+  EXPECT_TRUE(bad("# bogus comment\n# EOF\n"));
+  EXPECT_TRUE(bad("# TYPE colibri_x summary\n# EOF\n"));  // unknown type
+  EXPECT_TRUE(bad("colibri_x\n# EOF\n"));       // sample without value
+  EXPECT_TRUE(bad("colibri_x one\n# EOF\n"));   // non-numeric value
+  EXPECT_TRUE(bad("9bad 1\n# EOF\n"));          // leading-digit name
+  EXPECT_TRUE(bad("colibri_x{le=\"5\" 1\n# EOF\n"));  // unclosed labels
+  EXPECT_TRUE(bad("colibri_x 1\ncolibri_x 2\n# EOF\n"));  // duplicate
+  EXPECT_TRUE(bad("# TYPE colibri_x counter\n# TYPE colibri_x counter\n"
+                  "# EOF\n"));
+  EXPECT_TRUE(bad("# TYPE colibri_x counter\n# HELP colibri_x h\n"
+                  "# EOF\n"));  // HELP must precede TYPE
+}
+
+TEST(OpenMetricsParserTest, AcceptsLabeledSamplesAndReportsLineNumbers) {
+  const auto exp = telemetry::parse_openmetrics(
+      "# HELP colibri_h hist\n# TYPE colibri_h histogram\n"
+      "colibri_h_bucket{le=\"512\"} 3\ncolibri_h_bucket{le=\"+Inf\"} 4\n"
+      "colibri_h_sum 900\ncolibri_h_count 4\n# EOF\n");
+  ASSERT_TRUE(exp.has_value());
+  EXPECT_EQ(exp->samples.at("colibri_h_bucket{le=\"512\"}"), 3.0);
+  EXPECT_EQ(exp->helps.at("colibri_h"), "hist");
+  std::string err;
+  EXPECT_FALSE(telemetry::parse_openmetrics("colibri_a 1\nbad line here\n",
+                                            &err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
 TEST(OpenMetricsTest, EscapingHelpers) {
   EXPECT_EQ(telemetry::openmetrics_escape_label("a\\b\"c\nd"),
             "a\\\\b\\\"c\\nd");

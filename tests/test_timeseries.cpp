@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -215,6 +216,63 @@ TEST(WindowedSamplerTest, RingDropsOldestWindowsBeyondCapacity) {
   EXPECT_EQ(sampler.windows_sampled(), 10u);
   EXPECT_EQ(sampler.counter_delta("test.requests", WindowedSampler::kSpanAll),
             4u);
+}
+
+TEST(WindowedSamplerTest, StalledClockCutsNoWindowsAndQueriesStaySafe) {
+  SimClock clock(100 * kSec);
+  MetricsRegistry registry;
+  auto& c = registry.counter("test.requests");
+  WindowedSampler sampler(registry, clock, one_sec_windows());
+
+  // The clock never advances: no window is ever cut, no matter how
+  // often poll() runs or how much the counters move.
+  for (int i = 0; i < 50; ++i) {
+    c.inc(100);
+    EXPECT_FALSE(sampler.poll());
+  }
+  EXPECT_EQ(sampler.window_count(), 0u);
+  EXPECT_EQ(sampler.windows_sampled(), 0u);
+
+  // Every query over the empty ring answers a defined zero/empty value
+  // instead of dividing by the elapsed time that never accumulated.
+  EXPECT_DOUBLE_EQ(sampler.rate("test.requests", kSec), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.peak_rate("test.requests"), 0.0);
+  EXPECT_EQ(sampler.counter_delta("test.requests", WindowedSampler::kSpanAll),
+            0u);
+  EXPECT_FALSE(sampler.windowed_percentile("test.lat", 0.99, kSec));
+  EXPECT_FALSE(sampler.gauge_level("test.gauge"));
+  EXPECT_FALSE(sampler.latest_window());
+  const auto h =
+      sampler.histogram_delta("test.lat", WindowedSampler::kSpanAll);
+  EXPECT_EQ(h.count, 0u);
+}
+
+TEST(WindowedSamplerTest, NonPositivePeriodIsClampedSoWindowsSpanTime) {
+  SimClock clock(100 * kSec);
+  MetricsRegistry registry;
+  auto& c = registry.counter("test.requests");
+  WindowedSamplerConfig cfg;
+  cfg.period_ns = 0;  // would cut zero-elapsed windows on every poll
+  cfg.ring_capacity = 8;
+  WindowedSampler sampler(registry, clock, cfg);
+
+  // Under a stalled clock even the clamped period refuses to cut: a
+  // window must span Clock time.
+  EXPECT_FALSE(sampler.poll());
+  c.inc(10);
+  EXPECT_FALSE(sampler.poll());
+  EXPECT_EQ(sampler.window_count(), 0u);
+
+  clock.advance(1);  // one nanosecond satisfies the clamped period
+  EXPECT_FALSE(sampler.poll());  // baseline
+  c.inc(30);
+  clock.advance(1);
+  EXPECT_TRUE(sampler.poll());
+  ASSERT_EQ(sampler.window_count(), 1u);
+  // The 1 ns window has a finite, non-NaN rate.
+  const double r = sampler.rate("test.requests", kSec);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_GT(r, 0.0);
 }
 
 TEST(WindowedSamplerTest, ExportsDerivedGaugesIntoTheRegistryItSamples) {
