@@ -17,6 +17,7 @@
 #include "colibri/common/rand.hpp"
 #include "colibri/dataplane/gateway.hpp"
 #include "colibri/telemetry/alerts.hpp"
+#include "colibri/telemetry/history.hpp"
 #include "colibri/telemetry/timeseries.hpp"
 
 namespace {
@@ -292,6 +293,67 @@ BENCHMARK(BM_GatewayForwardBatchedSampled)
 [[maybe_unused]] const bool kSamplerRow = benchjson::request_ratio(
     "gateway_sampler_overhead", "BM_GatewayForwardBatched",
     "BM_GatewayForwardBatchedSampled");
+
+// The monitored pipeline with the post-mortem trail attached: every
+// window the sampler cuts is also encoded and appended into a
+// HistoryStore (in-memory backend — the disk write is the OS's
+// problem, the encode is ours). append_latest() is one frame encode
+// per 10 ms window and a no-op between windows, so the derived
+// history_append_overhead ratio over the sampler-only run should sit
+// at ~1.0x; the bench gate pins that — the black box must not slow
+// the plane it records.
+void BM_GatewayForwardBatchedHistory(benchmark::State& state) {
+  const int num_ases = static_cast<int>(state.range(0));
+  const std::int64_t r = state.range(1);
+  Gateway& gw = gateway_for(num_ases, r);
+
+  Rng rng(42);
+  std::vector<ResId> ids(1 << 16);
+  for (auto& id : ids) {
+    id = static_cast<ResId>(1 + rng.below(static_cast<std::uint64_t>(r)));
+  }
+
+  constexpr size_t kBatch = 64;
+  std::uint32_t sizes[kBatch] = {};
+  std::vector<FastPacket> pkts(kBatch);
+  std::vector<Gateway::Verdict> verdicts(kBatch);
+
+  telemetry::WindowedSamplerConfig scfg;
+  scfg.period_ns = 10'000'000;
+  scfg.ring_capacity = 128;
+  telemetry::WindowedSampler sampler(telemetry::MetricsRegistry::global(),
+                                     g_clock, scfg);
+  sampler.track_rate("gateway.forwarded");
+  telemetry::MemoryHistoryBackend backend;
+  telemetry::HistoryStore history(backend);
+
+  size_t i = 0;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    gw.process_batch(ids.data() + i, sizes, kBatch, pkts.data(),
+                     verdicts.data());
+    benchmark::DoNotOptimize(pkts[0].hvfs[0]);
+    if (sampler.poll()) (void)history.append_latest(sampler);
+    i += kBatch;
+    if (i + kBatch > ids.size()) i = 0;
+    processed += kBatch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(processed) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["frames"] =
+      static_cast<double>(history.stats().frames_appended);
+}
+
+// Same representative grid point again; the row prices the history
+// sink relative to the sampler-only monitoring loop above.
+BENCHMARK(BM_GatewayForwardBatchedHistory)
+    ->Args({4, 1 << 15})
+    ->Unit(benchmark::kNanosecond);
+
+[[maybe_unused]] const bool kHistoryRow = benchjson::request_ratio(
+    "history_append_overhead", "BM_GatewayForwardBatchedSampled",
+    "BM_GatewayForwardBatchedHistory");
 
 // Burst API variant (DPDK-style 32-packet bursts), path length 4.
 void BM_GatewayBurst(benchmark::State& state) {

@@ -57,6 +57,7 @@ TSAN_SUITES+='|RenewalStormTest.MultiThreadedDrainMatchesSingleThreaded'
 TSAN_SUITES+='|ReservationDbTest.NextResIdIsUniqueAcrossThreads'
 TSAN_SUITES+='|SamplerAlertStressTest'
 TSAN_SUITES+='|FleetAuditStressTest'
+TSAN_SUITES+='|HistoryIncidentStressTest'
 
 for preset in "${PRESETS[@]}"; do
   if [ "$preset" = bench-gate ]; then
@@ -116,6 +117,23 @@ for preset in "${PRESETS[@]}"; do
     echo "=== [default] colibri_obs fleet-federation smoke"
     "$OBS" fleet --once | grep -q 'audit: PASS'
     "$OBS" watch --once --scenario=fleet | grep -q 'fleet:'
+    echo "=== [default] colibri_obs forensics smoke (history round-trip + incident)"
+    forensics_dir=$(mktemp -d /tmp/colibri_forensics.XXXXXX)
+    "$OBS" watch --once --scenario=failover --forensics-dir="$forensics_dir" \
+      > /dev/null
+    # Write → reopen → query: the offline CLI opens the store the
+    # scenario just wrote and must recover every frame cleanly.
+    "$OBS" incident list --dir="$forensics_dir" \
+      | grep -q 'cserv.failover-active'
+    "$OBS" incident show --dir="$forensics_dir" \
+      | grep -q '"schema": "colibri.incident.v1"'
+    "$OBS" history query --series=gateway.forwarded --dir="$forensics_dir" \
+      > /dev/null
+    "$OBS" history rate --series=router.forwarded --dir="$forensics_dir" \
+      > /dev/null
+    "$OBS" history p99 --series=cserv.request_latency_ns \
+      --dir="$forensics_dir" > /dev/null
+    rm -rf "$forensics_dir"
   fi
 done
 

@@ -11,7 +11,11 @@
 #include "colibri/cserv/renewal_manager.hpp"
 #include "colibri/reservation/persist.hpp"
 #include "colibri/sim/faults.hpp"
+#include "colibri/telemetry/alerts.hpp"
 #include "colibri/telemetry/events.hpp"
+#include "colibri/telemetry/history.hpp"
+#include "colibri/telemetry/incident.hpp"
+#include "colibri/telemetry/timeseries.hpp"
 
 namespace colibri::app {
 namespace {
@@ -215,6 +219,56 @@ ChaosReport run_chaos_universe(const ChaosOptions& opts) {
                                               : static_cast<reservation::LogStorage&>(wal_disk));
   bed.cserv(kC2a).attach_wal(&wal);
 
+  // --- forensics: live monitoring + the post-mortem trail -----------------
+  // 1 s windows match the step cadence: every step cuts one frame into
+  // the history store, and the failover rule pack turns the cutover into
+  // the alert edge that opens an incident bundle. Attached in both
+  // universes so the workload stays symmetric; only the faulted one
+  // trips the rules.
+  telemetry::WindowedSamplerConfig scfg;
+  scfg.period_ns = kSec;
+  scfg.ring_capacity = 256;  // > every window the run cuts
+  // These histograms time real host execution (steady_clock), so they
+  // never replay byte-identically; keep them out of the forensic trail
+  // so same-seed runs produce identical segments and bundles.
+  scfg.series_filter = [](std::string_view name) {
+    return name != "cserv.request_latency_ns" &&
+           name != "router.validate_latency_ns" &&
+           name != "bus.hop_latency_ns";
+  };
+  telemetry::WindowedSampler sampler(registry, clock, scfg, &registry);
+  sampler.track_rate("cserv.setup.ok");
+  telemetry::AlertEngine engine(sampler, clock, &events, &registry);
+  engine.add_rules(cserv::default_failover_alert_rules());
+
+  std::unique_ptr<telemetry::HistoryBackend> history_backend;
+  if (opts.forensics_dir.empty()) {
+    history_backend = std::make_unique<telemetry::MemoryHistoryBackend>();
+  } else {
+    history_backend = std::make_unique<telemetry::DirectoryHistoryBackend>(
+        opts.forensics_dir + "/history");
+  }
+  telemetry::HistoryConfig hcfg;
+  hcfg.max_segment_bytes = 4 * 1024;  // several mid-run rotations
+  std::optional<telemetry::HistoryStore> history;
+  history.emplace(*history_backend, hcfg, &registry);
+  std::uint64_t history_frames_before_reopen = 0;
+
+  telemetry::IncidentRecorder incidents(engine);
+  incidents.set_event_log(&events);
+  incidents.set_sampler(&sampler);
+  if (inj) incidents.set_fault_injector(&*inj);
+  if (!opts.forensics_dir.empty()) {
+    incidents.set_directory(opts.forensics_dir + "/incidents");
+  }
+
+  const auto monitor = [&] {
+    if (sampler.poll()) {
+      (void)engine.evaluate();
+      history->append_latest(sampler);
+    }
+  };
+
   // --- steady state: segments + protection pair --------------------------
   bed.provision_all_segments(kSegrMinBw, kSegrMaxBw);
 
@@ -329,6 +383,13 @@ ChaosReport run_chaos_universe(const ChaosOptions& opts) {
       rm->manage_all_local();
       rms[kC2a.raw()] = std::move(rm);
       report.crash_restored = true;
+      // The crash takes the collector down with the CServ: seal the
+      // history store and reopen it over the same backend, exactly as a
+      // restarted process would — recovery replays the intact prefix,
+      // then appends continue into a fresh segment.
+      history_frames_before_reopen = history->stats().frames_appended;
+      history.emplace(*history_backend, hcfg, &registry);
+      report.history_frames_recovered = history->stats().frames_recovered;
     } else if (with_traffic) {
       open_churn(step);
     }
@@ -364,6 +425,7 @@ ChaosReport run_chaos_universe(const ChaosOptions& opts) {
     const UnixSec now = clock.now_sec();
     for (auto& [_, rm] : rms) rm->tick(now);
     bed.tick_all();
+    monitor();
   };
 
   for (auto& s : sessions) try_open(s);
@@ -398,6 +460,22 @@ ChaosReport run_chaos_universe(const ChaosOptions& opts) {
   }
   report.history = canonical_history(evs);
   report.digest = universe_digest(bed, clock.now_sec());
+
+  report.history_frames =
+      history_frames_before_reopen + history->stats().frames_appended;
+  report.history_segments = history->segment_count();
+  report.incident_bundles = incidents.bundle_count();
+  report.incidents_suppressed = incidents.suppressed_total();
+  if (incidents.bundle_count() > 0) {
+    report.first_incident_rule = incidents.bundles().front().rule;
+  }
+  const auto ring = sampler.recent_windows(scfg.ring_capacity);
+  if (!ring.empty()) {
+    report.monitor_span_start_ns = ring.front().start_ns;
+    report.monitor_span_end_ns = ring.back().end_ns;
+    report.monitored_counter_total = sampler.counter_delta(
+        "", telemetry::WindowedSampler::kSpanAll, /*prefix=*/true);
+  }
   return report;
 }
 

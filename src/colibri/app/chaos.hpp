@@ -65,6 +65,15 @@ struct ChaosOptions {
   bool crash_cserv = true;
   // Long-lived end-host sessions (ISD-1 children -> ISD-2 children).
   int sessions = 4;
+  // Post-mortem forensics trail (telemetry/history, telemetry/incident):
+  // when non-empty, the run writes its telemetry history to
+  // `<forensics_dir>/history/` and its incident bundles to
+  // `<forensics_dir>/incidents/` — the store a dead process leaves for
+  // `colibri_obs history`/`incident`. Empty keeps the same pipeline on
+  // an in-memory backend (every run still exercises the recorders).
+  // The kill-and-restore closes and reopens the history store at the
+  // crash, so the trail proves segment recovery under live traffic.
+  std::string forensics_dir;
 };
 
 // Outcome of one universe run. `digest` is the structural end-state used
@@ -91,6 +100,20 @@ struct ChaosReport {
   // Crash recovery.
   bool crash_restored = false;
   std::uint64_t wal_records_recovered = 0;
+
+  // Post-mortem forensics trail.
+  std::uint64_t history_frames = 0;            // appended over the run
+  std::uint64_t history_frames_recovered = 0;  // at the mid-crash reopen
+  std::uint64_t history_segments = 0;          // at scenario end
+  std::uint64_t incident_bundles = 0;
+  std::uint64_t incidents_suppressed = 0;
+  std::string first_incident_rule;  // what the first bundle fired on
+  // Live sampler values at scenario end over the retained ring's span
+  // [monitor_span_start_ns, monitor_span_end_ns] — the ground truth a
+  // reopened on-disk store's queries must agree with.
+  TimeNs monitor_span_start_ns = 0;
+  TimeNs monitor_span_end_ns = 0;
+  std::uint64_t monitored_counter_total = 0;  // prefix-sum of all series
 
   // Workload health.
   std::uint64_t data_delivered = 0;

@@ -1,6 +1,7 @@
 #include "colibri/app/obs.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "colibri/cserv/renewal_manager.hpp"
 #include "colibri/dataplane/shard.hpp"
 #include "colibri/telemetry/alerts.hpp"
+#include "colibri/telemetry/history.hpp"
+#include "colibri/telemetry/incident.hpp"
 #include "colibri/telemetry/openmetrics.hpp"
 #include "colibri/telemetry/timeseries.hpp"
 #include "colibri/telemetry/trace_export.hpp"
@@ -119,7 +122,7 @@ std::string render_watch_frame(const telemetry::WindowedSampler& sampler,
 // resolves), then traffic re-established over the primary. Every leg
 // cuts monitored windows, so `watch` replays the incident end to end.
 // The timeline is fixed (options only select the scenario).
-ObsArtifacts run_failover_scenario(const ObsOptions& /*opts*/) {
+ObsArtifacts run_failover_scenario(const ObsOptions& opts) {
   SimClock clock(1'000 * kNsPerSec);
   telemetry::MetricsRegistry registry;
   telemetry::EventLog events(clock);
@@ -144,9 +147,31 @@ ObsArtifacts run_failover_scenario(const ObsOptions& /*opts*/) {
   telemetry::AlertEngine engine(sampler, clock, &events, &registry);
   engine.add_rules(cserv::default_cserv_alert_rules());
   engine.add_rules(cserv::default_failover_alert_rules());
+
+  // Post-mortem trail: every cut window is appended to the history
+  // store, and the firing failover rule opens an incident bundle. With
+  // opts.forensics_dir set, both survive the process for the offline
+  // `colibri_obs history` / `colibri_obs incident` commands.
+  std::unique_ptr<telemetry::HistoryBackend> history_backend;
+  if (opts.forensics_dir.empty()) {
+    history_backend = std::make_unique<telemetry::MemoryHistoryBackend>();
+  } else {
+    history_backend = std::make_unique<telemetry::DirectoryHistoryBackend>(
+        opts.forensics_dir + "/history");
+  }
+  telemetry::HistoryStore history(*history_backend, {}, &registry);
+  telemetry::IncidentRecorder incidents(engine);
+  incidents.set_event_log(&events);
+  incidents.set_sampler(&sampler);
+  incidents.set_fault_injector(&inj);
+  if (!opts.forensics_dir.empty()) {
+    incidents.set_directory(opts.forensics_dir + "/incidents");
+  }
+
   const auto monitor = [&] {
     if (sampler.poll()) {
       (void)engine.evaluate();
+      history.append_latest(sampler);
       out.watch_frames.push_back(
           render_watch_frame(sampler, engine, clock.now_ns()));
     }
@@ -172,6 +197,16 @@ ObsArtifacts run_failover_scenario(const ObsOptions& /*opts*/) {
   const AsId src_as{1, 112}, dst_as{2, 212};
   const HostAddr src_host = HostAddr::from_u64(0xA11CE);
   const HostAddr dst_host = HostAddr::from_u64(0xB0B);
+
+  // Flight recorder on the source gateway: the incident bundle embeds
+  // its ring, so the black box holds the last packets the gateway saw
+  // before the alert fired.
+  telemetry::FlightRecorder::Config rcfg;
+  rcfg.sample_every = 1;  // keep every decision; the ring bounds memory
+  telemetry::FlightRecorder gw_rec(rcfg);
+  bed.gateway(src_as).attach_flight_recorder(&gw_rec);
+  incidents.add_flight_recorder("gateway.src", &gw_rec);
+
   std::optional<ReservationSession> session;
   std::vector<topology::Hop> path;
   const auto reopen = [&] {
@@ -247,6 +282,12 @@ ObsArtifacts run_failover_scenario(const ObsOptions& /*opts*/) {
   out.openmetrics = telemetry::to_openmetrics(out.metrics);
   out.events_count = events.size();
   out.events_jsonl = events.to_jsonl();
+  out.history_frames = history.stats().frames_appended;
+  out.history_segments = history.segment_count();
+  out.incident_bundles = incidents.bundle_count();
+  if (incidents.bundle_count() > 0) {
+    out.first_incident_rule = incidents.bundles().front().rule;
+  }
   return out;
 }
 

@@ -40,6 +40,12 @@ struct ObsOptions {
   // Flight-recorder sampling period (1 = every packet; 0 = drops only).
   std::uint32_t sample_every = 8;
   std::size_t recorder_capacity = 256;
+  // Post-mortem forensics root (failover scenario): when non-empty the
+  // run persists its telemetry history under `<dir>/history/` and its
+  // incident bundles under `<dir>/incidents/`, the layout the offline
+  // `colibri_obs history ...` / `colibri_obs incident ...` commands
+  // read back after the process is gone.
+  std::string forensics_dir;
 };
 
 struct ObsArtifacts {
@@ -91,6 +97,15 @@ struct ObsArtifacts {
   std::uint64_t alerts_fired = 0;
   std::uint64_t alerts_resolved = 0;
   std::size_t alerts_firing = 0;  // still firing at scenario end
+
+  // Post-mortem forensics surface (scenario "failover"): every cut
+  // window lands one frame in a HistoryStore (persistent when
+  // ObsOptions::forensics_dir is set), and the firing failover rule
+  // opens one incident bundle through the IncidentRecorder.
+  std::uint64_t history_frames = 0;
+  std::size_t history_segments = 0;
+  std::size_t incident_bundles = 0;
+  std::string first_incident_rule;
 
   // Fleet-federation surface (scenario "fleet" only): topology size as
   // the collector saw it and the conservation-audit verdict. The

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "colibri/app/obs.hpp"
+#include "colibri/telemetry/history.hpp"
+#include "colibri/telemetry/incident.hpp"
 
 namespace colibri::app {
 namespace {
@@ -18,6 +20,212 @@ const char* arg_value(const char* arg, const char* name) {
   const size_t n = std::strlen(name);
   if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return nullptr;
   return arg + n + 1;
+}
+
+// "1500000000000" (ns) or "1500s" (seconds).
+TimeNs parse_time_ns(const char* v) {
+  char* end = nullptr;
+  const long long x = std::strtoll(v, &end, 10);
+  if (end != nullptr && end[0] == 's' && end[1] == '\0') {
+    return static_cast<TimeNs>(x) * kNsPerSec;
+  }
+  return static_cast<TimeNs>(x);
+}
+
+bool read_text_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+// --- offline forensics: colibri_obs incident ... ---------------------------
+// Reads bundles a (possibly dead) process left under
+// `<--dir>/incidents/`; never runs a scenario.
+int run_incident_cli(const char* prog, int argc, const char* const* argv,
+                     int argi) {
+  const auto sub_usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s incident list|show|diff [--dir=FORENSICS_DIR]"
+                 " [--id=N] [--a=N] [--b=N]\n",
+                 prog);
+    return 2;
+  };
+  if (argi >= argc || argv[argi][0] == '-') return sub_usage();
+  const std::string sub = argv[argi++];
+  std::string dir = ".";
+  std::string id_s, a_s, b_s;
+  for (int i = argi; i < argc; ++i) {
+    if (const char* v = arg_value(argv[i], "--dir")) {
+      dir = v;
+    } else if (const char* v = arg_value(argv[i], "--id")) {
+      id_s = v;
+    } else if (const char* v = arg_value(argv[i], "--a")) {
+      a_s = v;
+    } else if (const char* v = arg_value(argv[i], "--b")) {
+      b_s = v;
+    } else {
+      return sub_usage();
+    }
+  }
+  const std::string inc_dir = dir + "/incidents";
+  const std::vector<telemetry::IncidentFileInfo> infos =
+      telemetry::list_incident_bundles(inc_dir);
+
+  if (sub == "list") {
+    if (infos.empty()) {
+      std::printf("no incidents under %s\n", inc_dir.c_str());
+      return 0;
+    }
+    for (const auto& info : infos) {
+      std::printf("incident %06llu  t=%.3fs  rule=%s  %s\n",
+                  static_cast<unsigned long long>(info.id),
+                  static_cast<double>(info.time_ns) / 1e9, info.rule.c_str(),
+                  info.path.c_str());
+    }
+    return 0;
+  }
+
+  const auto find_by_id = [&](const std::string& s)
+      -> const telemetry::IncidentFileInfo* {
+    const auto id = static_cast<std::uint64_t>(std::strtoull(s.c_str(),
+                                                             nullptr, 10));
+    for (const auto& info : infos) {
+      if (info.id == id) return &info;
+    }
+    std::fprintf(stderr, "no incident %s under %s\n", s.c_str(),
+                 inc_dir.c_str());
+    return nullptr;
+  };
+
+  if (sub == "show") {
+    if (infos.empty()) {
+      std::fprintf(stderr, "no incidents under %s\n", inc_dir.c_str());
+      return 1;
+    }
+    // Default: the newest bundle (highest id; list is filename-sorted).
+    const telemetry::IncidentFileInfo* info =
+        id_s.empty() ? &infos.back() : find_by_id(id_s);
+    if (info == nullptr) return 1;
+    std::string body;
+    if (!read_text_file(info->path, body)) {
+      std::fprintf(stderr, "cannot read %s\n", info->path.c_str());
+      return 1;
+    }
+    std::printf("# incident %06llu  t=%.3fs  rule=%s\n",
+                static_cast<unsigned long long>(info->id),
+                static_cast<double>(info->time_ns) / 1e9, info->rule.c_str());
+    std::fputs(body.c_str(), stdout);
+    return 0;
+  }
+
+  if (sub == "diff") {
+    if (a_s.empty() || b_s.empty()) {
+      std::fprintf(stderr, "incident diff requires --a=N and --b=N\n");
+      return sub_usage();
+    }
+    const telemetry::IncidentFileInfo* ia = find_by_id(a_s);
+    const telemetry::IncidentFileInfo* ib = find_by_id(b_s);
+    if (ia == nullptr || ib == nullptr) return 1;
+    std::string ba, bb;
+    if (!read_text_file(ia->path, ba) || !read_text_file(ib->path, bb)) {
+      std::fprintf(stderr, "cannot read bundle files\n");
+      return 1;
+    }
+    const std::string d = telemetry::diff_incident_bundles(ba, bb);
+    if (d.empty()) {
+      std::printf("incidents %s and %s are identical\n", a_s.c_str(),
+                  b_s.c_str());
+      return 0;
+    }
+    std::printf("--- incident %s\n+++ incident %s\n", a_s.c_str(),
+                b_s.c_str());
+    std::fputs(d.c_str(), stdout);
+    return 1;
+  }
+  return sub_usage();
+}
+
+// --- offline forensics: colibri_obs history ... ----------------------------
+// Reopens the history store under `<--dir>/history/` (recovering any
+// torn tail) and answers queries against it.
+int run_history_cli(const char* prog, int argc, const char* const* argv,
+                    int argi) {
+  const auto sub_usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s history query|rate|p99 --series=NAME"
+                 " [--dir=FORENSICS_DIR] [--since=NS|Ns] [--until=NS|Ns]"
+                 " [--prefix]\n",
+                 prog);
+    return 2;
+  };
+  if (argi >= argc || argv[argi][0] == '-') return sub_usage();
+  const std::string sub = argv[argi++];
+  if (sub != "query" && sub != "rate" && sub != "p99") return sub_usage();
+  std::string dir = ".";
+  std::string series;
+  TimeNs since = 0;
+  TimeNs until = telemetry::HistoryStore::kUntilEnd;
+  bool prefix = false;
+  for (int i = argi; i < argc; ++i) {
+    if (const char* v = arg_value(argv[i], "--dir")) {
+      dir = v;
+    } else if (const char* v = arg_value(argv[i], "--series")) {
+      series = v;
+    } else if (const char* v = arg_value(argv[i], "--since")) {
+      since = parse_time_ns(v);
+    } else if (const char* v = arg_value(argv[i], "--until")) {
+      until = parse_time_ns(v);
+    } else if (std::strcmp(argv[i], "--prefix") == 0) {
+      prefix = true;
+    } else {
+      return sub_usage();
+    }
+  }
+  if (series.empty()) {
+    std::fprintf(stderr, "history %s requires --series=NAME\n", sub.c_str());
+    return sub_usage();
+  }
+
+  telemetry::DirectoryHistoryBackend backend(dir + "/history");
+  telemetry::HistoryStore store(backend);
+  const telemetry::HistoryStats st = store.stats();
+  if (store.window_count() == 0) {
+    std::fprintf(stderr, "history store under %s/history is empty\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "# history: %llu frames in %zu segments recovered"
+               " (%llu corrupt, %llu bytes discarded)\n",
+               static_cast<unsigned long long>(st.frames_recovered),
+               store.segment_count(),
+               static_cast<unsigned long long>(st.corrupt_segments),
+               static_cast<unsigned long long>(st.discarded_bytes));
+
+  if (sub == "query") {
+    std::printf("counter %s = %llu\n", series.c_str(),
+                static_cast<unsigned long long>(
+                    store.counter_delta(series, since, until, prefix)));
+    return 0;
+  }
+  if (sub == "rate") {
+    std::printf("rate %s = %.3f/s\n", series.c_str(),
+                store.rate(series, since, until, prefix));
+    return 0;
+  }
+  const std::optional<double> p = store.percentile(series, 0.99, since, until);
+  if (!p) {
+    std::fprintf(stderr, "histogram %s recorded nothing in the span\n",
+                 series.c_str());
+    return 1;
+  }
+  std::printf("p99 %s = %.3f\n", series.c_str(), *p);
+  return 0;
 }
 
 std::string scenario_list() {
@@ -36,8 +244,13 @@ int usage(const char* prog) {
                " [--query=NAME] [--packets=N] [--sample-every=N]"
                " [--scenario=%s]"
                " [--perfetto[=]PATH] [--reservation[=]RES_ID]"
-               " [--once] [--refresh-ms=N]\n",
-               prog, scenario_list().c_str());
+               " [--once] [--refresh-ms=N] [--forensics-dir=PATH]\n"
+               "       %s incident list|show|diff [--dir=FORENSICS_DIR]"
+               " [--id=N] [--a=N] [--b=N]\n"
+               "       %s history query|rate|p99 --series=NAME"
+               " [--dir=FORENSICS_DIR] [--since=NS|Ns] [--until=NS|Ns]"
+               " [--prefix]\n",
+               prog, scenario_list().c_str(), prog, prog);
   return 2;
 }
 
@@ -77,6 +290,14 @@ int run_obs_cli(int argc, const char* const* argv) {
   int refresh_ms = 200;     // watch replay cadence
   int argi = 1;
   if (argi < argc && argv[argi][0] != '-') {
+    // The forensics commands are offline: they read what a previous
+    // (possibly dead) process wrote and never run a scenario.
+    if (std::strcmp(argv[argi], "incident") == 0) {
+      return run_incident_cli(argv[0], argc, argv, argi + 1);
+    }
+    if (std::strcmp(argv[argi], "history") == 0) {
+      return run_history_cli(argv[0], argc, argv, argi + 1);
+    }
     if (std::strcmp(argv[argi], "trace") == 0 ||
         std::strcmp(argv[argi], "health") == 0 ||
         std::strcmp(argv[argi], "watch") == 0 ||
@@ -103,6 +324,8 @@ int run_obs_cli(int argc, const char* const* argv) {
       opts.packets = std::atoi(v);
     } else if (const char* v = arg_value(argv[i], "--sample-every")) {
       opts.sample_every = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = arg_value(argv[i], "--forensics-dir")) {
+      opts.forensics_dir = v;
     } else if (const char* v = arg_value(argv[i], "--scenario")) {
       // A bad name fails the invocation instead of silently running
       // the default; the error names every valid scenario.

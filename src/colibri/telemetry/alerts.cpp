@@ -44,6 +44,12 @@ void AlertEngine::add_slo(Slo slo) {
   slos_.push_back(SloRt{std::move(slo)});
 }
 
+void AlertEngine::add_transition_observer(
+    std::function<void(const AlertTransition&)> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observers_.push_back(std::move(cb));
+}
+
 std::pair<double, bool> AlertEngine::signal_value(const AlertRule& rule) const {
   switch (rule.signal) {
     case AlertSignal::kRate:
@@ -122,6 +128,10 @@ std::size_t AlertEngine::transition(AlertState& state, TimeNs& since,
             .i64("value_milli", std::llround(value * 1000.0))
             .u64("for_ns", static_cast<std::uint64_t>(for_ns));
       }
+      if (!observers_.empty()) {
+        pending_edges_.push_back({AlertTransition::Edge::kFiring, now, name,
+                                  series, value, severity, for_ns});
+      }
     }
   } else {
     if (state == AlertState::kFiring) {
@@ -135,6 +145,10 @@ std::size_t AlertEngine::transition(AlertState& state, TimeNs& since,
             .str("series", series)
             .i64("value_milli", std::llround(value * 1000.0));
       }
+      if (!observers_.empty()) {
+        pending_edges_.push_back({AlertTransition::Edge::kResolved, now, name,
+                                  series, value, Severity::kInfo, 0});
+      }
     } else if (state == AlertState::kPending) {
       state = AlertState::kInactive;
       since = now;
@@ -146,8 +160,14 @@ std::size_t AlertEngine::transition(AlertState& state, TimeNs& since,
 
 std::size_t AlertEngine::evaluate() {
   const TimeNs now = clock_->now_ns();
-  std::lock_guard<std::mutex> lock(mu_);
+  // Edges and the observer list are copied out under the lock and
+  // dispatched after it drops, so observers can call back into the
+  // engine (status(), firing_count(), ...) from the edge.
+  std::vector<AlertTransition> edges;
+  std::vector<std::function<void(const AlertTransition&)>> observers;
   std::size_t transitions = 0;
+  {
+  std::lock_guard<std::mutex> lock(mu_);
   for (RuleRt& rt : rules_) {
     const auto [value, has_value] = signal_value(rt.rule);
     rt.last_value = value;
@@ -183,6 +203,12 @@ std::size_t AlertEngine::evaluate() {
                               rt.burn);
   }
   ++evaluations_;
+  edges.swap(pending_edges_);
+  if (!edges.empty()) observers = observers_;
+  }
+  for (const AlertTransition& edge : edges) {
+    for (const auto& cb : observers) cb(edge);
+  }
   return transitions;
 }
 

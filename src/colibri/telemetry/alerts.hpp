@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -127,6 +128,22 @@ struct SloStatus {
   std::uint64_t total = 0;      // over span_ns
 };
 
+// One firing/resolved edge, as handed to transition observers. Carries
+// the same values the corresponding "alert.firing"/"alert.resolved"
+// event logs, so a subscriber needs no re-entrant engine query to know
+// what fired.
+struct AlertTransition {
+  enum class Edge : std::uint8_t { kFiring, kResolved };
+
+  Edge edge = Edge::kFiring;
+  TimeNs time_ns = 0;
+  std::string name;    // rule or "slo.<name>.burn"
+  std::string series;
+  double value = 0;    // signal value at the edge (burn rate for SLOs)
+  Severity severity = Severity::kWarn;
+  TimeNs for_ns = 0;   // the rule's debounce (0 for resolved edges)
+};
+
 class AlertEngine : public MetricsSource {
  public:
   // Reads signals from `sampler` (whose clock also times the state
@@ -143,6 +160,15 @@ class AlertEngine : public MetricsSource {
   void add_rule(AlertRule rule);
   void add_rules(std::vector<AlertRule> rules);
   void add_slo(Slo slo);
+
+  // Observer seam: `cb` runs once per firing/resolved edge — the same
+  // edges that emit "alert.firing"/"alert.resolved" events and move the
+  // fired/resolved counters, which stay byte-identical with or without
+  // observers. Callbacks are invoked by evaluate() after it releases
+  // the engine lock (in edge order), so an observer may freely call
+  // status()/slo_status()/firing_count() — an IncidentRecorder
+  // snapshotting rule state on the edge is the intended subscriber.
+  void add_transition_observer(std::function<void(const AlertTransition&)> cb);
 
   // Evaluates every rule and SLO against the sampler's current ring.
   // Call after poll() from one monitoring loop. Returns the number of
@@ -204,6 +230,10 @@ class AlertEngine : public MetricsSource {
   std::uint64_t evaluations_ = 0;
   std::uint64_t fired_ = 0;
   std::uint64_t resolved_ = 0;
+  std::vector<std::function<void(const AlertTransition&)>> observers_;
+  // Edges collected under mu_ during evaluate(), dispatched after the
+  // lock drops so observers can query the engine.
+  std::vector<AlertTransition> pending_edges_;
 
   ScopedSource registration_;
 };

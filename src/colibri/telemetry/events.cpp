@@ -80,14 +80,46 @@ struct LineParser {
           case '"': c = '"'; break;
           case '\\': c = '\\'; break;
           case 'u': {
+            // Exactly four hex digits; \uZZZZ is malformed, not 0.
             if (pos + 4 > s.size()) {
               ok = false;
               return out;
             }
-            c = static_cast<char>(
-                std::strtoul(std::string(s.substr(pos, 4)).c_str(), nullptr,
-                             16));
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s[pos + static_cast<std::size_t>(i)];
+              unsigned d;
+              if (h >= '0' && h <= '9') {
+                d = static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                d = static_cast<unsigned>(h - 'a') + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                d = static_cast<unsigned>(h - 'A') + 10;
+              } else {
+                ok = false;
+                return out;
+              }
+              v = v * 16 + d;
+            }
             pos += 4;
+            // UTF-16 surrogate halves are not code points; the exporter
+            // never emits them and pairing is out of scope here.
+            if (v >= 0xD800 && v <= 0xDFFF) {
+              ok = false;
+              return out;
+            }
+            if (v >= 0x800) {
+              out.push_back(static_cast<char>(0xE0 | (v >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+              continue;
+            }
+            if (v >= 0x80) {
+              out.push_back(static_cast<char>(0xC0 | (v >> 6)));
+              out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+              continue;
+            }
+            c = static_cast<char>(v);
             break;
           }
           default: ok = false; return out;
@@ -119,6 +151,43 @@ struct LineParser {
     expect(':');
   }
 };
+
+// The exporter only ever writes well-formed UTF-8 (append_json_string
+// escapes control bytes); a line whose decoded strings are not valid
+// UTF-8 was not written by us and is rejected rather than re-exported.
+bool utf8_valid(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto b = static_cast<unsigned char>(s[i]);
+    std::size_t len;
+    unsigned min_cp;
+    unsigned cp;
+    if (b < 0x80) {
+      ++i;
+      continue;
+    } else if ((b & 0xE0) == 0xC0) {
+      len = 2; min_cp = 0x80; cp = b & 0x1Fu;
+    } else if ((b & 0xF0) == 0xE0) {
+      len = 3; min_cp = 0x800; cp = b & 0x0Fu;
+    } else if ((b & 0xF8) == 0xF0) {
+      len = 4; min_cp = 0x10000; cp = b & 0x07u;
+    } else {
+      return false;  // stray continuation or invalid lead byte
+    }
+    if (i + len > s.size()) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      const auto cont = static_cast<unsigned char>(s[i + k]);
+      if ((cont & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (cont & 0x3Fu);
+    }
+    // Overlong encodings and surrogate/overflow code points are invalid.
+    if (cp < min_cp || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
+}
 
 Severity severity_from_name(std::string_view n, bool& ok) {
   if (n == "debug") return Severity::kDebug;
@@ -155,9 +224,18 @@ std::optional<Event> Event::from_json(std::string_view line) {
   p.expect(',');
   p.key("fields");
   p.expect('{');
-  while (p.ok && !p.peek('}')) {
+  bool expect_field = false;  // a consumed ',' promises another field
+  while (p.ok && (expect_field || !p.peek('}'))) {
+    expect_field = false;
     EventField f;
     f.key = p.string();
+    // The exporter never writes the same field key twice; a duplicate
+    // means the line was hand-edited or corrupted, and keeping both
+    // (or either) silently would misattribute whichever one lookup
+    // helpers happen to return.
+    for (const EventField& existing : ev.fields) {
+      if (existing.key == f.key) p.ok = false;
+    }
     p.expect(':');
     if (p.peek('"')) {
       f.kind = EventField::Kind::kStr;
@@ -173,11 +251,22 @@ std::optional<Event> Event::from_json(std::string_view line) {
       }
     }
     ev.fields.push_back(std::move(f));
-    if (p.peek(',')) p.expect(',');
+    // A comma must be followed by another field: `{"k":1,}` is
+    // malformed, not an empty continuation.
+    if (p.peek(',')) {
+      p.expect(',');
+      expect_field = true;
+    }
   }
   p.expect('}');
   p.expect('}');
+  // Nothing may follow the closing brace, and every decoded string must
+  // be the valid UTF-8 the exporter writes.
   if (!p.ok || p.pos != line.size()) return std::nullopt;
+  if (!utf8_valid(ev.component) || !utf8_valid(ev.name)) return std::nullopt;
+  for (const EventField& f : ev.fields) {
+    if (!utf8_valid(f.key) || !utf8_valid(f.s)) return std::nullopt;
+  }
   return ev;
 }
 

@@ -1,0 +1,470 @@
+#include "colibri/telemetry/incident.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace colibri::telemetry {
+namespace {
+
+// One canonical event object: Event::to_json() minus the process-global
+// seq, which is the only field that differs between bit-identical
+// same-seed runs (the chaos harness's canonical history makes the same
+// exclusion). Bundles must be byte-stable to be diffable evidence.
+std::string event_json_no_seq(const Event& ev) {
+  std::string out;
+  out += "{\"time_ns\":";
+  out += std::to_string(ev.time_ns);
+  out += ",\"severity\":\"";
+  out += severity_name(ev.severity);
+  out += "\",\"component\":";
+  append_json_string(out, ev.component);
+  out += ",\"name\":";
+  append_json_string(out, ev.name);
+  out += ",\"fields\":{";
+  bool first = true;
+  for (const EventField& f : ev.fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, f.key);
+    out.push_back(':');
+    switch (f.kind) {
+      case EventField::Kind::kU64: out += std::to_string(f.u); break;
+      case EventField::Kind::kI64: out += std::to_string(f.i); break;
+      case EventField::Kind::kStr: append_json_string(out, f.s); break;
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+// JSONL -> JSON array (flight-recorder export reuse).
+std::string jsonl_to_array(const std::string& jsonl) {
+  std::string out = "[";
+  bool first = true;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    if (end > start) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append(jsonl, start, end - start);
+    }
+    start = end + 1;
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string window_json(const SampleWindow& w) {
+  std::string out = "{\"start_ns\":";
+  out += std::to_string(w.start_ns);
+  out += ",\"end_ns\":";
+  out += std::to_string(w.end_ns);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, delta] : w.counter_deltas) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(delta);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, level] : w.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(level);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : w.histogram_deltas) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"p50\":";
+    out += std::to_string(static_cast<std::int64_t>(std::llround(
+        h.percentile(0.50))));
+    out += ",\"p99\":";
+    out += std::to_string(static_cast<std::int64_t>(std::llround(
+        h.percentile(0.99))));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string transition_json(const AlertTransition& t) {
+  std::string out = "{\"edge\":\"";
+  out += t.edge == AlertTransition::Edge::kFiring ? "firing" : "resolved";
+  out += "\",\"time_ns\":";
+  out += std::to_string(t.time_ns);
+  out += ",\"rule\":";
+  append_json_string(out, t.name);
+  out += ",\"series\":";
+  append_json_string(out, t.series);
+  out += ",\"severity\":\"";
+  out += severity_name(t.severity);
+  out += "\",\"value_milli\":";
+  out += std::to_string(std::llround(t.value * 1000.0));
+  out += ",\"for_ns\":";
+  out += std::to_string(t.for_ns);
+  out += '}';
+  return out;
+}
+
+std::string bundle_filename(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "incident-%06llu.json",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+IncidentRecorder::IncidentRecorder(AlertEngine& engine, IncidentConfig cfg)
+    : engine_(&engine), cfg_(cfg) {
+  engine.add_transition_observer(
+      [this](const AlertTransition& t) { on_transition(t); });
+}
+
+void IncidentRecorder::set_event_log(const EventLog* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_ = log;
+}
+
+void IncidentRecorder::set_sampler(const WindowedSampler* sampler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sampler_ = sampler;
+}
+
+void IncidentRecorder::set_fault_injector(const FaultInjector* inj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = inj;
+}
+
+void IncidentRecorder::set_span_collector(const SpanCollector* collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_ = collector;
+}
+
+void IncidentRecorder::add_flight_recorder(std::string name,
+                                           const FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorders_.emplace_back(std::move(name), recorder);
+}
+
+void IncidentRecorder::add_section(std::string name,
+                                   std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sections_.emplace_back(std::move(name), std::move(provider));
+}
+
+void IncidentRecorder::set_directory(std::string dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dir_ = std::move(dir);
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+  }
+}
+
+void IncidentRecorder::on_transition(const AlertTransition& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.push_back(t);
+  while (recent_.size() > cfg_.max_transitions) recent_.pop_front();
+  if (t.edge != AlertTransition::Edge::kFiring) return;
+
+  // Debounce: an edge inside the window rides the *next* bundle's
+  // suppressed list instead of opening its own.
+  if (any_bundle_ && t.time_ns - last_bundle_ns_ < cfg_.debounce_ns) {
+    suppressed_pending_.emplace_back(t.time_ns, t.name);
+    ++suppressed_total_;
+    return;
+  }
+
+  IncidentBundle bundle;
+  bundle.id = next_id_++;
+  bundle.time_ns = t.time_ns;
+  bundle.rule = t.name;
+  bundle.json = capture_locked(t);
+  if (!dir_.empty()) {
+    const std::string path =
+        (std::filesystem::path(dir_) / bundle_filename(bundle.id)).string();
+    if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+      std::fwrite(bundle.json.data(), 1, bundle.json.size(), f);
+      std::fclose(f);
+      bundle.path = path;
+    }
+  }
+  bundles_.push_back(std::move(bundle));
+  while (bundles_.size() > cfg_.max_bundles) bundles_.pop_front();
+  suppressed_pending_.clear();
+  last_bundle_ns_ = t.time_ns;
+  any_bundle_ = true;
+}
+
+std::string IncidentRecorder::capture_locked(const AlertTransition& t) {
+  // One top-level key per line: `incident diff` compares bundles
+  // line-by-line, so a changed section diffs as one line, not as one
+  // opaque blob.
+  std::string out = "{\n";
+  out += "\"schema\": \"colibri.incident.v1\",\n";
+  out += "\"id\": " + std::to_string(next_id_ - 1) + ",\n";
+  out += "\"time_ns\": " + std::to_string(t.time_ns) + ",\n";
+  out += "\"trigger\": " + transition_json(t) + ",\n";
+
+  out += "\"suppressed\": [";
+  bool first = true;
+  for (const auto& [when, rule] : suppressed_pending_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"time_ns\":" + std::to_string(when) + ",\"rule\":";
+    append_json_string(out, rule);
+    out.push_back('}');
+  }
+  out += "],\n";
+
+  // Full rule/SLO state at the edge — the engine dispatches observers
+  // without its lock held, so these queries are safe from here.
+  out += "\"alerts\": [";
+  first = true;
+  for (const AlertStatus& st : engine_->status()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, st.name);
+    out += ",\"state\":\"";
+    out += alert_state_name(st.state);
+    out += "\",\"severity\":\"";
+    out += severity_name(st.severity);
+    out += "\",\"value_milli\":";
+    out += std::to_string(std::llround(st.last_value * 1000.0));
+    out += ",\"has_value\":";
+    out += st.has_value ? "true" : "false";
+    out += ",\"since_ns\":";
+    out += std::to_string(st.since_ns);
+    out += ",\"times_fired\":";
+    out += std::to_string(st.times_fired);
+    out.push_back('}');
+  }
+  out += "],\n";
+
+  out += "\"slos\": [";
+  first = true;
+  for (const SloStatus& st : engine_->slo_status()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, st.name);
+    out += ",\"state\":\"";
+    out += alert_state_name(st.state);
+    out += "\",\"burn_rate_milli\":";
+    out += std::to_string(std::llround(st.burn_rate * 1000.0));
+    out += ",\"budget_remaining_milli\":";
+    out += std::to_string(std::llround(st.budget_remaining * 1000.0));
+    out += ",\"bad\":";
+    out += std::to_string(st.bad);
+    out += ",\"total\":";
+    out += std::to_string(st.total);
+    out.push_back('}');
+  }
+  out += "],\n";
+
+  out += "\"recent_transitions\": [";
+  first = true;
+  for (const AlertTransition& tr : recent_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += transition_json(tr);
+  }
+  out += "],\n";
+
+  out += "\"events\": [";
+  if (events_ != nullptr) {
+    const std::vector<Event> evs = events_->events();
+    const std::size_t skip =
+        evs.size() > cfg_.max_events ? evs.size() - cfg_.max_events : 0;
+    first = true;
+    for (std::size_t i = skip; i < evs.size(); ++i) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += event_json_no_seq(evs[i]);
+    }
+  }
+  out += "],\n";
+
+  out += "\"windows\": [";
+  if (sampler_ != nullptr) {
+    first = true;
+    for (const SampleWindow& w : sampler_->recent_windows(cfg_.max_windows)) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += window_json(w);
+    }
+  }
+  out += "],\n";
+
+  out += "\"flight_records\": {";
+  first = true;
+  for (const auto& [name, rec] : recorders_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += jsonl_to_array(rec->to_jsonl());
+  }
+  out += "},\n";
+
+  out += "\"faults\": ";
+  if (faults_ != nullptr) {
+    const FaultStats fs = faults_->snapshot();
+    out += "{\"msg_delivered\":" + std::to_string(fs.msg_delivered);
+    out += ",\"msg_dropped\":" + std::to_string(fs.msg_dropped);
+    out += ",\"msg_duplicated\":" + std::to_string(fs.msg_duplicated);
+    out += ",\"msg_delayed\":" + std::to_string(fs.msg_delayed);
+    out += ",\"link_drops\":" + std::to_string(fs.link_drops);
+    out += ",\"wal_faults\":" + std::to_string(fs.wal_faults);
+    out.push_back('}');
+  } else {
+    out += "null";
+  }
+  out += ",\n";
+
+  out += "\"spans\": ";
+  out += spans_ != nullptr ? spans_->trace().to_json() : "null";
+  out += ",\n";
+
+  out += "\"sections\": {";
+  first = true;
+  for (const auto& [name, provider] : sections_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += provider();
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+std::size_t IncidentRecorder::bundle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundles_.size();
+}
+
+std::vector<IncidentBundle> IncidentRecorder::bundles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {bundles_.begin(), bundles_.end()};
+}
+
+std::uint64_t IncidentRecorder::suppressed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_total_;
+}
+
+// --- offline analysis -------------------------------------------------------
+
+namespace {
+
+// Scrapes `"key": <digits>` or `"key":<digits>` out of bundle text.
+std::uint64_t scrape_u64(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return 0;
+  std::size_t pos = at + needle.size();
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  std::uint64_t v = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(text[pos++] - '0');
+  }
+  return v;
+}
+
+std::string scrape_str(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t pos = at + needle.size();
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  if (pos >= text.size() || text[pos] != '"') return {};
+  ++pos;
+  std::string out;
+  while (pos < text.size() && text[pos] != '"') out.push_back(text[pos++]);
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::string out;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<IncidentFileInfo> list_incident_bundles(const std::string& dir) {
+  std::vector<IncidentFileInfo> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("incident-", 0) != 0 ||
+        name.size() < 5 || name.substr(name.size() - 5) != ".json") {
+      continue;
+    }
+    const std::string text = read_file(entry.path().string());
+    IncidentFileInfo info;
+    info.path = entry.path().string();
+    info.id = scrape_u64(text, "id");
+    info.time_ns = static_cast<TimeNs>(scrape_u64(text, "time_ns"));
+    info.rule = scrape_str(text, "rule");
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IncidentFileInfo& a, const IncidentFileInfo& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+std::string diff_incident_bundles(const std::string& a, const std::string& b) {
+  const auto split = [](const std::string& text) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      lines.push_back(text.substr(start, end - start));
+      start = end + 1;
+    }
+    return lines;
+  };
+  const std::vector<std::string> la = split(a), lb = split(b);
+  std::string out;
+  const std::size_t n = std::max(la.size(), lb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* va = i < la.size() ? &la[i] : nullptr;
+    const std::string* vb = i < lb.size() ? &lb[i] : nullptr;
+    if (va != nullptr && vb != nullptr && *va == *vb) continue;
+    if (va != nullptr) out += "- " + *va + "\n";
+    if (vb != nullptr) out += "+ " + *vb + "\n";
+  }
+  return out;
+}
+
+}  // namespace colibri::telemetry

@@ -83,16 +83,23 @@ bool WindowedSampler::sample(TimeNs now) {
     return false;
   }
 
+  const auto keep = [this](const std::string& name) {
+    return !cfg_.series_filter || cfg_.series_filter(name);
+  };
   SampleWindow w;
   w.start_ns = start;
   w.end_ns = now;
   for (const auto& [name, value] : cur.counters) {
+    if (!keep(name)) continue;
     const auto it = prev_.counters.find(name);
     const std::uint64_t before = it == prev_.counters.end() ? 0 : it->second;
     w.counter_deltas[name] = value >= before ? value - before : value;
   }
-  w.gauges = cur.gauges;
+  for (const auto& [name, level] : cur.gauges) {
+    if (keep(name)) w.gauges[name] = level;
+  }
   for (const auto& [name, h] : cur.histograms) {
+    if (!keep(name)) continue;
     const auto it = prev_.histograms.find(name);
     w.histogram_deltas[name] =
         it == prev_.histograms.end() ? h : histogram_minus(h, it->second);
@@ -240,6 +247,13 @@ std::optional<SampleWindow> WindowedSampler::latest_window() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.empty()) return std::nullopt;
   return ring_.back();
+}
+
+std::vector<SampleWindow> WindowedSampler::recent_windows(
+    std::size_t max_windows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = std::min(max_windows, ring_.size());
+  return {ring_.end() - static_cast<std::ptrdiff_t>(n), ring_.end()};
 }
 
 void WindowedSampler::track_rate(std::string series) {

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "colibri/common/clock.hpp"
 #include "colibri/telemetry/metrics.hpp"
@@ -55,6 +57,11 @@ struct WindowedSamplerConfig {
   // Per-window multiplicative decay applied to tracked high-watermarks
   // before taking the max with the current gauge level.
   double watermark_decay = 0.9;
+  // When set, a series only enters a window if the filter returns
+  // true. Forensics monitors use this to keep wall-clock-derived
+  // series (real host execution times, which never replay the same)
+  // out of deterministic capture. nullptr keeps everything.
+  std::function<bool(std::string_view)> series_filter;
 };
 
 // One sampled window: what changed between two registry snapshots.
@@ -127,6 +134,10 @@ class WindowedSampler : public MetricsSource {
   std::size_t window_count() const;      // retained in the ring
   std::uint64_t windows_sampled() const; // total since construction
   std::optional<SampleWindow> latest_window() const;
+  // Up to `max_windows` newest retained windows, oldest first — the
+  // flight-recorder view a forensic snapshot (telemetry/incident.hpp)
+  // embeds in an incident bundle.
+  std::vector<SampleWindow> recent_windows(std::size_t max_windows) const;
   TimeNs period_ns() const { return cfg_.period_ns; }
 
   // --- derived-gauge export ----------------------------------------------

@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "colibri/app/chaos.hpp"
 #include "colibri/app/obs.hpp"
@@ -17,6 +21,8 @@
 #include "colibri/cserv/renewal_manager.hpp"
 #include "colibri/sim/faults.hpp"
 #include "colibri/sim/link.hpp"
+#include "colibri/telemetry/history.hpp"
+#include "colibri/telemetry/incident.hpp"
 #include "colibri/telemetry/timeseries.hpp"
 #include "seed_util.hpp"
 
@@ -454,6 +460,96 @@ TEST(ChaosTest, ObsFailoverScenarioDrivesAlertsAndDashboard) {
   EXPECT_TRUE(some_frame_fired);
   EXPECT_NE(art.events_jsonl.find("failover.cutover"), std::string::npos);
   EXPECT_NE(art.events_jsonl.find("failover.restored"), std::string::npos);
+}
+
+// --- Post-mortem forensics ---------------------------------------------
+
+namespace {
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// name → bytes for every regular file under `dir`, relative paths, so two
+// runs' forensics trees can be compared for byte identity.
+std::vector<std::pair<std::string, std::string>> tree_bytes(
+    const std::string& dir) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (!std::filesystem::exists(dir)) return out;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    out.emplace_back(
+        std::filesystem::relative(entry.path(), dir).string(),
+        slurp(entry.path()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+TEST(ChaosTest, KillAndRestoreLeavesReopenableHistoryAndIncidentBundle) {
+  const std::string dir_a =
+      ::testing::TempDir() + "colibri_chaos_forensics_a";
+  const std::string dir_b =
+      ::testing::TempDir() + "colibri_chaos_forensics_b";
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+
+  app::ChaosOptions opts;
+  opts.seed = colibri::testing::test_seed(0xC0A05EEDULL);
+  COLIBRI_SEED_TRACE(opts.seed);
+  opts.forensics_dir = dir_a;
+  const app::ChaosReport report = app::run_chaos_universe(opts);
+
+  // The run actually crashed and came back, recording while it happened.
+  EXPECT_TRUE(report.crash_restored);
+  EXPECT_GT(report.history_frames, 0u);
+  EXPECT_GT(report.history_frames_recovered, 0u)
+      << "restart should have recovered frames from the on-disk store";
+  ASSERT_GE(report.incident_bundles, 1u);
+  EXPECT_EQ(report.first_incident_rule, "cserv.failover-active");
+
+  // The store on disk reopens offline, and its queries agree with what
+  // the live sampler measured over the monitored span.
+  telemetry::DirectoryHistoryBackend backend(dir_a + "/history");
+  telemetry::HistoryStore store(backend);
+  EXPECT_EQ(store.stats().corrupt_segments, 0u);
+  EXPECT_EQ(store.window_count(), report.history_frames);
+  EXPECT_EQ(store.counter_delta("", report.monitor_span_start_ns,
+                                report.monitor_span_end_ns,
+                                /*prefix=*/true),
+            report.monitored_counter_total);
+
+  // The bundle on disk names the triggering rule.
+  const auto bundles = telemetry::list_incident_bundles(dir_a + "/incidents");
+  ASSERT_EQ(bundles.size(), report.incident_bundles);
+  EXPECT_EQ(bundles.front().rule, "cserv.failover-active");
+  EXPECT_NE(slurp(bundles.front().path).find("cserv.failover-active"),
+            std::string::npos);
+
+  // A second same-seed run produces a byte-identical forensics tree:
+  // every history segment and incident bundle, bit for bit.
+  app::ChaosOptions opts_b = opts;
+  opts_b.forensics_dir = dir_b;
+  const app::ChaosReport report_b = app::run_chaos_universe(opts_b);
+  EXPECT_EQ(report_b.incident_bundles, report.incident_bundles);
+  const auto tree_a = tree_bytes(dir_a);
+  const auto tree_b = tree_bytes(dir_b);
+  ASSERT_FALSE(tree_a.empty());
+  ASSERT_EQ(tree_a.size(), tree_b.size());
+  for (std::size_t i = 0; i < tree_a.size(); ++i) {
+    EXPECT_EQ(tree_a[i].first, tree_b[i].first);
+    EXPECT_EQ(tree_a[i].second, tree_b[i].second)
+        << "file " << tree_a[i].first << " differs between same-seed runs";
+  }
+
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
 }
 
 }  // namespace

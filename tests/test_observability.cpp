@@ -421,6 +421,61 @@ TEST(EventLogTest, FromJsonRejectsGarbage) {
   EXPECT_FALSE(Event::from_json("{\"time_ns\":1}").has_value());
 }
 
+TEST(EventLogTest, FromJsonRejectsMalformedInputTable) {
+  // A line the exporter actually emits; every mutation of it below must
+  // be rejected, and the pristine line must keep parsing.
+  const std::string ok =
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\",\"component\":\"cserv\","
+      "\"name\":\"denied\",\"fields\":{\"res_id\":42,\"reason\":\"full\"}}";
+  ASSERT_TRUE(Event::from_json(ok).has_value());
+
+  const std::string cases[] = {
+      // Trailing garbage after the closing brace.
+      ok + " ",
+      ok + "x",
+      ok + "}",
+      ok + "\n",
+      ok + ok,
+      // Duplicate keys, both in fields and at the top level.
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\",\"component\":\"c\","
+      "\"name\":\"n\",\"fields\":{\"k\":1,\"k\":2}}",
+      "{\"time_ns\":1,\"time_ns\":1,\"seq\":2,\"severity\":\"warn\","
+      "\"component\":\"c\",\"name\":\"n\",\"fields\":{}}",
+      // Trailing commas.
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\",\"component\":\"c\","
+      "\"name\":\"n\",\"fields\":{\"k\":1,}}",
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\",\"component\":\"c\","
+      "\"name\":\"n\",\"fields\":{},}",
+      // Invalid UTF-8 in a string: stray continuation byte, truncated
+      // 2-byte sequence, overlong encoding of '/', UTF-16 surrogate.
+      std::string("{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\","
+                  "\"component\":\"c\x80\",\"name\":\"n\",\"fields\":{}}"),
+      std::string("{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\","
+                  "\"component\":\"c\",\"name\":\"n\xC3\",\"fields\":{}}"),
+      std::string("{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\","
+                  "\"component\":\"c\",\"name\":\"\xC0\xAF\",\"fields\":{}}"),
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\",\"component\":\"c\","
+      "\"name\":\"\\ud800\",\"fields\":{}}",
+      // Malformed \u escapes: too short, non-hex.
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\",\"component\":\"c\","
+      "\"name\":\"\\u12\",\"fields\":{}}",
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"warn\",\"component\":\"c\","
+      "\"name\":\"\\uzzzz\",\"fields\":{}}",
+      // Unknown severity.
+      "{\"time_ns\":1,\"seq\":2,\"severity\":\"loud\",\"component\":\"c\","
+      "\"name\":\"n\",\"fields\":{}}",
+  };
+  for (const std::string& line : cases) {
+    EXPECT_FALSE(Event::from_json(line).has_value()) << "accepted: " << line;
+  }
+
+  // Every proper prefix of a valid line is truncated and must fail.
+  for (std::size_t len = 0; len < ok.size(); ++len) {
+    EXPECT_FALSE(Event::from_json(ok.substr(0, len)).has_value())
+        << "accepted truncation at " << len;
+  }
+}
+
 TEST(EventLogTest, BoundedCapacityDropsOldest) {
   SimClock clock(0);
   EventLog log(clock, /*capacity=*/4);
